@@ -1,0 +1,61 @@
+// Sec. 5.1 — "when it comes to ML-driven attacks, half measures are not
+// effective.  Data-driven approaches can exploit even the slightest
+// imbalance."
+//
+// The bench sweeps the key budget from 10 % to 100 % on an imbalanced design
+// and reports KPA for ASSURE, HRA and ERA.  Expected shape: ASSURE stays
+// highly vulnerable at every partial budget; HRA improves only gradually
+// (residual imbalance remains exploitable until the budget suffices to
+// balance); ERA is at random guess everywhere because it overruns the budget
+// to reach balance.
+#include "attack/pipeline.hpp"
+#include "common.hpp"
+#include "designs/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtlock;
+  return bench::runBench([&] {
+    const support::CliArgs args(argc, argv,
+                                {"seed", "csv", "samples", "relocks", "benchmark"});
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const bool csv = args.getBool("csv", false);
+    const std::string benchmarkName = args.get("benchmark", "FIR");
+
+    attack::EvaluationConfig config;
+    config.testLocks = static_cast<int>(args.getInt("samples", 2));
+    config.snapshot.relockRounds = static_cast<int>(args.getInt("relocks", 50));
+    config.snapshot.automl.folds = 2;
+
+    bench::banner("Key-budget sweep — the 'half measures' claim",
+                  "Sisejkovic et al., DAC'22, Sec. 5.1 (lessons learned)",
+                  "ASSURE/HRA exploitable at every partial budget; ERA ~50% throughout");
+
+    const rtl::Module original = designs::makeBenchmark(benchmarkName);
+    support::Table table{{"budget %", "ASSURE KPA%", "HRA KPA%", "HRA M^g", "ERA KPA%",
+                          "ERA bits used"}};
+
+    support::Rng rng{seed};
+    for (const int budgetPercent : {10, 25, 50, 75, 90, 100}) {
+      config.keyBudgetFraction = budgetPercent / 100.0;
+      config.snapshot.relockBudgetFraction = 0.75;
+
+      std::vector<std::string> row{std::to_string(budgetPercent)};
+      const auto assure = attack::evaluateBenchmark(original, benchmarkName,
+                                                    lock::Algorithm::AssureSerial,
+                                                    lock::PairTable::fixed(), config, rng);
+      row.push_back(support::formatDouble(assure.meanKpa, 2));
+      const auto hra =
+          attack::evaluateBenchmark(original, benchmarkName, lock::Algorithm::Hra,
+                                    lock::PairTable::fixed(), config, rng);
+      row.push_back(support::formatDouble(hra.meanKpa, 2));
+      row.push_back(support::formatDouble(hra.meanGlobalMetric, 1));
+      const auto era =
+          attack::evaluateBenchmark(original, benchmarkName, lock::Algorithm::Era,
+                                    lock::PairTable::fixed(), config, rng);
+      row.push_back(support::formatDouble(era.meanKpa, 2));
+      row.push_back(support::formatDouble(era.meanBitsUsed, 0));
+      table.addRow(std::move(row));
+    }
+    bench::emit(table, csv);
+  });
+}

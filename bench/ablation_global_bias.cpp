@@ -1,0 +1,55 @@
+// Sec. 5.1 limitations — "is there a 'global bias' among designs?  If so,
+// this bias could help determine the correct function of locked designs.
+// The metric in Section 4.1 can extract the initial distance for selected
+// designs by considering the distance between the initial distribution and
+// the optimal one."
+//
+// The bench computes exactly that: per benchmark, the initial ODT magnitude
+// vector, its Euclidean distance to the balanced optimum, the distance
+// normalized by operation count (comparable across design sizes), and the
+// dominant imbalanced pair.  Designs cluster by domain: DSP leans on (+,-)
+// and (*,/), crypto on (^,~^) and (&,|) — the global bias the paper
+// anticipates.
+#include "common.hpp"
+#include "core/engine.hpp"
+#include "core/metric.hpp"
+#include "designs/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtlock;
+  return bench::runBench([&] {
+    const support::CliArgs args(argc, argv, {"csv"});
+    const bool csv = args.getBool("csv", false);
+
+    bench::banner("Global bias across benchmark designs",
+                  "Sisejkovic et al., DAC'22, Sec. 5.1 (limitations & opportunities)",
+                  "nonzero initial distance everywhere except N_1023; domain-typical "
+                  "dominant pairs");
+
+    const auto& pairs = lock::PairTable::fixed().pairs();
+    support::Table table{{"benchmark", "ops", "initial distance d(v_i, v_o)",
+                          "bias per op", "dominant pair", "dominant |ODT|"}};
+
+    for (const auto& name : designs::benchmarkNames()) {
+      rtl::Module module = designs::makeBenchmark(name);
+      lock::LockEngine engine{module, lock::PairTable::fixed()};
+      const std::vector<int> magnitudes = engine.initialMagnitudes();
+      const lock::PairMask all(magnitudes.size(), true);
+      const double distance = lock::modifiedEuclidean(magnitudes, all);
+
+      std::size_t dominant = 0;
+      for (std::size_t i = 1; i < magnitudes.size(); ++i) {
+        if (magnitudes[i] > magnitudes[dominant]) dominant = i;
+      }
+      const std::string dominantPair =
+          "(" + std::string{rtl::opName(pairs[dominant].first)} + "," +
+          std::string{rtl::opName(pairs[dominant].second)} + ")";
+
+      const int ops = engine.initialLockableOps();
+      table.addRow({name, std::to_string(ops), support::formatDouble(distance, 2),
+                    support::formatDouble(ops == 0 ? 0.0 : distance / ops, 3), dominantPair,
+                    std::to_string(magnitudes[dominant])});
+    }
+    bench::emit(table, csv);
+  });
+}

@@ -1,0 +1,128 @@
+// Performance microbenchmarks (google-benchmark): throughput of the pieces
+// that dominate experiment wall-clock — locking, undo, locality extraction,
+// Verilog parsing/writing, simulation, and classifier training.
+#include <benchmark/benchmark.h>
+
+#include "attack/locality.hpp"
+#include "core/algorithms.hpp"
+#include "designs/networks.hpp"
+#include "designs/registry.hpp"
+#include "ml/automl.hpp"
+#include "sim/evaluator.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/writer.hpp"
+
+namespace {
+
+using namespace rtlock;
+
+void BM_LockRandomOp(benchmark::State& state) {
+  rtl::Module module = designs::makePlusNetwork(static_cast<int>(state.range(0)));
+  lock::LockEngine engine{module, lock::PairTable::fixed()};
+  support::Rng rng{1};
+  for (auto _ : state) {
+    const auto checkpoint = engine.checkpoint();
+    benchmark::DoNotOptimize(engine.lockRandomOp(rng));
+    engine.undoTo(checkpoint);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockRandomOp)->Arg(128)->Arg(1024)->Arg(2046);
+
+void BM_RelockSession(benchmark::State& state) {
+  // One attack training round: 75% relock + extraction + undo.
+  rtl::Module module = designs::makePlusNetwork(static_cast<int>(state.range(0)));
+  lock::LockEngine engine{module, lock::PairTable::fixed()};
+  support::Rng rng{2};
+  const int budget = static_cast<int>(0.75 * engine.initialLockableOps());
+  for (auto _ : state) {
+    const auto checkpoint = engine.checkpoint();
+    lock::assureRandomLock(engine, budget, rng);
+    benchmark::DoNotOptimize(attack::extractLocalities(module, {}));
+    engine.undoTo(checkpoint);
+  }
+  state.SetItemsProcessed(state.iterations() * budget);
+}
+BENCHMARK(BM_RelockSession)->Arg(128)->Arg(1024);
+
+void BM_EraLock(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rtl::Module module = designs::makePlusNetwork(static_cast<int>(state.range(0)));
+    lock::LockEngine engine{module, lock::PairTable::fixed()};
+    support::Rng rng{3};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        lock::eraLock(engine, engine.initialLockableOps(), rng).bitsUsed);
+  }
+}
+BENCHMARK(BM_EraLock)->Arg(256)->Arg(1024)->Iterations(20);
+
+void BM_HraLock(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rtl::Module module = designs::makeBenchmark("SHA256");
+    lock::LockEngine engine{module, lock::PairTable::fixed()};
+    support::Rng rng{4};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        lock::hraLock(engine, engine.initialLockableOps() / 2, rng).bitsUsed);
+  }
+}
+BENCHMARK(BM_HraLock)->Iterations(20);
+
+void BM_ExtractLocalities(benchmark::State& state) {
+  rtl::Module module = designs::makePlusNetwork(static_cast<int>(state.range(0)));
+  lock::LockEngine engine{module, lock::PairTable::fixed()};
+  support::Rng rng{5};
+  lock::assureRandomLock(engine, static_cast<int>(0.75 * engine.initialLockableOps()), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::extractLocalities(module, {}));
+  }
+}
+BENCHMARK(BM_ExtractLocalities)->Arg(128)->Arg(1024)->Arg(2046);
+
+void BM_VerilogRoundTrip(benchmark::State& state) {
+  const rtl::Module module = designs::makeBenchmark("MD5");
+  const std::string text = verilog::writeModule(module);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verilog::writeModule(verilog::parseModule(text)));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_VerilogRoundTrip);
+
+void BM_SimulateCycle(benchmark::State& state) {
+  const rtl::Module module = designs::makeBenchmark("SHA256");
+  sim::Evaluator eval{module};
+  support::Rng rng{6};
+  const auto blk = *module.findSignal("blk");
+  for (auto _ : state) {
+    eval.setValue(blk, sim::BitVector::random(32, rng));
+    eval.settle();
+    benchmark::DoNotOptimize(eval.value(*module.findSignal("digest")));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateCycle);
+
+void BM_AutoMlSelect(benchmark::State& state) {
+  support::Rng rng{7};
+  ml::Dataset data{2};
+  for (int i = 0; i < 20000; ++i) {
+    const auto c1 = static_cast<double>(rng.below(8));
+    const auto c2 = static_cast<double>(rng.below(8));
+    data.add({c1, c2}, rng.chance(c1 > c2 ? 0.8 : 0.3) ? 1 : 0);
+  }
+  ml::AutoMlConfig config;
+  config.folds = 3;
+  for (auto _ : state) {
+    support::Rng selectRng{8};
+    benchmark::DoNotOptimize(ml::autoSelect(data, config, selectRng).bestCvAccuracy);
+  }
+}
+BENCHMARK(BM_AutoMlSelect)->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Scenario: defence in depth on a SHA-256 round pipeline — the three ASSURE
+// obfuscations combined.  Constants are extracted into the key, branches are
+// key-XORed, and operations are balanced with ERA.  The example reports the
+// key-budget breakdown and verifies the composite lock.
+//
+// Usage: crypto_defense_in_depth [--rounds=12] [--seed=N]
+#include <iostream>
+
+#include "core/algorithms.hpp"
+#include "designs/crypto.hpp"
+#include "rtl/stats.hpp"
+#include "sim/harness.hpp"
+#include "support/cli.hpp"
+#include "verilog/writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtlock;
+  try {
+    const support::CliArgs args(argc, argv, {"rounds", "seed"});
+    const int rounds = static_cast<int>(args.getInt("rounds", 12));
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 3));
+
+    const rtl::Module original = designs::makeSha256(rounds);
+    rtl::Module locked = original.clone();
+    support::Rng rng{seed};
+
+    // Layer 1: constant obfuscation — round constants leave the netlist.
+    const auto constants = lock::assureLockConstants(locked, /*keyBudgetBits=*/256, rng);
+
+    // Layer 2: operation obfuscation with ERA (balance every touched pair).
+    lock::LockEngine engine{locked, lock::PairTable::fixed()};
+    const auto operations = lock::eraLock(engine, engine.initialLockableOps() / 2, rng);
+
+    // Layer 3: branch obfuscation (SHA pipeline is branch-free; the call
+    // demonstrates the API and is a no-op here).
+    const auto branches = lock::assureLockBranches(locked, 16, rng);
+
+    std::cout << "SHA-256 pipeline (" << rounds << " rounds) locked in depth:\n"
+              << "  constant obfuscation: " << constants.bitsUsed << " key bits over "
+              << constants.records.size() << " constants\n"
+              << "  operation obfuscation (ERA): " << operations.bitsUsed
+              << " key bits, M^r_sec = " << operations.finalRestrictedMetric << "\n"
+              << "  branch obfuscation: " << branches.bitsUsed << " key bits\n"
+              << "  total key width: " << locked.keyWidth() << " bits\n\n";
+
+    // Assemble the composite key.
+    sim::BitVector key{locked.keyWidth()};
+    for (const auto& record : constants.records) {
+      for (int i = 0; i < record.width; ++i) {
+        key.setBit(record.keyIndex + i, ((record.value >> i) & 1u) != 0);
+      }
+    }
+    for (const auto& record : engine.records()) key.setBit(record.keyIndex, record.keyValue);
+    for (const auto& record : branches.records) key.setBit(record.keyIndex, record.keyValue);
+
+    support::Rng simRng{seed + 1};
+    const bool functional = sim::functionallyEquivalent(original, locked, key, {}, simRng);
+    std::cout << "composite key restores behaviour: " << (functional ? "yes" : "NO") << '\n';
+
+    sim::BitVector wrong = key;
+    wrong.setBit(0, !wrong.bit(0));
+    support::Rng simRng2{seed + 2};
+    std::cout << "single wrong key bit corrupts:    "
+              << (sim::functionallyEquivalent(original, locked, wrong, {}, simRng2) ? "NO"
+                                                                                    : "yes")
+              << "\n\n";
+
+    const auto stats = rtl::computeStats(locked);
+    std::cout << "locked design: " << stats.exprNodes << " expression nodes, "
+              << stats.keyMuxes << " key muxes, key width " << stats.keyWidth << '\n';
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,79 @@
+// Scenario: an IP vendor locks a 32-tap FIR accelerator before handing the
+// RTL to an untrusted integrator.  The example compares all locking
+// algorithms on the same budget, verifies functional preservation, and
+// reports the ODT balance the attacker would observe.
+//
+// Usage: lock_fir_accelerator [--taps=N] [--budget=0.75] [--seed=N]
+#include <iostream>
+
+#include "core/algorithms.hpp"
+#include "designs/dsp.hpp"
+#include "rtl/stats.hpp"
+#include "sim/harness.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtlock;
+  try {
+    const support::CliArgs args(argc, argv, {"taps", "budget", "seed"});
+    const int taps = static_cast<int>(args.getInt("taps", 32));
+    const double budgetFraction = args.getDouble("budget", 0.75);
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    const rtl::Module original = designs::makeFir(taps);
+    {
+      rtl::Module probe = original.clone();
+      lock::LockEngine probeEngine{probe, lock::PairTable::fixed()};
+      std::cout << "FIR accelerator: " << taps << " taps, "
+                << probeEngine.initialLockableOps() << " lockable operations\n"
+                << "initial imbalance |ODT|: +/-=" << std::abs(probeEngine.odtValue(rtl::OpKind::Add))
+                << " */÷=" << std::abs(probeEngine.odtValue(rtl::OpKind::Mul)) << "\n\n";
+    }
+
+    support::Table table{{"algorithm", "key bits", "ops added", "M^g_sec", "M^r_sec",
+                          "functional (correct key)", "corrupts (flipped key)"}};
+
+    for (const auto algorithm :
+         {lock::Algorithm::AssureSerial, lock::Algorithm::AssureRandom, lock::Algorithm::Hra,
+          lock::Algorithm::Greedy, lock::Algorithm::Era}) {
+      rtl::Module locked = original.clone();
+      support::Rng rng{seed};
+      lock::LockEngine engine{locked, lock::PairTable::fixed()};
+      const int opsBefore = engine.initialLockableOps();
+      const int budget = std::max(1, static_cast<int>(budgetFraction * opsBefore));
+      const auto report = lock::lockWithAlgorithm(engine, algorithm, budget, rng);
+
+      sim::BitVector key{locked.keyWidth()};
+      sim::BitVector flipped{locked.keyWidth()};
+      for (const auto& record : engine.records()) {
+        key.setBit(record.keyIndex, record.keyValue);
+        flipped.setBit(record.keyIndex, !record.keyValue);
+      }
+      sim::EquivalenceOptions options;
+      options.vectors = 8;
+      options.cyclesPerVector = taps + 8;
+      support::Rng simRng{seed + 10};
+      const bool functional =
+          sim::functionallyEquivalent(original, locked, key, options, simRng);
+      support::Rng simRng2{seed + 20};
+      const bool corrupts =
+          !sim::functionallyEquivalent(original, locked, flipped, options, simRng2);
+
+      table.addRow({std::string{lock::algorithmName(algorithm)},
+                    std::to_string(report.bitsUsed),
+                    std::to_string(engine.totalLockableOps() - opsBefore),
+                    support::formatDouble(report.finalGlobalMetric, 1),
+                    support::formatDouble(report.finalRestrictedMetric, 1),
+                    functional ? "yes" : "NO", corrupts ? "yes" : "NO"});
+    }
+    table.renderText(std::cout);
+    std::cout << "\nNote: ERA exceeds the budget when balancing demands it (security > cost);\n"
+                 "ASSURE/HRA stay within budget but leave residual imbalance for ML to mine.\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// Quickstart: lock a small Verilog design with ERA and verify it.
+//
+//   1. parse Verilog text into the RTL IR;
+//   2. lock operations with the Exact ML-Resilient Algorithm (ERA);
+//   3. print the security metrics and the locked Verilog;
+//   4. simulate: correct key == original behaviour, wrong key != original.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/algorithms.hpp"
+#include "sim/harness.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/writer.hpp"
+
+int main() {
+  using namespace rtlock;
+
+  // A toy arithmetic datapath — note the 3:1 imbalance of '+' vs '-'.
+  constexpr const char* kSource = R"(
+module toy (a, b, y);
+  input [7:0] a;
+  input [7:0] b;
+  output [7:0] y;
+  wire [7:0] s0;
+  wire [7:0] s1;
+  wire [7:0] s2;
+  assign s0 = a + b;
+  assign s1 = s0 + 8'h11;
+  assign s2 = s1 - a;
+  assign y = s2 + b;
+endmodule
+)";
+
+  rtl::Module original = verilog::parseModule(kSource);
+  rtl::Module locked = original.clone();
+
+  support::Rng rng{2022};
+  lock::LockEngine engine{locked, lock::PairTable::fixed()};
+  std::cout << "operations before locking: " << engine.initialLockableOps()
+            << "  (ODT[+] = " << engine.odtValue(rtl::OpKind::Add) << ")\n";
+
+  const lock::AlgorithmReport report =
+      lock::eraLock(engine, /*keyBudget=*/engine.initialLockableOps(), rng);
+  std::cout << "ERA locked " << report.bitsUsed << " key bits"
+            << "  M^g_sec = " << report.finalGlobalMetric
+            << "  M^r_sec = " << report.finalRestrictedMetric << "\n\n";
+
+  std::cout << verilog::writeModule(locked) << '\n';
+
+  // Assemble the correct key from the lock records.
+  sim::BitVector key{locked.keyWidth()};
+  for (const auto& record : engine.records()) key.setBit(record.keyIndex, record.keyValue);
+
+  support::Rng simRng{7};
+  std::cout << "correct key preserves function: "
+            << (sim::functionallyEquivalent(original, locked, key, {}, simRng) ? "yes" : "NO")
+            << '\n';
+
+  sim::BitVector wrong = key;
+  wrong.setBit(0, !wrong.bit(0));
+  support::Rng simRng2{8};
+  std::cout << "wrong key corrupts function:    "
+            << (sim::functionallyEquivalent(original, locked, wrong, {}, simRng2) ? "NO"
+                                                                                  : "yes")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scenario: red-team evaluation.  An MD5 accelerator is locked once with
+// ASSURE and once with ERA; the SnapShot-RTL attack is mounted against both.
+// The demo prints the auto-ml leaderboard and the per-scheme KPA — ASSURE's
+// operation imbalance leaks most key bits, ERA holds the attack at a coin
+// flip.
+//
+// Usage: snapshot_attack_demo [--benchmark=MD5] [--relocks=100] [--seed=N]
+#include <iostream>
+
+#include "attack/snapshot.hpp"
+#include "core/algorithms.hpp"
+#include "designs/registry.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace rtlock;
+
+void attackOnce(const std::string& benchmarkName, lock::Algorithm algorithm, int relocks,
+                std::uint64_t seed) {
+  rtl::Module locked = designs::makeBenchmark(benchmarkName);
+  support::Rng rng{seed};
+  lock::LockEngine engine{locked, lock::PairTable::fixed()};
+  const int budget = static_cast<int>(0.75 * engine.initialLockableOps());
+  const auto lockReport = lock::lockWithAlgorithm(engine, algorithm, budget, rng);
+  const auto truth = engine.records();
+
+  attack::SnapshotConfig config;
+  config.relockRounds = relocks;
+  config.automl.folds = 3;
+  support::Rng attackRng{seed + 1};
+  const auto result =
+      attack::snapshotAttack(locked, truth, lock::PairTable::fixed(), config, attackRng);
+
+  std::cout << "=== " << benchmarkName << " locked with " << lock::algorithmName(algorithm)
+            << " ===\n"
+            << "key bits: " << result.keyBits << " (locking used " << lockReport.bitsUsed
+            << " bits, M^g=" << support::formatDouble(lockReport.finalGlobalMetric, 1)
+            << ", M^r=" << support::formatDouble(lockReport.finalRestrictedMetric, 1) << ")\n"
+            << "training localities: " << result.trainingRows << " from " << relocks
+            << " relock rounds\n"
+            << "selected model: " << result.modelName << " (cv accuracy "
+            << support::formatDouble(100.0 * result.cvAccuracy, 2) << "%)\n"
+            << "KPA: " << support::formatDouble(result.kpa, 2) << "%  ("
+            << result.correct << "/" << result.keyBits << " bits; 50% = random guess)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const rtlock::support::CliArgs args(argc, argv, {"benchmark", "relocks", "seed"});
+    const std::string benchmark = args.get("benchmark", "MD5");
+    const int relocks = static_cast<int>(args.getInt("relocks", 100));
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+
+    attackOnce(benchmark, rtlock::lock::Algorithm::AssureSerial, relocks, seed);
+    attackOnce(benchmark, rtlock::lock::Algorithm::Era, relocks, seed);
+    std::cout << "Takeaway: balanced operation distributions (ERA) starve the attack of\n"
+                 "key-correlated structure; partial balance is not enough (Sec. 5.1).\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+#include "attack/locality.hpp"
+
+#include <algorithm>
+
+#include "rtl/traverse.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::attack {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+
+constexpr int kConstantCode = 101;
+constexpr int kSignalCode = 102;
+constexpr int kKeyRefCode = 103;
+constexpr int kUnaryCode = 104;
+constexpr int kDesignTernaryCode = 105;
+constexpr int kConcatCode = 106;
+constexpr int kSliceCode = 107;
+constexpr int kTopCode = 0;  // parent code for expression roots
+
+[[nodiscard]] int widthBucket(int width) noexcept {
+  if (width <= 1) return 0;
+  if (width <= 8) return 1;
+  if (width <= 16) return 2;
+  if (width <= 32) return 3;
+  return 4;
+}
+
+struct Collector {
+  const LocalityConfig& config;
+  std::vector<Locality>& out;
+  int minKeyIndex;
+
+  void visit(const Expr& expr, int parentCode) {
+    if (expr.kind() == ExprKind::Ternary) {
+      const auto& ternary = static_cast<const rtl::TernaryExpr&>(expr);
+      if (ternary.isKeyMux()) {
+        const int keyIndex =
+            static_cast<const rtl::KeyRefExpr&>(ternary.cond()).firstBit();
+        if (keyIndex >= minKeyIndex) {
+          Locality locality;
+          locality.keyIndex = keyIndex;
+          locality.features.push_back(static_cast<double>(constructCode(ternary.thenExpr())));
+          locality.features.push_back(static_cast<double>(constructCode(ternary.elseExpr())));
+          if (config.extendedFeatures) {
+            locality.features.push_back(static_cast<double>(rtl::exprDepth(ternary.thenExpr())));
+            locality.features.push_back(static_cast<double>(rtl::exprDepth(ternary.elseExpr())));
+            locality.features.push_back(static_cast<double>(parentCode));
+            locality.features.push_back(static_cast<double>(widthBucket(ternary.width())));
+          }
+          out.push_back(std::move(locality));
+        }
+      }
+    }
+    const int myCode = constructCode(expr);
+    auto& mutableExpr = const_cast<Expr&>(expr);
+    for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
+      visit(*mutableExpr.exprSlotAt(i), myCode);
+    }
+  }
+};
+
+}  // namespace
+
+int featureCount(const LocalityConfig& config) noexcept { return config.extendedFeatures ? 6 : 2; }
+
+int constructCode(const rtl::Expr& expr) noexcept {
+  switch (expr.kind()) {
+    case ExprKind::Binary:
+      return 1 + static_cast<int>(static_cast<const rtl::BinaryExpr&>(expr).op());
+    case ExprKind::Ternary:
+      return static_cast<const rtl::TernaryExpr&>(expr).isKeyMux() ? kMuxCode
+                                                                   : kDesignTernaryCode;
+    case ExprKind::Constant: return kConstantCode;
+    case ExprKind::SignalRef: return kSignalCode;
+    case ExprKind::KeyRef: return kKeyRefCode;
+    case ExprKind::Unary: return kUnaryCode;
+    case ExprKind::Concat: return kConcatCode;
+    case ExprKind::Slice: return kSliceCode;
+  }
+  return kTopCode;
+}
+
+std::vector<Locality> extractLocalities(const rtl::Module& module, const LocalityConfig& config,
+                                        int minKeyIndex) {
+  std::vector<Locality> localities;
+  Collector collector{config, localities, minKeyIndex};
+  for (const auto& assign : module.contAssigns()) {
+    collector.visit(assign->value(), kTopCode);
+  }
+  rtl::forEachStmt(module, [&collector](const rtl::Stmt& stmt) {
+    auto& mutableStmt = const_cast<rtl::Stmt&>(stmt);
+    for (int i = 0; i < mutableStmt.exprSlotCount(); ++i) {
+      collector.visit(*mutableStmt.exprSlotAt(i), kTopCode);
+    }
+  });
+  std::sort(localities.begin(), localities.end(),
+            [](const Locality& a, const Locality& b) { return a.keyIndex < b.keyIndex; });
+  return localities;
+}
+
+}  // namespace rtlock::attack

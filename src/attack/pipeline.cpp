@@ -1,0 +1,50 @@
+#include "attack/pipeline.hpp"
+
+#include <algorithm>
+
+namespace rtlock::attack {
+
+EvaluationResult evaluateBenchmark(const rtl::Module& original, const std::string& benchmarkName,
+                                   lock::Algorithm algorithm, const lock::PairTable& table,
+                                   const EvaluationConfig& config, support::Rng& rng) {
+  RTLOCK_REQUIRE(config.testLocks > 0, "evaluation needs at least one locked sample");
+
+  EvaluationResult result;
+  result.benchmark = benchmarkName;
+  result.algorithm = algorithm;
+  result.minKpa = 100.0;
+  result.maxKpa = 0.0;
+
+  for (int sample = 0; sample < config.testLocks; ++sample) {
+    rtl::Module locked = original.clone();
+    lock::LockEngine engine{locked, table};
+    const int budget =
+        std::max(1, static_cast<int>(config.keyBudgetFraction *
+                                     static_cast<double>(engine.initialLockableOps())));
+    const lock::AlgorithmReport lockReport =
+        lock::lockWithAlgorithm(engine, algorithm, budget, rng);
+
+    // Copy the ground truth before the attack relocks the module.
+    const std::vector<lock::LockRecord> truth = engine.records();
+    const SnapshotResult attack = snapshotAttack(locked, truth, table, config.snapshot, rng);
+
+    result.meanKpa += attack.kpa;
+    result.minKpa = std::min(result.minKpa, attack.kpa);
+    result.maxKpa = std::max(result.maxKpa, attack.kpa);
+    result.meanKeyBits += static_cast<double>(attack.keyBits);
+    result.meanBitsUsed += static_cast<double>(lockReport.bitsUsed);
+    result.meanGlobalMetric += lockReport.finalGlobalMetric;
+    result.meanRestrictedMetric += lockReport.finalRestrictedMetric;
+    ++result.samples;
+  }
+
+  const auto n = static_cast<double>(result.samples);
+  result.meanKpa /= n;
+  result.meanKeyBits /= n;
+  result.meanBitsUsed /= n;
+  result.meanGlobalMetric /= n;
+  result.meanRestrictedMetric /= n;
+  return result;
+}
+
+}  // namespace rtlock::attack

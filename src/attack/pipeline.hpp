@@ -1,0 +1,43 @@
+// End-to-end evaluation pipeline (Sec. 5 attack setup).
+//
+// For one benchmark and one locking algorithm:
+//   * lock `testLocks` fresh clones of the benchmark with different keys
+//     (key budget = 75 % of the design's lockable operations);
+//   * run the SnapShot attack against every locked sample;
+//   * aggregate KPA statistics.
+#pragma once
+
+#include <string>
+
+#include "attack/snapshot.hpp"
+
+namespace rtlock::attack {
+
+struct EvaluationConfig {
+  int testLocks = 10;               // locked samples per benchmark (paper: 10)
+  double keyBudgetFraction = 0.75;  // of the original design's lockable ops
+  SnapshotConfig snapshot;
+};
+
+struct EvaluationResult {
+  std::string benchmark;
+  lock::Algorithm algorithm = lock::Algorithm::AssureSerial;
+  int samples = 0;
+  double meanKpa = 0.0;
+  double minKpa = 0.0;
+  double maxKpa = 0.0;
+  double meanKeyBits = 0.0;        // attacked (operation) key bits per sample
+  double meanBitsUsed = 0.0;       // key bits consumed by locking (ERA may exceed budget)
+  double meanGlobalMetric = 0.0;   // M^g_sec of the locked samples
+  double meanRestrictedMetric = 0.0;
+};
+
+/// Evaluates `algorithm` on clones of `original`.
+[[nodiscard]] EvaluationResult evaluateBenchmark(const rtl::Module& original,
+                                                 const std::string& benchmarkName,
+                                                 lock::Algorithm algorithm,
+                                                 const lock::PairTable& table,
+                                                 const EvaluationConfig& config,
+                                                 support::Rng& rng);
+
+}  // namespace rtlock::attack

@@ -1,0 +1,78 @@
+#include "attack/snapshot.hpp"
+
+#include <unordered_map>
+
+namespace rtlock::attack {
+
+SnapshotResult snapshotAttack(rtl::Module& lockedTarget,
+                              const std::vector<lock::LockRecord>& targetRecords,
+                              const lock::PairTable& table, const SnapshotConfig& config,
+                              support::Rng& rng) {
+  RTLOCK_REQUIRE(config.relockRounds > 0, "the attack needs at least one relocking round");
+
+  // Step 1: target localities, keyed by key-bit index.
+  const std::vector<Locality> targetLocalities =
+      extractLocalities(lockedTarget, config.locality);
+  std::unordered_map<int, const ml::FeatureRow*> targetFeatures;
+  targetFeatures.reserve(targetLocalities.size());
+  for (const Locality& locality : targetLocalities) {
+    targetFeatures.emplace(locality.keyIndex, &locality.features);
+  }
+
+  // Step 2: self-referencing training set.  Each round applies a fresh
+  // random-ASSURE relock with known key bits, harvests the new localities,
+  // and rolls the module back.
+  lock::LockEngine engine{lockedTarget, table};
+  ml::Dataset training{featureCount(config.locality)};
+
+  for (int round = 0; round < config.relockRounds; ++round) {
+    const std::size_t checkpoint = engine.checkpoint();
+    const int keyStart = lockedTarget.keyWidth();
+    const int budget = std::max(
+        1, static_cast<int>(config.relockBudgetFraction *
+                            static_cast<double>(engine.totalLockableOps())));
+    lock::assureRandomLock(engine, budget, rng);
+
+    // Labels for the fresh key bits come from the engine's records.
+    std::unordered_map<int, bool> labelOf;
+    const auto& records = engine.records();
+    for (std::size_t i = checkpoint; i < records.size(); ++i) {
+      labelOf.emplace(records[i].keyIndex, records[i].keyValue);
+    }
+
+    for (const Locality& locality :
+         extractLocalities(lockedTarget, config.locality, keyStart)) {
+      const auto it = labelOf.find(locality.keyIndex);
+      RTLOCK_REQUIRE(it != labelOf.end(), "extracted a training mux with unknown key bit");
+      training.add(locality.features, it->second ? 1 : 0);
+    }
+
+    engine.undoTo(checkpoint);
+  }
+
+  // Step 3: model selection + training.
+  const ml::AutoMlResult automl = ml::autoSelect(training, config.automl, rng);
+
+  // Step 4: per-bit prediction and KPA scoring.
+  SnapshotResult result;
+  result.modelName = automl.bestName;
+  result.cvAccuracy = automl.bestCvAccuracy;
+  result.trainingRows = training.size();
+  result.predictions.reserve(targetRecords.size());
+  for (const lock::LockRecord& record : targetRecords) {
+    const auto it = targetFeatures.find(record.keyIndex);
+    RTLOCK_REQUIRE(it != targetFeatures.end(),
+                   "target key bit has no extracted locality");
+    const int predicted = automl.model->predict(*it->second);
+    result.predictions.push_back(predicted);
+    ++result.keyBits;
+    if (predicted == (record.keyValue ? 1 : 0)) ++result.correct;
+  }
+  result.kpa = result.keyBits == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(result.correct) /
+                         static_cast<double>(result.keyBits);
+  return result;
+}
+
+}  // namespace rtlock::attack

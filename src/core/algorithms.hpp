@@ -1,0 +1,23 @@
+// Unified entry point over all locking algorithms.
+#pragma once
+
+#include "core/assure.hpp"
+#include "core/era.hpp"
+#include "core/hra.hpp"
+
+namespace rtlock::lock {
+
+/// Runs the selected algorithm against the engine.
+inline AlgorithmReport lockWithAlgorithm(LockEngine& engine, Algorithm algorithm, int keyBudget,
+                                         support::Rng& rng) {
+  switch (algorithm) {
+    case Algorithm::AssureSerial: return assureSerialLock(engine, keyBudget, rng);
+    case Algorithm::AssureRandom: return assureRandomLock(engine, keyBudget, rng);
+    case Algorithm::Hra: return hraLock(engine, keyBudget, rng);
+    case Algorithm::Greedy: return greedyLock(engine, keyBudget, rng);
+    case Algorithm::Era: return eraLock(engine, keyBudget, rng);
+  }
+  RTLOCK_UNREACHABLE("algorithm");
+}
+
+}  // namespace rtlock::lock

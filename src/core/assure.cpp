@@ -1,0 +1,117 @@
+#include "core/assure.hpp"
+
+#include "rtl/traverse.hpp"
+
+namespace rtlock::lock {
+
+namespace {
+
+AlgorithmReport makeReport(Algorithm algorithm, const LockEngine& engine, int keyBudget,
+                           int bitsUsed, std::vector<std::pair<int, double>> trace) {
+  AlgorithmReport report;
+  report.algorithm = algorithm;
+  report.keyBudget = keyBudget;
+  report.bitsUsed = bitsUsed;
+  if (engine.pairTable().involutive()) {
+    report.finalGlobalMetric = engine.globalMetric();
+    report.finalRestrictedMetric = engine.restrictedMetric();
+  }
+  report.metricTrace = std::move(trace);
+  return report;
+}
+
+}  // namespace
+
+std::string_view algorithmName(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::AssureSerial: return "ASSURE";
+    case Algorithm::AssureRandom: return "ASSURE-random";
+    case Algorithm::Hra: return "HRA";
+    case Algorithm::Greedy: return "Greedy";
+    case Algorithm::Era: return "ERA";
+  }
+  return "?";
+}
+
+AlgorithmReport assureSerialLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+  const auto order = engine.opsInTraversalOrder();
+  std::vector<std::pair<int, double>> trace;
+  int bitsUsed = 0;
+  const bool involutive = engine.pairTable().involutive();
+  for (const auto& [kind, position] : order) {
+    if (bitsUsed >= keyBudget) break;
+    engine.lockOpAt(kind, position, rng.coin());
+    ++bitsUsed;
+    if (involutive) trace.emplace_back(bitsUsed, engine.globalMetric());
+  }
+  return makeReport(Algorithm::AssureSerial, engine, keyBudget, bitsUsed, std::move(trace));
+}
+
+AlgorithmReport assureRandomLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+  std::vector<std::pair<int, double>> trace;
+  int bitsUsed = 0;
+  const bool involutive = engine.pairTable().involutive();
+  while (bitsUsed < keyBudget && engine.lockRandomOp(rng)) {
+    ++bitsUsed;
+    if (involutive) trace.emplace_back(bitsUsed, engine.globalMetric());
+  }
+  return makeReport(Algorithm::AssureRandom, engine, keyBudget, bitsUsed, std::move(trace));
+}
+
+ConstantLockReport assureLockConstants(rtl::Module& module, int keyBudgetBits,
+                                       support::Rng& rng) {
+  // Collect every constant slot, then consume them in random order while the
+  // remaining budget allows.
+  std::vector<rtl::ExprSlot> candidates;
+  rtl::forEachExprSlot(module, [&candidates](const rtl::ExprSlot& slot) {
+    if (slot.get()->kind() == rtl::ExprKind::Constant) candidates.push_back(slot);
+  });
+  rng.shuffle(candidates);
+
+  ConstantLockReport report;
+  for (const auto& slot : candidates) {
+    const auto& constant = static_cast<const rtl::ConstantExpr&>(*slot.get());
+    if (report.bitsUsed + constant.width() > keyBudgetBits) continue;
+    const int first = module.allocateKeyBits(constant.width());
+    report.records.push_back(ConstantLockRecord{first, constant.width(), constant.value()});
+    report.bitsUsed += constant.width();
+    slot.get() = rtl::makeKeyRef(first, constant.width());
+  }
+  return report;
+}
+
+BranchLockReport assureLockBranches(rtl::Module& module, int keyBudgetBits, support::Rng& rng) {
+  // Candidate conditions: every if-statement in every process.
+  std::vector<rtl::IfStmt*> candidates;
+  rtl::forEachStmt(module, [&candidates](const rtl::Stmt& stmt) {
+    if (stmt.kind() == rtl::StmtKind::If) {
+      candidates.push_back(&const_cast<rtl::IfStmt&>(static_cast<const rtl::IfStmt&>(stmt)));
+    }
+  });
+  rng.shuffle(candidates);
+
+  BranchLockReport report;
+  for (rtl::IfStmt* ifStmt : candidates) {
+    if (report.bitsUsed >= keyBudgetBits) break;
+    rtl::ExprPtr& condSlot = ifStmt->exprSlotAt(rtl::IfStmt::kCondSlot);
+
+    // Normalize multi-bit conditions to one bit so the XOR flips truthiness.
+    rtl::ExprPtr cond = std::move(condSlot);
+    if (cond->width() > 1) {
+      cond = rtl::makeBinary(rtl::OpKind::Ne, std::move(cond), rtl::makeConstant(0, 1));
+    }
+
+    const bool keyValue = rng.coin();
+    if (keyValue) {
+      // Store the inverted condition; the key bit 1 flips it back.
+      cond = rtl::makeUnary(rtl::UnaryOp::LogNot, std::move(cond));
+    }
+    const int keyIndex = module.allocateKeyBits(1);
+    condSlot = rtl::makeBinary(rtl::OpKind::Xor, std::move(cond), rtl::makeKeyRef(keyIndex));
+    report.records.push_back(BranchLockRecord{keyIndex, keyValue});
+    ++report.bitsUsed;
+  }
+  return report;
+}
+
+}  // namespace rtlock::lock

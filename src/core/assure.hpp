@@ -1,0 +1,64 @@
+// ASSURE RTL locking (Pilato et al., TVLSI'21) — the paper's baseline.
+//
+// Operation obfuscation with serial or random operation selection, plus the
+// two auxiliary obfuscations (constants, branches).  Operation locking runs
+// through a LockEngine so baselines and ML-resilient algorithms share
+// mechanics, bookkeeping and undo.
+#pragma once
+
+#include <cstdint>
+
+#include "core/report.hpp"
+#include "rtl/module.hpp"
+#include "support/rng.hpp"
+
+namespace rtlock::lock {
+
+/// Serial selection: locks the first `keyBudget` lockable operations in
+/// module traversal order ("serial manner w.r.t. the design topology").
+/// Re-applying to an already-locked design extends the same leading
+/// operations with nested locking pairs, reproducing Fig. 4b.
+AlgorithmReport assureSerialLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+
+/// Random selection: locks `keyBudget` uniformly random lockable operations
+/// (dummies introduced earlier in the same run are eligible).
+AlgorithmReport assureRandomLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+
+// ---- Auxiliary ASSURE obfuscations ----
+//
+// These are not part of the ML evaluation loop (the paper analyses operation
+// obfuscation; constants "do not offer any apparent attack vectors" and
+// branches "only affect existing control flow"), so they transform the
+// module directly without engine bookkeeping.  Apply them to clones.
+
+struct ConstantLockRecord {
+  int keyIndex = 0;
+  int width = 0;
+  std::uint64_t value = 0;  // correct key chunk
+};
+
+struct ConstantLockReport {
+  int bitsUsed = 0;
+  std::vector<ConstantLockRecord> records;
+};
+
+/// Replaces constants with key chunks (a = 4'b1101 becomes a = K[hi:lo]).
+/// Constants are chosen in random order while their width fits the remaining
+/// budget.
+ConstantLockReport assureLockConstants(rtl::Module& module, int keyBudgetBits, support::Rng& rng);
+
+struct BranchLockRecord {
+  int keyIndex = 0;
+  bool keyValue = false;
+};
+
+struct BranchLockReport {
+  int bitsUsed = 0;
+  std::vector<BranchLockRecord> records;
+};
+
+/// XORs if-conditions with key bits; for a key value of 1 the stored
+/// condition is inverted (a > b is locked as (a <= b) ^ K).
+BranchLockReport assureLockBranches(rtl::Module& module, int keyBudgetBits, support::Rng& rng);
+
+}  // namespace rtlock::lock

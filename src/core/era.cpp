@@ -1,0 +1,54 @@
+#include "core/era.hpp"
+
+#include <cstdlib>
+
+namespace rtlock::lock {
+
+AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+  RTLOCK_REQUIRE(engine.pairTable().involutive(), "ERA requires the involutive pair table");
+  const auto& pairs = engine.pairTable().pairs();
+
+  AlgorithmReport report;
+  report.algorithm = Algorithm::Era;
+  report.keyBudget = keyBudget;
+
+  int bitsUsed = 0;
+  while (bitsUsed < keyBudget) {
+    // Pairs with no operations on either side cannot make progress and are
+    // excluded from selection.
+    std::vector<std::size_t> validPairs;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (engine.opCount(pairs[i].first) + engine.opCount(pairs[i].second) > 0) {
+        validPairs.push_back(i);
+      }
+    }
+    if (validPairs.empty()) break;
+
+    const std::size_t pairIndex = rng.pick(validPairs);
+    const rtl::OpKind type =
+        rng.coin() ? pairs[pairIndex].first : pairs[pairIndex].second;
+
+    if (std::abs(engine.odtValue(type)) > 0) {
+      // Algorithm 3 lines 7-10: lock until the pair balances, budget or not.
+      while (std::abs(engine.odtValue(type)) > 0) {
+        const int used = engine.lockStep(type, /*pairMode=*/false, rng);
+        RTLOCK_REQUIRE(used > 0, "ERA inner loop failed to make progress");
+        bitsUsed += used;
+        report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+      }
+    } else {
+      // Balanced pair: one 2-bit balanced Lock (documented deviation).
+      const int used = engine.lockStep(type, /*pairMode=*/true, rng);
+      if (used == 0) break;  // nothing lockable anywhere in this pair
+      bitsUsed += used;
+      report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+    }
+  }
+
+  report.bitsUsed = bitsUsed;
+  report.finalGlobalMetric = engine.globalMetric();
+  report.finalRestrictedMetric = engine.restrictedMetric();
+  return report;
+}
+
+}  // namespace rtlock::lock

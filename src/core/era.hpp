@@ -1,0 +1,22 @@
+// ERA — Exact ML-Resilient Algorithm (Algorithm 3 of the paper).
+//
+// ERA randomly selects a locking pair and a type T within it, then repeats
+// the Lock step until |ODT[T]| reaches zero, guaranteeing that every touched
+// pair is perfectly balanced (M^r_sec == 100 after every round) even when
+// that exceeds the key budget.  ERA prioritizes security over cost.
+//
+// Deviation documented in DESIGN.md: when the selected pair is already
+// balanced, Algorithm 3's inner loop would consume no key bits (an infinite
+// outer loop on balanced designs such as N_1023); we apply one balanced
+// 2-bit Lock (the else branch of Algorithm 1) instead, which preserves the
+// M^r_sec == 100 invariant.
+#pragma once
+
+#include "core/report.hpp"
+#include "support/rng.hpp"
+
+namespace rtlock::lock {
+
+AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+
+}  // namespace rtlock::lock

@@ -1,0 +1,79 @@
+#include "core/hra.hpp"
+
+#include <numeric>
+
+#include "core/metric.hpp"
+
+namespace rtlock::lock {
+
+namespace {
+
+AlgorithmReport runHra(LockEngine& engine, int keyBudget, support::Rng& rng, bool greedy) {
+  RTLOCK_REQUIRE(engine.pairTable().involutive(), "HRA requires the involutive pair table");
+  const auto& pairs = engine.pairTable().pairs();
+  const std::vector<int>& initial = engine.initialMagnitudes();
+
+  AlgorithmReport report;
+  report.algorithm = greedy ? Algorithm::Greedy : Algorithm::Hra;
+  report.keyBudget = keyBudget;
+
+  int bitsUsed = 0;
+  while (bitsUsed < keyBudget) {
+    // Only pairs with at least one operation can be locked.
+    std::vector<std::size_t> validPairs;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (engine.opCount(pairs[i].first) + engine.opCount(pairs[i].second) > 0) {
+        validPairs.push_back(i);
+      }
+    }
+    if (validPairs.empty()) break;
+
+    const bool pairMode = greedy ? false : rng.coin();  // Algorithm 4 line 8
+    std::size_t chosen = 0;
+
+    if (pairMode) {
+      chosen = rng.pick(validPairs);  // line 10
+    } else {
+      // Lines 12-22: shuffle, tentatively evaluate each pair's Lock effect on
+      // a shadow ODT, keep the best M^g_sec.
+      rng.shuffle(validPairs);
+      double bestMetric = -1.0;
+      const std::vector<int> current = engine.odtMagnitudes();
+      for (const std::size_t candidate : validPairs) {
+        std::vector<int> simulated = current;
+        if (simulated[candidate] > 0) {
+          // Lock with !P reduces the pair's imbalance by exactly one.
+          simulated[candidate] -= 1;
+        }
+        // A balanced pair stays balanced (2-bit pair lock).
+        const double metric = globalSecurityMetric(initial, simulated);
+        if (metric > bestMetric) {
+          bestMetric = metric;
+          chosen = candidate;
+        }
+      }
+    }
+
+    const int used = engine.lockStep(pairs[chosen].first, pairMode, rng);  // line 23
+    if (used == 0) break;  // chosen pair exhausted; budget cannot be spent
+    bitsUsed += used;
+    report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+  }
+
+  report.bitsUsed = bitsUsed;
+  report.finalGlobalMetric = engine.globalMetric();
+  report.finalRestrictedMetric = engine.restrictedMetric();
+  return report;
+}
+
+}  // namespace
+
+AlgorithmReport hraLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+  return runHra(engine, keyBudget, rng, /*greedy=*/false);
+}
+
+AlgorithmReport greedyLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+  return runHra(engine, keyBudget, rng, /*greedy=*/true);
+}
+
+}  // namespace rtlock::lock

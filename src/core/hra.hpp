@@ -1,0 +1,27 @@
+// HRA — Heuristic ML-Resilient Algorithm (Algorithm 4 of the paper).
+//
+// HRA performs fine-grained balancing within the key budget.  Each iteration
+// flips a coin P: with P it locks a random pair in balanced pair-mode; without
+// it it scans all pairs, tentatively applies the Lock step to each, and keeps
+// the one with the highest M^g_sec gain (ties broken by the shuffle).  The
+// random component thwarts reversal of the locking sequence (Sec. 4.4); the
+// Greedy variant (P always false) reaches balance in fewer bits but is
+// reversible.
+//
+// Implementation note (DESIGN.md): the tentative Lock/Undo scan of Algorithm
+// 4 lines 13-22 is computed on a shadow copy of the ODT magnitudes — Lock's
+// metric effect is a pure function of the ODT, so the result is identical to
+// mutate+undo on the expression tree.
+#pragma once
+
+#include "core/report.hpp"
+#include "support/rng.hpp"
+
+namespace rtlock::lock {
+
+AlgorithmReport hraLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+
+/// HRA with P pinned to false — the reversible greedy baseline of Sec. 4.4.
+AlgorithmReport greedyLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+
+}  // namespace rtlock::lock

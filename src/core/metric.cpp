@@ -1,0 +1,41 @@
+#include "core/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::lock {
+
+double modifiedEuclidean(std::span<const int> magnitudes, const PairMask& included) {
+  RTLOCK_REQUIRE(magnitudes.size() == included.size(),
+                 "magnitude and mask vectors must have equal length");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < magnitudes.size(); ++i) {
+    if (!included[i]) continue;  // 'x' entry in v_o — skipped per Algorithm 2
+    const double value = static_cast<double>(magnitudes[i]);
+    sum += value * value;
+  }
+  return std::sqrt(sum);
+}
+
+double securityMetric(std::span<const int> initialMagnitudes,
+                      std::span<const int> currentMagnitudes, const PairMask& included) {
+  RTLOCK_REQUIRE(initialMagnitudes.size() == currentMagnitudes.size(),
+                 "initial and current vectors must have equal length");
+  const double initialDistance = modifiedEuclidean(initialMagnitudes, included);
+  const double currentDistance = modifiedEuclidean(currentMagnitudes, included);
+  if (initialDistance == 0.0) {
+    return currentDistance == 0.0 ? 100.0 : 0.0;
+  }
+  const double metric = 100.0 * (1.0 - currentDistance / initialDistance);
+  return std::clamp(metric, 0.0, 100.0);
+}
+
+double globalSecurityMetric(std::span<const int> initialMagnitudes,
+                            std::span<const int> currentMagnitudes) {
+  const PairMask allIncluded(initialMagnitudes.size(), true);
+  return securityMetric(initialMagnitudes, currentMagnitudes, allIncluded);
+}
+
+}  // namespace rtlock::lock

@@ -1,0 +1,35 @@
+// Learning-resilience security metrics (Sec. 4.1 of the paper).
+//
+// The ODT content at step j is summarized as the vector
+//   v_j = [ |ODT[T_0]|, ..., |ODT[T_{l-1}]| ]
+// over the canonical locking pairs.  The optimal vector v_o is all-zero; the
+// modified Euclidean distance (Algorithm 2) skips entries masked out as 'x',
+// which yields the two metric variants:
+//   * global  M^g_sec — all entries included (monotonic, guides HRA);
+//   * restricted M^r_sec — only pairs touched by locking (Definition 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rtlock::lock {
+
+/// Entry mask for the optimal vector v_o: true = included, false = 'x'.
+using PairMask = std::vector<bool>;
+
+/// Algorithm 2: sqrt of the sum of squared magnitudes over included entries.
+[[nodiscard]] double modifiedEuclidean(std::span<const int> magnitudes, const PairMask& included);
+
+/// Equation (1): 100 * (1 - d(v_j, v_o) / d(v_i, v_o)), clamped to [0, 100].
+/// Degenerate cases: when the masked initial distance is zero the design
+/// starts balanced, so the metric is 100 if it stayed balanced and 0
+/// otherwise.
+[[nodiscard]] double securityMetric(std::span<const int> initialMagnitudes,
+                                    std::span<const int> currentMagnitudes,
+                                    const PairMask& included);
+
+/// Convenience: global metric (all entries included).
+[[nodiscard]] double globalSecurityMetric(std::span<const int> initialMagnitudes,
+                                          std::span<const int> currentMagnitudes);
+
+}  // namespace rtlock::lock

@@ -1,0 +1,95 @@
+#include "core/pairs.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::lock {
+
+using rtl::OpKind;
+
+const PairTable& PairTable::fixed() {
+  static const PairTable table = [] {
+    PairTable t;
+    const std::vector<std::pair<OpKind, OpKind>> matching{
+        {OpKind::Add, OpKind::Sub},  {OpKind::Mul, OpKind::Div},
+        {OpKind::Mod, OpKind::Pow},  {OpKind::And, OpKind::Or},
+        {OpKind::Xor, OpKind::Xnor}, {OpKind::Shl, OpKind::Shr},
+        {OpKind::Lt, OpKind::Ge},    {OpKind::Gt, OpKind::Le},
+        {OpKind::Eq, OpKind::Ne},    {OpKind::LAnd, OpKind::LOr},
+    };
+    t.pairs_ = matching;
+    for (int i = 0; i < rtl::kOpKindCount; ++i) {
+      t.lockable_[i] = false;
+      t.pairIndex_[i] = -1;
+    }
+    int index = 0;
+    for (const auto& [a, b] : matching) {
+      t.dummyOf_[static_cast<int>(a)] = static_cast<int>(b);
+      t.dummyOf_[static_cast<int>(b)] = static_cast<int>(a);
+      t.lockable_[static_cast<int>(a)] = true;
+      t.lockable_[static_cast<int>(b)] = true;
+      t.pairIndex_[static_cast<int>(a)] = index;
+      t.pairIndex_[static_cast<int>(b)] = index;
+      ++index;
+    }
+    t.involutive_ = true;
+    return t;
+  }();
+  return table;
+}
+
+const PairTable& PairTable::assureOriginal() {
+  static const PairTable table = [] {
+    PairTable t;
+    // Directed dummy assignments; asymmetric entries reproduce the leakage
+    // the paper reports for *, /, %, ** and ^ (Sec. 3.2).
+    const std::vector<std::pair<OpKind, OpKind>> directed{
+        {OpKind::Add, OpKind::Sub},   // (+,-)
+        {OpKind::Sub, OpKind::Add},   // (-,+)
+        {OpKind::Mul, OpKind::Add},   // (*,+)  leaky: (+,*) never occurs
+        {OpKind::Div, OpKind::Sub},   // (/,-)  leaky
+        {OpKind::Mod, OpKind::Add},   // (%,+)  leaky
+        {OpKind::Pow, OpKind::Mul},   // (**,*) leaky
+        {OpKind::Xor, OpKind::Or},    // (^,|)  leaky
+        {OpKind::Xnor, OpKind::Xor},  // (~^,^) leaky
+        {OpKind::And, OpKind::Or},    // (&,|)
+        {OpKind::Or, OpKind::And},    // (|,&)
+        {OpKind::Shl, OpKind::Shr},   {OpKind::Shr, OpKind::Shl},
+        {OpKind::Lt, OpKind::Ge},     {OpKind::Ge, OpKind::Lt},
+        {OpKind::Gt, OpKind::Le},     {OpKind::Le, OpKind::Gt},
+        {OpKind::Eq, OpKind::Ne},     {OpKind::Ne, OpKind::Eq},
+        {OpKind::LAnd, OpKind::LOr},  {OpKind::LOr, OpKind::LAnd},
+    };
+    for (int i = 0; i < rtl::kOpKindCount; ++i) {
+      t.lockable_[i] = false;
+      t.pairIndex_[i] = -1;
+    }
+    for (const auto& [real, dummy] : directed) {
+      t.dummyOf_[static_cast<int>(real)] = static_cast<int>(dummy);
+      t.lockable_[static_cast<int>(real)] = true;
+    }
+    t.involutive_ = false;
+    return t;
+  }();
+  return table;
+}
+
+bool PairTable::lockable(OpKind op) const noexcept {
+  return lockable_[static_cast<int>(op)];
+}
+
+OpKind PairTable::dummyFor(OpKind op) const {
+  RTLOCK_REQUIRE(lockable(op), "operation kind is not lockable under this pair table");
+  return static_cast<OpKind>(dummyOf_[static_cast<int>(op)]);
+}
+
+const std::vector<std::pair<OpKind, OpKind>>& PairTable::pairs() const {
+  RTLOCK_REQUIRE(involutive_, "canonical pairs are only defined for involutive tables");
+  return pairs_;
+}
+
+int PairTable::pairIndexOf(OpKind op) const {
+  RTLOCK_REQUIRE(involutive_, "pair indices are only defined for involutive tables");
+  return pairIndex_[static_cast<int>(op)];
+}
+
+}  // namespace rtlock::lock

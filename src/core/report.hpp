@@ -1,0 +1,34 @@
+// Result records produced by the locking algorithms.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace rtlock::lock {
+
+/// Locking algorithms under evaluation (Sec. 5 of the paper).
+enum class Algorithm {
+  AssureSerial,  // original ASSURE selection (the paper's "ASSURE" column)
+  AssureRandom,  // random ASSURE selection (used for training relocks)
+  Hra,           // Algorithm 4
+  Greedy,        // HRA with P always false (Sec. 4.4)
+  Era,           // Algorithm 3
+};
+
+[[nodiscard]] std::string_view algorithmName(Algorithm algorithm) noexcept;
+
+/// Outcome of one locking run.
+struct AlgorithmReport {
+  Algorithm algorithm = Algorithm::AssureSerial;
+  int keyBudget = 0;
+  int bitsUsed = 0;
+  double finalGlobalMetric = 0.0;
+  double finalRestrictedMetric = 0.0;
+  /// (key bits used, M^g_sec) after every algorithm step — Fig. 5b data.
+  std::vector<std::pair<int, double>> metricTrace;
+};
+
+}  // namespace rtlock::lock

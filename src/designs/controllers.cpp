@@ -1,0 +1,307 @@
+#include "designs/controllers.hpp"
+
+#include "rtl/builder.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::designs {
+
+namespace {
+
+using rtl::LValue;
+using rtl::ModuleBuilder;
+using rtl::OpKind;
+using rtl::SignalId;
+
+/// Builds `state' = case(state) ...` FSM skeleton with an if/else guard per
+/// arm, exercising case/if statement locking paths.  Returns the next-state
+/// register written by the combinational process.
+SignalId addFsm(ModuleBuilder& b, SignalId state, SignalId trigger, const std::string& tag) {
+  const auto next = b.reg(tag + "_next", 2);
+  std::vector<rtl::CaseItem> arms;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    rtl::CaseItem arm;
+    arm.labels.push_back(s);
+    arm.body = rtl::makeIf(
+        b.bin(OpKind::Ne, b.ref(trigger), b.lit(0, 1)),
+        rtl::makeAssign(LValue{next, std::nullopt}, b.lit((s + 1) % 4, 2), false),
+        rtl::makeAssign(LValue{next, std::nullopt}, b.lit(s, 2), false));
+    arms.push_back(std::move(arm));
+  }
+  auto body = rtl::makeBlock();
+  static_cast<rtl::BlockStmt&>(*body).append(
+      rtl::makeAssign(LValue{next, std::nullopt}, b.lit(0, 2), false));
+  static_cast<rtl::BlockStmt&>(*body).append(
+      rtl::makeCase(b.ref(state), std::move(arms),
+                    rtl::makeAssign(LValue{next, std::nullopt}, b.lit(0, 2), false)));
+  b.combProcess(std::move(body));
+  return next;
+}
+
+}  // namespace
+
+rtl::Module makeSasc(int lanes, int width) {
+  RTLOCK_REQUIRE(lanes >= 1, "SASC needs at least one lane");
+  ModuleBuilder b{"SASC"};
+  const auto clk = b.input("clk", 1);
+  const auto rxd = b.input("rxd", lanes);
+  const auto baudDiv = b.input("baud_div", width);
+  const auto out = b.output("rx_data", width);
+
+  SignalId merged = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::string tag = "u" + std::to_string(lane);
+    const auto state = b.reg(tag + "_state", 2);
+    const auto count = b.reg(tag + "_cnt", width);
+    const auto shift = b.reg(tag + "_shift", width);
+
+    // Baud tick: count == baud_div[1:0].  Comparing against the low divider
+    // bits keeps ticks frequent enough that short simulations exercise the
+    // sampling datapath.
+    const auto tick = b.wire(tag + "_tick", 1);
+    b.assign(tick,
+             b.bin(OpKind::Eq, b.ref(count), b.andE(b.ref(baudDiv), b.lit(3, width))));
+    const auto countInc = b.wire(tag + "_ci", width);
+    b.assign(countInc, b.add(b.ref(count), b.lit(1, width)));
+    const auto countNext = b.wire(tag + "_cn", width);
+    b.assign(countNext, b.mux(b.ref(tick), b.lit(0, width), b.ref(countInc)));
+    b.regAssign(clk, count, b.ref(countNext));
+
+    // Start-bit detect: line low while idle.
+    const auto bitIn = b.wire(tag + "_bit", 1);
+    b.assign(bitIn, b.slice(b.ref(rxd), lane, lane));
+    const auto idle = b.wire(tag + "_idle", 1);
+    b.assign(idle, b.bin(OpKind::Eq, b.ref(state), b.lit(0, 2)));
+    const auto start = b.wire(tag + "_start", 1);
+    b.assign(start, b.andE(b.ref(idle), b.bin(OpKind::Eq, b.ref(bitIn), b.lit(0, 1))));
+
+    // Sample into the shift register on ticks.
+    const auto shifted = b.wire(tag + "_sh", width);
+    b.assign(shifted, b.shl(b.ref(shift), b.lit(1, 3)));
+    const auto sampled = b.wire(tag + "_sm", width);
+    b.assign(sampled, b.orE(b.ref(shifted), b.ref(bitIn)));
+    const auto shiftNext = b.wire(tag + "_sn", width);
+    b.assign(shiftNext, b.mux(b.ref(tick), b.ref(sampled), b.ref(shift)));
+    b.regAssign(clk, shift, b.ref(shiftNext));
+
+    // Frame complete: shift register above threshold and not idle.
+    const auto busy = b.wire(tag + "_busy", 1);
+    b.assign(busy, b.bin(OpKind::Gt, b.ref(state), b.lit(0, 2)));
+    const auto done = b.wire(tag + "_done", 1);
+    b.assign(done, b.andE(b.ref(busy), b.bin(OpKind::Ge, b.ref(shift), b.ref(baudDiv))));
+
+    const auto trigger = b.wire(tag + "_trig", 1);
+    b.assign(trigger, b.orE(b.ref(start), b.ref(done)));
+    const auto next = addFsm(b, state, trigger, tag);
+    b.regAssign(clk, state, b.ref(next));
+
+    if (lane == 0) {
+      merged = shift;
+    } else {
+      const auto mix = b.wire(tag + "_mix", width);
+      b.assign(mix, b.xorE(b.ref(merged), b.ref(shift)));
+      merged = mix;
+    }
+  }
+  b.assign(out, b.ref(merged));
+  return b.take();
+}
+
+rtl::Module makeSimSpi(int lanes, int width) {
+  RTLOCK_REQUIRE(lanes >= 1, "SPI needs at least one lane");
+  ModuleBuilder b{"SIM_SPI"};
+  const auto clk = b.input("clk", 1);
+  const auto mosi = b.input("mosi", lanes);
+  const auto divider = b.input("divider", width);
+  const auto out = b.output("miso_data", width);
+
+  SignalId merged = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::string tag = "spi" + std::to_string(lane);
+    const auto count = b.reg(tag + "_cnt", width);
+    const auto shift = b.reg(tag + "_shift", width);
+    const auto bits = b.reg(tag + "_bits", width);
+
+    // Clock divider (low bits only, so short simulations see ticks).
+    const auto tick = b.wire(tag + "_tick", 1);
+    b.assign(tick, b.bin(OpKind::Ge, b.ref(count), b.andE(b.ref(divider), b.lit(3, width))));
+    const auto inc = b.wire(tag + "_inc", width);
+    b.assign(inc, b.add(b.ref(count), b.lit(1, width)));
+    const auto cnext = b.wire(tag + "_cnext", width);
+    b.assign(cnext, b.mux(b.ref(tick), b.lit(0, width), b.ref(inc)));
+    b.regAssign(clk, count, b.ref(cnext));
+
+    // Shift in MOSI on ticks.
+    const auto bitIn = b.wire(tag + "_bit", 1);
+    b.assign(bitIn, b.slice(b.ref(mosi), lane, lane));
+    const auto shl1 = b.wire(tag + "_shl", width);
+    b.assign(shl1, b.shl(b.ref(shift), b.lit(1, 3)));
+    const auto within = b.wire(tag + "_in", width);
+    b.assign(within, b.orE(b.ref(shl1), b.ref(bitIn)));
+    const auto snext = b.wire(tag + "_snext", width);
+    b.assign(snext, b.mux(b.ref(tick), b.ref(within), b.ref(shift)));
+    b.regAssign(clk, shift, b.ref(snext));
+
+    // Bit counter with wraparound at word size.
+    const auto full = b.wire(tag + "_full", 1);
+    b.assign(full, b.bin(OpKind::Eq, b.ref(bits),
+                         b.lit(static_cast<std::uint64_t>(width - 1), width)));
+    const auto binc = b.wire(tag + "_binc", width);
+    b.assign(binc, b.add(b.ref(bits), b.lit(1, width)));
+    const auto bnext0 = b.wire(tag + "_bnext0", width);
+    b.assign(bnext0, b.mux(b.ref(full), b.lit(0, width), b.ref(binc)));
+    const auto bnext = b.wire(tag + "_bnext", width);
+    b.assign(bnext, b.mux(b.ref(tick), b.ref(bnext0), b.ref(bits)));
+    b.regAssign(clk, bits, b.ref(bnext));
+
+    if (lane == 0) {
+      merged = shift;
+    } else {
+      const auto mix = b.wire(tag + "_mix", width);
+      b.assign(mix, b.orE(b.ref(merged), b.ref(shift)));
+      merged = mix;
+    }
+  }
+  b.assign(out, b.ref(merged));
+  return b.take();
+}
+
+rtl::Module makeUsbPhy(int lanes, int width) {
+  RTLOCK_REQUIRE(lanes >= 1, "USB PHY needs at least one lane");
+  ModuleBuilder b{"USB_PHY"};
+  const auto clk = b.input("clk", 1);
+  const auto dp = b.input("dp", lanes);
+  const auto dn = b.input("dn", lanes);
+  const auto out = b.output("rx_byte", width);
+
+  SignalId merged = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::string tag = "phy" + std::to_string(lane);
+    const auto lastBit = b.reg(tag + "_last", 1);
+    const auto ones = b.reg(tag + "_ones", 3);
+    const auto shift = b.reg(tag + "_shift", width);
+
+    const auto dpBit = b.wire(tag + "_dp", 1);
+    const auto dnBit = b.wire(tag + "_dn", 1);
+    b.assign(dpBit, b.slice(b.ref(dp), lane, lane));
+    b.assign(dnBit, b.slice(b.ref(dn), lane, lane));
+
+    // Differential receive + NRZI decode: bit = ~(dp ^ last), valid = dp != dn.
+    const auto diffValid = b.wire(tag + "_valid", 1);
+    b.assign(diffValid, b.bin(OpKind::Ne, b.ref(dpBit), b.ref(dnBit)));
+    const auto nrzi = b.wire(tag + "_nrzi", 1);
+    b.assign(nrzi, b.notE(b.xorE(b.ref(dpBit), b.ref(lastBit))));
+    b.regAssign(clk, lastBit, b.ref(dpBit));
+
+    // Bit-stuffing counter: six consecutive ones force a skip.
+    const auto isOne = b.wire(tag + "_one", 1);
+    b.assign(isOne, b.andE(b.ref(nrzi), b.ref(diffValid)));
+    const auto onesInc = b.wire(tag + "_oinc", 3);
+    b.assign(onesInc, b.add(b.ref(ones), b.lit(1, 3)));
+    const auto stuffed = b.wire(tag + "_stuff", 1);
+    b.assign(stuffed, b.bin(OpKind::Ge, b.ref(ones), b.lit(6, 3)));
+    const auto onesNext = b.wire(tag + "_onext", 3);
+    b.assign(onesNext, b.mux(b.ref(isOne), b.ref(onesInc), b.lit(0, 3)));
+    b.regAssign(clk, ones, b.ref(onesNext));
+
+    // Shift in decoded bits unless stuffed.
+    const auto shl1 = b.wire(tag + "_shl", width);
+    b.assign(shl1, b.shl(b.ref(shift), b.lit(1, 3)));
+    const auto withBit = b.wire(tag + "_wb", width);
+    b.assign(withBit, b.orE(b.ref(shl1), b.ref(nrzi)));
+    const auto take = b.wire(tag + "_take", 1);
+    b.assign(take, b.andE(b.ref(diffValid), b.notE(b.ref(stuffed))));
+    const auto snext = b.wire(tag + "_snext", width);
+    b.assign(snext, b.mux(b.ref(take), b.ref(withBit), b.ref(shift)));
+    b.regAssign(clk, shift, b.ref(snext));
+
+    // Sync pattern detector: shift == 0x2A-ish constant.
+    const auto sync = b.wire(tag + "_sync", 1);
+    b.assign(sync, b.bin(OpKind::Eq, b.ref(shift), b.lit(0x2a, width)));
+    const auto gated = b.wire(tag + "_gate", width);
+    b.assign(gated, b.mux(b.ref(sync), b.ref(shift), b.lit(0, width)));
+
+    if (lane == 0) {
+      merged = gated;
+    } else {
+      const auto mix = b.wire(tag + "_mix", width);
+      b.assign(mix, b.xorE(b.ref(merged), b.ref(gated)));
+      merged = mix;
+    }
+  }
+  b.assign(out, b.ref(merged));
+  return b.take();
+}
+
+rtl::Module makeI2cSlave(int lanes, int width) {
+  RTLOCK_REQUIRE(lanes >= 1, "I2C slave needs at least one lane");
+  ModuleBuilder b{"I2C_SL"};
+  const auto clk = b.input("clk", 1);
+  const auto scl = b.input("scl", lanes);
+  const auto sda = b.input("sda", lanes);
+  const auto ownAddr = b.input("own_addr", 7);
+  const auto out = b.output("data_out", width);
+
+  SignalId merged = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::string tag = "i2c" + std::to_string(lane);
+    const auto sdaLast = b.reg(tag + "_sdal", 1);
+    const auto shift = b.reg(tag + "_shift", width);
+    const auto bitCnt = b.reg(tag + "_bits", 4);
+    const auto state = b.reg(tag + "_state", 2);
+
+    const auto sclBit = b.wire(tag + "_scl", 1);
+    const auto sdaBit = b.wire(tag + "_sda", 1);
+    b.assign(sclBit, b.slice(b.ref(scl), lane, lane));
+    b.assign(sdaBit, b.slice(b.ref(sda), lane, lane));
+
+    // Start: SDA falls while SCL high.  Stop: SDA rises while SCL high.
+    const auto sdaFell = b.wire(tag + "_fell", 1);
+    b.assign(sdaFell, b.andE(b.ref(sdaLast), b.notE(b.ref(sdaBit))));
+    const auto startCond = b.wire(tag + "_start", 1);
+    b.assign(startCond, b.andE(b.ref(sdaFell), b.ref(sclBit)));
+    b.regAssign(clk, sdaLast, b.ref(sdaBit));
+
+    // Address shift register.
+    const auto shl1 = b.wire(tag + "_shl", width);
+    b.assign(shl1, b.shl(b.ref(shift), b.lit(1, 3)));
+    const auto within = b.wire(tag + "_in", width);
+    b.assign(within, b.orE(b.ref(shl1), b.ref(sdaBit)));
+    const auto snext = b.wire(tag + "_snext", width);
+    b.assign(snext, b.mux(b.ref(sclBit), b.ref(within), b.ref(shift)));
+    b.regAssign(clk, shift, b.ref(snext));
+
+    // Bit counter + byte boundary.
+    const auto binc = b.wire(tag + "_binc", 4);
+    b.assign(binc, b.add(b.ref(bitCnt), b.lit(1, 4)));
+    const auto byteDone = b.wire(tag + "_byte", 1);
+    b.assign(byteDone, b.bin(OpKind::Eq, b.ref(bitCnt), b.lit(8, 4)));
+    const auto bnext = b.wire(tag + "_bnext", 4);
+    b.assign(bnext, b.mux(b.ref(byteDone), b.lit(0, 4), b.ref(binc)));
+    b.regAssign(clk, bitCnt, b.ref(bnext));
+
+    // Address match + ack decision.
+    const auto addrBits = b.wire(tag + "_addr", 7);
+    b.assign(addrBits, b.slice(b.ref(shift), 7, 1));
+    const auto match = b.wire(tag + "_match", 1);
+    b.assign(match, b.bin(OpKind::Eq, b.ref(addrBits), b.ref(ownAddr)));
+    const auto ack = b.wire(tag + "_ack", 1);
+    b.assign(ack, b.andE(b.ref(match), b.ref(byteDone)));
+
+    const auto trigger = b.wire(tag + "_trig", 1);
+    b.assign(trigger, b.orE(b.ref(startCond), b.ref(ack)));
+    const auto next = addFsm(b, state, trigger, tag);
+    b.regAssign(clk, state, b.ref(next));
+
+    if (lane == 0) {
+      merged = shift;
+    } else {
+      const auto mix = b.wire(tag + "_mix", width);
+      b.assign(mix, b.orE(b.ref(merged), b.ref(shift)));
+      merged = mix;
+    }
+  }
+  b.assign(out, b.ref(merged));
+  return b.take();
+}
+
+}  // namespace rtlock::designs

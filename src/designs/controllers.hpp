@@ -1,0 +1,26 @@
+// Bus/peripheral controller benchmarks: SASC, SIM_SPI, USB_PHY, I2C_SL.
+//
+// Control-dominated stand-ins: finite-state machines with counters,
+// comparators and bit-manipulation logic — the comparison/logic-heavy end of
+// the ASSURE benchmark suite.  `lanes` replicates the datapath to scale the
+// operation count into the regime the paper evaluates.
+#pragma once
+
+#include "rtl/module.hpp"
+
+namespace rtlock::designs {
+
+/// Simple asynchronous serial controller (UART-style RX/TX with baud
+/// counters and a 4-state FSM).
+[[nodiscard]] rtl::Module makeSasc(int lanes = 4, int width = 8);
+
+/// SPI master shift engine (mode counter, shift register, chip-select FSM).
+[[nodiscard]] rtl::Module makeSimSpi(int lanes = 4, int width = 8);
+
+/// USB PHY front end (NRZI decode, bit unstuffing, sync detection).
+[[nodiscard]] rtl::Module makeUsbPhy(int lanes = 4, int width = 8);
+
+/// I2C slave (start/stop detection, address match, ack generation).
+[[nodiscard]] rtl::Module makeI2cSlave(int lanes = 4, int width = 8);
+
+}  // namespace rtlock::designs

@@ -1,0 +1,264 @@
+#include "designs/crypto.hpp"
+
+#include "rtl/builder.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::designs {
+
+namespace {
+
+using rtl::ModuleBuilder;
+using rtl::OpKind;
+using rtl::SignalId;
+
+[[nodiscard]] std::uint64_t roundConstant(int index, int width) noexcept {
+  std::uint64_t value = 0xd1342543de82ef95ULL * static_cast<std::uint64_t>(index + 7);
+  value ^= value >> 31;
+  const std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  return value & mask;
+}
+
+/// value rotated left by `amount` bits: (v << a) | (v >> (w - a)).
+SignalId rotateLeft(ModuleBuilder& b, SignalId value, int amount, int width,
+                    const std::string& tag) {
+  const auto left = b.wire(tag + "_l", width);
+  const auto right = b.wire(tag + "_r", width);
+  const auto out = b.wire(tag, width);
+  b.assign(left, b.shl(b.ref(value), b.lit(static_cast<std::uint64_t>(amount), 6)));
+  b.assign(right,
+           b.shr(b.ref(value), b.lit(static_cast<std::uint64_t>(width - amount), 6)));
+  b.assign(out, b.orE(b.ref(left), b.ref(right)));
+  return out;
+}
+
+}  // namespace
+
+rtl::Module makeMd5(int rounds, int width) {
+  RTLOCK_REQUIRE(rounds >= 4, "MD5 pipeline needs at least four rounds");
+  ModuleBuilder b{"MD5"};
+  const auto msg = b.input("msg", width);
+  const auto digest = b.output("digest", width);
+
+  // State registers modelled as a streaming pipeline (combinational rounds).
+  SignalId a = b.wire("a0", width);
+  SignalId bb = b.wire("b0", width);
+  SignalId c = b.wire("c0", width);
+  SignalId d = b.wire("d0", width);
+  b.assign(a, b.ref(msg));
+  b.assign(bb, b.notE(b.ref(msg)));
+  b.assign(c, b.xorE(b.ref(msg), b.lit(roundConstant(0, width), width)));
+  b.assign(d, b.andE(b.ref(msg), b.lit(roundConstant(1, width), width)));
+
+  static constexpr int kShifts[4] = {7, 12, 17, 22};
+  for (int r = 0; r < rounds; ++r) {
+    const std::string tag = "r" + std::to_string(r);
+    // Round function rotates through F/G/H/I-style boolean mixes.
+    const auto f = b.wire(tag + "_f", width);
+    switch (r % 4) {
+      case 0: {  // F = (b & c) | (~b & d)
+        const auto t0 = b.wire(tag + "_t0", width);
+        const auto t1 = b.wire(tag + "_t1", width);
+        b.assign(t0, b.andE(b.ref(bb), b.ref(c)));
+        b.assign(t1, b.andE(b.notE(b.ref(bb)), b.ref(d)));
+        b.assign(f, b.orE(b.ref(t0), b.ref(t1)));
+        break;
+      }
+      case 1: {  // G = (d & b) | (~d & c)
+        const auto t0 = b.wire(tag + "_t0", width);
+        const auto t1 = b.wire(tag + "_t1", width);
+        b.assign(t0, b.andE(b.ref(d), b.ref(bb)));
+        b.assign(t1, b.andE(b.notE(b.ref(d)), b.ref(c)));
+        b.assign(f, b.orE(b.ref(t0), b.ref(t1)));
+        break;
+      }
+      case 2: {  // H = b ^ c ^ d
+        const auto t0 = b.wire(tag + "_t0", width);
+        b.assign(t0, b.xorE(b.ref(bb), b.ref(c)));
+        b.assign(f, b.xorE(b.ref(t0), b.ref(d)));
+        break;
+      }
+      default: {  // I = c ^ (b | ~d)
+        const auto t0 = b.wire(tag + "_t0", width);
+        b.assign(t0, b.orE(b.ref(bb), b.notE(b.ref(d))));
+        b.assign(f, b.xorE(b.ref(c), b.ref(t0)));
+        break;
+      }
+    }
+    // a + F + msg + K, rotated, plus b.
+    const auto s0 = b.wire(tag + "_s0", width);
+    const auto s1 = b.wire(tag + "_s1", width);
+    const auto s2 = b.wire(tag + "_s2", width);
+    b.assign(s0, b.add(b.ref(a), b.ref(f)));
+    b.assign(s1, b.add(b.ref(s0), b.ref(msg)));
+    b.assign(s2, b.add(b.ref(s1), b.lit(roundConstant(r + 2, width), width)));
+    const auto rotated = rotateLeft(b, s2, kShifts[r % 4], width, tag + "_rot");
+    const auto newB = b.wire(tag + "_nb", width);
+    b.assign(newB, b.add(b.ref(bb), b.ref(rotated)));
+
+    // Rotate state (a, b, c, d) <- (d, newB, b, c).
+    const SignalId oldD = d;
+    d = c;
+    c = bb;
+    bb = newB;
+    a = oldD;
+  }
+
+  const auto mix = b.wire("mix", width);
+  b.assign(mix, b.add(b.ref(a), b.ref(bb)));
+  b.assign(digest, b.xorE(b.ref(mix), b.ref(c)));
+  return b.take();
+}
+
+rtl::Module makeSha256(int rounds, int width) {
+  RTLOCK_REQUIRE(rounds >= 2, "SHA-256 pipeline needs at least two rounds");
+  ModuleBuilder b{"SHA256"};
+  const auto block = b.input("blk", width);
+  const auto digest = b.output("digest", width);
+
+  SignalId aw = b.wire("wa0", width);
+  SignalId ew = b.wire("we0", width);
+  SignalId hw = b.wire("wh0", width);
+  b.assign(aw, b.xorE(b.ref(block), b.lit(roundConstant(0, width), width)));
+  b.assign(ew, b.add(b.ref(block), b.lit(roundConstant(1, width), width)));
+  b.assign(hw, b.notE(b.ref(block)));
+
+  for (int r = 0; r < rounds; ++r) {
+    const std::string tag = "sh" + std::to_string(r);
+
+    // Sigma1(e) = rotr6 ^ rotr11 ^ rotr25 (rotl by width-k).
+    const auto rot1 = rotateLeft(b, ew, width - 6 % width, width, tag + "_s1a");
+    const auto rot2 = rotateLeft(b, ew, width - 11 % width, width, tag + "_s1b");
+    const auto rot3 = rotateLeft(b, ew, width - 25 % width, width, tag + "_s1c");
+    const auto sig1a = b.wire(tag + "_sig1a", width);
+    const auto sig1 = b.wire(tag + "_sig1", width);
+    b.assign(sig1a, b.xorE(b.ref(rot1), b.ref(rot2)));
+    b.assign(sig1, b.xorE(b.ref(sig1a), b.ref(rot3)));
+
+    // Ch(e, a, h) = (e & a) ^ (~e & h).
+    const auto ch0 = b.wire(tag + "_ch0", width);
+    const auto ch1 = b.wire(tag + "_ch1", width);
+    const auto ch = b.wire(tag + "_ch", width);
+    b.assign(ch0, b.andE(b.ref(ew), b.ref(aw)));
+    b.assign(ch1, b.andE(b.notE(b.ref(ew)), b.ref(hw)));
+    b.assign(ch, b.xorE(b.ref(ch0), b.ref(ch1)));
+
+    // T1 = h + Sigma1 + Ch + K + W.
+    const auto t1a = b.wire(tag + "_t1a", width);
+    const auto t1b = b.wire(tag + "_t1b", width);
+    const auto t1c = b.wire(tag + "_t1c", width);
+    const auto t1 = b.wire(tag + "_t1", width);
+    b.assign(t1a, b.add(b.ref(hw), b.ref(sig1)));
+    b.assign(t1b, b.add(b.ref(t1a), b.ref(ch)));
+    b.assign(t1c, b.add(b.ref(t1b), b.lit(roundConstant(r + 3, width), width)));
+    b.assign(t1, b.add(b.ref(t1c), b.ref(block)));
+
+    // Sigma0(a) = rotr2 ^ rotr13 ^ rotr22, T2 = Sigma0 + Maj-ish mix.
+    const auto rot4 = rotateLeft(b, aw, width - 2 % width, width, tag + "_s0a");
+    const auto rot5 = rotateLeft(b, aw, width - 13 % width, width, tag + "_s0b");
+    const auto sig0 = b.wire(tag + "_sig0", width);
+    b.assign(sig0, b.xorE(b.ref(rot4), b.ref(rot5)));
+    const auto maj = b.wire(tag + "_maj", width);
+    b.assign(maj, b.andE(b.ref(aw), b.ref(ew)));
+    const auto t2 = b.wire(tag + "_t2", width);
+    b.assign(t2, b.add(b.ref(sig0), b.ref(maj)));
+
+    // State advance: h <- e, e <- a + T1, a <- T1 + T2.
+    const auto newE = b.wire(tag + "_ne", width);
+    const auto newA = b.wire(tag + "_na", width);
+    b.assign(newE, b.add(b.ref(aw), b.ref(t1)));
+    b.assign(newA, b.add(b.ref(t1), b.ref(t2)));
+    hw = ew;
+    ew = newE;
+    aw = newA;
+  }
+
+  const auto fold = b.wire("fold", width);
+  b.assign(fold, b.add(b.ref(aw), b.ref(ew)));
+  b.assign(digest, b.xorE(b.ref(fold), b.ref(hw)));
+  return b.take();
+}
+
+rtl::Module makeRsa(int iterations, int width) {
+  RTLOCK_REQUIRE(iterations >= 2, "RSA datapath needs at least two iterations");
+  ModuleBuilder b{"RSA"};
+  const auto base = b.input("base", width);
+  const auto exponent = b.input("exp", width);
+  const auto modulus = b.input("modulus", width);
+  const auto result = b.output("result", width);
+
+  SignalId acc = b.wire("acc0", width);
+  SignalId sq = b.wire("sq0", width);
+  SignalId e = b.wire("e0", width);
+  b.assign(acc, b.lit(1, width));
+  b.assign(sq, b.ref(base));
+  b.assign(e, b.ref(exponent));
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::string tag = "it" + std::to_string(i);
+    // Conditional multiply: bit = e & 1; acc' = bit ? (acc * sq) % m : acc.
+    const auto bit = b.wire(tag + "_bit", width);
+    b.assign(bit, b.andE(b.ref(e), b.lit(1, width)));
+    const auto mulw = b.wire(tag + "_mul", width);
+    const auto mmod = b.wire(tag + "_mmod", width);
+    b.assign(mulw, b.mul(b.ref(acc), b.ref(sq)));
+    b.assign(mmod, b.bin(OpKind::Mod, b.ref(mulw), b.ref(modulus)));
+    const auto take = b.wire(tag + "_take", 1);
+    b.assign(take, b.bin(OpKind::Ne, b.ref(bit), b.lit(0, width)));
+    const auto nextAcc = b.wire(tag + "_acc", width);
+    b.assign(nextAcc, b.mux(b.ref(take), b.ref(mmod), b.ref(acc)));
+
+    // Square step: sq' = (sq * sq) % m; e' = e >> 1.
+    const auto sqw = b.wire(tag + "_sqm", width);
+    const auto sqmod = b.wire(tag + "_sqmod", width);
+    b.assign(sqw, b.mul(b.ref(sq), b.ref(sq)));
+    b.assign(sqmod, b.bin(OpKind::Mod, b.ref(sqw), b.ref(modulus)));
+    const auto nextE = b.wire(tag + "_e", width);
+    b.assign(nextE, b.shr(b.ref(e), b.lit(1, 3)));
+
+    acc = nextAcc;
+    sq = sqmod;
+    e = nextE;
+  }
+  b.assign(result, b.ref(acc));
+  return b.take();
+}
+
+rtl::Module makeDes3(int rounds, int width) {
+  RTLOCK_REQUIRE(rounds >= 3, "DES3 network needs at least three rounds");
+  ModuleBuilder b{"DES3"};
+  const auto plain = b.input("plain", width);
+  const auto key = b.input("k", width);
+  const auto cipher = b.output("cipher", width);
+
+  SignalId left = b.wire("l0", width);
+  SignalId right = b.wire("r0", width);
+  b.assign(left, b.xorE(b.ref(plain), b.ref(key)));
+  b.assign(right, b.notE(b.ref(plain)));
+
+  for (int r = 0; r < rounds; ++r) {
+    const std::string tag = "f" + std::to_string(r);
+    // Expansion-ish permutation: (right << 3) | (right >> (w-3)).
+    const auto expanded = rotateLeft(b, right, 3 + (r % 5), width, tag + "_exp");
+    // Key mixing.
+    const auto mixed = b.wire(tag + "_mix", width);
+    b.assign(mixed, b.xorE(b.ref(expanded), b.ref(key)));
+    // S-box-ish nonlinearity: (m & c1) | (~m & c2).
+    const auto sb0 = b.wire(tag + "_sb0", width);
+    const auto sb1 = b.wire(tag + "_sb1", width);
+    const auto sbox = b.wire(tag + "_sbox", width);
+    b.assign(sb0, b.andE(b.ref(mixed), b.lit(roundConstant(2 * r, width), width)));
+    b.assign(sb1, b.andE(b.notE(b.ref(mixed)), b.lit(roundConstant(2 * r + 1, width), width)));
+    b.assign(sbox, b.orE(b.ref(sb0), b.ref(sb1)));
+    // Permutation + Feistel xor.
+    const auto permuted = rotateLeft(b, sbox, 7, width, tag + "_perm");
+    const auto newRight = b.wire(tag + "_nr", width);
+    b.assign(newRight, b.xorE(b.ref(left), b.ref(permuted)));
+    left = right;
+    right = newRight;
+  }
+
+  b.assign(cipher, b.xorE(b.ref(left), b.ref(right)));
+  return b.take();
+}
+
+}  // namespace rtlock::designs

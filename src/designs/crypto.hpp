@@ -1,0 +1,25 @@
+// Cryptographic benchmark generators: MD5, SHA256, RSA, DES3.
+//
+// Round-structured stand-ins matching the operation mixes of the original
+// circuits: modular adders + boolean round functions + rotations (MD5/SHA),
+// square-and-multiply modular arithmetic (RSA), and a xor/permutation
+// Feistel network (DES3).  Round constants are expression-level constants.
+#pragma once
+
+#include "rtl/module.hpp"
+
+namespace rtlock::designs {
+
+/// MD5-style round pipeline (F/G/H/I boolean mixes, modular adds, rotates).
+[[nodiscard]] rtl::Module makeMd5(int rounds = 16, int width = 32);
+
+/// SHA-256-style round pipeline (Sigma rotations, Ch/Maj, modular adds).
+[[nodiscard]] rtl::Module makeSha256(int rounds = 12, int width = 32);
+
+/// RSA modular exponentiation datapath (square-and-multiply iterations).
+[[nodiscard]] rtl::Module makeRsa(int iterations = 16, int width = 32);
+
+/// Triple-DES-style Feistel network (xor/permutation heavy, no arithmetic).
+[[nodiscard]] rtl::Module makeDes3(int rounds = 12, int width = 32);
+
+}  // namespace rtlock::designs

@@ -1,0 +1,180 @@
+#include "designs/dsp.hpp"
+
+#include "rtl/builder.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::designs {
+
+namespace {
+
+using rtl::ModuleBuilder;
+using rtl::OpKind;
+using rtl::SignalId;
+
+/// Deterministic pseudo-coefficients (no RNG: benchmarks are fixed designs).
+[[nodiscard]] std::uint64_t coefficient(int index, int width) noexcept {
+  std::uint64_t value = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index + 1);
+  value ^= value >> 29;
+  const std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  return (value & mask) | 1u;  // odd, non-zero
+}
+
+}  // namespace
+
+rtl::Module makeFir(int taps, int width) {
+  RTLOCK_REQUIRE(taps >= 2, "FIR needs at least two taps");
+  ModuleBuilder b{"FIR"};
+  const auto clk = b.input("clk", 1);
+  const auto x = b.input("x", width);
+  const auto y = b.output("y", width);
+
+  // Delay line x0..x{taps-1}.
+  std::vector<SignalId> delays;
+  delays.reserve(static_cast<std::size_t>(taps));
+  for (int t = 0; t < taps; ++t) {
+    delays.push_back(b.reg("d" + std::to_string(t), width));
+  }
+  b.regAssign(clk, delays[0], b.ref(x));
+  for (int t = 1; t < taps; ++t) {
+    b.regAssign(clk, delays[static_cast<std::size_t>(t)],
+                b.ref(delays[static_cast<std::size_t>(t - 1)]));
+  }
+
+  // Multiply-accumulate chain: taps muls, taps-1 adds.
+  SignalId acc = 0;
+  for (int t = 0; t < taps; ++t) {
+    const auto product = b.wire("p" + std::to_string(t), width);
+    b.assign(product, b.mul(b.ref(delays[static_cast<std::size_t>(t)]),
+                            b.lit(coefficient(t, width), width)));
+    if (t == 0) {
+      acc = product;
+    } else {
+      const auto sum = b.wire("s" + std::to_string(t), width);
+      b.assign(sum, b.add(b.ref(acc), b.ref(product)));
+      acc = sum;
+    }
+  }
+  b.assign(y, b.ref(acc));
+  return b.take();
+}
+
+rtl::Module makeIir(int sections, int width) {
+  RTLOCK_REQUIRE(sections >= 1, "IIR needs at least one section");
+  ModuleBuilder b{"IIR"};
+  const auto clk = b.input("clk", 1);
+  const auto x = b.input("x", width);
+  const auto y = b.output("y", width);
+
+  SignalId stageIn = x;
+  for (int s = 0; s < sections; ++s) {
+    const std::string tag = std::to_string(s);
+    // Direct Form I state: two input delays, two output delays.
+    const auto x1 = b.reg("x1_" + tag, width);
+    const auto x2 = b.reg("x2_" + tag, width);
+    const auto y1 = b.reg("y1_" + tag, width);
+    const auto y2 = b.reg("y2_" + tag, width);
+
+    // Feed-forward: b0*x + b1*x1 + b2*x2 (3 muls, 2 adds).
+    const auto ff0 = b.wire("ff0_" + tag, width);
+    const auto ff1 = b.wire("ff1_" + tag, width);
+    const auto ff2 = b.wire("ff2_" + tag, width);
+    b.assign(ff0, b.mul(b.ref(stageIn), b.lit(coefficient(5 * s, width), width)));
+    b.assign(ff1, b.mul(b.ref(x1), b.lit(coefficient(5 * s + 1, width), width)));
+    b.assign(ff2, b.mul(b.ref(x2), b.lit(coefficient(5 * s + 2, width), width)));
+    const auto ffa = b.wire("ffa_" + tag, width);
+    const auto ffb = b.wire("ffb_" + tag, width);
+    b.assign(ffa, b.add(b.ref(ff0), b.ref(ff1)));
+    b.assign(ffb, b.add(b.ref(ffa), b.ref(ff2)));
+
+    // Feedback: - a1*y1 - a2*y2 (2 muls, 2 subs).
+    const auto fb1 = b.wire("fb1_" + tag, width);
+    const auto fb2 = b.wire("fb2_" + tag, width);
+    b.assign(fb1, b.mul(b.ref(y1), b.lit(coefficient(5 * s + 3, width), width)));
+    b.assign(fb2, b.mul(b.ref(y2), b.lit(coefficient(5 * s + 4, width), width)));
+    const auto da = b.wire("da_" + tag, width);
+    const auto out = b.wire("out_" + tag, width);
+    b.assign(da, b.sub(b.ref(ffb), b.ref(fb1)));
+    b.assign(out, b.sub(b.ref(da), b.ref(fb2)));
+
+    b.regAssign(clk, x1, b.ref(stageIn));
+    b.regAssign(clk, x2, b.ref(x1));
+    b.regAssign(clk, y1, b.ref(out));
+    b.regAssign(clk, y2, b.ref(y1));
+    stageIn = out;
+  }
+  b.assign(y, b.ref(stageIn));
+  return b.take();
+}
+
+namespace {
+
+/// Shared butterfly network for DFT/IDFT.  `inverse` adds per-stage scaling
+/// shifts (>> 1) as IFFTs commonly do in fixed point.
+rtl::Module makeTransform(const char* name, int points, int width, bool inverse) {
+  RTLOCK_REQUIRE(points >= 4 && (points & (points - 1)) == 0,
+                 "transform size must be a power of two >= 4");
+  ModuleBuilder b{name};
+  const auto xr = b.input("xr", width);
+  const auto xi = b.input("xi", width);
+  const auto yr = b.output("yr", width);
+  const auto yi = b.output("yi", width);
+
+  int stages = 0;
+  for (int n = points; n > 1; n >>= 1) ++stages;
+  const int butterfliesPerStage = points / 2;
+
+  // Streaming butterfly network: values flow through stage wires.
+  SignalId ar = xr;
+  SignalId ai = xi;
+  int coeff = 0;
+  int wireId = 0;
+  for (int stage = 0; stage < stages; ++stage) {
+    for (int k = 0; k < butterfliesPerStage; ++k) {
+      const std::string tag = std::to_string(wireId++);
+      // Complex twiddle multiply: (ar*wr - ai*wi), (ar*wi + ai*wr).
+      const auto m0 = b.wire("m0_" + tag, width);
+      const auto m1 = b.wire("m1_" + tag, width);
+      const auto m2 = b.wire("m2_" + tag, width);
+      const auto m3 = b.wire("m3_" + tag, width);
+      const std::uint64_t wr = coefficient(coeff++, width);
+      const std::uint64_t wi = coefficient(coeff++, width);
+      b.assign(m0, b.mul(b.ref(ar), b.lit(wr, width)));
+      b.assign(m1, b.mul(b.ref(ai), b.lit(wi, width)));
+      b.assign(m2, b.mul(b.ref(ar), b.lit(wi, width)));
+      b.assign(m3, b.mul(b.ref(ai), b.lit(wr, width)));
+      const auto tr = b.wire("tr_" + tag, width);
+      const auto ti = b.wire("ti_" + tag, width);
+      b.assign(tr, b.sub(b.ref(m0), b.ref(m1)));
+      b.assign(ti, b.add(b.ref(m2), b.ref(m3)));
+      // Butterfly add/sub.
+      const auto br = b.wire("br_" + tag, width);
+      const auto bi = b.wire("bi_" + tag, width);
+      b.assign(br, b.add(b.ref(ar), b.ref(tr)));
+      b.assign(bi, b.sub(b.ref(ai), b.ref(ti)));
+      ar = br;
+      ai = bi;
+    }
+    if (inverse) {
+      // Per-stage scaling to keep fixed-point magnitude bounded.
+      const std::string tag = "sc" + std::to_string(stage);
+      const auto sr = b.wire(tag + "r", width);
+      const auto si = b.wire(tag + "i", width);
+      b.assign(sr, b.shr(b.ref(ar), b.lit(1, 4)));
+      b.assign(si, b.shr(b.ref(ai), b.lit(1, 4)));
+      ar = sr;
+      ai = si;
+    }
+  }
+
+  b.assign(yr, b.ref(ar));
+  b.assign(yi, b.ref(ai));
+  return b.take();
+}
+
+}  // namespace
+
+rtl::Module makeDft(int points, int width) { return makeTransform("DFT", points, width, false); }
+
+rtl::Module makeIdft(int points, int width) { return makeTransform("IDFT", points, width, true); }
+
+}  // namespace rtlock::designs

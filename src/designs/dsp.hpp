@@ -1,0 +1,29 @@
+// DSP benchmark generators: FIR, IIR, DFT, IDFT.
+//
+// Operation-mix stand-ins for the DSP circuits of the ASSURE benchmark suite
+// (see DESIGN.md substitution table).  All are fixed-point, three-address,
+// single-clock designs; coefficient constants are real expression nodes so
+// constant obfuscation has material to work on.
+#pragma once
+
+#include "rtl/module.hpp"
+
+namespace rtlock::designs {
+
+/// Direct-form FIR filter: `taps` multiply-accumulate stages over a register
+/// delay line.  Heavily imbalanced: muls and adds with no divs/subs.
+[[nodiscard]] rtl::Module makeFir(int taps = 32, int width = 16);
+
+/// Cascade of `sections` biquad (Direct Form I) sections.  Mix of mul, add
+/// and sub with feedback registers.
+[[nodiscard]] rtl::Module makeIir(int sections = 8, int width = 16);
+
+/// Radix-2 decimation-in-time FFT butterfly network over `points` samples
+/// (fixed twiddle constants).  Balanced add/sub from the butterflies,
+/// imbalanced mul.
+[[nodiscard]] rtl::Module makeDft(int points = 16, int width = 16);
+
+/// Inverse transform: same butterfly structure plus per-stage scaling shifts.
+[[nodiscard]] rtl::Module makeIdft(int points = 16, int width = 16);
+
+}  // namespace rtlock::designs

@@ -1,0 +1,63 @@
+#include "designs/networks.hpp"
+
+#include "rtl/builder.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::designs {
+
+rtl::Module makeOperationNetwork(std::string name,
+                                 const std::vector<std::pair<rtl::OpKind, int>>& mix,
+                                 int width) {
+  RTLOCK_REQUIRE(!mix.empty(), "operation network needs a non-empty mix");
+
+  rtl::ModuleBuilder b{std::move(name)};
+  const auto a = b.input("a", width);
+  const auto c = b.input("b", width);
+
+  // Round-robin over the mix so operation types interleave through the
+  // topology instead of forming per-type segments.
+  std::vector<std::pair<rtl::OpKind, int>> remaining = mix;
+  std::vector<rtl::OpKind> sequence;
+  bool emitted = true;
+  while (emitted) {
+    emitted = false;
+    for (auto& [kind, count] : remaining) {
+      if (count > 0) {
+        sequence.push_back(kind);
+        --count;
+        emitted = true;
+      }
+    }
+  }
+  RTLOCK_REQUIRE(!sequence.empty(), "operation network mix has no operations");
+
+  // Each op consumes the two most recent values, keeping the graph connected.
+  rtl::SignalId prev = a;
+  rtl::SignalId prevPrev = c;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const auto wire = b.wire("n" + std::to_string(i), width);
+    b.assign(wire, b.bin(sequence[i], b.ref(prev), b.ref(prevPrev)));
+    prevPrev = prev;
+    prev = wire;
+  }
+
+  const auto y = b.output("y", width);
+  b.assign(y, b.ref(prev));
+  return b.take();
+}
+
+rtl::Module makeN2046() {
+  return makeOperationNetwork("N_2046", {{rtl::OpKind::Add, 2046}});
+}
+
+rtl::Module makeN1023() {
+  return makeOperationNetwork("N_1023",
+                              {{rtl::OpKind::Add, 1023}, {rtl::OpKind::Sub, 1023}});
+}
+
+rtl::Module makePlusNetwork(int operations, int width) {
+  RTLOCK_REQUIRE(operations >= 1, "plus network needs at least one operation");
+  return makeOperationNetwork("plus_network", {{rtl::OpKind::Add, operations}}, width);
+}
+
+}  // namespace rtlock::designs

@@ -1,0 +1,30 @@
+// Synthetic operation networks (the paper's N_2046 / N_1023 benchmarks and
+// the "+ network" used throughout Sec. 3).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::designs {
+
+/// Builds a connected network of binary operations in three-address form:
+/// each operation reads the two most recent values (seeded by two inputs) and
+/// writes a fresh wire; the final value drives the output.  The mix lists
+/// (operator, count) groups; operations are interleaved round-robin so types
+/// are spread through the topology.
+[[nodiscard]] rtl::Module makeOperationNetwork(
+    std::string name, const std::vector<std::pair<rtl::OpKind, int>>& mix, int width = 16);
+
+/// N_2046: fully imbalanced network of 2046 '+' operations (paper Sec. 5).
+[[nodiscard]] rtl::Module makeN2046();
+
+/// N_1023: fully balanced network of 1023 '+' and 1023 '-' operations.
+[[nodiscard]] rtl::Module makeN1023();
+
+/// Small '+' network for the Fig. 4 observation analyses.
+[[nodiscard]] rtl::Module makePlusNetwork(int operations, int width = 8);
+
+}  // namespace rtlock::designs

@@ -1,0 +1,24 @@
+// Random module generation for property-based testing (fuzzing the parser,
+// writer, locking engine and simulator with structurally diverse designs).
+#pragma once
+
+#include "rtl/module.hpp"
+#include "support/rng.hpp"
+
+namespace rtlock::designs {
+
+struct RandomModuleParams {
+  int operations = 30;       // binary operations to generate
+  int maxWidth = 16;         // signal widths drawn from [1, maxWidth]
+  bool sequential = true;    // add a clocked process over some wires
+  bool useTernaries = true;  // sprinkle design (non-key) muxes
+  bool useSlices = true;     // bit/part selects and concatenations
+};
+
+/// Generates a well-formed, loop-free module: every expression references
+/// only previously declared signals, all widths are consistent, and the
+/// design always has at least one input and one output.
+[[nodiscard]] rtl::Module makeRandomModule(support::Rng& rng,
+                                           const RandomModuleParams& params = {});
+
+}  // namespace rtlock::designs

@@ -1,0 +1,49 @@
+#include "designs/registry.hpp"
+
+#include "designs/controllers.hpp"
+#include "designs/crypto.hpp"
+#include "designs/dsp.hpp"
+#include "designs/networks.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::designs {
+
+const std::vector<BenchmarkInfo>& allBenchmarks() {
+  static const std::vector<BenchmarkInfo> registry{
+      {"DES3", "Triple-DES-style Feistel network (xor/permutation heavy)",
+       [] { return makeDes3(); }},
+      {"DFT", "Radix-2 FFT butterfly network (mul + balanced add/sub)",
+       [] { return makeDft(); }},
+      {"FIR", "Direct-form FIR filter (mul/add, fully imbalanced)", [] { return makeFir(); }},
+      {"IDFT", "Inverse FFT with per-stage scaling shifts", [] { return makeIdft(); }},
+      {"IIR", "Biquad cascade (mul with mixed add/sub)", [] { return makeIir(); }},
+      {"MD5", "MD5-style round pipeline (add/boolean/rotate)", [] { return makeMd5(); }},
+      {"RSA", "Square-and-multiply modular exponentiation", [] { return makeRsa(); }},
+      {"SHA256", "SHA-256-style round pipeline (add/xor/rotate)", [] { return makeSha256(); }},
+      {"SASC", "Asynchronous serial controller (FSM + counters)", [] { return makeSasc(); }},
+      {"SIM_SPI", "SPI shift engine (shift/compare logic)", [] { return makeSimSpi(); }},
+      {"USB_PHY", "USB PHY front end (NRZI decode, bit unstuffing)",
+       [] { return makeUsbPhy(); }},
+      {"I2C_SL", "I2C slave (start/stop detect, address match)", [] { return makeI2cSlave(); }},
+      {"N_2046", "Fully imbalanced synthetic network: 2046 '+' ops", [] { return makeN2046(); }},
+      {"N_1023", "Fully balanced synthetic network: 1023 '+' and 1023 '-'",
+       [] { return makeN1023(); }},
+  };
+  return registry;
+}
+
+rtl::Module makeBenchmark(const std::string& name) {
+  for (const auto& info : allBenchmarks()) {
+    if (info.name == name) return info.make();
+  }
+  throw support::Error{"unknown benchmark '" + name + "'"};
+}
+
+std::vector<std::string> benchmarkNames() {
+  std::vector<std::string> names;
+  names.reserve(allBenchmarks().size());
+  for (const auto& info : allBenchmarks()) names.push_back(info.name);
+  return names;
+}
+
+}  // namespace rtlock::designs

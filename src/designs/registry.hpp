@@ -1,0 +1,29 @@
+// Benchmark registry: the 14 evaluation designs of the paper by name.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::designs {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string description;
+  std::function<rtl::Module()> make;
+};
+
+/// All benchmarks in the paper's Fig. 6 order:
+/// DES3, DFT, FIR, IDFT, IIR, MD5, RSA, SHA256, SASC, SIM_SPI, USB_PHY,
+/// I2C_SL, N_2046, N_1023.
+[[nodiscard]] const std::vector<BenchmarkInfo>& allBenchmarks();
+
+/// Lookup by name (case-sensitive).  Throws support::Error for unknown names.
+[[nodiscard]] rtl::Module makeBenchmark(const std::string& name);
+
+/// Names only, in Fig. 6 order.
+[[nodiscard]] std::vector<std::string> benchmarkNames();
+
+}  // namespace rtlock::designs

@@ -1,0 +1,102 @@
+#include "ml/automl.hpp"
+
+#include <chrono>
+
+#include "ml/baseline.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/tree.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::ml {
+
+namespace {
+
+[[nodiscard]] bool isSlowFamily(const Classifier& model) {
+  const std::string name = model.name();
+  return name.rfind("knn", 0) == 0 || name.rfind("mlp", 0) == 0 ||
+         name.rfind("forest", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Classifier>> defaultPortfolio() {
+  std::vector<std::unique_ptr<Classifier>> portfolio;
+  portfolio.push_back(std::make_unique<MajorityClassifier>());
+  portfolio.push_back(std::make_unique<HistogramClassifier>(1.0));
+  portfolio.push_back(std::make_unique<HistogramClassifier>(0.1));
+  portfolio.push_back(std::make_unique<CategoricalNaiveBayes>(1.0));
+  portfolio.push_back(std::make_unique<CategoricalNaiveBayes>(0.1));
+  portfolio.push_back(std::make_unique<GaussianNaiveBayes>());
+  portfolio.push_back(std::make_unique<LogisticRegression>(LogisticRegression::Hyper{0.5, 1e-4, 300}));
+  portfolio.push_back(std::make_unique<LogisticRegression>(LogisticRegression::Hyper{0.1, 1e-3, 300}));
+  portfolio.push_back(std::make_unique<DecisionTree>(DecisionTree::Hyper{6, 2.0, 32, 0}));
+  portfolio.push_back(std::make_unique<DecisionTree>(DecisionTree::Hyper{12, 2.0, 32, 0}));
+  portfolio.push_back(std::make_unique<RandomForest>(RandomForest::Hyper{15, 10, 0}));
+  portfolio.push_back(std::make_unique<KnnClassifier>(KnnClassifier::Hyper{5, 4096}));
+  portfolio.push_back(std::make_unique<KnnClassifier>(KnnClassifier::Hyper{15, 4096}));
+  portfolio.push_back(std::make_unique<MlpClassifier>(MlpClassifier::Hyper{16, 0.05, 250, 1e-5}));
+  return portfolio;
+}
+
+AutoMlResult autoSelect(const Dataset& rawData, const AutoMlConfig& config, support::Rng& rng) {
+  RTLOCK_REQUIRE(!rawData.empty(), "auto-ml needs a non-empty training set");
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsedSeconds = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  // Subsample raw rows first (folding must happen on raw rows: aggregating
+  // duplicates before the split would make folds all-or-nothing per feature
+  // tuple and bias validation accuracy).  Each fold is aggregated afterwards
+  // — lossless — so model fitting stays fast.
+  Dataset data = rawData.sampled(config.maxTrainingRows, rng);
+
+  std::vector<std::pair<Dataset, Dataset>> folds;
+  std::size_t largestTrainFold = 0;
+  for (auto& [train, validation] : data.kFold(config.folds, rng)) {
+    Dataset aggregatedTrain = train.aggregated();
+    Dataset aggregatedValidation = validation.aggregated();
+    largestTrainFold = std::max(largestTrainFold, aggregatedTrain.size());
+    folds.emplace_back(std::move(aggregatedTrain), std::move(aggregatedValidation));
+  }
+
+  AutoMlResult result;
+  result.bestCvAccuracy = -1.0;
+
+  for (auto& candidate : defaultPortfolio()) {
+    // Always evaluate at least one candidate, budget or not.
+    if (!result.leaderboard.empty() && elapsedSeconds() > config.timeBudgetSeconds) break;
+    if (largestTrainFold > config.slowModelRowLimit && isSlowFamily(*candidate)) continue;
+
+    const double candidateStart = elapsedSeconds();
+    double weightedCorrect = 0.0;
+    double weightedTotal = 0.0;
+    for (const auto& [train, validation] : folds) {
+      if (train.empty() || validation.empty()) continue;
+      auto foldModel = candidate->fresh();
+      foldModel->fit(train, rng);
+      weightedCorrect += accuracy(*foldModel, validation) * validation.totalWeight();
+      weightedTotal += validation.totalWeight();
+    }
+    const double cvAccuracy = weightedTotal == 0.0 ? 0.0 : weightedCorrect / weightedTotal;
+
+    result.leaderboard.push_back(
+        LeaderboardEntry{candidate->name(), cvAccuracy, elapsedSeconds() - candidateStart});
+    if (cvAccuracy > result.bestCvAccuracy) {
+      result.bestCvAccuracy = cvAccuracy;
+      result.bestName = candidate->name();
+      result.model = candidate->fresh();
+    }
+  }
+
+  RTLOCK_REQUIRE(result.model != nullptr, "auto-ml evaluated no candidates");
+  result.model->fit(data.aggregated(), rng);
+  return result;
+}
+
+}  // namespace rtlock::ml

@@ -1,0 +1,49 @@
+// AutoML driver standing in for auto-sklearn [13].
+//
+// The driver enumerates a model/hyperparameter portfolio (histogram table,
+// categorical & Gaussian naive Bayes, logistic regression, decision tree,
+// random forest, k-NN, MLP), scores every candidate with k-fold
+// cross-validation under a wall-clock budget, and refits the winner on the
+// full training set.  The paper allots 600 s per attack iteration; the
+// portfolio here converges in far less on locality data because aggregation
+// shrinks the dataset to the distinct feature tuples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace rtlock::ml {
+
+struct AutoMlConfig {
+  int folds = 3;
+  double timeBudgetSeconds = 600.0;
+  /// Rows are aggregated first; if still larger, subsampled to this cap.
+  std::size_t maxTrainingRows = 100000;
+  /// Skip slow families (knn/mlp/forest) when the aggregated set is larger
+  /// than this.
+  std::size_t slowModelRowLimit = 20000;
+};
+
+struct LeaderboardEntry {
+  std::string model;
+  double cvAccuracy = 0.0;
+  double seconds = 0.0;
+};
+
+struct AutoMlResult {
+  std::unique_ptr<Classifier> model;  // refit on the full training set
+  std::string bestName;
+  double bestCvAccuracy = 0.0;
+  std::vector<LeaderboardEntry> leaderboard;
+};
+
+/// Builds the default candidate portfolio.
+[[nodiscard]] std::vector<std::unique_ptr<Classifier>> defaultPortfolio();
+
+/// Cross-validated model selection + final refit.
+[[nodiscard]] AutoMlResult autoSelect(const Dataset& data, const AutoMlConfig& config,
+                                      support::Rng& rng);
+
+}  // namespace rtlock::ml

@@ -1,0 +1,59 @@
+#include "ml/baseline.hpp"
+
+namespace rtlock::ml {
+
+// ---- MajorityClassifier ----
+
+void MajorityClassifier::fit(const Dataset& data, support::Rng& /*rng*/) {
+  positiveFraction_ = data.empty() ? 0.5 : data.positiveFraction();
+}
+
+double MajorityClassifier::predictProba(const FeatureRow& /*features*/) const {
+  return positiveFraction_;
+}
+
+std::unique_ptr<Classifier> MajorityClassifier::fresh() const {
+  return std::make_unique<MajorityClassifier>();
+}
+
+// ---- HistogramClassifier ----
+
+std::string HistogramClassifier::name() const {
+  return "histogram(smoothing=" + std::to_string(smoothing_) + ")";
+}
+
+std::string HistogramClassifier::keyFor(const FeatureRow& features) {
+  std::string key;
+  key.reserve(features.size() * sizeof(double));
+  for (const double value : features) {
+    key.append(reinterpret_cast<const char*>(&value), sizeof(double));
+  }
+  return key;
+}
+
+void HistogramClassifier::fit(const Dataset& data, support::Rng& /*rng*/) {
+  table_.clear();
+  prior_ = data.empty() ? 0.5 : data.positiveFraction();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto& weights = table_[keyFor(data.features(i))];
+    if (data.label(i) == 1) {
+      weights.positive += data.weight(i);
+    } else {
+      weights.negative += data.weight(i);
+    }
+  }
+}
+
+double HistogramClassifier::predictProba(const FeatureRow& features) const {
+  const auto it = table_.find(keyFor(features));
+  if (it == table_.end()) return prior_;
+  const double positive = it->second.positive + smoothing_ * prior_;
+  const double negative = it->second.negative + smoothing_ * (1.0 - prior_);
+  return positive / (positive + negative);
+}
+
+std::unique_ptr<Classifier> HistogramClassifier::fresh() const {
+  return std::make_unique<HistogramClassifier>(smoothing_);
+}
+
+}  // namespace rtlock::ml

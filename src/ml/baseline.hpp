@@ -1,0 +1,53 @@
+// Baseline classifiers.
+//
+// HistogramClassifier is the Bayes-optimal model for SnapShot localities:
+// features are small categorical tuples, and the optimal decision is the
+// per-tuple weighted majority vote.  Every other model family can at best
+// approximate this table; auto-ml usually selects it or an equally-good
+// approximation.
+#pragma once
+
+#include <unordered_map>
+
+#include "ml/model.hpp"
+
+namespace rtlock::ml {
+
+/// Predicts the globally most frequent class (sanity floor for auto-ml).
+class MajorityClassifier final : public Classifier {
+ public:
+  [[nodiscard]] std::string name() const override { return "majority"; }
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  double positiveFraction_ = 0.5;
+};
+
+/// Per-feature-tuple weighted majority table with a Laplace-smoothed global
+/// prior for unseen tuples.
+class HistogramClassifier final : public Classifier {
+ public:
+  /// `smoothing` is the pseudo-count added to both classes per tuple.
+  explicit HistogramClassifier(double smoothing = 1.0) : smoothing_(smoothing) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  struct ClassWeights {
+    double negative = 0.0;
+    double positive = 0.0;
+  };
+
+  [[nodiscard]] static std::string keyFor(const FeatureRow& features);
+
+  double smoothing_;
+  double prior_ = 0.5;
+  std::unordered_map<std::string, ClassWeights> table_;
+};
+
+}  // namespace rtlock::ml

@@ -1,0 +1,109 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+#include <string>
+#include <unordered_map>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::ml {
+
+Dataset::Dataset(int featureCount) : featureCount_(featureCount) {
+  RTLOCK_REQUIRE(featureCount >= 1, "datasets need at least one feature");
+}
+
+void Dataset::add(FeatureRow features, int label, double weight) {
+  RTLOCK_REQUIRE(static_cast<int>(features.size()) == featureCount_,
+                 "feature row arity mismatch");
+  RTLOCK_REQUIRE(label == 0 || label == 1, "binary labels only");
+  RTLOCK_REQUIRE(weight > 0.0, "weights must be positive");
+  features_.push_back(std::move(features));
+  labels_.push_back(label);
+  weights_.push_back(weight);
+}
+
+double Dataset::totalWeight() const noexcept {
+  return std::accumulate(weights_.begin(), weights_.end(), 0.0);
+}
+
+double Dataset::positiveFraction() const noexcept {
+  double positive = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    total += weights_[i];
+    if (labels_[i] == 1) positive += weights_[i];
+  }
+  return total == 0.0 ? 0.0 : positive / total;
+}
+
+Dataset Dataset::aggregated() const {
+  // Key: features + label serialized into a string of doubles (exact bit
+  // patterns), preserving first-seen order via index map.
+  std::unordered_map<std::string, std::size_t> keyToRow;
+  Dataset result{featureCount_};
+  for (std::size_t i = 0; i < size(); ++i) {
+    std::string key;
+    key.reserve(features_[i].size() * sizeof(double) + 1);
+    for (const double value : features_[i]) {
+      key.append(reinterpret_cast<const char*>(&value), sizeof(double));
+    }
+    key.push_back(static_cast<char>(labels_[i]));
+    const auto it = keyToRow.find(key);
+    if (it == keyToRow.end()) {
+      keyToRow.emplace(std::move(key), result.size());
+      result.add(features_[i], labels_[i], weights_[i]);
+    } else {
+      result.weights_[it->second] += weights_[i];
+    }
+  }
+  return result;
+}
+
+Dataset Dataset::sampled(std::size_t maxRows, support::Rng& rng) const {
+  if (size() <= maxRows) return *this;
+  Dataset result{featureCount_};
+  // Uniform row sample with weight rescaling keeps the total mass unbiased.
+  const auto indices = rng.sampleIndices(size(), maxRows);
+  const double scale = static_cast<double>(size()) / static_cast<double>(maxRows);
+  for (const std::size_t i : indices) {
+    result.add(features_[i], labels_[i], weights_[i] * scale);
+  }
+  return result;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double trainFraction, support::Rng& rng) const {
+  RTLOCK_REQUIRE(trainFraction > 0.0 && trainFraction < 1.0,
+                 "train fraction must lie strictly between 0 and 1");
+  Dataset train{featureCount_};
+  Dataset test{featureCount_};
+  for (std::size_t i = 0; i < size(); ++i) {
+    (rng.chance(trainFraction) ? train : test).add(features_[i], labels_[i], weights_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::pair<Dataset, Dataset>> Dataset::kFold(int folds, support::Rng& rng) const {
+  RTLOCK_REQUIRE(folds >= 2, "k-fold needs at least two folds");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::vector<int> foldOf(size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    foldOf[order[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
+  }
+
+  std::vector<std::pair<Dataset, Dataset>> result;
+  result.reserve(static_cast<std::size_t>(folds));
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train{featureCount_};
+    Dataset validation{featureCount_};
+    for (std::size_t i = 0; i < size(); ++i) {
+      (foldOf[i] == fold ? validation : train).add(features_[i], labels_[i], weights_[i]);
+    }
+    result.emplace_back(std::move(train), std::move(validation));
+  }
+  return result;
+}
+
+}  // namespace rtlock::ml

@@ -1,0 +1,59 @@
+// Weighted tabular dataset for binary classification.
+//
+// SnapShot localities are tiny categorical tuples that repeat millions of
+// times across relocking rounds, so the dataset supports instance weights and
+// lossless aggregation of duplicate rows — a 10^6-row training set typically
+// collapses to a few hundred weighted rows.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rtlock::ml {
+
+using FeatureRow = std::vector<double>;
+
+class Dataset {
+ public:
+  explicit Dataset(int featureCount);
+
+  void add(FeatureRow features, int label, double weight = 1.0);
+
+  [[nodiscard]] int featureCount() const noexcept { return featureCount_; }
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+
+  [[nodiscard]] const FeatureRow& features(std::size_t row) const { return features_.at(row); }
+  [[nodiscard]] int label(std::size_t row) const { return labels_.at(row); }
+  [[nodiscard]] double weight(std::size_t row) const { return weights_.at(row); }
+
+  [[nodiscard]] double totalWeight() const noexcept;
+  /// Weighted fraction of rows with label 1.
+  [[nodiscard]] double positiveFraction() const noexcept;
+
+  /// Merges duplicate feature rows: one row per (features, label) with
+  /// accumulated weight.  Order is deterministic (first-seen order).
+  [[nodiscard]] Dataset aggregated() const;
+
+  /// Weighted random subsample of at most `maxRows` rows (weights carried
+  /// over; aggregation-friendly).  Returns *this unchanged if small enough.
+  [[nodiscard]] Dataset sampled(std::size_t maxRows, support::Rng& rng) const;
+
+  /// Random split into train/test by row (weights preserved).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double trainFraction, support::Rng& rng) const;
+
+  /// k-fold partition: returns (train, validation) pairs.
+  [[nodiscard]] std::vector<std::pair<Dataset, Dataset>> kFold(int folds,
+                                                               support::Rng& rng) const;
+
+ private:
+  int featureCount_;
+  std::vector<FeatureRow> features_;
+  std::vector<int> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace rtlock::ml

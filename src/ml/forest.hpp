@@ -1,0 +1,31 @@
+// Random forest: bagged decision trees with per-split feature subsampling.
+#pragma once
+
+#include "ml/tree.hpp"
+
+namespace rtlock::ml {
+
+struct ForestHyper {
+  int trees = 25;
+  int maxDepth = 10;
+  /// Features per split; 0 = ceil(sqrt(featureCount)).
+  int featureSubset = 0;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  using Hyper = ForestHyper;
+
+  explicit RandomForest(Hyper hyper = Hyper()) : hyper_(hyper) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  Hyper hyper_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace rtlock::ml

@@ -1,0 +1,56 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtlock::ml {
+
+std::string KnnClassifier::name() const { return "knn(k=" + std::to_string(hyper_.k) + ")"; }
+
+void KnnClassifier::fit(const Dataset& data, support::Rng& rng) {
+  rows_.clear();
+  labels_.clear();
+  weights_.clear();
+  const Dataset stored = data.aggregated().sampled(hyper_.maxStoredRows, rng);
+  rows_.reserve(stored.size());
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    rows_.push_back(stored.features(i));
+    labels_.push_back(stored.label(i));
+    weights_.push_back(stored.weight(i));
+  }
+}
+
+double KnnClassifier::predictProba(const FeatureRow& features) const {
+  if (rows_.empty()) return 0.5;
+
+  // Distances to all stored rows; take the k nearest by partial sort.
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    double sum = 0.0;
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const double delta = features[f] - rows_[i][f];
+      sum += delta * delta;
+    }
+    distances.emplace_back(sum, i);
+  }
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(hyper_.k),
+                                              distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances.end());
+
+  double positive = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t row = distances[i].second;
+    total += weights_[row];
+    if (labels_[row] == 1) positive += weights_[row];
+  }
+  return total == 0.0 ? 0.5 : positive / total;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::fresh() const {
+  return std::make_unique<KnnClassifier>(hyper_);
+}
+
+}  // namespace rtlock::ml

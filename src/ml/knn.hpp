@@ -1,0 +1,32 @@
+// k-nearest-neighbours with weighted voting.  Training data is capped by
+// subsampling (prediction is O(stored rows)).
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace rtlock::ml {
+
+struct KnnHyper {
+  int k = 5;
+  std::size_t maxStoredRows = 4096;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  using Hyper = KnnHyper;
+
+  explicit KnnClassifier(Hyper hyper = Hyper()) : hyper_(hyper) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  Hyper hyper_;
+  std::vector<FeatureRow> rows_;
+  std::vector<int> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace rtlock::ml

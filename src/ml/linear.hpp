@@ -1,0 +1,37 @@
+// L2-regularized logistic regression trained with full-batch gradient descent
+// and feature standardization.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace rtlock::ml {
+
+struct LogisticHyper {
+  double learningRate = 0.5;
+  double l2 = 1e-4;
+  int epochs = 300;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  using Hyper = LogisticHyper;
+
+  explicit LogisticRegression(Hyper hyper = Hyper()) : hyper_(hyper) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  [[nodiscard]] double decision(const FeatureRow& features) const;
+
+  Hyper hyper_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  bool fitted_ = false;
+};
+
+}  // namespace rtlock::ml

@@ -1,0 +1,42 @@
+// Single-hidden-layer multilayer perceptron (tanh hidden units, sigmoid
+// output) trained with full-batch Adam on weighted binary cross-entropy.
+// Stands in for the neural models SnapShot originally explored.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace rtlock::ml {
+
+struct MlpHyper {
+  int hiddenUnits = 16;
+  double learningRate = 0.05;
+  int epochs = 300;
+  double l2 = 1e-5;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  using Hyper = MlpHyper;
+
+  explicit MlpClassifier(Hyper hyper = Hyper()) : hyper_(hyper) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  [[nodiscard]] std::vector<double> hiddenActivations(const FeatureRow& features) const;
+
+  Hyper hyper_;
+  int inputs_ = 0;
+  std::vector<double> hiddenWeights_;  // hiddenUnits x inputs
+  std::vector<double> hiddenBias_;     // hiddenUnits
+  std::vector<double> outputWeights_;  // hiddenUnits
+  double outputBias_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  bool fitted_ = false;
+};
+
+}  // namespace rtlock::ml

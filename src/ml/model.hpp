@@ -1,0 +1,36 @@
+// Abstract binary classifier interface shared by all model families.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ml/dataset.hpp"
+
+namespace rtlock::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Human-readable model identifier ("logistic(lr=0.1)", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on the (weighted) dataset.  Must be callable repeatedly.
+  virtual void fit(const Dataset& data, support::Rng& rng) = 0;
+
+  /// P(label == 1 | features) in [0, 1].
+  [[nodiscard]] virtual double predictProba(const FeatureRow& features) const = 0;
+
+  [[nodiscard]] int predict(const FeatureRow& features) const {
+    return predictProba(features) >= 0.5 ? 1 : 0;
+  }
+
+  /// Fresh untrained copy with the same hyperparameters (for CV folds).
+  [[nodiscard]] virtual std::unique_ptr<Classifier> fresh() const = 0;
+};
+
+/// Weighted accuracy of a fitted model on a dataset.
+[[nodiscard]] double accuracy(const Classifier& model, const Dataset& data);
+
+}  // namespace rtlock::ml

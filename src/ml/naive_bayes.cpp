@@ -1,0 +1,142 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace rtlock::ml {
+
+namespace {
+
+constexpr double kMinVariance = 1e-9;
+constexpr double kMinWeight = 1e-12;
+
+[[nodiscard]] long long categoryOf(double value) noexcept {
+  return static_cast<long long>(std::llround(value));
+}
+
+/// Converts two class log-scores into P(class 1) robustly.
+[[nodiscard]] double softmaxBinary(double logScore0, double logScore1) noexcept {
+  const double maxScore = std::max(logScore0, logScore1);
+  const double exp0 = std::exp(logScore0 - maxScore);
+  const double exp1 = std::exp(logScore1 - maxScore);
+  return exp1 / (exp0 + exp1);
+}
+
+}  // namespace
+
+// ---- GaussianNaiveBayes ----
+
+void GaussianNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
+  const int features = data.featureCount();
+  double classWeight[2] = {kMinWeight, kMinWeight};
+  for (auto& model : classes_) {
+    model.mean.assign(static_cast<std::size_t>(features), 0.0);
+    model.variance.assign(static_cast<std::size_t>(features), 0.0);
+  }
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int label = data.label(i);
+    classWeight[label] += data.weight(i);
+    for (int f = 0; f < features; ++f) {
+      classes_[label].mean[static_cast<std::size_t>(f)] +=
+          data.weight(i) * data.features(i)[static_cast<std::size_t>(f)];
+    }
+  }
+  for (int label = 0; label < 2; ++label) {
+    for (double& mean : classes_[label].mean) mean /= classWeight[label];
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int label = data.label(i);
+    for (int f = 0; f < features; ++f) {
+      const double delta = data.features(i)[static_cast<std::size_t>(f)] -
+                           classes_[label].mean[static_cast<std::size_t>(f)];
+      classes_[label].variance[static_cast<std::size_t>(f)] += data.weight(i) * delta * delta;
+    }
+  }
+  const double total = classWeight[0] + classWeight[1];
+  for (int label = 0; label < 2; ++label) {
+    for (double& variance : classes_[label].variance) {
+      variance = std::max(variance / classWeight[label], kMinVariance);
+    }
+    classes_[label].logPrior = std::log(classWeight[label] / total);
+  }
+  fitted_ = true;
+}
+
+double GaussianNaiveBayes::logLikelihood(const ClassModel& model,
+                                         const FeatureRow& features) const {
+  double logSum = model.logPrior;
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    const double variance = model.variance[f];
+    const double delta = features[f] - model.mean[f];
+    logSum += -0.5 * std::log(2.0 * M_PI * variance) - delta * delta / (2.0 * variance);
+  }
+  return logSum;
+}
+
+double GaussianNaiveBayes::predictProba(const FeatureRow& features) const {
+  if (!fitted_) return 0.5;
+  return softmaxBinary(logLikelihood(classes_[0], features),
+                       logLikelihood(classes_[1], features));
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::fresh() const {
+  return std::make_unique<GaussianNaiveBayes>();
+}
+
+// ---- CategoricalNaiveBayes ----
+
+std::string CategoricalNaiveBayes::name() const {
+  return "categorical-nb(alpha=" + std::to_string(alpha_) + ")";
+}
+
+void CategoricalNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
+  const auto features = static_cast<std::size_t>(data.featureCount());
+  double classWeight[2] = {kMinWeight, kMinWeight};
+  for (int label = 0; label < 2; ++label) {
+    counts_[label].assign(features, {});
+    classFeatureTotals_[label].assign(features, 0.0);
+  }
+  categoryCounts_.assign(features, 0);
+
+  std::vector<std::set<long long>> seen(features);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int label = data.label(i);
+    classWeight[label] += data.weight(i);
+    for (std::size_t f = 0; f < features; ++f) {
+      const long long category = categoryOf(data.features(i)[f]);
+      counts_[label][f][category] += data.weight(i);
+      classFeatureTotals_[label][f] += data.weight(i);
+      seen[f].insert(category);
+    }
+  }
+  for (std::size_t f = 0; f < features; ++f) {
+    categoryCounts_[f] = std::max<std::size_t>(seen[f].size(), 1);
+  }
+  const double total = classWeight[0] + classWeight[1];
+  logPrior_[0] = std::log(classWeight[0] / total);
+  logPrior_[1] = std::log(classWeight[1] / total);
+  fitted_ = true;
+}
+
+double CategoricalNaiveBayes::predictProba(const FeatureRow& features) const {
+  if (!fitted_) return 0.5;
+  double logScore[2] = {logPrior_[0], logPrior_[1]};
+  for (int label = 0; label < 2; ++label) {
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const long long category = categoryOf(features[f]);
+      const auto it = counts_[label][f].find(category);
+      const double count = it == counts_[label][f].end() ? 0.0 : it->second;
+      const double denominator = classFeatureTotals_[label][f] +
+                                 alpha_ * static_cast<double>(categoryCounts_[f]);
+      logScore[label] += std::log((count + alpha_) / denominator);
+    }
+  }
+  return softmaxBinary(logScore[0], logScore[1]);
+}
+
+std::unique_ptr<Classifier> CategoricalNaiveBayes::fresh() const {
+  return std::make_unique<CategoricalNaiveBayes>(alpha_);
+}
+
+}  // namespace rtlock::ml

@@ -1,0 +1,54 @@
+// Naive Bayes classifiers (Gaussian for continuous features, categorical for
+// discrete encodings such as SnapShot operation codes).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace rtlock::ml {
+
+/// Gaussian naive Bayes with per-class, per-feature mean/variance.
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  [[nodiscard]] std::string name() const override { return "gaussian-nb"; }
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  struct ClassModel {
+    double logPrior = 0.0;
+    std::vector<double> mean;
+    std::vector<double> variance;
+  };
+
+  [[nodiscard]] double logLikelihood(const ClassModel& model, const FeatureRow& features) const;
+
+  ClassModel classes_[2];
+  bool fitted_ = false;
+};
+
+/// Categorical naive Bayes: features are treated as category ids with
+/// Laplace smoothing.
+class CategoricalNaiveBayes final : public Classifier {
+ public:
+  explicit CategoricalNaiveBayes(double alpha = 1.0) : alpha_(alpha) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const Dataset& data, support::Rng& rng) override;
+  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
+  [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
+
+ private:
+  double alpha_;
+  double logPrior_[2] = {0.0, 0.0};
+  /// Per class, per feature: category -> accumulated weight.
+  std::vector<std::unordered_map<long long, double>> counts_[2];
+  std::vector<double> classFeatureTotals_[2];  // per feature total weight
+  std::vector<std::size_t> categoryCounts_;    // distinct categories per feature
+  bool fitted_ = false;
+};
+
+}  // namespace rtlock::ml

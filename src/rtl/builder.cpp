@@ -1,0 +1,22 @@
+#include "rtl/builder.hpp"
+
+#include <algorithm>
+
+namespace rtlock::rtl {
+
+void ModuleBuilder::regAssign(SignalId clock, SignalId target, ExprPtr value) {
+  const auto it = std::find_if(openSeqBlocks_.begin(), openSeqBlocks_.end(),
+                               [clock](const auto& entry) { return entry.first == clock; });
+  BlockStmt* block = nullptr;
+  if (it != openSeqBlocks_.end()) {
+    block = it->second;
+  } else {
+    auto body = makeBlock();
+    block = static_cast<BlockStmt*>(body.get());
+    module_.addProcess(ProcessKind::Sequential, clock, std::move(body));
+    openSeqBlocks_.emplace_back(clock, block);
+  }
+  block->append(makeAssign(LValue{target, std::nullopt}, std::move(value), /*nonBlocking=*/true));
+}
+
+}  // namespace rtlock::rtl

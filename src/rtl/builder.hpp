@@ -1,0 +1,119 @@
+// Fluent construction of modules for tests, examples and the benchmark
+// generators.
+//
+//   ModuleBuilder b{"fir4"};
+//   auto clk = b.input("clk", 1);
+//   auto x   = b.input("x", 16);
+//   auto acc = b.wire("acc", 16);
+//   b.assign(acc, b.add(b.ref(x), b.lit(3, 16)));
+//   auto y = b.output("y", 16);
+//   b.assign(y, b.ref(acc));
+//   Module m = b.take();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::rtl {
+
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name) : module_(std::move(name)) {}
+
+  // ---- Declarations ----
+  SignalId input(std::string name, int width) { return module_.addInput(std::move(name), width); }
+  SignalId output(std::string name, int width) {
+    return module_.addOutput(std::move(name), width);
+  }
+  SignalId outputReg(std::string name, int width) {
+    return module_.addOutput(std::move(name), width, NetKind::Reg);
+  }
+  SignalId wire(std::string name, int width) { return module_.addWire(std::move(name), width); }
+  SignalId reg(std::string name, int width) { return module_.addReg(std::move(name), width); }
+
+  // ---- Expressions ----
+  [[nodiscard]] ExprPtr ref(SignalId id) const {
+    return makeSignalRef(id, module_.signal(id).width);
+  }
+  [[nodiscard]] ExprPtr lit(std::uint64_t value, int width) const {
+    return makeConstant(value, width);
+  }
+  [[nodiscard]] ExprPtr bin(OpKind op, ExprPtr lhs, ExprPtr rhs) const {
+    return makeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  [[nodiscard]] ExprPtr add(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Add, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr sub(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Sub, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr mul(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Mul, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr div(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Div, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr xorE(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Xor, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr andE(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::And, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr orE(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Or, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr shl(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Shl, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr shr(ExprPtr l, ExprPtr r) const {
+    return bin(OpKind::Shr, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr notE(ExprPtr operand) const {
+    return makeUnary(UnaryOp::BitNot, std::move(operand));
+  }
+  [[nodiscard]] ExprPtr mux(ExprPtr cond, ExprPtr t, ExprPtr f) const {
+    return makeTernary(std::move(cond), std::move(t), std::move(f));
+  }
+  [[nodiscard]] ExprPtr slice(ExprPtr value, int hi, int lo) const {
+    return makeSlice(std::move(value), hi, lo);
+  }
+  [[nodiscard]] ExprPtr concat(std::vector<ExprPtr> parts) const {
+    return makeConcat(std::move(parts));
+  }
+
+  // ---- Structure ----
+  ContAssign& assign(SignalId target, ExprPtr value) {
+    return module_.addContAssign(LValue{target, std::nullopt}, std::move(value));
+  }
+  ContAssign& assignSlice(SignalId target, int hi, int lo, ExprPtr value) {
+    return module_.addContAssign(LValue{target, std::make_pair(hi, lo)}, std::move(value));
+  }
+
+  /// Appends `q <= value` to the sequential process clocked by `clock`
+  /// (creating the process on first use).
+  void regAssign(SignalId clock, SignalId target, ExprPtr value);
+
+  /// Adds a combinational always block.
+  Process& combProcess(StmtPtr body) {
+    return module_.addProcess(ProcessKind::Combinational, 0, std::move(body));
+  }
+
+  /// Adds a sequential always block verbatim.
+  Process& seqProcess(SignalId clock, StmtPtr body) {
+    return module_.addProcess(ProcessKind::Sequential, clock, std::move(body));
+  }
+
+  [[nodiscard]] Module& module() noexcept { return module_; }
+
+  /// Finalize and move the module out of the builder.
+  [[nodiscard]] Module take() { return std::move(module_); }
+
+ private:
+  Module module_;
+  /// Clock -> open sequential block (owned by module_), for regAssign.
+  std::vector<std::pair<SignalId, BlockStmt*>> openSeqBlocks_;
+};
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,245 @@
+#include "rtl/expr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rtlock::rtl {
+
+namespace {
+
+[[noreturn]] void badSlot() { RTLOCK_UNREACHABLE("expression slot index out of range"); }
+
+}  // namespace
+
+// ---- ConstantExpr ----
+
+ConstantExpr::ConstantExpr(std::uint64_t value, int width)
+    : Expr(ExprKind::Constant, width), value_(maskToWidth(value, width)) {
+  RTLOCK_REQUIRE(width <= 64, "constants wider than 64 bits are outside the supported subset");
+}
+
+ExprPtr& ConstantExpr::exprSlotAt(int) { badSlot(); }
+
+ExprPtr ConstantExpr::clone() const { return makeConstant(value_, width()); }
+
+std::uint64_t ConstantExpr::maskToWidth(std::uint64_t value, int width) noexcept {
+  if (width >= 64) return value;
+  return value & ((std::uint64_t{1} << width) - 1);
+}
+
+// ---- SignalRefExpr ----
+
+ExprPtr& SignalRefExpr::exprSlotAt(int) { badSlot(); }
+
+ExprPtr SignalRefExpr::clone() const { return makeSignalRef(signal_, width()); }
+
+// ---- KeyRefExpr ----
+
+ExprPtr& KeyRefExpr::exprSlotAt(int) { badSlot(); }
+
+ExprPtr KeyRefExpr::clone() const { return makeKeyRef(firstBit_, width()); }
+
+// ---- UnaryExpr ----
+
+UnaryExpr::UnaryExpr(UnaryOp op, ExprPtr operand)
+    : Expr(ExprKind::Unary, unaryResultWidth(op, operand ? operand->width() : 1)),
+      op_(op),
+      operand_(std::move(operand)) {
+  RTLOCK_REQUIRE(operand_ != nullptr, "unary operand must not be null");
+}
+
+ExprPtr& UnaryExpr::exprSlotAt(int index) {
+  if (index != 0) badSlot();
+  return operand_;
+}
+
+ExprPtr UnaryExpr::clone() const { return makeUnary(op_, operand_->clone()); }
+
+// ---- BinaryExpr ----
+
+BinaryExpr::BinaryExpr(OpKind op, ExprPtr lhs, ExprPtr rhs)
+    : Expr(ExprKind::Binary,
+           resultWidth(op, lhs ? lhs->width() : 1, rhs ? rhs->width() : 1)),
+      op_(op),
+      lhs_(std::move(lhs)),
+      rhs_(std::move(rhs)) {
+  RTLOCK_REQUIRE(lhs_ != nullptr && rhs_ != nullptr, "binary operands must not be null");
+}
+
+ExprPtr& BinaryExpr::exprSlotAt(int index) {
+  if (index == 0) return lhs_;
+  if (index == 1) return rhs_;
+  badSlot();
+}
+
+ExprPtr BinaryExpr::clone() const { return makeBinary(op_, lhs_->clone(), rhs_->clone()); }
+
+// ---- TernaryExpr ----
+
+TernaryExpr::TernaryExpr(ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr)
+    : Expr(ExprKind::Ternary,
+           std::max(thenExpr ? thenExpr->width() : 1, elseExpr ? elseExpr->width() : 1)),
+      cond_(std::move(cond)),
+      then_(std::move(thenExpr)),
+      else_(std::move(elseExpr)) {
+  RTLOCK_REQUIRE(cond_ != nullptr && then_ != nullptr && else_ != nullptr,
+                 "ternary operands must not be null");
+}
+
+bool TernaryExpr::isKeyMux() const noexcept {
+  return cond_->kind() == ExprKind::KeyRef && cond_->width() == 1;
+}
+
+ExprPtr& TernaryExpr::exprSlotAt(int index) {
+  switch (index) {
+    case kCondSlot: return cond_;
+    case kThenSlot: return then_;
+    case kElseSlot: return else_;
+    default: badSlot();
+  }
+}
+
+ExprPtr TernaryExpr::clone() const {
+  return makeTernary(cond_->clone(), then_->clone(), else_->clone());
+}
+
+// ---- ConcatExpr ----
+
+namespace {
+int concatWidth(const std::vector<ExprPtr>& parts) {
+  RTLOCK_REQUIRE(!parts.empty(), "concatenation needs at least one part");
+  int total = 0;
+  for (const auto& part : parts) {
+    RTLOCK_REQUIRE(part != nullptr, "concatenation parts must not be null");
+    total += part->width();
+  }
+  return total;
+}
+}  // namespace
+
+ConcatExpr::ConcatExpr(std::vector<ExprPtr> parts)
+    : Expr(ExprKind::Concat, concatWidth(parts)), parts_(std::move(parts)) {}
+
+ExprPtr& ConcatExpr::exprSlotAt(int index) {
+  if (index < 0 || index >= partCount()) badSlot();
+  return parts_[static_cast<std::size_t>(index)];
+}
+
+ExprPtr ConcatExpr::clone() const {
+  std::vector<ExprPtr> parts;
+  parts.reserve(parts_.size());
+  for (const auto& part : parts_) parts.push_back(part->clone());
+  return makeConcat(std::move(parts));
+}
+
+// ---- SliceExpr ----
+
+SliceExpr::SliceExpr(ExprPtr value, int hi, int lo)
+    : Expr(ExprKind::Slice, hi - lo + 1), value_(std::move(value)), hi_(hi), lo_(lo) {
+  RTLOCK_REQUIRE(value_ != nullptr, "slice base must not be null");
+  RTLOCK_REQUIRE(lo >= 0 && hi >= lo, "slice bounds must satisfy 0 <= lo <= hi");
+  RTLOCK_REQUIRE(hi < value_->width(), "slice upper bound exceeds base width");
+}
+
+ExprPtr& SliceExpr::exprSlotAt(int index) {
+  if (index != 0) badSlot();
+  return value_;
+}
+
+ExprPtr SliceExpr::clone() const { return makeSlice(value_->clone(), hi_, lo_); }
+
+// ---- Factories ----
+
+ExprPtr makeConstant(std::uint64_t value, int width) {
+  return std::make_unique<ConstantExpr>(value, width);
+}
+
+ExprPtr makeSignalRef(SignalId signal, int width) {
+  return std::make_unique<SignalRefExpr>(signal, width);
+}
+
+ExprPtr makeKeyRef(int firstBit, int width) {
+  return std::make_unique<KeyRefExpr>(firstBit, width);
+}
+
+ExprPtr makeUnary(UnaryOp op, ExprPtr operand) {
+  return std::make_unique<UnaryExpr>(op, std::move(operand));
+}
+
+ExprPtr makeBinary(OpKind op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr makeTernary(ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr) {
+  return std::make_unique<TernaryExpr>(std::move(cond), std::move(thenExpr), std::move(elseExpr));
+}
+
+ExprPtr makeConcat(std::vector<ExprPtr> parts) {
+  return std::make_unique<ConcatExpr>(std::move(parts));
+}
+
+ExprPtr makeSlice(ExprPtr value, int hi, int lo) {
+  return std::make_unique<SliceExpr>(std::move(value), hi, lo);
+}
+
+// ---- Utilities ----
+
+bool structurallyEqual(const Expr& a, const Expr& b) noexcept {
+  if (a.kind() != b.kind() || a.width() != b.width()) return false;
+  switch (a.kind()) {
+    case ExprKind::Constant:
+      return static_cast<const ConstantExpr&>(a).value() ==
+             static_cast<const ConstantExpr&>(b).value();
+    case ExprKind::SignalRef:
+      return static_cast<const SignalRefExpr&>(a).signal() ==
+             static_cast<const SignalRefExpr&>(b).signal();
+    case ExprKind::KeyRef:
+      return static_cast<const KeyRefExpr&>(a).firstBit() ==
+             static_cast<const KeyRefExpr&>(b).firstBit();
+    case ExprKind::Unary:
+      if (static_cast<const UnaryExpr&>(a).op() != static_cast<const UnaryExpr&>(b).op()) {
+        return false;
+      }
+      break;
+    case ExprKind::Binary:
+      if (static_cast<const BinaryExpr&>(a).op() != static_cast<const BinaryExpr&>(b).op()) {
+        return false;
+      }
+      break;
+    case ExprKind::Ternary:
+    case ExprKind::Concat: break;
+    case ExprKind::Slice: {
+      const auto& sa = static_cast<const SliceExpr&>(a);
+      const auto& sb = static_cast<const SliceExpr&>(b);
+      if (sa.hi() != sb.hi() || sa.lo() != sb.lo()) return false;
+      break;
+    }
+  }
+  auto& ma = const_cast<Expr&>(a);
+  auto& mb = const_cast<Expr&>(b);
+  if (ma.exprSlotCount() != mb.exprSlotCount()) return false;
+  for (int i = 0; i < ma.exprSlotCount(); ++i) {
+    if (!structurallyEqual(*ma.exprSlotAt(i), *mb.exprSlotAt(i))) return false;
+  }
+  return true;
+}
+
+int exprSize(const Expr& expr) noexcept {
+  auto& mutableExpr = const_cast<Expr&>(expr);
+  int total = 1;
+  for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
+    total += exprSize(*mutableExpr.exprSlotAt(i));
+  }
+  return total;
+}
+
+int exprDepth(const Expr& expr) noexcept {
+  auto& mutableExpr = const_cast<Expr&>(expr);
+  int deepest = 0;
+  for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
+    deepest = std::max(deepest, exprDepth(*mutableExpr.exprSlotAt(i)));
+  }
+  return deepest + 1;
+}
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,42 @@
+// ExprHolder: uniform access to "a place that owns an expression".
+//
+// Locking rewrites expressions in place: wrapping a binary operation into a
+// key-controlled multiplexer replaces the ExprPtr in whatever slot owned it
+// (a parent expression, a continuous assignment, an if-condition, ...).
+// ExprHolder gives all those owners one interface, so the op-index, the
+// locking engine and the undo stack can treat any expression position as a
+// (holder, slot-index) pair.
+//
+// Slot references stay valid as long as the holder object itself is alive;
+// module structures heap-allocate their holders so container growth never
+// moves them.
+#pragma once
+
+#include <memory>
+
+namespace rtlock::rtl {
+
+class Expr;
+using ExprPtrRefOwner = std::unique_ptr<Expr>;
+
+class ExprHolder {
+ public:
+  virtual ~ExprHolder() = default;
+
+  /// Number of expression slots this holder owns.
+  [[nodiscard]] virtual int exprSlotCount() const noexcept = 0;
+
+  /// Mutable access to slot `index` in [0, exprSlotCount()).
+  [[nodiscard]] virtual std::unique_ptr<Expr>& exprSlotAt(int index) = 0;
+};
+
+/// A stable handle to one owned expression position.
+struct ExprSlot {
+  ExprHolder* holder = nullptr;
+  int index = 0;
+
+  [[nodiscard]] std::unique_ptr<Expr>& get() const { return holder->exprSlotAt(index); }
+  [[nodiscard]] bool operator==(const ExprSlot&) const noexcept = default;
+};
+
+}  // namespace rtlock::rtl

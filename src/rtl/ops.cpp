@@ -1,0 +1,110 @@
+#include "rtl/ops.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::rtl {
+
+namespace {
+
+struct OpInfo {
+  OpKind kind;
+  std::string_view token;
+  std::string_view name;
+  int precedence;
+};
+
+// Precedence follows the Verilog-2001 operator table (unary binds tightest;
+// handled separately by the writer).
+constexpr std::array<OpInfo, kOpKindCount> kOpTable{{
+    {OpKind::Add, "+", "add", 9},
+    {OpKind::Sub, "-", "sub", 9},
+    {OpKind::Mul, "*", "mul", 10},
+    {OpKind::Div, "/", "div", 10},
+    {OpKind::Mod, "%", "mod", 10},
+    {OpKind::Pow, "**", "pow", 11},
+    {OpKind::Shl, "<<", "shl", 8},
+    {OpKind::Shr, ">>", "shr", 8},
+    {OpKind::AShr, ">>>", "ashr", 8},
+    {OpKind::And, "&", "and", 5},
+    {OpKind::Or, "|", "or", 3},
+    {OpKind::Xor, "^", "xor", 4},
+    {OpKind::Xnor, "~^", "xnor", 4},
+    {OpKind::Lt, "<", "lt", 7},
+    {OpKind::Gt, ">", "gt", 7},
+    {OpKind::Le, "<=", "le", 7},
+    {OpKind::Ge, ">=", "ge", 7},
+    {OpKind::Eq, "==", "eq", 6},
+    {OpKind::Ne, "!=", "ne", 6},
+    {OpKind::LAnd, "&&", "land", 2},
+    {OpKind::LOr, "||", "lor", 1},
+}};
+
+const OpInfo& info(OpKind op) noexcept { return kOpTable[static_cast<std::size_t>(op)]; }
+
+}  // namespace
+
+std::string_view opToken(OpKind op) noexcept { return info(op).token; }
+
+std::string_view opName(OpKind op) noexcept { return info(op).name; }
+
+std::optional<OpKind> opFromName(std::string_view name) noexcept {
+  const auto it = std::find_if(kOpTable.begin(), kOpTable.end(),
+                               [name](const OpInfo& entry) { return entry.name == name; });
+  if (it == kOpTable.end()) return std::nullopt;
+  return it->kind;
+}
+
+std::string_view unaryToken(UnaryOp op) noexcept {
+  switch (op) {
+    case UnaryOp::Neg: return "-";
+    case UnaryOp::BitNot: return "~";
+    case UnaryOp::LogNot: return "!";
+    case UnaryOp::RedAnd: return "&";
+    case UnaryOp::RedOr: return "|";
+    case UnaryOp::RedXor: return "^";
+  }
+  return "?";
+}
+
+bool isComparison(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::Lt:
+    case OpKind::Gt:
+    case OpKind::Le:
+    case OpKind::Ge:
+    case OpKind::Eq:
+    case OpKind::Ne: return true;
+    default: return false;
+  }
+}
+
+bool isLogical(OpKind op) noexcept { return op == OpKind::LAnd || op == OpKind::LOr; }
+
+bool isShift(OpKind op) noexcept {
+  return op == OpKind::Shl || op == OpKind::Shr || op == OpKind::AShr;
+}
+
+int resultWidth(OpKind op, int lw, int rw) noexcept {
+  if (isComparison(op) || isLogical(op)) return 1;
+  if (isShift(op) || op == OpKind::Pow) return lw;
+  return std::max(lw, rw);
+}
+
+int unaryResultWidth(UnaryOp op, int w) noexcept {
+  switch (op) {
+    case UnaryOp::Neg:
+    case UnaryOp::BitNot: return w;
+    case UnaryOp::LogNot:
+    case UnaryOp::RedAnd:
+    case UnaryOp::RedOr:
+    case UnaryOp::RedXor: return 1;
+  }
+  return w;
+}
+
+int opPrecedence(OpKind op) noexcept { return info(op).precedence; }
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,84 @@
+// Operator vocabulary of the RTL IR.
+//
+// The binary operator set mirrors the Verilog-2001 operators that ASSURE-style
+// operation obfuscation manipulates.  Locking pairs over this vocabulary are
+// defined in core/pairs.hpp; this header only knows about syntax and width
+// semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rtlock::rtl {
+
+/// Binary operators.  Names follow Verilog spelling in comments.
+enum class OpKind : std::uint8_t {
+  Add,   // +
+  Sub,   // -
+  Mul,   // *
+  Div,   // /
+  Mod,   // %
+  Pow,   // **
+  Shl,   // <<
+  Shr,   // >>
+  AShr,  // >>>
+  And,   // &
+  Or,    // |
+  Xor,   // ^
+  Xnor,  // ~^
+  Lt,    // <
+  Gt,    // >
+  Le,    // <=
+  Ge,    // >=
+  Eq,    // ==
+  Ne,    // !=
+  LAnd,  // &&
+  LOr,   // ||
+};
+
+inline constexpr int kOpKindCount = static_cast<int>(OpKind::LOr) + 1;
+
+/// Unary operators.
+enum class UnaryOp : std::uint8_t {
+  Neg,     // -
+  BitNot,  // ~
+  LogNot,  // !
+  RedAnd,  // &  (reduction)
+  RedOr,   // |  (reduction)
+  RedXor,  // ^  (reduction)
+};
+
+/// Verilog spelling of a binary operator.
+[[nodiscard]] std::string_view opToken(OpKind op) noexcept;
+
+/// Verilog spelling of a unary operator.
+[[nodiscard]] std::string_view unaryToken(UnaryOp op) noexcept;
+
+/// Short mnemonic used in reports/CSV ("add", "shl", ...).
+[[nodiscard]] std::string_view opName(OpKind op) noexcept;
+
+/// Inverse of opName; empty optional for unknown mnemonics.
+[[nodiscard]] std::optional<OpKind> opFromName(std::string_view name) noexcept;
+
+/// True for <, >, <=, >=, ==, != (1-bit result).
+[[nodiscard]] bool isComparison(OpKind op) noexcept;
+
+/// True for && and || (1-bit result, logical operands).
+[[nodiscard]] bool isLogical(OpKind op) noexcept;
+
+/// True for <<, >> and >>> (result width = left operand width).
+[[nodiscard]] bool isShift(OpKind op) noexcept;
+
+/// Result width of `op` applied to operand widths `lw` and `rw` under the
+/// IR's simplified (context-free) width rules:
+///   arithmetic/bitwise -> max(lw, rw); shifts -> lw; comparisons/logical -> 1.
+[[nodiscard]] int resultWidth(OpKind op, int lw, int rw) noexcept;
+
+/// Result width of a unary operator on operand width `w`.
+[[nodiscard]] int unaryResultWidth(UnaryOp op, int w) noexcept;
+
+/// Binding strength for the Verilog writer/parser (higher binds tighter).
+[[nodiscard]] int opPrecedence(OpKind op) noexcept;
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,62 @@
+#include "rtl/stats.hpp"
+
+#include <numeric>
+#include <ostream>
+
+#include "rtl/traverse.hpp"
+
+namespace rtlock::rtl {
+
+int OpCounts::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), 0);
+}
+
+OpCounts countOps(const Module& module) {
+  OpCounts counts;
+  forEachExpr(module, [&counts](const Expr& expr) {
+    if (expr.kind() == ExprKind::Binary) {
+      counts.add(static_cast<const BinaryExpr&>(expr).op());
+    }
+  });
+  return counts;
+}
+
+ModuleStats computeStats(const Module& module) {
+  ModuleStats stats;
+  stats.signals = static_cast<int>(module.signalCount());
+  stats.ports = static_cast<int>(module.ports().size());
+  stats.contAssigns = static_cast<int>(module.contAssigns().size());
+  stats.processes = static_cast<int>(module.processes().size());
+  stats.keyWidth = module.keyWidth();
+
+  forEachExpr(module, [&stats](const Expr& expr) {
+    ++stats.exprNodes;
+    if (expr.kind() == ExprKind::Binary) ++stats.binaryOps;
+    if (expr.kind() == ExprKind::Ternary &&
+        static_cast<const TernaryExpr&>(expr).isKeyMux()) {
+      ++stats.keyMuxes;
+    }
+  });
+
+  for (const auto& assign : module.contAssigns()) {
+    stats.maxExprDepth = std::max(stats.maxExprDepth, exprDepth(assign->value()));
+  }
+  forEachStmt(module, [&stats](const Stmt& stmt) {
+    auto& mutableStmt = const_cast<Stmt&>(stmt);
+    for (int i = 0; i < mutableStmt.exprSlotCount(); ++i) {
+      stats.maxExprDepth = std::max(stats.maxExprDepth, exprDepth(*mutableStmt.exprSlotAt(i)));
+    }
+  });
+  return stats;
+}
+
+std::ostream& operator<<(std::ostream& out, const ModuleStats& stats) {
+  out << "signals=" << stats.signals << " ports=" << stats.ports
+      << " assigns=" << stats.contAssigns << " processes=" << stats.processes
+      << " exprNodes=" << stats.exprNodes << " binaryOps=" << stats.binaryOps
+      << " keyMuxes=" << stats.keyMuxes << " maxDepth=" << stats.maxExprDepth
+      << " keyWidth=" << stats.keyWidth;
+  return out;
+}
+
+}  // namespace rtlock::rtl

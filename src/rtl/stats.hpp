@@ -1,0 +1,51 @@
+// Operation counting and structural statistics.
+//
+// The operation distribution drives everything in the paper: the ODT, the
+// security metrics and Definition 1 all reduce to per-operator counts over
+// the locked design, including dummy operations introduced by locking.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::rtl {
+
+/// Per-operator occurrence counts.
+class OpCounts {
+ public:
+  [[nodiscard]] int of(OpKind op) const noexcept { return counts_[static_cast<std::size_t>(op)]; }
+  void add(OpKind op, int delta = 1) noexcept { counts_[static_cast<std::size_t>(op)] += delta; }
+
+  /// Total number of binary operations.
+  [[nodiscard]] int total() const noexcept;
+
+  [[nodiscard]] bool operator==(const OpCounts&) const noexcept = default;
+
+ private:
+  std::array<int, kOpKindCount> counts_{};
+};
+
+/// Counts every binary operation in the module (dummies included — attackers
+/// cannot distinguish them).
+[[nodiscard]] OpCounts countOps(const Module& module);
+
+/// Coarse structural statistics for reports.
+struct ModuleStats {
+  int signals = 0;
+  int ports = 0;
+  int contAssigns = 0;
+  int processes = 0;
+  int exprNodes = 0;
+  int binaryOps = 0;
+  int keyMuxes = 0;
+  int maxExprDepth = 0;
+  int keyWidth = 0;
+};
+
+[[nodiscard]] ModuleStats computeStats(const Module& module);
+
+std::ostream& operator<<(std::ostream& out, const ModuleStats& stats);
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,177 @@
+#include "rtl/stmt.hpp"
+
+namespace rtlock::rtl {
+
+namespace {
+[[noreturn]] void badSlot() { RTLOCK_UNREACHABLE("statement slot index out of range"); }
+}  // namespace
+
+// ---- BlockStmt ----
+
+BlockStmt::BlockStmt(std::vector<StmtPtr> body) : Stmt(StmtKind::Block), body_(std::move(body)) {
+  for (const auto& stmt : body_) RTLOCK_REQUIRE(stmt != nullptr, "block entries must not be null");
+}
+
+void BlockStmt::append(StmtPtr stmt) {
+  RTLOCK_REQUIRE(stmt != nullptr, "cannot append a null statement");
+  body_.push_back(std::move(stmt));
+}
+
+ExprPtr& BlockStmt::exprSlotAt(int) { badSlot(); }
+
+StmtPtr& BlockStmt::stmtSlotAt(int index) {
+  if (index < 0 || index >= size()) badSlot();
+  return body_[static_cast<std::size_t>(index)];
+}
+
+StmtPtr BlockStmt::clone() const {
+  std::vector<StmtPtr> body;
+  body.reserve(body_.size());
+  for (const auto& stmt : body_) body.push_back(stmt->clone());
+  return makeBlock(std::move(body));
+}
+
+// ---- IfStmt ----
+
+IfStmt::IfStmt(ExprPtr cond, StmtPtr thenBranch, StmtPtr elseBranch)
+    : Stmt(StmtKind::If),
+      cond_(std::move(cond)),
+      thenBranch_(std::move(thenBranch)),
+      elseBranch_(std::move(elseBranch)) {
+  RTLOCK_REQUIRE(cond_ != nullptr, "if-condition must not be null");
+  RTLOCK_REQUIRE(thenBranch_ != nullptr, "if-then branch must not be null");
+}
+
+ExprPtr& IfStmt::exprSlotAt(int index) {
+  if (index != kCondSlot) badSlot();
+  return cond_;
+}
+
+StmtPtr& IfStmt::stmtSlotAt(int index) {
+  if (index == 0) return thenBranch_;
+  if (index == 1 && hasElse()) return elseBranch_;
+  badSlot();
+}
+
+StmtPtr IfStmt::clone() const {
+  return makeIf(cond_->clone(), thenBranch_->clone(),
+                elseBranch_ ? elseBranch_->clone() : nullptr);
+}
+
+// ---- CaseStmt ----
+
+CaseStmt::CaseStmt(ExprPtr subject, std::vector<CaseItem> items, StmtPtr defaultBody)
+    : Stmt(StmtKind::Case),
+      subject_(std::move(subject)),
+      items_(std::move(items)),
+      defaultBody_(std::move(defaultBody)) {
+  RTLOCK_REQUIRE(subject_ != nullptr, "case subject must not be null");
+  for (const auto& item : items_) {
+    RTLOCK_REQUIRE(item.body != nullptr, "case arms must have bodies");
+    RTLOCK_REQUIRE(!item.labels.empty(), "case arms need at least one label");
+  }
+}
+
+ExprPtr& CaseStmt::exprSlotAt(int index) {
+  if (index != 0) badSlot();
+  return subject_;
+}
+
+StmtPtr& CaseStmt::stmtSlotAt(int index) {
+  const int itemCount = static_cast<int>(items_.size());
+  if (index >= 0 && index < itemCount) return items_[static_cast<std::size_t>(index)].body;
+  if (index == itemCount && hasDefault()) return defaultBody_;
+  badSlot();
+}
+
+StmtPtr CaseStmt::clone() const {
+  std::vector<CaseItem> items;
+  items.reserve(items_.size());
+  for (const auto& item : items_) {
+    items.push_back(CaseItem{item.labels, item.body->clone()});
+  }
+  return makeCase(subject_->clone(), std::move(items),
+                  defaultBody_ ? defaultBody_->clone() : nullptr);
+}
+
+// ---- AssignStmt ----
+
+AssignStmt::AssignStmt(LValue target, ExprPtr value, bool nonBlocking)
+    : Stmt(StmtKind::Assign),
+      target_(target),
+      value_(std::move(value)),
+      nonBlocking_(nonBlocking) {
+  RTLOCK_REQUIRE(value_ != nullptr, "assignment value must not be null");
+}
+
+ExprPtr& AssignStmt::exprSlotAt(int index) {
+  if (index != kValueSlot) badSlot();
+  return value_;
+}
+
+StmtPtr& AssignStmt::stmtSlotAt(int) { badSlot(); }
+
+StmtPtr AssignStmt::clone() const { return makeAssign(target_, value_->clone(), nonBlocking_); }
+
+// ---- Factories ----
+
+StmtPtr makeBlock(std::vector<StmtPtr> body) { return std::make_unique<BlockStmt>(std::move(body)); }
+
+StmtPtr makeIf(ExprPtr cond, StmtPtr thenBranch, StmtPtr elseBranch) {
+  return std::make_unique<IfStmt>(std::move(cond), std::move(thenBranch), std::move(elseBranch));
+}
+
+StmtPtr makeCase(ExprPtr subject, std::vector<CaseItem> items, StmtPtr defaultBody) {
+  return std::make_unique<CaseStmt>(std::move(subject), std::move(items), std::move(defaultBody));
+}
+
+StmtPtr makeAssign(LValue target, ExprPtr value, bool nonBlocking) {
+  return std::make_unique<AssignStmt>(target, std::move(value), nonBlocking);
+}
+
+// ---- Equality ----
+
+bool structurallyEqual(const Stmt& a, const Stmt& b) noexcept {
+  if (a.kind() != b.kind()) return false;
+  auto& ma = const_cast<Stmt&>(a);
+  auto& mb = const_cast<Stmt&>(b);
+
+  switch (a.kind()) {
+    case StmtKind::Assign: {
+      const auto& aa = static_cast<const AssignStmt&>(a);
+      const auto& ab = static_cast<const AssignStmt&>(b);
+      if (!(aa.target() == ab.target()) || aa.nonBlocking() != ab.nonBlocking()) return false;
+      break;
+    }
+    case StmtKind::Case: {
+      const auto& ca = static_cast<const CaseStmt&>(a);
+      const auto& cb = static_cast<const CaseStmt&>(b);
+      if (ca.items().size() != cb.items().size() || ca.hasDefault() != cb.hasDefault()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < ca.items().size(); ++i) {
+        if (ca.items()[i].labels != cb.items()[i].labels) return false;
+      }
+      break;
+    }
+    case StmtKind::If:
+      if (static_cast<const IfStmt&>(a).hasElse() != static_cast<const IfStmt&>(b).hasElse()) {
+        return false;
+      }
+      break;
+    case StmtKind::Block: break;
+  }
+
+  if (ma.exprSlotCount() != mb.exprSlotCount() || ma.stmtSlotCount() != mb.stmtSlotCount()) {
+    return false;
+  }
+  for (int i = 0; i < ma.exprSlotCount(); ++i) {
+    if (!structurallyEqual(*ma.exprSlotAt(i), *mb.exprSlotAt(i))) return false;
+  }
+  for (int i = 0; i < ma.stmtSlotCount(); ++i) {
+    if (!structurallyEqual(*ma.stmtSlotAt(i), *mb.stmtSlotAt(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,152 @@
+// Behavioural statements (always-block bodies) of the RTL IR.
+//
+// The supported statement subset matches what the ASSURE flow and the
+// benchmark generators need: begin/end blocks, if/else, case, and
+// blocking/non-blocking assignments to whole signals or constant slices.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rtl/expr.hpp"
+
+namespace rtlock::rtl {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t { Block, If, Case, Assign };
+
+/// Assignment target: a whole signal or signal[hi:lo] with constant bounds.
+struct LValue {
+  SignalId signal = 0;
+  /// Slice bounds; nullopt assigns the whole signal.
+  std::optional<std::pair<int, int>> range;  // {hi, lo}
+
+  [[nodiscard]] bool wholeSignal() const noexcept { return !range.has_value(); }
+  [[nodiscard]] bool operator==(const LValue&) const noexcept = default;
+};
+
+class Stmt : public ExprHolder {
+ public:
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+  ~Stmt() override = default;
+
+  [[nodiscard]] StmtKind kind() const noexcept { return kind_; }
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+  /// Child statements (blocks, branches); expressions go through ExprHolder.
+  [[nodiscard]] virtual int stmtSlotCount() const noexcept = 0;
+  [[nodiscard]] virtual StmtPtr& stmtSlotAt(int index) = 0;
+
+ protected:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+ private:
+  StmtKind kind_;
+};
+
+/// begin ... end
+class BlockStmt final : public Stmt {
+ public:
+  explicit BlockStmt(std::vector<StmtPtr> body = {});
+
+  void append(StmtPtr stmt);
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(body_.size()); }
+
+  [[nodiscard]] int exprSlotCount() const noexcept override { return 0; }
+  [[nodiscard]] ExprPtr& exprSlotAt(int index) override;
+  [[nodiscard]] int stmtSlotCount() const noexcept override { return size(); }
+  [[nodiscard]] StmtPtr& stmtSlotAt(int index) override;
+  [[nodiscard]] StmtPtr clone() const override;
+
+ private:
+  std::vector<StmtPtr> body_;
+};
+
+/// if (cond) then [else other] — the locus of ASSURE branch obfuscation.
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr cond, StmtPtr thenBranch, StmtPtr elseBranch = nullptr);
+
+  [[nodiscard]] const Expr& cond() const noexcept { return *cond_; }
+  [[nodiscard]] bool hasElse() const noexcept { return elseBranch_ != nullptr; }
+
+  static constexpr int kCondSlot = 0;
+
+  [[nodiscard]] int exprSlotCount() const noexcept override { return 1; }
+  [[nodiscard]] ExprPtr& exprSlotAt(int index) override;
+  [[nodiscard]] int stmtSlotCount() const noexcept override { return hasElse() ? 2 : 1; }
+  [[nodiscard]] StmtPtr& stmtSlotAt(int index) override;
+  [[nodiscard]] StmtPtr clone() const override;
+
+ private:
+  ExprPtr cond_;
+  StmtPtr thenBranch_;
+  StmtPtr elseBranch_;
+};
+
+/// One arm of a case statement; an arm may carry several label values.
+struct CaseItem {
+  std::vector<std::uint64_t> labels;  // matched against the subject value
+  StmtPtr body;
+};
+
+/// case (subject) ... endcase with an optional default arm.
+class CaseStmt final : public Stmt {
+ public:
+  CaseStmt(ExprPtr subject, std::vector<CaseItem> items, StmtPtr defaultBody = nullptr);
+
+  [[nodiscard]] const Expr& subject() const noexcept { return *subject_; }
+  [[nodiscard]] const std::vector<CaseItem>& items() const noexcept { return items_; }
+  [[nodiscard]] bool hasDefault() const noexcept { return defaultBody_ != nullptr; }
+
+  [[nodiscard]] int exprSlotCount() const noexcept override { return 1; }
+  [[nodiscard]] ExprPtr& exprSlotAt(int index) override;
+  [[nodiscard]] int stmtSlotCount() const noexcept override {
+    return static_cast<int>(items_.size()) + (hasDefault() ? 1 : 0);
+  }
+  [[nodiscard]] StmtPtr& stmtSlotAt(int index) override;
+  [[nodiscard]] StmtPtr clone() const override;
+
+ private:
+  ExprPtr subject_;
+  std::vector<CaseItem> items_;
+  StmtPtr defaultBody_;
+};
+
+/// target = value (blocking) or target <= value (non-blocking).
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(LValue target, ExprPtr value, bool nonBlocking);
+
+  [[nodiscard]] const LValue& target() const noexcept { return target_; }
+  [[nodiscard]] const Expr& value() const noexcept { return *value_; }
+  [[nodiscard]] bool nonBlocking() const noexcept { return nonBlocking_; }
+
+  static constexpr int kValueSlot = 0;
+
+  [[nodiscard]] int exprSlotCount() const noexcept override { return 1; }
+  [[nodiscard]] ExprPtr& exprSlotAt(int index) override;
+  [[nodiscard]] int stmtSlotCount() const noexcept override { return 0; }
+  [[nodiscard]] StmtPtr& stmtSlotAt(int index) override;
+  [[nodiscard]] StmtPtr clone() const override;
+
+ private:
+  LValue target_;
+  ExprPtr value_;
+  bool nonBlocking_;
+};
+
+[[nodiscard]] StmtPtr makeBlock(std::vector<StmtPtr> body = {});
+[[nodiscard]] StmtPtr makeIf(ExprPtr cond, StmtPtr thenBranch, StmtPtr elseBranch = nullptr);
+[[nodiscard]] StmtPtr makeCase(ExprPtr subject, std::vector<CaseItem> items,
+                               StmtPtr defaultBody = nullptr);
+[[nodiscard]] StmtPtr makeAssign(LValue target, ExprPtr value, bool nonBlocking);
+
+/// Structural equality over statement trees (recurses into expressions).
+[[nodiscard]] bool structurallyEqual(const Stmt& a, const Stmt& b) noexcept;
+
+}  // namespace rtlock::rtl

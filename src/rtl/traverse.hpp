@@ -1,0 +1,97 @@
+// Generic traversals over modules, statements and expressions.
+//
+// Header-only templates: traversal sits in the inner loop of locking and
+// locality extraction, so visitors are passed as template parameters instead
+// of std::function.
+#pragma once
+
+#include <utility>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::rtl {
+
+/// Pre-order walk over every expression slot in the subtree rooted at `slot`
+/// (including `slot` itself).  The visitor receives an ExprSlot whose holder
+/// stays valid for the lifetime of the owning module.
+template <typename Visitor>
+void forEachExprSlotIn(const ExprSlot& slot, Visitor&& visit) {
+  visit(slot);
+  Expr& node = *slot.get();
+  for (int i = 0; i < node.exprSlotCount(); ++i) {
+    forEachExprSlotIn(ExprSlot{&node, i}, visit);
+  }
+}
+
+/// Walks every expression slot inside a statement tree.
+template <typename Visitor>
+void forEachExprSlotInStmt(Stmt& stmt, Visitor&& visit) {
+  for (int i = 0; i < stmt.exprSlotCount(); ++i) {
+    forEachExprSlotIn(ExprSlot{&stmt, i}, visit);
+  }
+  for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+    forEachExprSlotInStmt(*stmt.stmtSlotAt(i), visit);
+  }
+}
+
+/// Walks every expression slot in the module: continuous assignments first
+/// (in order), then process bodies.
+template <typename Visitor>
+void forEachExprSlot(Module& module, Visitor&& visit) {
+  for (const auto& assign : module.contAssigns()) {
+    forEachExprSlotIn(ExprSlot{assign.get(), ContAssign::kValueSlot}, visit);
+  }
+  for (const auto& process : module.processes()) {
+    forEachExprSlotInStmt(*process->body, visit);
+  }
+}
+
+/// Const pre-order walk over expressions (no slot access).
+template <typename Visitor>
+void forEachExpr(const Expr& expr, Visitor&& visit) {
+  visit(expr);
+  auto& mutableExpr = const_cast<Expr&>(expr);
+  for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
+    forEachExpr(*mutableExpr.exprSlotAt(i), visit);
+  }
+}
+
+template <typename Visitor>
+void forEachExprInStmt(const Stmt& stmt, Visitor&& visit) {
+  auto& mutableStmt = const_cast<Stmt&>(stmt);
+  for (int i = 0; i < mutableStmt.exprSlotCount(); ++i) {
+    forEachExpr(*mutableStmt.exprSlotAt(i), visit);
+  }
+  for (int i = 0; i < mutableStmt.stmtSlotCount(); ++i) {
+    forEachExprInStmt(*mutableStmt.stmtSlotAt(i), visit);
+  }
+}
+
+template <typename Visitor>
+void forEachExpr(const Module& module, Visitor&& visit) {
+  for (const auto& assign : module.contAssigns()) {
+    forEachExpr(assign->value(), visit);
+  }
+  for (const auto& process : module.processes()) {
+    forEachExprInStmt(*process->body, visit);
+  }
+}
+
+/// Pre-order walk over statements.
+template <typename Visitor>
+void forEachStmt(const Stmt& stmt, Visitor&& visit) {
+  visit(stmt);
+  auto& mutableStmt = const_cast<Stmt&>(stmt);
+  for (int i = 0; i < mutableStmt.stmtSlotCount(); ++i) {
+    forEachStmt(*mutableStmt.stmtSlotAt(i), visit);
+  }
+}
+
+template <typename Visitor>
+void forEachStmt(const Module& module, Visitor&& visit) {
+  for (const auto& process : module.processes()) {
+    forEachStmt(*process->body, visit);
+  }
+}
+
+}  // namespace rtlock::rtl

@@ -1,0 +1,318 @@
+#include "sim/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::sim {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+}  // namespace
+
+BitVector::BitVector(int width) : width_(width) {
+  RTLOCK_REQUIRE(width >= 1, "bit vectors must be at least one bit wide");
+  words_.assign(static_cast<std::size_t>(wordCountFor(width)), 0);
+}
+
+BitVector::BitVector(std::uint64_t value, int width) : BitVector(width) {
+  words_[0] = value;
+  canonicalize();
+}
+
+BitVector BitVector::random(int width, support::Rng& rng) {
+  BitVector result{width};
+  for (auto& word : result.words_) word = rng();
+  result.canonicalize();
+  return result;
+}
+
+void BitVector::canonicalize() noexcept {
+  const int topBits = width_ % 64;
+  if (topBits != 0) {
+    words_.back() &= (u64{1} << topBits) - 1;
+  }
+}
+
+bool BitVector::bit(int index) const {
+  RTLOCK_REQUIRE(index >= 0 && index < width_, "bit index out of range");
+  return ((words_[static_cast<std::size_t>(index / 64)] >> (index % 64)) & 1u) != 0;
+}
+
+void BitVector::setBit(int index, bool value) {
+  RTLOCK_REQUIRE(index >= 0 && index < width_, "bit index out of range");
+  const u64 mask = u64{1} << (index % 64);
+  auto& word = words_[static_cast<std::size_t>(index / 64)];
+  word = value ? (word | mask) : (word & ~mask);
+}
+
+std::uint64_t BitVector::toUint64() const noexcept { return words_[0]; }
+
+bool BitVector::any() const noexcept {
+  return std::any_of(words_.begin(), words_.end(), [](u64 w) { return w != 0; });
+}
+
+int BitVector::popcount() const noexcept {
+  int total = 0;
+  for (const u64 word : words_) total += std::popcount(word);
+  return total;
+}
+
+std::string BitVector::toBinaryString() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width_));
+  for (int i = width_ - 1; i >= 0; --i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+BitVector BitVector::resized(int width) const {
+  BitVector result{width};
+  const std::size_t copyWords = std::min(result.words_.size(), words_.size());
+  std::copy_n(words_.begin(), copyWords, result.words_.begin());
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::add(const BitVector& a, const BitVector& b, int width) {
+  BitVector result{width};
+  u64 carry = 0;
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    const u128 sum = static_cast<u128>(wa) + wb + carry;
+    result.words_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::sub(const BitVector& a, const BitVector& b, int width) {
+  BitVector result{width};
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    const u128 diff = static_cast<u128>(wa) - wb - borrow;
+    result.words_[i] = static_cast<u64>(diff);
+    borrow = static_cast<u64>((diff >> 64) & 1);
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::mul(const BitVector& a, const BitVector& b, int width) {
+  RTLOCK_REQUIRE(a.width_ <= 64 && b.width_ <= 64,
+                 "multiplication is defined for operands up to 64 bits");
+  const u128 product = static_cast<u128>(a.toUint64()) * b.toUint64();
+  BitVector result{width};
+  result.words_[0] = static_cast<u64>(product);
+  if (result.words_.size() > 1) result.words_[1] = static_cast<u64>(product >> 64);
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::div(const BitVector& a, const BitVector& b, int width) {
+  RTLOCK_REQUIRE(a.width_ <= 64 && b.width_ <= 64,
+                 "division is defined for operands up to 64 bits");
+  BitVector result{width};
+  if (!b.any()) {
+    // Deterministic stand-in for Verilog's X result.
+    for (auto& word : result.words_) word = ~u64{0};
+  } else {
+    result.words_[0] = a.toUint64() / b.toUint64();
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::mod(const BitVector& a, const BitVector& b, int width) {
+  RTLOCK_REQUIRE(a.width_ <= 64 && b.width_ <= 64,
+                 "modulo is defined for operands up to 64 bits");
+  BitVector result{width};
+  if (!b.any()) {
+    for (auto& word : result.words_) word = ~u64{0};
+  } else {
+    result.words_[0] = a.toUint64() % b.toUint64();
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::pow(const BitVector& a, const BitVector& b, int width) {
+  RTLOCK_REQUIRE(a.width_ <= 64 && b.width_ <= 64,
+                 "exponentiation is defined for operands up to 64 bits");
+  // Square-and-multiply modulo 2^64; truncation to `width` at the end.
+  u64 base = a.toUint64();
+  u64 exponent = b.toUint64();
+  u64 value = 1;
+  while (exponent != 0) {
+    if ((exponent & 1) != 0) value *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return BitVector{value, width};
+}
+
+BitVector BitVector::neg(const BitVector& a, int width) {
+  return sub(BitVector{0, width}, a, width);
+}
+
+BitVector BitVector::shl(const BitVector& a, const BitVector& amount, int width) {
+  BitVector result{width};
+  // Shift amounts >= width zero the result; amounts are capped so huge
+  // operands cannot overflow the word arithmetic.
+  const u64 rawShift = amount.words_.size() == 1 ? amount.toUint64()
+                                                 : (amount.any() ? u64{1} << 20 : 0);
+  if (rawShift >= static_cast<u64>(width)) return result;
+  const int shift = static_cast<int>(rawShift);
+  const int wordShift = shift / 64;
+  const int bitShift = shift % 64;
+  for (int i = static_cast<int>(result.words_.size()) - 1; i >= wordShift; --i) {
+    const std::size_t src = static_cast<std::size_t>(i - wordShift);
+    u64 word = src < a.words_.size() ? a.words_[src] << bitShift : 0;
+    if (bitShift != 0 && src >= 1 && src - 1 < a.words_.size()) {
+      word |= a.words_[src - 1] >> (64 - bitShift);
+    }
+    result.words_[static_cast<std::size_t>(i)] = word;
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::shr(const BitVector& a, const BitVector& amount, int width) {
+  BitVector result{width};
+  const u64 rawShift = amount.words_.size() == 1 ? amount.toUint64()
+                                                 : (amount.any() ? u64{1} << 20 : 0);
+  if (rawShift >= static_cast<u64>(a.width_)) return result;
+  const int shift = static_cast<int>(rawShift);
+  const int wordShift = shift / 64;
+  const int bitShift = shift % 64;
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const std::size_t src = i + static_cast<std::size_t>(wordShift);
+    u64 word = src < a.words_.size() ? a.words_[src] >> bitShift : 0;
+    if (bitShift != 0 && src + 1 < a.words_.size()) {
+      word |= a.words_[src + 1] << (64 - bitShift);
+    }
+    result.words_[i] = word;
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::bitAnd(const BitVector& a, const BitVector& b, int width) {
+  BitVector result{width};
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    result.words_[i] = wa & wb;
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::bitOr(const BitVector& a, const BitVector& b, int width) {
+  BitVector result{width};
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    result.words_[i] = wa | wb;
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::bitXor(const BitVector& a, const BitVector& b, int width) {
+  BitVector result{width};
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    result.words_[i] = wa ^ wb;
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::bitXnor(const BitVector& a, const BitVector& b, int width) {
+  BitVector result{width};
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    result.words_[i] = ~(wa ^ wb);
+  }
+  result.canonicalize();
+  return result;
+}
+
+BitVector BitVector::bitNot(const BitVector& a, int width) {
+  BitVector result{width};
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    result.words_[i] = ~(i < a.words_.size() ? a.words_[i] : 0);
+  }
+  result.canonicalize();
+  return result;
+}
+
+bool BitVector::ult(const BitVector& a, const BitVector& b) noexcept {
+  const std::size_t words = std::max(a.words_.size(), b.words_.size());
+  for (std::size_t i = words; i-- > 0;) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    if (wa != wb) return wa < wb;
+  }
+  return false;
+}
+
+bool BitVector::ule(const BitVector& a, const BitVector& b) noexcept { return !ult(b, a); }
+
+bool BitVector::eq(const BitVector& a, const BitVector& b) noexcept {
+  const std::size_t words = std::max(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < words; ++i) {
+    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
+    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+    if (wa != wb) return false;
+  }
+  return true;
+}
+
+BitVector BitVector::slice(int hi, int lo) const {
+  RTLOCK_REQUIRE(lo >= 0 && hi >= lo && hi < width_, "slice bounds out of range");
+  return shr(*this, BitVector{static_cast<u64>(lo), 32}, width_).resized(hi - lo + 1);
+}
+
+BitVector BitVector::concat(const std::vector<BitVector>& parts) {
+  RTLOCK_REQUIRE(!parts.empty(), "concat needs at least one part");
+  int total = 0;
+  for (const auto& part : parts) total += part.width();
+  BitVector result{total};
+  int offset = total;
+  for (const auto& part : parts) {
+    offset -= part.width();
+    result.insert(offset, part);
+  }
+  return result;
+}
+
+void BitVector::insert(int lo, const BitVector& value) {
+  RTLOCK_REQUIRE(lo >= 0 && lo + value.width_ <= width_, "insert out of range");
+  for (int i = 0; i < value.width_; ++i) setBit(lo + i, value.bit(i));
+}
+
+bool BitVector::operator==(const BitVector& other) const noexcept {
+  return width_ == other.width_ && words_ == other.words_;
+}
+
+int BitVector::hammingDistance(const BitVector& a, const BitVector& b) {
+  RTLOCK_REQUIRE(a.width_ == b.width_, "hamming distance requires equal widths");
+  int total = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    total += std::popcount(a.words_[i] ^ b.words_[i]);
+  }
+  return total;
+}
+
+}  // namespace rtlock::sim

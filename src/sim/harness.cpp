@@ -1,0 +1,153 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rtlock::sim {
+
+namespace {
+
+using rtl::Module;
+using rtl::PortDir;
+using rtl::SignalId;
+
+struct PortPair {
+  SignalId golden;
+  SignalId candidate;
+  int width;
+};
+
+struct MatchedPorts {
+  std::vector<PortPair> inputs;   // clock excluded
+  std::vector<PortPair> outputs;
+  std::optional<PortPair> clock;
+};
+
+MatchedPorts matchPorts(const Module& golden, const Module& candidate) {
+  MatchedPorts matched;
+
+  // Single-clock designs: a clock is any signal driving a sequential process.
+  std::optional<SignalId> goldenClock;
+  for (const auto& process : golden.processes()) {
+    if (process->kind == rtl::ProcessKind::Sequential) {
+      goldenClock = process->clock;
+      break;
+    }
+  }
+
+  for (const SignalId id : golden.ports()) {
+    const auto& signal = golden.signal(id);
+    const auto other = candidate.findSignal(signal.name);
+    RTLOCK_REQUIRE(other.has_value(),
+                   "candidate module is missing port '" + signal.name + "'");
+    RTLOCK_REQUIRE(candidate.signal(*other).width == signal.width,
+                   "port width mismatch on '" + signal.name + "'");
+    const PortPair pair{id, *other, signal.width};
+    if (signal.dir == PortDir::Input) {
+      if (goldenClock && *goldenClock == id) {
+        matched.clock = pair;
+      } else {
+        matched.inputs.push_back(pair);
+      }
+    } else {
+      matched.outputs.push_back(pair);
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+std::optional<Mismatch> findMismatch(const Module& golden, const Module& candidate,
+                                     const BitVector& candidateKey,
+                                     const EquivalenceOptions& options, support::Rng& rng) {
+  const MatchedPorts ports = matchPorts(golden, candidate);
+  Evaluator goldenEval{golden};
+  Evaluator candidateEval{candidate};
+
+  const bool sequential = ports.clock.has_value();
+
+  for (int vector = 0; vector < options.vectors; ++vector) {
+    goldenEval.reset();
+    candidateEval.reset();
+    if (candidate.keyWidth() > 0) candidateEval.setKey(candidateKey);
+    if (golden.keyWidth() > 0) {
+      // Comparing two locked modules: drive the golden one with the same key.
+      goldenEval.setKey(candidateKey);
+    }
+
+    const int cycles = sequential ? options.cyclesPerVector : 1;
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      for (const auto& pair : ports.inputs) {
+        const BitVector stimulus = BitVector::random(pair.width, rng);
+        goldenEval.setValue(pair.golden, stimulus);
+        candidateEval.setValue(pair.candidate, stimulus);
+      }
+      goldenEval.settle();
+      candidateEval.settle();
+
+      for (const auto& pair : ports.outputs) {
+        if (!(goldenEval.value(pair.golden) == candidateEval.value(pair.candidate))) {
+          return Mismatch{golden.signal(pair.golden).name, vector, cycle};
+        }
+      }
+
+      if (sequential) {
+        goldenEval.clockEdge(ports.clock->golden);
+        candidateEval.clockEdge(ports.clock->candidate);
+        for (const auto& pair : ports.outputs) {
+          if (!(goldenEval.value(pair.golden) == candidateEval.value(pair.candidate))) {
+            return Mismatch{golden.signal(pair.golden).name, vector, cycle};
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool functionallyEquivalent(const Module& golden, const Module& candidate,
+                            const BitVector& candidateKey, const EquivalenceOptions& options,
+                            support::Rng& rng) {
+  return !findMismatch(golden, candidate, candidateKey, options, rng).has_value();
+}
+
+double outputCorruption(const Module& golden, const Module& locked, const BitVector& key,
+                        const EquivalenceOptions& options, support::Rng& rng) {
+  const MatchedPorts ports = matchPorts(golden, locked);
+  Evaluator goldenEval{golden};
+  Evaluator lockedEval{locked};
+  const bool sequential = ports.clock.has_value();
+
+  std::int64_t differingBits = 0;
+  std::int64_t totalBits = 0;
+
+  for (int vector = 0; vector < options.vectors; ++vector) {
+    goldenEval.reset();
+    lockedEval.reset();
+    if (locked.keyWidth() > 0) lockedEval.setKey(key);
+
+    const int cycles = sequential ? options.cyclesPerVector : 1;
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      for (const auto& pair : ports.inputs) {
+        const BitVector stimulus = BitVector::random(pair.width, rng);
+        goldenEval.setValue(pair.golden, stimulus);
+        lockedEval.setValue(pair.candidate, stimulus);
+      }
+      goldenEval.settle();
+      lockedEval.settle();
+      for (const auto& pair : ports.outputs) {
+        differingBits += BitVector::hammingDistance(goldenEval.value(pair.golden),
+                                                    lockedEval.value(pair.candidate));
+        totalBits += pair.width;
+      }
+      if (sequential) {
+        goldenEval.clockEdge(ports.clock->golden);
+        lockedEval.clockEdge(ports.clock->candidate);
+      }
+    }
+  }
+  return totalBits == 0 ? 0.0 : static_cast<double>(differingBits) / static_cast<double>(totalBits);
+}
+
+}  // namespace rtlock::sim

@@ -1,0 +1,50 @@
+// Simulation harnesses: functional-equivalence checking and output-corruption
+// measurement between an original design and its locked counterpart.
+//
+// These are the verification backbone of the locking test-suite: every
+// locking algorithm must preserve functionality under the correct key
+// (equivalence) and should corrupt outputs under wrong keys (corruption).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rtl/module.hpp"
+#include "sim/evaluator.hpp"
+
+namespace rtlock::sim {
+
+struct EquivalenceOptions {
+  int vectors = 32;       // random stimulus vectors
+  int cyclesPerVector = 4;  // clock cycles applied per vector (sequential designs)
+};
+
+struct Mismatch {
+  std::string output;
+  int vector = 0;
+  int cycle = 0;
+};
+
+/// Drives both modules with identical random stimuli (ports matched by name;
+/// `golden`'s inputs must exist in `candidate`).  `candidateKey` is applied
+/// to the candidate's key input when it has one.  Returns the first mismatch
+/// found, or nullopt when all compared outputs agree.
+[[nodiscard]] std::optional<Mismatch> findMismatch(const rtl::Module& golden,
+                                                   const rtl::Module& candidate,
+                                                   const BitVector& candidateKey,
+                                                   const EquivalenceOptions& options,
+                                                   support::Rng& rng);
+
+/// True when no mismatch was found.
+[[nodiscard]] bool functionallyEquivalent(const rtl::Module& golden, const rtl::Module& candidate,
+                                          const BitVector& candidateKey,
+                                          const EquivalenceOptions& options, support::Rng& rng);
+
+/// Average fraction of output bits that differ between the golden module and
+/// the locked module driven with `key` (0.0 = identical behaviour, 0.5 ≈
+/// uncorrelated outputs).
+[[nodiscard]] double outputCorruption(const rtl::Module& golden, const rtl::Module& locked,
+                                      const BitVector& key, const EquivalenceOptions& options,
+                                      support::Rng& rng);
+
+}  // namespace rtlock::sim

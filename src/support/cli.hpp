@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Syntax: --name=value or --name value; bare --flag sets a boolean.
+// Unknown flags raise Error so typos in experiment scripts fail loudly
+// instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtlock::support {
+
+class CliArgs {
+ public:
+  /// Parse argv; `spec` lists the accepted flag names (without "--").
+  CliArgs(int argc, const char* const* argv, std::vector<std::string> knownFlags);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name, std::string_view fallback) const;
+  [[nodiscard]] std::int64_t getInt(std::string_view name, std::int64_t fallback) const;
+  [[nodiscard]] double getDouble(std::string_view name, double fallback) const;
+  [[nodiscard]] bool getBool(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rtlock::support

@@ -1,0 +1,20 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace rtlock::support {
+
+std::string ContractViolation::format(std::string_view condition, std::string_view message,
+                                      std::string_view file, int line) {
+  std::ostringstream out;
+  out << "contract violation at " << file << ':' << line << ": `" << condition << "` — "
+      << message;
+  return out.str();
+}
+
+void raiseContractViolation(std::string_view condition, std::string_view message,
+                            std::string_view file, int line) {
+  throw ContractViolation{condition, message, file, line};
+}
+
+}  // namespace rtlock::support

@@ -1,0 +1,54 @@
+// Error handling and invariant checking.
+//
+// rtlock distinguishes two failure classes:
+//  * rtlock::support::Error — recoverable, caller-facing failures (malformed
+//    Verilog input, impossible locking request, bad CLI usage).  Thrown and
+//    expected to be caught at tool boundaries.
+//  * RTLOCK_REQUIRE — programming-contract violations.  These throw
+//    ContractViolation so tests can assert on them; they indicate a bug in
+//    rtlock itself or misuse of a documented precondition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rtlock::support {
+
+/// Recoverable, user-facing error (bad input file, invalid configuration...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition / invariant inside the library.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(std::string_view condition, std::string_view message, std::string_view file,
+                    int line)
+      : std::logic_error(format(condition, message, file, line)) {}
+
+ private:
+  static std::string format(std::string_view condition, std::string_view message,
+                            std::string_view file, int line);
+};
+
+[[noreturn]] void raiseContractViolation(std::string_view condition, std::string_view message,
+                                         std::string_view file, int line);
+
+}  // namespace rtlock::support
+
+/// Check a precondition; throws ContractViolation with location info on
+/// failure.  Active in all build types: the checks guard algorithmic
+/// invariants (ODT consistency, undo-stack discipline) whose silent violation
+/// would corrupt experiment results.
+#define RTLOCK_REQUIRE(condition, message)                                                 \
+  do {                                                                                     \
+    if (!(condition)) {                                                                    \
+      ::rtlock::support::raiseContractViolation(#condition, (message), __FILE__, __LINE__); \
+    }                                                                                      \
+  } while (false)
+
+/// Marks an unreachable code path.
+#define RTLOCK_UNREACHABLE(message) \
+  ::rtlock::support::raiseContractViolation("unreachable", (message), __FILE__, __LINE__)

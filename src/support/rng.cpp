@@ -1,0 +1,21 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace rtlock::support {
+
+std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t k) {
+  RTLOCK_REQUIRE(k <= n, "cannot sample more indices than the population size");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: after k swaps the first k slots are a uniform
+  // k-subset in uniform order.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace rtlock::support

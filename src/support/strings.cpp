@@ -1,0 +1,54 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace rtlock::support {
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto isSpace = [](unsigned char c) { return std::isspace(c) != 0; };
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && isSpace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && isSpace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string toLower(std::string_view text) {
+  std::string out{text};
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string formatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace rtlock::support

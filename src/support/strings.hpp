@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtlock::support {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Split on a separator character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char separator);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces, std::string_view separator);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view text, std::string_view prefix) noexcept;
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string toLower(std::string_view text);
+
+/// Render a double with fixed precision (locale-independent).
+[[nodiscard]] std::string formatDouble(double value, int decimals);
+
+}  // namespace rtlock::support

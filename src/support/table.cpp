@@ -1,0 +1,83 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace rtlock::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RTLOCK_REQUIRE(!header_.empty(), "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  RTLOCK_REQUIRE(cells.size() == header_.size(), "row arity must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addNumericRow(const std::vector<double>& cells, int decimals) {
+  std::vector<std::string> rendered;
+  rendered.reserve(cells.size());
+  for (const double value : cells) rendered.push_back(formatDouble(value, decimals));
+  addRow(std::move(rendered));
+}
+
+void Table::renderText(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto renderLine = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) out << ' ';
+      out << " |";
+    }
+    out << '\n';
+  };
+  const auto renderRule = [&] {
+    out << '+';
+    for (const std::size_t width : widths) {
+      for (std::size_t i = 0; i < width + 2; ++i) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+
+  renderRule();
+  renderLine(header_);
+  renderRule();
+  for (const auto& row : rows_) renderLine(row);
+  renderRule();
+}
+
+void Table::renderCsv(std::ostream& out) const {
+  const auto renderField = [&out](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+      out << field;
+      return;
+    }
+    out << '"';
+    for (const char c : field) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  };
+  const auto renderRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      renderField(cells[c]);
+    }
+    out << '\n';
+  };
+  renderRow(header_);
+  for (const auto& row : rows_) renderRow(row);
+}
+
+}  // namespace rtlock::support

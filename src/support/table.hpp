@@ -1,0 +1,39 @@
+// Console table / CSV rendering for experiment harnesses.
+//
+// Every bench binary reports its figure/table reproduction through this
+// writer so output stays uniform and machine-parseable (`--csv` mode in the
+// benches switches renderers).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtlock::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header arity.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to `decimals` places, keeps strings as-is.
+  void addNumericRow(const std::vector<double>& cells, int decimals = 2);
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept { return rows_; }
+
+  /// Aligned, boxed console rendering.
+  void renderText(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes fields containing separators).
+  void renderCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtlock::support

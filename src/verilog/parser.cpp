@@ -1,0 +1,538 @@
+#include "verilog/parser.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+#include "verilog/lexer.hpp"
+
+namespace rtlock::verilog {
+
+namespace {
+
+using rtl::ExprPtr;
+using rtl::OpKind;
+using rtl::StmtPtr;
+
+struct BinOpInfo {
+  OpKind op;
+  bool rightAssoc;
+};
+
+[[nodiscard]] std::optional<BinOpInfo> binaryOpFor(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::Plus: return BinOpInfo{OpKind::Add, false};
+    case TokenKind::Minus: return BinOpInfo{OpKind::Sub, false};
+    case TokenKind::Star: return BinOpInfo{OpKind::Mul, false};
+    case TokenKind::Slash: return BinOpInfo{OpKind::Div, false};
+    case TokenKind::Percent: return BinOpInfo{OpKind::Mod, false};
+    case TokenKind::StarStar: return BinOpInfo{OpKind::Pow, true};
+    case TokenKind::Shl: return BinOpInfo{OpKind::Shl, false};
+    case TokenKind::Shr: return BinOpInfo{OpKind::Shr, false};
+    case TokenKind::AShr: return BinOpInfo{OpKind::AShr, false};
+    case TokenKind::Amp: return BinOpInfo{OpKind::And, false};
+    case TokenKind::Pipe: return BinOpInfo{OpKind::Or, false};
+    case TokenKind::Caret: return BinOpInfo{OpKind::Xor, false};
+    case TokenKind::TildeCaret: return BinOpInfo{OpKind::Xnor, false};
+    case TokenKind::Lt: return BinOpInfo{OpKind::Lt, false};
+    case TokenKind::Gt: return BinOpInfo{OpKind::Gt, false};
+    case TokenKind::LtEq: return BinOpInfo{OpKind::Le, false};
+    case TokenKind::GtEq: return BinOpInfo{OpKind::Ge, false};
+    case TokenKind::EqEq: return BinOpInfo{OpKind::Eq, false};
+    case TokenKind::BangEq: return BinOpInfo{OpKind::Ne, false};
+    case TokenKind::AmpAmp: return BinOpInfo{OpKind::LAnd, false};
+    case TokenKind::PipePipe: return BinOpInfo{OpKind::LOr, false};
+    default: return std::nullopt;
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, const ParserOptions& options)
+      : options_(options), tokens_(Lexer{source}.tokenize()) {}
+
+  rtl::Design parseDesign() {
+    rtl::Design design;
+    while (!check(TokenKind::EndOfFile)) {
+      design.addModule(parseModule());
+    }
+    if (design.moduleCount() == 0) fail("input contains no modules");
+    return design;
+  }
+
+  rtl::Module parseModule() {
+    expect(TokenKind::KwModule, "expected 'module'");
+    const std::string name = expect(TokenKind::Identifier, "expected module name").text;
+
+    module_.emplace(name);
+    module_->setKeyPortName(options_.keyPortName);
+    pendingPorts_.clear();
+    keyWidth_ = 0;
+
+    parsePortHeader();
+    expect(TokenKind::Semicolon, "expected ';' after module header");
+
+    while (!check(TokenKind::KwEndmodule)) {
+      parseModuleItem();
+    }
+    expect(TokenKind::KwEndmodule, "expected 'endmodule'");
+
+    for (const auto& pending : pendingPorts_) {
+      if (!pending.second) {
+        fail("port '" + pending.first + "' was never given a direction declaration");
+      }
+    }
+    module_->setKeyWidth(keyWidth_);
+    rtl::Module result = std::move(*module_);
+    module_.reset();
+    return result;
+  }
+
+ private:
+  struct Range {
+    int msb = 0;
+    int lsb = 0;
+    [[nodiscard]] int width() const noexcept { return msb - lsb + 1; }
+  };
+
+  // ---- token plumbing ----
+
+  [[nodiscard]] const Token& peek(std::size_t lookahead = 0) const {
+    const std::size_t index = std::min(cursor_ + lookahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+
+  [[nodiscard]] bool check(TokenKind kind) const noexcept { return peek().kind == kind; }
+
+  const Token& advance() {
+    const Token& token = tokens_[cursor_];
+    if (cursor_ + 1 < tokens_.size()) ++cursor_;
+    return token;
+  }
+
+  bool accept(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(TokenKind kind, const std::string& message) {
+    if (!check(kind)) fail(message + " (got '" + describe(peek()) + "')");
+    return advance();
+  }
+
+  [[nodiscard]] static std::string describe(const Token& token) {
+    return token.text.empty() ? std::string{tokenKindName(token.kind)} : token.text;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    const Token& token = peek();
+    throw support::Error{"verilog parse error at line " + std::to_string(token.line) +
+                         ", column " + std::to_string(token.column) + ": " + message};
+  }
+
+  // ---- module structure ----
+
+  void parsePortHeader() {
+    if (!accept(TokenKind::LParen)) return;  // portless module
+    if (accept(TokenKind::RParen)) return;
+    do {
+      if (check(TokenKind::KwInput) || check(TokenKind::KwOutput)) {
+        parseAnsiPort();
+      } else {
+        const std::string name = expect(TokenKind::Identifier, "expected port name").text;
+        pendingPorts_.emplace_back(name, false);
+      }
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::RParen, "expected ')' after port list");
+  }
+
+  void parseAnsiPort() {
+    const bool isInput = check(TokenKind::KwInput);
+    advance();
+    const bool isReg = accept(TokenKind::KwReg);
+    if (isInput && isReg) fail("inputs cannot be declared 'reg'");
+    accept(TokenKind::KwWire);
+    const Range range = parseOptionalRange();
+    const std::string name = expect(TokenKind::Identifier, "expected port name").text;
+    declareSignal(name, range.width(), isInput,
+                  isReg ? rtl::NetKind::Reg : rtl::NetKind::Wire, /*isPort=*/true);
+  }
+
+  Range parseOptionalRange() {
+    if (!accept(TokenKind::LBracket)) return Range{0, 0};
+    const auto msb = parseConstExpr();
+    expect(TokenKind::Colon, "expected ':' in range");
+    const auto lsb = parseConstExpr();
+    expect(TokenKind::RBracket, "expected ']' after range");
+    if (lsb != 0) fail("only [msb:0] ranges are supported");
+    if (msb < 0 || msb > (1 << 20)) fail("range msb out of supported bounds");
+    return Range{static_cast<int>(msb), 0};
+  }
+
+  /// Constant expression in declarations: literals and +-* of literals.
+  std::int64_t parseConstExpr() {
+    std::int64_t value = parseConstPrimary();
+    while (check(TokenKind::Plus) || check(TokenKind::Minus) || check(TokenKind::Star)) {
+      const TokenKind op = advance().kind;
+      const std::int64_t rhs = parseConstPrimary();
+      if (op == TokenKind::Plus) value += rhs;
+      else if (op == TokenKind::Minus) value -= rhs;
+      else value *= rhs;
+    }
+    return value;
+  }
+
+  std::int64_t parseConstPrimary() {
+    if (accept(TokenKind::LParen)) {
+      const std::int64_t value = parseConstExpr();
+      expect(TokenKind::RParen, "expected ')'");
+      return value;
+    }
+    const Token& token = expect(TokenKind::Number, "expected a constant");
+    return static_cast<std::int64_t>(token.value);
+  }
+
+  void parseModuleItem() {
+    switch (peek().kind) {
+      case TokenKind::KwInput:
+      case TokenKind::KwOutput:
+      case TokenKind::KwWire:
+      case TokenKind::KwReg: parseDeclaration(); break;
+      case TokenKind::KwAssign: parseContAssign(); break;
+      case TokenKind::KwAlways: parseAlways(); break;
+      default: fail("unsupported module item");
+    }
+  }
+
+  void parseDeclaration() {
+    const TokenKind head = advance().kind;
+    bool isPortDecl = head == TokenKind::KwInput || head == TokenKind::KwOutput;
+    const bool isInput = head == TokenKind::KwInput;
+    bool isReg = head == TokenKind::KwReg;
+    if (isPortDecl && accept(TokenKind::KwReg)) {
+      if (isInput) fail("inputs cannot be declared 'reg'");
+      isReg = true;
+    }
+    if (isPortDecl) accept(TokenKind::KwWire);
+    const Range range = parseOptionalRange();
+    do {
+      const std::string name = expect(TokenKind::Identifier, "expected signal name").text;
+      if (isPortDecl) {
+        declarePendingPort(name, range.width(), isInput, isReg);
+      } else {
+        applyNetDeclaration(name, range.width(), isReg);
+      }
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::Semicolon, "expected ';' after declaration");
+  }
+
+  void declarePendingPort(const std::string& name, int width, bool isInput, bool isReg) {
+    const auto it = std::find_if(pendingPorts_.begin(), pendingPorts_.end(),
+                                 [&name](const auto& entry) { return entry.first == name; });
+    if (it == pendingPorts_.end()) {
+      fail("direction declared for '" + name + "' which is not in the port list");
+    }
+    if (it->second) fail("port '" + name + "' declared twice");
+    it->second = true;
+    declareSignal(name, width, isInput, isReg ? rtl::NetKind::Reg : rtl::NetKind::Wire,
+                  /*isPort=*/true);
+  }
+
+  void applyNetDeclaration(const std::string& name, int width, bool isReg) {
+    // `input a; wire a;` style redeclaration upgrades/confirms an existing
+    // port; otherwise this declares a fresh internal net.
+    if (const auto existing = module_->findSignal(name)) {
+      if (module_->signal(*existing).width != width) {
+        fail("conflicting width in redeclaration of '" + name + "'");
+      }
+      return;
+    }
+    if (name == options_.keyPortName) fail("key port must be declared as an input");
+    if (isReg) {
+      module_->addReg(name, width);
+    } else {
+      module_->addWire(name, width);
+    }
+  }
+
+  void declareSignal(const std::string& name, int width, bool isInput, rtl::NetKind net,
+                     bool isPort) {
+    if (name == options_.keyPortName) {
+      if (!isInput) fail("key port '" + name + "' must be an input");
+      keyWidth_ = width;
+      return;  // modelled as the module's implicit key vector
+    }
+    if (width > 64) fail("signal '" + name + "' wider than the 64-bit subset limit");
+    rtl::Signal signal;
+    signal.name = name;
+    signal.width = width;
+    signal.net = net;
+    signal.isPort = isPort;
+    signal.dir = isInput ? rtl::PortDir::Input : rtl::PortDir::Output;
+    module_->addSignal(std::move(signal));
+  }
+
+  void parseContAssign() {
+    // 'assign' already current token.
+    advance();
+    const rtl::LValue target = parseLValue();
+    expect(TokenKind::Assign, "expected '=' in continuous assignment");
+    ExprPtr value = parseExpression();
+    expect(TokenKind::Semicolon, "expected ';' after assignment");
+    module_->addContAssign(target, std::move(value));
+  }
+
+  rtl::LValue parseLValue() {
+    const std::string name = expect(TokenKind::Identifier, "expected assignment target").text;
+    if (name == options_.keyPortName) fail("cannot assign to the key input");
+    const auto id = module_->findSignal(name);
+    if (!id) fail("assignment to undeclared signal '" + name + "'");
+    rtl::LValue lvalue;
+    lvalue.signal = *id;
+    if (accept(TokenKind::LBracket)) {
+      const std::int64_t first = parseConstExpr();
+      int hi = static_cast<int>(first);
+      int lo = hi;
+      if (accept(TokenKind::Colon)) {
+        lo = static_cast<int>(parseConstExpr());
+      }
+      expect(TokenKind::RBracket, "expected ']'");
+      if (lo < 0 || hi < lo || hi >= module_->signal(*id).width) {
+        fail("part-select out of range on '" + name + "'");
+      }
+      lvalue.range = std::make_pair(hi, lo);
+    }
+    return lvalue;
+  }
+
+  void parseAlways() {
+    advance();  // 'always'
+    expect(TokenKind::At, "expected '@' after 'always'");
+    bool sequential = false;
+    rtl::SignalId clock = 0;
+
+    if (accept(TokenKind::LParen)) {
+      if (accept(TokenKind::Star)) {
+        expect(TokenKind::RParen, "expected ')'");
+      } else if (accept(TokenKind::KwPosedge)) {
+        const std::string clockName =
+            expect(TokenKind::Identifier, "expected clock signal name").text;
+        const auto id = module_->findSignal(clockName);
+        if (!id) fail("undeclared clock '" + clockName + "'");
+        clock = *id;
+        sequential = true;
+        expect(TokenKind::RParen, "expected ')'");
+      } else {
+        fail("only @(*) and @(posedge clk) sensitivity lists are supported");
+      }
+    } else if (accept(TokenKind::Star)) {
+      // '@*' form.
+    } else {
+      fail("expected '(*' or '*' after '@'");
+    }
+
+    StmtPtr body = parseStatement(sequential);
+    module_->addProcess(sequential ? rtl::ProcessKind::Sequential : rtl::ProcessKind::Combinational,
+                        clock, std::move(body));
+  }
+
+  StmtPtr parseStatement(bool sequential) {
+    if (accept(TokenKind::KwBegin)) {
+      std::vector<StmtPtr> body;
+      while (!check(TokenKind::KwEnd)) body.push_back(parseStatement(sequential));
+      expect(TokenKind::KwEnd, "expected 'end'");
+      return rtl::makeBlock(std::move(body));
+    }
+    if (accept(TokenKind::KwIf)) {
+      expect(TokenKind::LParen, "expected '(' after 'if'");
+      ExprPtr cond = parseExpression();
+      expect(TokenKind::RParen, "expected ')' after if-condition");
+      StmtPtr thenBranch = parseStatement(sequential);
+      StmtPtr elseBranch;
+      if (accept(TokenKind::KwElse)) elseBranch = parseStatement(sequential);
+      return rtl::makeIf(std::move(cond), std::move(thenBranch), std::move(elseBranch));
+    }
+    if (accept(TokenKind::KwCase)) {
+      expect(TokenKind::LParen, "expected '(' after 'case'");
+      ExprPtr subject = parseExpression();
+      expect(TokenKind::RParen, "expected ')' after case subject");
+      std::vector<rtl::CaseItem> items;
+      StmtPtr defaultBody;
+      while (!check(TokenKind::KwEndcase)) {
+        if (accept(TokenKind::KwDefault)) {
+          accept(TokenKind::Colon);
+          if (defaultBody) fail("duplicate default arm");
+          defaultBody = parseStatement(sequential);
+          continue;
+        }
+        rtl::CaseItem item;
+        do {
+          const Token& label = expect(TokenKind::Number, "expected constant case label");
+          item.labels.push_back(label.value);
+        } while (accept(TokenKind::Comma));
+        expect(TokenKind::Colon, "expected ':' after case label");
+        item.body = parseStatement(sequential);
+        items.push_back(std::move(item));
+      }
+      expect(TokenKind::KwEndcase, "expected 'endcase'");
+      return rtl::makeCase(std::move(subject), std::move(items), std::move(defaultBody));
+    }
+
+    // Assignment statement.
+    const rtl::LValue target = parseLValue();
+    bool nonBlocking = false;
+    if (accept(TokenKind::LtEq)) {
+      nonBlocking = true;
+    } else {
+      expect(TokenKind::Assign, "expected '=' or '<=' in assignment");
+    }
+    if (sequential && !nonBlocking) {
+      fail("sequential blocks must use non-blocking assignments in this subset");
+    }
+    if (!sequential && nonBlocking) {
+      fail("combinational blocks must use blocking assignments in this subset");
+    }
+    ExprPtr value = parseExpression();
+    expect(TokenKind::Semicolon, "expected ';' after assignment");
+    return rtl::makeAssign(target, std::move(value), nonBlocking);
+  }
+
+  // ---- expressions ----
+
+  ExprPtr parseExpression() {
+    ExprPtr cond = parseBinary(1);
+    if (!accept(TokenKind::Question)) return cond;
+    ExprPtr thenExpr = parseExpression();
+    expect(TokenKind::Colon, "expected ':' in ternary expression");
+    ExprPtr elseExpr = parseExpression();
+    return rtl::makeTernary(std::move(cond), std::move(thenExpr), std::move(elseExpr));
+  }
+
+  ExprPtr parseBinary(int minPrecedence) {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      const auto opInfo = binaryOpFor(peek().kind);
+      if (!opInfo) return lhs;
+      const int precedence = rtl::opPrecedence(opInfo->op);
+      if (precedence < minPrecedence) return lhs;
+      advance();
+      ExprPtr rhs = parseBinary(opInfo->rightAssoc ? precedence : precedence + 1);
+      lhs = rtl::makeBinary(opInfo->op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parseUnary() {
+    switch (peek().kind) {
+      case TokenKind::Minus: advance(); return rtl::makeUnary(rtl::UnaryOp::Neg, parseUnary());
+      case TokenKind::Tilde: advance(); return rtl::makeUnary(rtl::UnaryOp::BitNot, parseUnary());
+      case TokenKind::Bang: advance(); return rtl::makeUnary(rtl::UnaryOp::LogNot, parseUnary());
+      case TokenKind::Amp: advance(); return rtl::makeUnary(rtl::UnaryOp::RedAnd, parseUnary());
+      case TokenKind::Pipe: advance(); return rtl::makeUnary(rtl::UnaryOp::RedOr, parseUnary());
+      case TokenKind::Caret: advance(); return rtl::makeUnary(rtl::UnaryOp::RedXor, parseUnary());
+      default: return parsePrimary();
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    if (accept(TokenKind::LParen)) {
+      ExprPtr inner = parseExpression();
+      expect(TokenKind::RParen, "expected ')'");
+      return inner;
+    }
+    if (check(TokenKind::Number)) {
+      const Token& token = advance();
+      const int width = token.numberWidth > 0 ? token.numberWidth : options_.unsizedLiteralWidth;
+      return rtl::makeConstant(token.value, width);
+    }
+    if (check(TokenKind::LBrace)) return parseConcatOrReplication();
+    if (check(TokenKind::Identifier)) return parseReference();
+    fail("expected an expression");
+  }
+
+  ExprPtr parseConcatOrReplication() {
+    expect(TokenKind::LBrace, "expected '{'");
+    // Replication: {N{expr}} — N must be a literal.
+    if (check(TokenKind::Number) && peek(1).kind == TokenKind::LBrace) {
+      const Token& count = advance();
+      expect(TokenKind::LBrace, "expected '{' in replication");
+      ExprPtr body = parseExpression();
+      expect(TokenKind::RBrace, "expected '}' in replication");
+      expect(TokenKind::RBrace, "expected '}' closing replication");
+      if (count.value == 0 || count.value > 64) fail("replication count out of range");
+      std::vector<ExprPtr> parts;
+      parts.reserve(static_cast<std::size_t>(count.value));
+      for (std::uint64_t i = 0; i < count.value; ++i) parts.push_back(body->clone());
+      return rtl::makeConcat(std::move(parts));
+    }
+    std::vector<ExprPtr> parts;
+    do {
+      parts.push_back(parseExpression());
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::RBrace, "expected '}' after concatenation");
+    return rtl::makeConcat(std::move(parts));
+  }
+
+  ExprPtr parseReference() {
+    const std::string name = expect(TokenKind::Identifier, "expected identifier").text;
+    std::optional<std::pair<int, int>> range;
+    if (accept(TokenKind::LBracket)) {
+      if (!check(TokenKind::Number)) {
+        fail("only constant bit/part-selects are supported in this subset");
+      }
+      const int hi = static_cast<int>(parseConstExpr());
+      int lo = hi;
+      if (accept(TokenKind::Colon)) lo = static_cast<int>(parseConstExpr());
+      expect(TokenKind::RBracket, "expected ']'");
+      range = std::make_pair(hi, lo);
+    }
+
+    if (name == options_.keyPortName) {
+      if (range) {
+        const auto [hi, lo] = *range;
+        if (lo < 0 || hi < lo) fail("bad key bit select");
+        keyWidth_ = std::max(keyWidth_, hi + 1);
+        return rtl::makeKeyRef(lo, hi - lo + 1);
+      }
+      if (keyWidth_ == 0) fail("bare key reference before key declaration");
+      return rtl::makeKeyRef(0, keyWidth_);
+    }
+
+    const auto id = module_->findSignal(name);
+    if (!id) fail("reference to undeclared signal '" + name + "'");
+    ExprPtr ref = rtl::makeSignalRef(*id, module_->signal(*id).width);
+    if (range) {
+      const auto [hi, lo] = *range;
+      if (lo < 0 || hi < lo || hi >= module_->signal(*id).width) {
+        fail("bit/part-select out of range on '" + name + "'");
+      }
+      return rtl::makeSlice(std::move(ref), hi, lo);
+    }
+    return ref;
+  }
+
+  ParserOptions options_;
+  std::vector<Token> tokens_;
+  std::size_t cursor_ = 0;
+
+  std::optional<rtl::Module> module_;
+  std::vector<std::pair<std::string, bool>> pendingPorts_;  // name, direction-seen
+  int keyWidth_ = 0;
+};
+
+}  // namespace
+
+rtl::Design parseDesign(std::string_view source, const ParserOptions& options) {
+  Parser parser{source, options};
+  return parser.parseDesign();
+}
+
+rtl::Module parseModule(std::string_view source, const ParserOptions& options) {
+  Parser parser{source, options};
+  rtl::Module module = parser.parseModule();
+  return module;
+}
+
+}  // namespace rtlock::verilog

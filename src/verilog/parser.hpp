@@ -1,0 +1,42 @@
+// Recursive-descent parser for the Verilog-2001 subset.
+//
+// Supported constructs (documented in README/DESIGN):
+//   * module header with classic name lists or ANSI port declarations;
+//   * input/output/wire/reg declarations with [msb:lsb] ranges (lsb 0),
+//     comma-separated declarator lists, `output reg` combinations;
+//   * continuous assignments to whole signals or constant part-selects;
+//   * always @(*) with blocking assignments and always @(posedge clk) with
+//     non-blocking assignments; begin/end, if/else, case/endcase (constant
+//     labels, optional default);
+//   * full expression grammar: ternary, all binary/unary operators, concat,
+//     replication {n{...}}, constant bit/part-selects, sized and unsized
+//     literals (<= 64 bits).
+//
+// The key input is first-class: an input whose name equals
+// ParserOptions::keyPortName is mapped to the module's key vector, and
+// references to it become KeyRef nodes — locked designs round-trip exactly.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "rtl/module.hpp"
+#include "verilog/token.hpp"
+
+namespace rtlock::verilog {
+
+struct ParserOptions {
+  /// Name of the locking-key input recognized during parsing.
+  std::string keyPortName = "lock_key";
+  /// Width assumed for unsized literals (Verilog default is 32).
+  int unsizedLiteralWidth = 32;
+};
+
+/// Parses one or more modules.  Throws support::Error with line/column info
+/// on malformed or unsupported input.
+[[nodiscard]] rtl::Design parseDesign(std::string_view source, const ParserOptions& options = {});
+
+/// Parses a source containing exactly one module.
+[[nodiscard]] rtl::Module parseModule(std::string_view source, const ParserOptions& options = {});
+
+}  // namespace rtlock::verilog

@@ -1,0 +1,65 @@
+#include "verilog/token.hpp"
+
+namespace rtlock::verilog {
+
+std::string_view tokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::KwModule: return "module";
+    case TokenKind::KwEndmodule: return "endmodule";
+    case TokenKind::KwInput: return "input";
+    case TokenKind::KwOutput: return "output";
+    case TokenKind::KwWire: return "wire";
+    case TokenKind::KwReg: return "reg";
+    case TokenKind::KwAssign: return "assign";
+    case TokenKind::KwAlways: return "always";
+    case TokenKind::KwBegin: return "begin";
+    case TokenKind::KwEnd: return "end";
+    case TokenKind::KwIf: return "if";
+    case TokenKind::KwElse: return "else";
+    case TokenKind::KwCase: return "case";
+    case TokenKind::KwEndcase: return "endcase";
+    case TokenKind::KwDefault: return "default";
+    case TokenKind::KwPosedge: return "posedge";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LBracket: return "[";
+    case TokenKind::RBracket: return "]";
+    case TokenKind::LBrace: return "{";
+    case TokenKind::RBrace: return "}";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Colon: return ":";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Question: return "?";
+    case TokenKind::At: return "@";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Slash: return "/";
+    case TokenKind::Percent: return "%";
+    case TokenKind::StarStar: return "**";
+    case TokenKind::Shl: return "<<";
+    case TokenKind::Shr: return ">>";
+    case TokenKind::AShr: return ">>>";
+    case TokenKind::Amp: return "&";
+    case TokenKind::Pipe: return "|";
+    case TokenKind::Caret: return "^";
+    case TokenKind::TildeCaret: return "~^";
+    case TokenKind::Tilde: return "~";
+    case TokenKind::Bang: return "!";
+    case TokenKind::AmpAmp: return "&&";
+    case TokenKind::PipePipe: return "||";
+    case TokenKind::Lt: return "<";
+    case TokenKind::Gt: return ">";
+    case TokenKind::LtEq: return "<=";
+    case TokenKind::GtEq: return ">=";
+    case TokenKind::EqEq: return "==";
+    case TokenKind::BangEq: return "!=";
+    case TokenKind::Assign: return "=";
+    case TokenKind::EndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+}  // namespace rtlock::verilog

@@ -1,0 +1,307 @@
+#include "verilog/writer.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::verilog {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+using rtl::Module;
+using rtl::OpKind;
+
+class ModuleWriter {
+ public:
+  ModuleWriter(const Module& module, const WriterOptions& options, std::ostream& out)
+      : module_(module), options_(options), out_(out) {}
+
+  /// Renders a standalone expression (statement context).
+  void runExprOnly(const Expr& expr) { writeExprNode(expr, 0, false); }
+
+  void run() {
+    if (options_.emitHeaderComment) {
+      out_ << "// module " << module_.name();
+      if (module_.keyWidth() > 0) out_ << " — locked, key width " << module_.keyWidth();
+      out_ << "\n";
+    }
+    writeHeader();
+    writeDeclarations();
+    writeContAssigns();
+    writeProcesses();
+    out_ << "endmodule\n";
+  }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth * options_.indentWidth; ++i) out_ << ' ';
+  }
+
+  void writeHeader() {
+    out_ << "module " << module_.name() << " (";
+    bool first = true;
+    for (const auto id : module_.ports()) {
+      if (!first) out_ << ", ";
+      out_ << module_.signal(id).name;
+      first = false;
+    }
+    if (module_.keyWidth() > 0) {
+      if (!first) out_ << ", ";
+      out_ << module_.keyPortName();
+    }
+    out_ << ");\n";
+  }
+
+  void writeRange(int width) {
+    if (width > 1) out_ << '[' << width - 1 << ":0] ";
+  }
+
+  void writeDeclarations() {
+    // Declarations follow signal-id order so that reparsing assigns identical
+    // ids — locked designs round-trip to structurally equal modules.
+    for (rtl::SignalId id = 0; id < module_.signalCount(); ++id) {
+      const auto& signal = module_.signal(id);
+      indent(1);
+      if (signal.isPort) {
+        out_ << (signal.dir == rtl::PortDir::Input ? "input " : "output ");
+        if (signal.net == rtl::NetKind::Reg) out_ << "reg ";
+      } else {
+        out_ << (signal.net == rtl::NetKind::Reg ? "reg " : "wire ");
+      }
+      writeRange(signal.width);
+      out_ << signal.name << ";\n";
+    }
+    if (module_.keyWidth() > 0) {
+      indent(1);
+      out_ << "input ";
+      writeRange(module_.keyWidth());
+      out_ << module_.keyPortName() << ";\n";
+    }
+    out_ << '\n';
+  }
+
+  void writeLValue(const rtl::LValue& lvalue) {
+    out_ << module_.signal(lvalue.signal).name;
+    if (lvalue.range) {
+      const auto [hi, lo] = *lvalue.range;
+      if (hi == lo) {
+        out_ << '[' << hi << ']';
+      } else {
+        out_ << '[' << hi << ':' << lo << ']';
+      }
+    }
+  }
+
+  void writeContAssigns() {
+    for (const auto& assign : module_.contAssigns()) {
+      indent(1);
+      out_ << "assign ";
+      writeLValue(assign->target());
+      out_ << " = ";
+      writeExprNode(assign->value(), /*parentPrecedence=*/0, /*rightChild=*/false);
+      out_ << ";\n";
+    }
+    if (!module_.contAssigns().empty()) out_ << '\n';
+  }
+
+  void writeProcesses() {
+    for (const auto& process : module_.processes()) {
+      indent(1);
+      if (process->kind == rtl::ProcessKind::Sequential) {
+        out_ << "always @(posedge " << module_.signal(process->clock).name << ") ";
+      } else {
+        out_ << "always @(*) ";
+      }
+      writeStmt(*process->body, 1, /*leadingIndent=*/false);
+      out_ << '\n';
+    }
+  }
+
+  void writeStmt(const rtl::Stmt& stmt, int depth, bool leadingIndent = true) {
+    if (leadingIndent) indent(depth);
+    switch (stmt.kind()) {
+      case rtl::StmtKind::Block: {
+        auto& block = const_cast<rtl::Stmt&>(stmt);
+        out_ << "begin\n";
+        for (int i = 0; i < block.stmtSlotCount(); ++i) {
+          writeStmt(*block.stmtSlotAt(i), depth + 1);
+        }
+        indent(depth);
+        out_ << "end\n";
+        break;
+      }
+      case rtl::StmtKind::If: {
+        const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
+        auto& mutableIf = const_cast<rtl::IfStmt&>(ifStmt);
+        out_ << "if (";
+        writeExprNode(ifStmt.cond(), 0, false);
+        out_ << ") ";
+        writeStmt(*mutableIf.stmtSlotAt(0), depth, /*leadingIndent=*/false);
+        if (ifStmt.hasElse()) {
+          indent(depth);
+          out_ << "else ";
+          writeStmt(*mutableIf.stmtSlotAt(1), depth, /*leadingIndent=*/false);
+        }
+        break;
+      }
+      case rtl::StmtKind::Case: {
+        const auto& caseStmt = static_cast<const rtl::CaseStmt&>(stmt);
+        auto& mutableCase = const_cast<rtl::CaseStmt&>(caseStmt);
+        out_ << "case (";
+        writeExprNode(caseStmt.subject(), 0, false);
+        out_ << ")\n";
+        const int width = caseStmt.subject().width();
+        for (std::size_t i = 0; i < caseStmt.items().size(); ++i) {
+          indent(depth + 1);
+          const auto& labels = caseStmt.items()[i].labels;
+          for (std::size_t j = 0; j < labels.size(); ++j) {
+            if (j != 0) out_ << ", ";
+            writeLiteral(labels[j], width);
+          }
+          out_ << ": ";
+          writeStmt(*mutableCase.stmtSlotAt(static_cast<int>(i)), depth + 1,
+                    /*leadingIndent=*/false);
+        }
+        if (caseStmt.hasDefault()) {
+          indent(depth + 1);
+          out_ << "default: ";
+          writeStmt(*mutableCase.stmtSlotAt(static_cast<int>(caseStmt.items().size())),
+                    depth + 1, /*leadingIndent=*/false);
+        }
+        indent(depth);
+        out_ << "endcase\n";
+        break;
+      }
+      case rtl::StmtKind::Assign: {
+        const auto& assign = static_cast<const rtl::AssignStmt&>(stmt);
+        writeLValue(assign.target());
+        out_ << (assign.nonBlocking() ? " <= " : " = ");
+        writeExprNode(assign.value(), 0, false);
+        out_ << ";\n";
+        break;
+      }
+    }
+  }
+
+  void writeLiteral(std::uint64_t value, int width) {
+    out_ << width << "'h" << std::hex << value << std::dec;
+  }
+
+  // parentPrecedence 0 = statement context (no parens needed around the whole
+  // expression); ternaries use pseudo-precedence 0 so any nested ternary is
+  // parenthesized.
+  void writeExprNode(const Expr& expr, int parentPrecedence, bool rightChild) {
+    switch (expr.kind()) {
+      case ExprKind::Constant: {
+        const auto& constant = static_cast<const rtl::ConstantExpr&>(expr);
+        writeLiteral(constant.value(), constant.width());
+        break;
+      }
+      case ExprKind::SignalRef:
+        out_ << module_.signal(static_cast<const rtl::SignalRefExpr&>(expr).signal()).name;
+        break;
+      case ExprKind::KeyRef: {
+        const auto& key = static_cast<const rtl::KeyRefExpr&>(expr);
+        out_ << module_.keyPortName();
+        if (key.width() == 1) {
+          out_ << '[' << key.firstBit() << ']';
+        } else {
+          out_ << '[' << key.firstBit() + key.width() - 1 << ':' << key.firstBit() << ']';
+        }
+        break;
+      }
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const rtl::UnaryExpr&>(expr);
+        out_ << rtl::unaryToken(unary.op());
+        const bool needsParens = unary.operand().kind() == ExprKind::Binary ||
+                                 unary.operand().kind() == ExprKind::Ternary ||
+                                 unary.operand().kind() == ExprKind::Unary;
+        if (needsParens) out_ << '(';
+        writeExprNode(unary.operand(), /*parentPrecedence=*/100, false);
+        if (needsParens) out_ << ')';
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const rtl::BinaryExpr&>(expr);
+        const int precedence = rtl::opPrecedence(binary.op());
+        const bool needsParens =
+            parentPrecedence > precedence || (parentPrecedence == precedence && rightChild);
+        if (needsParens) out_ << '(';
+        writeExprNode(binary.lhs(), precedence, false);
+        out_ << ' ' << rtl::opToken(binary.op()) << ' ';
+        writeExprNode(binary.rhs(), precedence, true);
+        if (needsParens) out_ << ')';
+        break;
+      }
+      case ExprKind::Ternary: {
+        const auto& ternary = static_cast<const rtl::TernaryExpr&>(expr);
+        const bool needsParens = parentPrecedence != 0;
+        if (needsParens) out_ << '(';
+        writeExprNode(ternary.cond(), /*parentPrecedence=*/1, false);
+        out_ << " ? ";
+        // Branch pseudo-precedence 1: nested ternaries (relocked pairs,
+        // Fig. 3b) are parenthesized for readability; binaries are not.
+        writeExprNode(ternary.thenExpr(), 1, false);
+        out_ << " : ";
+        writeExprNode(ternary.elseExpr(), 1, false);
+        if (needsParens) out_ << ')';
+        break;
+      }
+      case ExprKind::Concat: {
+        auto& concat = const_cast<Expr&>(expr);
+        out_ << '{';
+        for (int i = 0; i < concat.exprSlotCount(); ++i) {
+          if (i != 0) out_ << ", ";
+          writeExprNode(*concat.exprSlotAt(i), 0, false);
+        }
+        out_ << '}';
+        break;
+      }
+      case ExprKind::Slice: {
+        const auto& slice = static_cast<const rtl::SliceExpr&>(expr);
+        RTLOCK_REQUIRE(slice.value().kind() == ExprKind::SignalRef,
+                       "Verilog emission requires slices over named signals");
+        writeExprNode(slice.value(), 100, false);
+        if (slice.hi() == slice.lo()) {
+          out_ << '[' << slice.hi() << ']';
+        } else {
+          out_ << '[' << slice.hi() << ':' << slice.lo() << ']';
+        }
+        break;
+      }
+    }
+  }
+
+  const Module& module_;
+  const WriterOptions& options_;
+  std::ostream& out_;
+};
+
+}  // namespace
+
+std::string writeModule(const rtl::Module& module, const WriterOptions& options) {
+  std::ostringstream out;
+  ModuleWriter{module, options, out}.run();
+  return out.str();
+}
+
+std::string writeDesign(const rtl::Design& design, const WriterOptions& options) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < design.moduleCount(); ++i) {
+    if (i != 0) out << '\n';
+    out << writeModule(design.module(i), options);
+  }
+  return out.str();
+}
+
+std::string writeExpr(const rtl::Expr& expr, const rtl::Module& module) {
+  std::ostringstream out;
+  const WriterOptions options;
+  ModuleWriter writer{module, options, out};
+  writer.runExprOnly(expr);
+  return out.str();
+}
+
+}  // namespace rtlock::verilog

@@ -1,0 +1,29 @@
+// Verilog backend: renders IR modules as synthesizable Verilog-2001 text.
+//
+// Output is designed to round-trip through the parser: sized literals keep
+// constant widths exact, the key vector is emitted as a real input port, and
+// expression parenthesization preserves structure.
+#pragma once
+
+#include <string>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::verilog {
+
+struct WriterOptions {
+  int indentWidth = 2;
+  /// Emit a banner comment with locking statistics above locked modules.
+  bool emitHeaderComment = true;
+};
+
+/// Renders one module.
+[[nodiscard]] std::string writeModule(const rtl::Module& module, const WriterOptions& options = {});
+
+/// Renders every module of the design in order.
+[[nodiscard]] std::string writeDesign(const rtl::Design& design, const WriterOptions& options = {});
+
+/// Renders a single expression (used by reports and tests).
+[[nodiscard]] std::string writeExpr(const rtl::Expr& expr, const rtl::Module& module);
+
+}  // namespace rtlock::verilog

@@ -1,0 +1,124 @@
+#include "attack/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assure.hpp"
+#include "designs/networks.hpp"
+#include "rtl/builder.hpp"
+
+namespace rtlock::attack {
+namespace {
+
+using rtl::OpKind;
+
+TEST(LocalityTest, UnlockedModuleHasNoLocalities) {
+  const rtl::Module m = designs::makePlusNetwork(5);
+  EXPECT_TRUE(extractLocalities(m, {}).empty());
+}
+
+TEST(LocalityTest, BasicEncodingIsOperationPair) {
+  rtl::ModuleBuilder b{"one"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(rtl::makeKeyRef(0), b.add(b.ref(a), b.lit(1, 8)),
+                    b.sub(b.ref(a), b.lit(1, 8))));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(1);
+
+  const auto localities = extractLocalities(m, {});
+  ASSERT_EQ(localities.size(), 1u);
+  EXPECT_EQ(localities[0].keyIndex, 0);
+  ASSERT_EQ(localities[0].features.size(), 2u);
+  EXPECT_EQ(localities[0].features[0], 1 + static_cast<int>(OpKind::Add));
+  EXPECT_EQ(localities[0].features[1], 1 + static_cast<int>(OpKind::Sub));
+}
+
+TEST(LocalityTest, KeyValueDeterminesBranchOrder) {
+  // Locked with key 1 -> (real, dummy); key 0 -> (dummy, real).  The pair of
+  // feature vectors must be mirrored.
+  rtl::Module m = designs::makePlusNetwork(4);
+  lock::LockEngine engine{m, lock::PairTable::fixed()};
+  engine.lockOpAt(OpKind::Add, 0, true);
+  engine.lockOpAt(OpKind::Add, 1, false);
+  const auto localities = extractLocalities(m, {});
+  ASSERT_EQ(localities.size(), 2u);
+  EXPECT_EQ(localities[0].features[0], localities[1].features[1]);
+  EXPECT_EQ(localities[0].features[1], localities[1].features[0]);
+}
+
+TEST(LocalityTest, NestedRelockProducesMuxCode) {
+  rtl::Module m = designs::makePlusNetwork(4);
+  lock::LockEngine engine{m, lock::PairTable::fixed()};
+  engine.lockOpAt(OpKind::Add, 0, true);
+  engine.lockOpAt(OpKind::Add, 0, true);  // relock the same op (Fig. 3b)
+  const auto localities = extractLocalities(m, {});
+  ASSERT_EQ(localities.size(), 2u);
+  // The outer mux (key 0) now has a mux as its real branch.
+  EXPECT_EQ(localities[0].features[0], kMuxCode);
+}
+
+TEST(LocalityTest, MinKeyIndexFiltersTargetBits) {
+  rtl::Module m = designs::makePlusNetwork(6);
+  lock::LockEngine engine{m, lock::PairTable::fixed()};
+  support::Rng rng{1};
+  lock::assureRandomLock(engine, 3, rng);  // target bits 0..2
+  lock::assureRandomLock(engine, 2, rng);  // training bits 3..4
+  EXPECT_EQ(extractLocalities(m, {}).size(), 5u);
+  const auto trainingOnly = extractLocalities(m, {}, 3);
+  ASSERT_EQ(trainingOnly.size(), 2u);
+  EXPECT_EQ(trainingOnly[0].keyIndex, 3);
+  EXPECT_EQ(trainingOnly[1].keyIndex, 4);
+}
+
+TEST(LocalityTest, ExtendedFeaturesHaveSixColumns) {
+  rtl::Module m = designs::makePlusNetwork(4);
+  lock::LockEngine engine{m, lock::PairTable::fixed()};
+  engine.lockOpAt(OpKind::Add, 0, true);
+  LocalityConfig config;
+  config.extendedFeatures = true;
+  EXPECT_EQ(featureCount(config), 6);
+  const auto localities = extractLocalities(m, config);
+  ASSERT_EQ(localities.size(), 1u);
+  EXPECT_EQ(localities[0].features.size(), 6u);
+  // Depths of the plain add/sub branches are 2 (op + leaf refs).
+  EXPECT_EQ(localities[0].features[2], 2.0);
+  EXPECT_EQ(localities[0].features[3], 2.0);
+}
+
+TEST(LocalityTest, DesignTernariesAreNotKeyMuxes) {
+  rtl::ModuleBuilder b{"sel"};
+  const auto s = b.input("s", 1);
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(b.ref(s), b.ref(a), b.lit(0, 8)));
+  const rtl::Module m = b.take();
+  EXPECT_TRUE(extractLocalities(m, {}).empty());
+}
+
+TEST(LocalityTest, LocalitiesInsideProcesses) {
+  rtl::ModuleBuilder b{"seq"};
+  const auto clk = b.input("clk", 1);
+  const auto d = b.input("d", 8);
+  const auto q = b.reg("q", 8);
+  const auto y = b.output("y", 8);
+  b.regAssign(clk, q, b.add(b.ref(q), b.ref(d)));
+  b.assign(y, b.ref(q));
+  rtl::Module m = b.take();
+  lock::LockEngine engine{m, lock::PairTable::fixed()};
+  engine.lockOpAt(OpKind::Add, 0, true);
+  EXPECT_EQ(extractLocalities(m, {}).size(), 1u);
+}
+
+TEST(LocalityTest, SortedByKeyIndex) {
+  rtl::Module m = designs::makePlusNetwork(10);
+  lock::LockEngine engine{m, lock::PairTable::fixed()};
+  support::Rng rng{2};
+  lock::assureRandomLock(engine, 8, rng);
+  const auto localities = extractLocalities(m, {});
+  for (std::size_t i = 1; i < localities.size(); ++i) {
+    EXPECT_LT(localities[i - 1].keyIndex, localities[i].keyIndex);
+  }
+}
+
+}  // namespace
+}  // namespace rtlock::attack

@@ -1,0 +1,188 @@
+#include "core/assure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/networks.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/stats.hpp"
+#include "sim/harness.hpp"
+#include "verilog/parser.hpp"
+
+namespace rtlock::lock {
+namespace {
+
+using rtl::OpKind;
+
+TEST(AssureTest, SerialLocksLeadingOpsInOrder) {
+  rtl::Module m = designs::makeOperationNetwork("net", {{OpKind::Add, 10}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{1};
+  const auto report = assureSerialLock(engine, 4, rng);
+  EXPECT_EQ(report.bitsUsed, 4);
+  EXPECT_EQ(report.algorithm, Algorithm::AssureSerial);
+  // The first four assigns carry the muxes; the rest stay plain.
+  for (int i = 0; i < 10; ++i) {
+    const auto& value = m.contAssigns()[static_cast<std::size_t>(i)]->value();
+    if (i < 4) {
+      EXPECT_EQ(value.kind(), rtl::ExprKind::Ternary) << i;
+    } else {
+      EXPECT_EQ(value.kind(), rtl::ExprKind::Binary) << i;
+    }
+  }
+}
+
+TEST(AssureTest, SerialRelockExtendsSameOperations) {
+  // Fig. 4b: a second serial pass nests new muxes onto the same leading ops.
+  rtl::Module m = designs::makeOperationNetwork("net", {{OpKind::Add, 10}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{2};
+  assureSerialLock(engine, 2, rng);
+  assureSerialLock(engine, 4, rng);
+  // First assign: mux whose branches include a nested mux (relocked pair).
+  const auto& first = static_cast<const rtl::TernaryExpr&>(m.contAssigns()[0]->value());
+  ASSERT_TRUE(first.isKeyMux());
+  const bool thenNested = first.thenExpr().kind() == rtl::ExprKind::Ternary;
+  const bool elseNested = first.elseExpr().kind() == rtl::ExprKind::Ternary;
+  EXPECT_TRUE(thenNested || elseNested);
+}
+
+TEST(AssureTest, RandomLockUsesExactBudget) {
+  rtl::Module m = designs::makeOperationNetwork("net", {{OpKind::Add, 30}, {OpKind::Mul, 10}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{3};
+  const auto report = assureRandomLock(engine, 25, rng);
+  EXPECT_EQ(report.bitsUsed, 25);
+  EXPECT_EQ(m.keyWidth(), 25);
+  EXPECT_EQ(rtl::computeStats(m).keyMuxes, 25);
+}
+
+TEST(AssureTest, RandomLockSpreadsAcrossKinds) {
+  rtl::Module m =
+      designs::makeOperationNetwork("net", {{OpKind::Add, 50}, {OpKind::Xor, 50}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{4};
+  assureRandomLock(engine, 60, rng);
+  int addLocks = 0;
+  int xorLocks = 0;
+  for (const auto& record : engine.records()) {
+    if (record.realOp == OpKind::Add) ++addLocks;
+    if (record.realOp == OpKind::Xor) ++xorLocks;
+  }
+  EXPECT_GT(addLocks, 10);
+  EXPECT_GT(xorLocks, 10);
+}
+
+TEST(AssureTest, FunctionalPreservationUnderCorrectKey) {
+  rtl::Module original = designs::makeOperationNetwork(
+      "net", {{OpKind::Add, 8}, {OpKind::Xor, 4}, {OpKind::Shl, 2}}, 16);
+  rtl::Module locked = original.clone();
+  LockEngine engine{locked, PairTable::fixed()};
+  support::Rng rng{5};
+  assureRandomLock(engine, 10, rng);
+
+  sim::BitVector key{locked.keyWidth()};
+  for (const auto& record : engine.records()) {
+    key.setBit(record.keyIndex, record.keyValue);
+  }
+  support::Rng simRng{6};
+  EXPECT_TRUE(sim::functionallyEquivalent(original, locked, key, {}, simRng));
+}
+
+TEST(AssureTest, WrongKeyCorruptsOutputs) {
+  rtl::Module original = designs::makeOperationNetwork("net", {{OpKind::Add, 8}}, 16);
+  rtl::Module locked = original.clone();
+  LockEngine engine{locked, PairTable::fixed()};
+  support::Rng rng{7};
+  assureRandomLock(engine, 6, rng);
+
+  sim::BitVector wrongKey{locked.keyWidth()};
+  for (const auto& record : engine.records()) {
+    wrongKey.setBit(record.keyIndex, !record.keyValue);  // flip every bit
+  }
+  support::Rng simRng{8};
+  EXPECT_FALSE(sim::functionallyEquivalent(original, locked, wrongKey, {}, simRng));
+}
+
+TEST(AssureTest, ConstantObfuscationExtractsConstants) {
+  const auto source = R"(
+    module consts (input [7:0] a, output [7:0] y);
+      wire [7:0] w;
+      assign w = a + 8'hd;
+      assign y = w ^ 8'h5a;
+    endmodule
+  )";
+  rtl::Module m = verilog::parseModule(source);
+  support::Rng rng{9};
+  const auto report = assureLockConstants(m, 64, rng);
+  EXPECT_EQ(report.bitsUsed, 16);
+  EXPECT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(m.keyWidth(), 16);
+
+  // Keyed with the recorded chunks, the module must match the original.
+  sim::BitVector key{m.keyWidth()};
+  for (const auto& record : report.records) {
+    for (int i = 0; i < record.width; ++i) {
+      key.setBit(record.keyIndex + i, ((record.value >> i) & 1u) != 0);
+    }
+  }
+  const rtl::Module original = verilog::parseModule(source);
+  support::Rng simRng{10};
+  EXPECT_TRUE(sim::functionallyEquivalent(original, m, key, {}, simRng));
+
+  // And with a wrong key it must not.
+  sim::BitVector wrong = key;
+  wrong.setBit(0, !wrong.bit(0));
+  support::Rng simRng2{11};
+  EXPECT_FALSE(sim::functionallyEquivalent(original, m, wrong, {}, simRng2));
+}
+
+TEST(AssureTest, ConstantObfuscationRespectsBudget) {
+  const auto source = R"(
+    module consts (input [7:0] a, output [7:0] y);
+      assign y = a + 8'hd;
+    endmodule
+  )";
+  rtl::Module m = verilog::parseModule(source);
+  support::Rng rng{12};
+  const auto report = assureLockConstants(m, 4, rng);  // 8-bit constant does not fit
+  EXPECT_EQ(report.bitsUsed, 0);
+  EXPECT_EQ(m.keyWidth(), 0);
+}
+
+TEST(AssureTest, BranchObfuscationPreservesSemantics) {
+  const auto source = R"(
+    module branchy (input [7:0] a, input [7:0] b, output reg [7:0] y);
+      always @(*) begin
+        if (a > b) y = a;
+        else if (a == b) y = 8'h7f;
+        else y = b;
+      end
+    endmodule
+  )";
+  rtl::Module m = verilog::parseModule(source);
+  support::Rng rng{13};
+  const auto report = assureLockBranches(m, 8, rng);
+  EXPECT_EQ(report.bitsUsed, 2);
+
+  sim::BitVector key{m.keyWidth()};
+  for (const auto& record : report.records) key.setBit(record.keyIndex, record.keyValue);
+  const rtl::Module original = verilog::parseModule(source);
+  support::Rng simRng{14};
+  EXPECT_TRUE(sim::functionallyEquivalent(original, m, key, {}, simRng));
+
+  sim::BitVector wrong = key;
+  wrong.setBit(0, !wrong.bit(0));
+  support::Rng simRng2{15};
+  EXPECT_FALSE(sim::functionallyEquivalent(original, m, wrong, {}, simRng2));
+}
+
+TEST(AssureTest, BudgetLargerThanDesignLocksEverythingOnce) {
+  rtl::Module m = designs::makeOperationNetwork("net", {{OpKind::Add, 5}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{16};
+  const auto report = assureSerialLock(engine, 100, rng);
+  EXPECT_EQ(report.bitsUsed, 5);
+}
+
+}  // namespace
+}  // namespace rtlock::lock

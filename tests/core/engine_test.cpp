@@ -1,0 +1,213 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/networks.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/stats.hpp"
+#include "verilog/writer.hpp"
+
+namespace rtlock::lock {
+namespace {
+
+using rtl::OpKind;
+
+/// 3 adds, 1 sub, three-address.
+rtl::Module smallDesign() {
+  rtl::ModuleBuilder b{"small"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto w0 = b.wire("w0", 8);
+  const auto w1 = b.wire("w1", 8);
+  const auto w2 = b.wire("w2", 8);
+  const auto y = b.output("y", 8);
+  b.assign(w0, b.add(b.ref(a), b.ref(c)));
+  b.assign(w1, b.add(b.ref(w0), b.ref(a)));
+  b.assign(w2, b.sub(b.ref(w1), b.ref(c)));
+  b.assign(y, b.add(b.ref(w2), b.ref(w0)));
+  return b.take();
+}
+
+TEST(EngineTest, IndexCountsMatchStats) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  EXPECT_EQ(engine.opCount(OpKind::Add), 3);
+  EXPECT_EQ(engine.opCount(OpKind::Sub), 1);
+  EXPECT_EQ(engine.totalLockableOps(), 4);
+  EXPECT_EQ(engine.initialLockableOps(), 4);
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 2);
+  EXPECT_EQ(engine.odtValue(OpKind::Sub), -2);
+}
+
+TEST(EngineTest, LockAddsDummyAndKeyBit) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  const LockRecord& record = engine.lockOpAt(OpKind::Add, 0, true);
+  EXPECT_EQ(record.keyIndex, 0);
+  EXPECT_TRUE(record.keyValue);
+  EXPECT_EQ(record.realOp, OpKind::Add);
+  EXPECT_EQ(record.dummyOp, OpKind::Sub);
+  EXPECT_EQ(m.keyWidth(), 1);
+  EXPECT_EQ(engine.opCount(OpKind::Add), 3);  // real op still present
+  EXPECT_EQ(engine.opCount(OpKind::Sub), 2);  // dummy added
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 1);
+  EXPECT_EQ(rtl::computeStats(m).keyMuxes, 1);
+}
+
+TEST(EngineTest, KeyValueControlsBranchPlacement) {
+  // key=1: real op in the true branch; key=0: in the false branch (Fig. 3a).
+  for (const bool keyValue : {true, false}) {
+    rtl::Module m = smallDesign();
+    LockEngine engine{m, PairTable::fixed()};
+    engine.lockOpAt(OpKind::Sub, 0, keyValue);
+    const auto& mux =
+        static_cast<const rtl::TernaryExpr&>(m.contAssigns()[2]->value());
+    ASSERT_TRUE(mux.isKeyMux());
+    const auto& realBranch = keyValue ? mux.thenExpr() : mux.elseExpr();
+    const auto& dummyBranch = keyValue ? mux.elseExpr() : mux.thenExpr();
+    EXPECT_EQ(static_cast<const rtl::BinaryExpr&>(realBranch).op(), OpKind::Sub);
+    EXPECT_EQ(static_cast<const rtl::BinaryExpr&>(dummyBranch).op(), OpKind::Add);
+  }
+}
+
+TEST(EngineTest, UndoRestoresStructure) {
+  rtl::Module m = smallDesign();
+  const rtl::Module reference = m.clone();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{5};
+
+  const auto checkpoint = engine.checkpoint();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.lockRandomOp(rng));
+  }
+  EXPECT_EQ(m.keyWidth(), 4);
+  EXPECT_FALSE(structurallyEqual(m, reference));
+
+  engine.undoTo(checkpoint);
+  EXPECT_TRUE(structurallyEqual(m, reference));
+  EXPECT_EQ(m.keyWidth(), 0);
+  EXPECT_EQ(engine.opCount(OpKind::Add), 3);
+  EXPECT_EQ(engine.opCount(OpKind::Sub), 1);
+  EXPECT_TRUE(engine.records().empty());
+}
+
+TEST(EngineTest, UndoRestoresAfterNestedRelock) {
+  rtl::Module m = smallDesign();
+  const rtl::Module reference = m.clone();
+  LockEngine engine{m, PairTable::fixed()};
+
+  // Lock the same logical op twice (nested mux of Fig. 3b), then a dummy.
+  engine.lockOpAt(OpKind::Add, 0, true);
+  engine.lockOpAt(OpKind::Add, 0, false);  // relock: wraps the real branch
+  engine.lockOpAt(OpKind::Sub, 1, true);   // lock the dummy sub added first
+  EXPECT_EQ(m.keyWidth(), 3);
+
+  engine.undoTo(0);
+  EXPECT_TRUE(structurallyEqual(m, reference));
+}
+
+TEST(EngineTest, RepeatedLockUndoCyclesAreStable) {
+  rtl::Module m = designs::makeOperationNetwork(
+      "net", {{OpKind::Add, 20}, {OpKind::Mul, 10}, {OpKind::Xor, 5}});
+  const rtl::Module reference = m.clone();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{17};
+
+  for (int round = 0; round < 10; ++round) {
+    const auto checkpoint = engine.checkpoint();
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(engine.lockRandomOp(rng));
+    }
+    engine.undoTo(checkpoint);
+    ASSERT_TRUE(structurallyEqual(m, reference)) << "round " << round;
+  }
+}
+
+TEST(EngineTest, LockStepReducesImbalance) {
+  rtl::Module m = smallDesign();  // ODT[Add] = +2
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{7};
+  const int used = engine.lockStep(OpKind::Add, /*pairMode=*/false, rng);
+  EXPECT_EQ(used, 1);
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 1);
+  // Deficient side: locking Sub when ODT[Sub] < 0 must also reduce.
+  const int used2 = engine.lockStep(OpKind::Sub, /*pairMode=*/false, rng);
+  EXPECT_EQ(used2, 1);
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 0);
+}
+
+TEST(EngineTest, LockStepPairModePreservesBalance) {
+  rtl::Module m = designs::makeOperationNetwork("bal", {{OpKind::Add, 3}, {OpKind::Sub, 3}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{11};
+  const int used = engine.lockStep(OpKind::Add, /*pairMode=*/true, rng);
+  EXPECT_EQ(used, 2);
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 0);
+  EXPECT_EQ(engine.opCount(OpKind::Add), 4);
+  EXPECT_EQ(engine.opCount(OpKind::Sub), 4);
+}
+
+TEST(EngineTest, LockStepEmptyPairMakesNoProgress) {
+  rtl::Module m = designs::makeOperationNetwork("adds", {{OpKind::Add, 4}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{13};
+  EXPECT_EQ(engine.lockStep(OpKind::Mul, false, rng), 0);
+}
+
+TEST(EngineTest, TouchedPairsTracked) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  const auto& table = PairTable::fixed();
+  EXPECT_FALSE(engine.touchedPairs()[static_cast<std::size_t>(table.pairIndexOf(OpKind::Add))]);
+  engine.lockOpAt(OpKind::Add, 0, true);
+  EXPECT_TRUE(engine.touchedPairs()[static_cast<std::size_t>(table.pairIndexOf(OpKind::Add))]);
+  engine.undoTo(0);
+  EXPECT_FALSE(engine.touchedPairs()[static_cast<std::size_t>(table.pairIndexOf(OpKind::Add))]);
+}
+
+TEST(EngineTest, MetricsTrackBalancing) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{19};
+  EXPECT_DOUBLE_EQ(engine.globalMetric(), 0.0);
+  engine.lockStep(OpKind::Add, false, rng);
+  engine.lockStep(OpKind::Add, false, rng);
+  EXPECT_DOUBLE_EQ(engine.globalMetric(), 100.0);
+  EXPECT_DOUBLE_EQ(engine.restrictedMetric(), 100.0);
+}
+
+TEST(EngineTest, SerialOrderCoversAllOps) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  const auto order = engine.opsInTraversalOrder();
+  EXPECT_EQ(order.size(), 4u);
+  // Traversal follows assign order: add, add, sub, add.
+  EXPECT_EQ(order[0].first, OpKind::Add);
+  EXPECT_EQ(order[2].first, OpKind::Sub);
+}
+
+TEST(EngineTest, LockedModuleStillEmitsValidVerilog) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{23};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine.lockRandomOp(rng));
+  const std::string text = verilog::writeModule(m);
+  EXPECT_NE(text.find("lock_key"), std::string::npos);
+}
+
+TEST(EngineTest, LeakyTableLocksWithDirectedDummies) {
+  rtl::Module m = designs::makeOperationNetwork("mulnet", {{OpKind::Mul, 3}});
+  LockEngine engine{m, PairTable::assureOriginal()};
+  engine.lockOpAt(OpKind::Mul, 0, true);
+  const auto& record = engine.records().back();
+  EXPECT_EQ(record.dummyOp, OpKind::Add);  // (*, +) per the original table
+}
+
+TEST(EngineTest, UndoToFutureCheckpointThrows) {
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  EXPECT_THROW(engine.undoTo(1), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtlock::lock

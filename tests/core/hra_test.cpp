@@ -1,0 +1,133 @@
+#include "core/hra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/networks.hpp"
+#include "sim/harness.hpp"
+
+namespace rtlock::lock {
+namespace {
+
+using rtl::OpKind;
+
+rtl::Module fig5Design() {
+  // |ODT[(+,-)]| = 25, |ODT[(<<,>>)]| = 10, as in Sec. 4.4 / Fig. 5.
+  return designs::makeOperationNetwork("fig5", {{OpKind::Add, 25}, {OpKind::Shl, 10}});
+}
+
+TEST(HraTest, RespectsKeyBudget) {
+  rtl::Module m = fig5Design();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{1};
+  const auto report = hraLock(engine, 20, rng);
+  EXPECT_EQ(report.algorithm, Algorithm::Hra);
+  // HRA "uses the exact key budget" — pair-mode steps cost 2 bits, so it may
+  // run exactly one bit over, never more.
+  EXPECT_GE(report.bitsUsed, 20);
+  EXPECT_LE(report.bitsUsed, 21);
+}
+
+TEST(HraTest, GlobalMetricNeverDecreases) {
+  rtl::Module m = fig5Design();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{2};
+  const auto report = hraLock(engine, 40, rng);
+  double previous = -1.0;
+  for (const auto& [bits, metric] : report.metricTrace) {
+    EXPECT_GE(metric, previous - 1e-9) << "at " << bits << " bits";
+    previous = metric;
+  }
+}
+
+TEST(HraTest, SufficientBudgetReachesFullSecurity) {
+  rtl::Module m = fig5Design();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{3};
+  // 25 + 10 = 35 single-bit balancing moves reach the secure point; random
+  // pair-mode steps cost extra, so give slack.
+  const auto report = hraLock(engine, 120, rng);
+  EXPECT_DOUBLE_EQ(report.finalGlobalMetric, 100.0);
+}
+
+TEST(HraTest, GreedyReachesSecurityWithFewerBits) {
+  // Sec. 4.4: the greedy variant reaches metric 100 with the fewest bits
+  // (35 for the Fig. 5 design); HRA's random pair-mode steps cost more.
+  support::Rng rngGreedy{4};
+  rtl::Module mGreedy = fig5Design();
+  LockEngine engineGreedy{mGreedy, PairTable::fixed()};
+  const auto greedy = greedyLock(engineGreedy, 200, rngGreedy);
+
+  int greedyBitsToSecure = greedy.bitsUsed;
+  for (const auto& [bits, metric] : greedy.metricTrace) {
+    if (metric >= 100.0) {
+      greedyBitsToSecure = bits;
+      break;
+    }
+  }
+  EXPECT_EQ(greedyBitsToSecure, 35);
+
+  // HRA (averaged over seeds) takes at least as long.
+  double hraAverage = 0.0;
+  const int seeds = 5;
+  for (int seed = 0; seed < seeds; ++seed) {
+    support::Rng rng{100 + static_cast<std::uint64_t>(seed)};
+    rtl::Module m = fig5Design();
+    LockEngine engine{m, PairTable::fixed()};
+    const auto report = hraLock(engine, 200, rng);
+    int bitsToSecure = report.bitsUsed;
+    for (const auto& [bits, metric] : report.metricTrace) {
+      if (metric >= 100.0) {
+        bitsToSecure = bits;
+        break;
+      }
+    }
+    hraAverage += bitsToSecure;
+  }
+  hraAverage /= seeds;
+  EXPECT_GE(hraAverage, 35.0);
+}
+
+TEST(HraTest, GreedyAttacksLargestImbalanceFirst) {
+  rtl::Module m = fig5Design();
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{5};
+  greedyLock(engine, 10, rng);
+  // All ten bits must go to the (+,-) pair (|ODT| 25 vs 10): steepest ascent.
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 15);
+  EXPECT_EQ(engine.odtValue(OpKind::Shl), 10);
+}
+
+TEST(HraTest, BalancedDesignStaysBalanced) {
+  rtl::Module m =
+      designs::makeOperationNetwork("bal", {{OpKind::Add, 10}, {OpKind::Sub, 10}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{6};
+  const auto report = hraLock(engine, 16, rng);
+  EXPECT_DOUBLE_EQ(report.finalGlobalMetric, 100.0);
+  EXPECT_EQ(engine.odtValue(OpKind::Add), 0);
+}
+
+TEST(HraTest, FunctionalPreservationUnderCorrectKey) {
+  rtl::Module original = designs::makeOperationNetwork(
+      "f", {{OpKind::Add, 12}, {OpKind::Mul, 6}, {OpKind::Or, 4}}, 16);
+  rtl::Module locked = original.clone();
+  LockEngine engine{locked, PairTable::fixed()};
+  support::Rng rng{7};
+  hraLock(engine, 16, rng);
+
+  sim::BitVector key{locked.keyWidth()};
+  for (const auto& record : engine.records()) key.setBit(record.keyIndex, record.keyValue);
+  support::Rng simRng{8};
+  EXPECT_TRUE(sim::functionallyEquivalent(original, locked, key, {}, simRng));
+}
+
+TEST(HraTest, NothingLockableTerminates) {
+  rtl::Module m = designs::makeOperationNetwork("ashr", {{OpKind::AShr, 4}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{9};
+  const auto report = hraLock(engine, 8, rng);
+  EXPECT_EQ(report.bitsUsed, 0);
+}
+
+}  // namespace
+}  // namespace rtlock::lock

@@ -1,0 +1,128 @@
+// Paper-theorem property sweeps (Sec. 4.1/4.2): relations between the two
+// metrics, ODT behaviour under Lock, and algorithm invariants, checked
+// across many random designs and seeds.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "designs/networks.hpp"
+#include "designs/random.hpp"
+
+namespace rtlock::lock {
+namespace {
+
+using rtl::OpKind;
+
+class InvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InvariantSweep, GlobalHundredImpliesRestrictedHundred) {
+  // Sec. 4.1: "if M^g_sec = 100 then M^r_sec = 100".
+  support::Rng rng{GetParam()};
+  rtl::Module m = designs::makeRandomModule(rng);
+  LockEngine engine{m, PairTable::fixed()};
+  if (engine.initialLockableOps() == 0) return;
+  eraLock(engine, engine.initialLockableOps() * 2, rng);
+  if (engine.globalMetric() == 100.0) {
+    EXPECT_DOUBLE_EQ(engine.restrictedMetric(), 100.0);
+  }
+}
+
+TEST_P(InvariantSweep, RestrictedEqualsGlobalWhenAllPairsTouched) {
+  // Sec. 4.1: "if all types in ODT are affected by locking, M^r == M^g".
+  support::Rng rng{GetParam() + 50};
+  rtl::Module m = designs::makeRandomModule(rng);
+  LockEngine engine{m, PairTable::fixed()};
+  if (engine.initialLockableOps() == 0) return;
+  assureRandomLock(engine, engine.initialLockableOps(), rng);
+
+  bool allPresentTouched = true;
+  const auto& pairs = engine.pairTable().pairs();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const bool present =
+        engine.opCount(pairs[i].first) + engine.opCount(pairs[i].second) > 0;
+    if (present && !engine.touchedPairs()[i]) allPresentTouched = false;
+  }
+  if (allPresentTouched) {
+    // Untouched absent pairs have |ODT| = 0 and do not affect either metric.
+    EXPECT_NEAR(engine.restrictedMetric(), engine.globalMetric(), 1e-9);
+  }
+}
+
+TEST_P(InvariantSweep, LockStepNeverIncreasesImbalance) {
+  support::Rng rng{GetParam() + 100};
+  rtl::Module m = designs::makeRandomModule(rng);
+  LockEngine engine{m, PairTable::fixed()};
+  const auto& pairs = engine.pairTable().pairs();
+  for (int step = 0; step < 30; ++step) {
+    const auto& pair = pairs[rng.below(pairs.size())];
+    const OpKind type = rng.coin() ? pair.first : pair.second;
+    const int before = std::abs(engine.odtValue(type));
+    if (engine.lockStep(type, /*pairMode=*/false, rng) == 0) continue;
+    EXPECT_LE(std::abs(engine.odtValue(type)), std::max(before, 1))
+        << "lockStep increased |ODT| beyond the documented bound";
+    // Non-pair-mode on an imbalanced pair strictly reduces.
+    if (before > 0) {
+      EXPECT_LT(std::abs(engine.odtValue(type)), before + 1);
+    }
+  }
+}
+
+TEST_P(InvariantSweep, EraRestrictedInvariantAfterEveryRound) {
+  support::Rng rng{GetParam() + 200};
+  rtl::Module m = designs::makeRandomModule(rng);
+  LockEngine engine{m, PairTable::fixed()};
+  if (engine.initialLockableOps() == 0) return;
+  eraLock(engine, std::max(1, engine.initialLockableOps() / 3), rng);
+  EXPECT_DOUBLE_EQ(engine.restrictedMetric(), 100.0);
+}
+
+TEST_P(InvariantSweep, RecordsMatchKeyWidth) {
+  support::Rng rng{GetParam() + 300};
+  rtl::Module m = designs::makeRandomModule(rng);
+  LockEngine engine{m, PairTable::fixed()};
+  if (engine.initialLockableOps() == 0) return;
+  hraLock(engine, engine.initialLockableOps() / 2, rng);
+  EXPECT_EQ(static_cast<int>(engine.records().size()), m.keyWidth());
+  // Key indices are a permutation of [0, keyWidth).
+  std::vector<bool> seen(static_cast<std::size_t>(m.keyWidth()), false);
+  for (const auto& record : engine.records()) {
+    ASSERT_GE(record.keyIndex, 0);
+    ASSERT_LT(record.keyIndex, m.keyWidth());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(record.keyIndex)]);
+    seen[static_cast<std::size_t>(record.keyIndex)] = true;
+  }
+}
+
+TEST_P(InvariantSweep, DummyOpsMatchPairTable) {
+  support::Rng rng{GetParam() + 400};
+  rtl::Module m = designs::makeRandomModule(rng);
+  LockEngine engine{m, PairTable::fixed()};
+  if (engine.initialLockableOps() == 0) return;
+  assureRandomLock(engine, engine.initialLockableOps() / 2, rng);
+  for (const auto& record : engine.records()) {
+    EXPECT_EQ(record.dummyOp, PairTable::fixed().dummyFor(record.realOp));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 77, 87, 97));
+
+TEST(InvariantTest, MetricMonotoneAlongGreedyTrace) {
+  // Greedy is HRA with the random component removed: its M^g trace must be
+  // strictly non-decreasing and reach 100 exactly at the total imbalance.
+  rtl::Module m = designs::makeOperationNetwork(
+      "g", {{OpKind::Add, 12}, {OpKind::Mul, 7}, {OpKind::Xor, 3}});
+  LockEngine engine{m, PairTable::fixed()};
+  support::Rng rng{5};
+  const auto report = greedyLock(engine, 200, rng);
+  double previous = -1.0;
+  int bitsToSecure = -1;
+  for (const auto& [bits, metric] : report.metricTrace) {
+    EXPECT_GE(metric, previous - 1e-12);
+    previous = metric;
+    if (metric >= 100.0 && bitsToSecure < 0) bitsToSecure = bits;
+  }
+  EXPECT_EQ(bitsToSecure, 12 + 7 + 3);
+}
+
+}  // namespace
+}  // namespace rtlock::lock

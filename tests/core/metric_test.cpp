@@ -1,0 +1,100 @@
+#include "core/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::lock {
+namespace {
+
+TEST(MetricTest, ModifiedEuclideanBasics) {
+  const std::vector<int> v{3, 4};
+  EXPECT_DOUBLE_EQ(modifiedEuclidean(v, PairMask{true, true}), 5.0);
+  EXPECT_DOUBLE_EQ(modifiedEuclidean(v, PairMask{true, false}), 3.0);
+  EXPECT_DOUBLE_EQ(modifiedEuclidean(v, PairMask{false, false}), 0.0);
+}
+
+TEST(MetricTest, MaskLengthMismatchThrows) {
+  const std::vector<int> v{1, 2};
+  EXPECT_THROW((void)modifiedEuclidean(v, PairMask{true}), support::ContractViolation);
+}
+
+TEST(MetricTest, FullyBalancedScoresHundred) {
+  const std::vector<int> initial{25, 10};
+  const std::vector<int> balanced{0, 0};
+  EXPECT_DOUBLE_EQ(globalSecurityMetric(initial, balanced), 100.0);
+}
+
+TEST(MetricTest, UnchangedDesignScoresZero) {
+  const std::vector<int> initial{25, 10};
+  EXPECT_DOUBLE_EQ(globalSecurityMetric(initial, initial), 0.0);
+}
+
+TEST(MetricTest, PaperExampleIntermediateValues) {
+  // |ODT| = {25, 10} as in Fig. 5; halving the large pair moves the metric
+  // by the Euclidean ratio.
+  const std::vector<int> initial{25, 10};
+  const std::vector<int> current{12, 10};
+  const double expected =
+      100.0 * (1.0 - std::sqrt(12.0 * 12 + 10 * 10) / std::sqrt(25.0 * 25 + 10 * 10));
+  EXPECT_NEAR(globalSecurityMetric(initial, current), expected, 1e-9);
+}
+
+TEST(MetricTest, MonotoneInEachCoordinate) {
+  const std::vector<int> initial{25, 10};
+  double previous = -1.0;
+  for (int x = 25; x >= 0; --x) {
+    const std::vector<int> current{x, 10};
+    const double metric = globalSecurityMetric(initial, current);
+    EXPECT_GT(metric, previous);
+    previous = metric;
+  }
+}
+
+TEST(MetricTest, BalancedInitialDesignDegenerateCases) {
+  const std::vector<int> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(globalSecurityMetric(zeros, zeros), 100.0);
+  const std::vector<int> worse{1, 0};
+  EXPECT_DOUBLE_EQ(globalSecurityMetric(zeros, worse), 0.0);
+}
+
+TEST(MetricTest, ClampedToZeroWhenWorseThanInitial) {
+  const std::vector<int> initial{2, 0};
+  const std::vector<int> worse{5, 5};
+  EXPECT_DOUBLE_EQ(globalSecurityMetric(initial, worse), 0.0);
+}
+
+TEST(MetricTest, RestrictedMaskIgnoresUntouchedPairs) {
+  // Pair 0 untouched ('x'), pair 1 balanced: restricted metric is 100 even
+  // though pair 0 stays imbalanced.
+  const std::vector<int> initial{25, 10};
+  const std::vector<int> current{25, 0};
+  const PairMask touchedOnlySecond{false, true};
+  EXPECT_DOUBLE_EQ(securityMetric(initial, current, touchedOnlySecond), 100.0);
+  EXPECT_LT(globalSecurityMetric(initial, current), 100.0);
+}
+
+TEST(MetricTest, RestrictedEqualsGlobalWhenAllTouched) {
+  const std::vector<int> initial{25, 10};
+  const std::vector<int> current{5, 5};
+  const PairMask all{true, true};
+  EXPECT_DOUBLE_EQ(securityMetric(initial, current, all),
+                   globalSecurityMetric(initial, current));
+}
+
+TEST(MetricTest, MetricWithinBounds) {
+  const std::vector<int> initial{7, 3, 11};
+  for (int a = 0; a <= 7; ++a) {
+    for (int b = 0; b <= 3; ++b) {
+      const std::vector<int> current{a, b, 11};
+      const double metric = globalSecurityMetric(initial, current);
+      EXPECT_GE(metric, 0.0);
+      EXPECT_LE(metric, 100.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlock::lock

@@ -1,0 +1,91 @@
+#include "core/pairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::lock {
+namespace {
+
+using rtl::OpKind;
+
+TEST(PairsTest, FixedTableIsInvolutive) {
+  const PairTable& table = PairTable::fixed();
+  EXPECT_TRUE(table.involutive());
+  for (int k = 0; k < rtl::kOpKindCount; ++k) {
+    const auto kind = static_cast<OpKind>(k);
+    if (!table.lockable(kind)) continue;
+    const OpKind partner = table.dummyFor(kind);
+    EXPECT_NE(partner, kind);
+    EXPECT_EQ(table.dummyFor(partner), kind)
+        << "pairing of " << rtl::opName(kind) << " is not involutive";
+  }
+}
+
+TEST(PairsTest, FixedTableExpectedPairs) {
+  const PairTable& table = PairTable::fixed();
+  EXPECT_EQ(table.dummyFor(OpKind::Add), OpKind::Sub);
+  EXPECT_EQ(table.dummyFor(OpKind::Mul), OpKind::Div);
+  EXPECT_EQ(table.dummyFor(OpKind::Mod), OpKind::Pow);
+  EXPECT_EQ(table.dummyFor(OpKind::Xor), OpKind::Xnor);
+  EXPECT_EQ(table.dummyFor(OpKind::Shl), OpKind::Shr);
+  EXPECT_EQ(table.dummyFor(OpKind::Lt), OpKind::Ge);
+  EXPECT_EQ(table.dummyFor(OpKind::Eq), OpKind::Ne);
+}
+
+TEST(PairsTest, ComparisonPairsAreLogicalNegations) {
+  // (T, T') chosen so that T' is the boolean negation of T — a semantic
+  // property branch locking also relies on.
+  const PairTable& table = PairTable::fixed();
+  EXPECT_EQ(table.dummyFor(OpKind::Lt), OpKind::Ge);
+  EXPECT_EQ(table.dummyFor(OpKind::Gt), OpKind::Le);
+  EXPECT_EQ(table.dummyFor(OpKind::Ne), OpKind::Eq);
+}
+
+TEST(PairsTest, AShrIsNotLockable) {
+  EXPECT_FALSE(PairTable::fixed().lockable(OpKind::AShr));
+  EXPECT_THROW((void)PairTable::fixed().dummyFor(OpKind::AShr), support::ContractViolation);
+}
+
+TEST(PairsTest, PairIndexConsistent) {
+  const PairTable& table = PairTable::fixed();
+  std::set<int> indices;
+  for (const auto& [a, b] : table.pairs()) {
+    const int index = table.pairIndexOf(a);
+    EXPECT_EQ(table.pairIndexOf(b), index);
+    indices.insert(index);
+  }
+  EXPECT_EQ(indices.size(), table.pairCount());
+  EXPECT_EQ(table.pairIndexOf(OpKind::AShr), -1);
+}
+
+TEST(PairsTest, OriginalTableIsLeaky) {
+  const PairTable& table = PairTable::assureOriginal();
+  EXPECT_FALSE(table.involutive());
+  // The paper's example: * is paired with +, but + is paired with -.
+  EXPECT_EQ(table.dummyFor(OpKind::Mul), OpKind::Add);
+  EXPECT_EQ(table.dummyFor(OpKind::Add), OpKind::Sub);
+  // Leakage list from Sec. 3.2: mod, xor, pow, div.
+  EXPECT_NE(table.dummyFor(table.dummyFor(OpKind::Mod)), OpKind::Mod);
+  EXPECT_NE(table.dummyFor(table.dummyFor(OpKind::Xor)), OpKind::Xor);
+  EXPECT_NE(table.dummyFor(table.dummyFor(OpKind::Pow)), OpKind::Pow);
+  EXPECT_NE(table.dummyFor(table.dummyFor(OpKind::Div)), OpKind::Div);
+}
+
+TEST(PairsTest, OriginalTableHasSymmetricSubset) {
+  const PairTable& table = PairTable::assureOriginal();
+  // Add/Sub and the comparisons behave symmetrically even in the original.
+  EXPECT_EQ(table.dummyFor(table.dummyFor(OpKind::Add)), OpKind::Add);
+  EXPECT_EQ(table.dummyFor(table.dummyFor(OpKind::Lt)), OpKind::Lt);
+}
+
+TEST(PairsTest, CanonicalPairsUnavailableForLeakyTable) {
+  EXPECT_THROW((void)PairTable::assureOriginal().pairs(), support::ContractViolation);
+  EXPECT_THROW((void)PairTable::assureOriginal().pairIndexOf(OpKind::Add),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtlock::lock

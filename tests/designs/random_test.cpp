@@ -1,0 +1,73 @@
+#include "designs/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/stats.hpp"
+#include "sim/evaluator.hpp"
+
+namespace rtlock::designs {
+namespace {
+
+TEST(RandomModuleTest, GeneratesRequestedOperationCount) {
+  support::Rng rng{1};
+  RandomModuleParams params;
+  params.operations = 25;
+  const rtl::Module m = makeRandomModule(rng, params);
+  // At least `operations` binaries (operand expressions may add more).
+  EXPECT_GE(rtl::countOps(m).total(), 25);
+}
+
+TEST(RandomModuleTest, AlwaysHasPorts) {
+  support::Rng rng{2};
+  for (int i = 0; i < 20; ++i) {
+    const rtl::Module m = makeRandomModule(rng);
+    bool hasInput = false;
+    bool hasOutput = false;
+    for (const auto id : m.ports()) {
+      if (m.signal(id).dir == rtl::PortDir::Input) hasInput = true;
+      if (m.signal(id).dir == rtl::PortDir::Output) hasOutput = true;
+    }
+    EXPECT_TRUE(hasInput && hasOutput);
+  }
+}
+
+TEST(RandomModuleTest, AlwaysSimulable) {
+  // No combinational loops, no invalid widths, across many seeds.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    support::Rng rng{seed};
+    const rtl::Module m = makeRandomModule(rng);
+    sim::Evaluator eval{m};
+    support::Rng stim{seed + 100};
+    for (const auto id : m.ports()) {
+      if (m.signal(id).dir == rtl::PortDir::Input) {
+        eval.setValue(id, sim::BitVector::random(m.signal(id).width, rng));
+      }
+    }
+    eval.settle();
+    for (const auto clock : eval.clocks()) eval.clockEdge(clock);
+    SUCCEED();
+  }
+}
+
+TEST(RandomModuleTest, CombinationalOnlyVariant) {
+  support::Rng rng{3};
+  RandomModuleParams params;
+  params.sequential = false;
+  const rtl::Module m = makeRandomModule(rng, params);
+  EXPECT_TRUE(m.processes().empty());
+}
+
+TEST(RandomModuleTest, DifferentSeedsDifferentModules) {
+  support::Rng rngA{4};
+  support::Rng rngB{5};
+  EXPECT_FALSE(structurallyEqual(makeRandomModule(rngA), makeRandomModule(rngB)));
+}
+
+TEST(RandomModuleTest, SameSeedSameModule) {
+  support::Rng rngA{6};
+  support::Rng rngB{6};
+  EXPECT_TRUE(structurallyEqual(makeRandomModule(rngA), makeRandomModule(rngB)));
+}
+
+}  // namespace
+}  // namespace rtlock::designs

@@ -1,0 +1,141 @@
+// Full-flow integration: Verilog text -> parse -> lock -> write -> reparse ->
+// simulate (equivalence) -> attack, mirroring how a downstream user drives
+// the library.
+#include <gtest/gtest.h>
+
+#include "attack/snapshot.hpp"
+#include "core/algorithms.hpp"
+#include "designs/registry.hpp"
+#include "sim/harness.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/writer.hpp"
+
+namespace rtlock {
+namespace {
+
+constexpr const char* kSource = R"(
+module mac4 (clk, x, c0, c1, y);
+  input clk;
+  input [15:0] x;
+  input [15:0] c0;
+  input [15:0] c1;
+  output [15:0] y;
+  reg [15:0] d0;
+  reg [15:0] d1;
+  wire [15:0] p0;
+  wire [15:0] p1;
+  wire [15:0] s;
+
+  assign p0 = d0 * c0;
+  assign p1 = d1 * c1;
+  assign s = p0 + p1;
+  assign y = s ^ 16'h5a5a;
+
+  always @(posedge clk) begin
+    d0 <= x;
+    d1 <= d0;
+  end
+endmodule
+)";
+
+TEST(EndToEndTest, ParseLockWriteReparseSimulate) {
+  // 1. Parse the vendor RTL.
+  rtl::Module original = verilog::parseModule(kSource);
+
+  // 2. Lock a clone with ERA.
+  rtl::Module locked = original.clone();
+  support::Rng rng{1};
+  lock::LockEngine engine{locked, lock::PairTable::fixed()};
+  const auto report = lock::eraLock(engine, engine.initialLockableOps(), rng);
+  EXPECT_GT(report.bitsUsed, 0);
+  EXPECT_DOUBLE_EQ(report.finalRestrictedMetric, 100.0);
+
+  // 3. Emit the locked design and read it back (foundry handoff).
+  const std::string lockedText = verilog::writeModule(locked);
+  const rtl::Module reparsed = verilog::parseModule(lockedText);
+  EXPECT_TRUE(structurallyEqual(locked, reparsed));
+
+  // 4. The reparsed locked design under the correct key matches the original.
+  sim::BitVector key{reparsed.keyWidth()};
+  for (const auto& record : engine.records()) key.setBit(record.keyIndex, record.keyValue);
+  support::Rng simRng{2};
+  EXPECT_TRUE(sim::functionallyEquivalent(original, reparsed, key, {}, simRng));
+
+  // 5. And under a flipped key it does not.
+  sim::BitVector wrong = key;
+  for (int i = 0; i < wrong.width(); ++i) wrong.setBit(i, !wrong.bit(i));
+  support::Rng simRng2{3};
+  EXPECT_FALSE(sim::functionallyEquivalent(original, reparsed, wrong, {}, simRng2));
+}
+
+TEST(EndToEndTest, AttackerSeesReconstructedRtlOnly) {
+  // Threat model: the attacker reverse engineers the locked RTL (here: the
+  // emitted text) and runs SnapShot on it.  ASSURE-locked imbalanced design
+  // leaks; the attack on the reparsed module must reach high KPA.
+  rtl::Module original = designs::makeBenchmark("FIR");
+  rtl::Module locked = original.clone();
+  support::Rng rng{4};
+  lock::LockEngine engine{locked, lock::PairTable::fixed()};
+  const int budget = static_cast<int>(0.75 * engine.initialLockableOps());
+  lock::assureSerialLock(engine, budget, rng);
+  const auto truth = engine.records();
+
+  rtl::Module reconstructed = verilog::parseModule(verilog::writeModule(locked));
+
+  attack::SnapshotConfig config;
+  config.relockRounds = 40;
+  config.automl.folds = 2;
+  support::Rng attackRng{5};
+  const auto result =
+      attack::snapshotAttack(reconstructed, truth, lock::PairTable::fixed(), config, attackRng);
+  EXPECT_GT(result.kpa, 80.0);  // FIR is fully imbalanced (mul/add only)
+}
+
+TEST(EndToEndTest, EraSurvivesSameFlow) {
+  rtl::Module original = designs::makeBenchmark("FIR");
+  rtl::Module locked = original.clone();
+  support::Rng rng{6};
+  lock::LockEngine engine{locked, lock::PairTable::fixed()};
+  const int budget = static_cast<int>(0.75 * engine.initialLockableOps());
+  lock::eraLock(engine, budget, rng);
+  const auto truth = engine.records();
+
+  rtl::Module reconstructed = verilog::parseModule(verilog::writeModule(locked));
+
+  attack::SnapshotConfig config;
+  config.relockRounds = 40;
+  config.automl.folds = 2;
+  support::Rng attackRng{7};
+  const auto result =
+      attack::snapshotAttack(reconstructed, truth, lock::PairTable::fixed(), config, attackRng);
+  EXPECT_LT(result.kpa, 70.0);
+}
+
+TEST(EndToEndTest, LeakyPairingIsInferable) {
+  // Sec. 3.2: under the original ASSURE table, a (*, +) pair reveals * as
+  // the real operation.  Train on relocks and verify near-perfect KPA on the
+  // mul-locked bits even though the design mixes operators.
+  rtl::Module locked = designs::makeBenchmark("RSA");
+  support::Rng rng{8};
+  lock::LockEngine engine{locked, lock::PairTable::assureOriginal()};
+  const int budget = static_cast<int>(0.75 * engine.initialLockableOps());
+  lock::assureRandomLock(engine, budget, rng);
+
+  std::vector<lock::LockRecord> mulBits;
+  for (const auto& record : engine.records()) {
+    if (record.realOp == rtl::OpKind::Mul) mulBits.push_back(record);
+  }
+  ASSERT_FALSE(mulBits.empty());
+
+  attack::SnapshotConfig config;
+  config.relockRounds = 60;
+  config.automl.folds = 2;
+  support::Rng attackRng{9};
+  const auto result =
+      attack::snapshotAttack(locked, mulBits, lock::PairTable::assureOriginal(), config,
+                             attackRng);
+  EXPECT_GT(result.kpa, 85.0);  // double-locked ops yield ambiguous (MUX, op) localities
+}
+
+}  // namespace
+}  // namespace rtlock

@@ -1,0 +1,82 @@
+#include "ml/automl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtlock::ml {
+namespace {
+
+Dataset localityLikeData(support::Rng& rng, int rows, double signal) {
+  // Mimics SnapShot localities: feature (C1, C2) with P(k=1 | (a,b)) set by
+  // an imbalance table; `signal` in [0.5, 1] controls learnability.
+  Dataset data{2};
+  for (int i = 0; i < rows; ++i) {
+    const auto c1 = static_cast<int>(rng.below(4));
+    const auto c2 = static_cast<int>(rng.below(4));
+    const double p = (c1 + c2) % 2 == 0 ? signal : 1.0 - signal;
+    data.add({static_cast<double>(c1), static_cast<double>(c2)}, rng.chance(p) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(AutoMlTest, SelectsAccurateModelOnLearnableData) {
+  support::Rng rng{1};
+  const Dataset train = localityLikeData(rng, 3000, 0.95);
+  const Dataset test = localityLikeData(rng, 1500, 0.95);
+  AutoMlConfig config;
+  config.folds = 3;
+  const AutoMlResult result = autoSelect(train, config, rng);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_GT(result.bestCvAccuracy, 0.85);
+  EXPECT_GT(accuracy(*result.model, test), 0.85);
+  EXPECT_FALSE(result.leaderboard.empty());
+}
+
+TEST(AutoMlTest, RandomLabelsYieldChanceAccuracy) {
+  support::Rng rng{2};
+  const Dataset train = localityLikeData(rng, 2000, 0.5);
+  const Dataset test = localityLikeData(rng, 1000, 0.5);
+  AutoMlConfig config;
+  const AutoMlResult result = autoSelect(train, config, rng);
+  EXPECT_NEAR(accuracy(*result.model, test), 0.5, 0.07);
+}
+
+TEST(AutoMlTest, LeaderboardSortedInsertion) {
+  support::Rng rng{3};
+  const Dataset train = localityLikeData(rng, 800, 0.9);
+  AutoMlConfig config;
+  const AutoMlResult result = autoSelect(train, config, rng);
+  // Winner's accuracy must equal the leaderboard maximum.
+  double best = 0.0;
+  for (const auto& entry : result.leaderboard) best = std::max(best, entry.cvAccuracy);
+  EXPECT_DOUBLE_EQ(result.bestCvAccuracy, best);
+}
+
+TEST(AutoMlTest, EmptyDatasetRejected) {
+  support::Rng rng{4};
+  const Dataset empty{2};
+  EXPECT_THROW((void)autoSelect(empty, {}, rng), support::ContractViolation);
+}
+
+TEST(AutoMlTest, TimeBudgetStopsSearchEarly) {
+  support::Rng rng{5};
+  const Dataset train = localityLikeData(rng, 2000, 0.9);
+  AutoMlConfig config;
+  config.timeBudgetSeconds = 0.0;  // only the first candidate fits
+  const AutoMlResult result = autoSelect(train, config, rng);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_LE(result.leaderboard.size(), 1u);
+}
+
+TEST(AutoMlTest, DeterministicGivenSeed) {
+  support::Rng dataRng{6};
+  const Dataset train = localityLikeData(dataRng, 1500, 0.9);
+  support::Rng rngA{7};
+  support::Rng rngB{7};
+  const AutoMlResult a = autoSelect(train, {}, rngA);
+  const AutoMlResult b = autoSelect(train, {}, rngB);
+  EXPECT_EQ(a.bestName, b.bestName);
+  EXPECT_DOUBLE_EQ(a.bestCvAccuracy, b.bestCvAccuracy);
+}
+
+}  // namespace
+}  // namespace rtlock::ml

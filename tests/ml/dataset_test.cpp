@@ -1,0 +1,89 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::ml {
+namespace {
+
+Dataset sample() {
+  Dataset data{2};
+  data.add({1.0, 2.0}, 1, 2.0);
+  data.add({1.0, 2.0}, 1, 3.0);
+  data.add({1.0, 2.0}, 0, 1.0);
+  data.add({4.0, 5.0}, 0, 4.0);
+  return data;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset data = sample();
+  EXPECT_EQ(data.featureCount(), 2);
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_DOUBLE_EQ(data.totalWeight(), 10.0);
+  EXPECT_DOUBLE_EQ(data.positiveFraction(), 0.5);
+}
+
+TEST(DatasetTest, ValidationRejectsBadRows) {
+  Dataset data{2};
+  EXPECT_THROW(data.add({1.0}, 0), support::ContractViolation);
+  EXPECT_THROW(data.add({1.0, 2.0}, 2), support::ContractViolation);
+  EXPECT_THROW(data.add({1.0, 2.0}, 0, 0.0), support::ContractViolation);
+}
+
+TEST(DatasetTest, AggregationMergesDuplicates) {
+  const Dataset aggregated = sample().aggregated();
+  EXPECT_EQ(aggregated.size(), 3u);  // (1,2)/1, (1,2)/0, (4,5)/0
+  EXPECT_DOUBLE_EQ(aggregated.totalWeight(), 10.0);
+  // The (1,2)/1 row accumulates weight 5.
+  bool found = false;
+  for (std::size_t i = 0; i < aggregated.size(); ++i) {
+    if (aggregated.label(i) == 1) {
+      EXPECT_DOUBLE_EQ(aggregated.weight(i), 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DatasetTest, SamplingCapsRowsAndPreservesMass) {
+  support::Rng rng{1};
+  Dataset data{1};
+  for (int i = 0; i < 1000; ++i) data.add({static_cast<double>(i)}, i % 2);
+  const Dataset sampled = data.sampled(100, rng);
+  EXPECT_EQ(sampled.size(), 100u);
+  EXPECT_NEAR(sampled.totalWeight(), 1000.0, 1e-6);
+  const Dataset untouched = data.sampled(5000, rng);
+  EXPECT_EQ(untouched.size(), 1000u);
+}
+
+TEST(DatasetTest, SplitPartitionsRows) {
+  support::Rng rng{2};
+  Dataset data{1};
+  for (int i = 0; i < 1000; ++i) data.add({static_cast<double>(i)}, i % 2);
+  const auto [train, test] = data.split(0.8, rng);
+  EXPECT_EQ(train.size() + test.size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(train.size()), 800.0, 60.0);
+}
+
+TEST(DatasetTest, KFoldCoversEveryRowExactlyOnce) {
+  support::Rng rng{3};
+  Dataset data{1};
+  for (int i = 0; i < 100; ++i) data.add({static_cast<double>(i)}, i % 2);
+  const auto folds = data.kFold(5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::size_t validationTotal = 0;
+  for (const auto& [train, validation] : folds) {
+    EXPECT_EQ(train.size() + validation.size(), 100u);
+    validationTotal += validation.size();
+  }
+  EXPECT_EQ(validationTotal, 100u);
+}
+
+TEST(DatasetTest, KFoldNeedsTwoFolds) {
+  support::Rng rng{4};
+  EXPECT_THROW((void)sample().kFold(1, rng), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtlock::ml

@@ -1,0 +1,188 @@
+// Every model family must (a) learn a linearly separable problem, (b) learn
+// the categorical majority-vote problem that SnapShot localities reduce to,
+// and (c) respect instance weights.
+#include <gtest/gtest.h>
+
+#include "ml/baseline.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/tree.hpp"
+
+namespace rtlock::ml {
+namespace {
+
+/// y = 1 iff x0 + x1 > 10, with a margin.
+Dataset separableData(support::Rng& rng, int rows) {
+  Dataset data{2};
+  for (int i = 0; i < rows; ++i) {
+    const double x0 = rng.uniform(0.0, 10.0);
+    const double x1 = rng.uniform(0.0, 10.0);
+    const double sum = x0 + x1;
+    if (sum > 9.0 && sum < 11.0) continue;  // margin
+    data.add({x0, x1}, sum > 10.0 ? 1 : 0);
+  }
+  return data;
+}
+
+/// Categorical majority problem: P(y=1 | x0=a) = table[a]; Bayes accuracy is
+/// the mean of max(p, 1-p).
+Dataset categoricalData(support::Rng& rng, int rows) {
+  const double table[4] = {0.9, 0.2, 0.7, 0.4};
+  Dataset data{2};
+  for (int i = 0; i < rows; ++i) {
+    const auto category = static_cast<int>(rng.below(4));
+    const auto other = static_cast<int>(rng.below(3));
+    data.add({static_cast<double>(category), static_cast<double>(other)},
+             rng.chance(table[category]) ? 1 : 0);
+  }
+  return data;
+}
+
+std::vector<std::unique_ptr<Classifier>> allModels() {
+  std::vector<std::unique_ptr<Classifier>> models;
+  models.push_back(std::make_unique<HistogramClassifier>());
+  models.push_back(std::make_unique<CategoricalNaiveBayes>());
+  models.push_back(std::make_unique<GaussianNaiveBayes>());
+  models.push_back(std::make_unique<LogisticRegression>());
+  models.push_back(std::make_unique<DecisionTree>());
+  models.push_back(std::make_unique<RandomForest>());
+  models.push_back(std::make_unique<KnnClassifier>());
+  models.push_back(std::make_unique<MlpClassifier>());
+  return models;
+}
+
+TEST(ModelsTest, AllModelsLearnSeparableProblem) {
+  support::Rng rng{1};
+  const Dataset train = separableData(rng, 800);
+  const Dataset test = separableData(rng, 400);
+  for (auto& model : allModels()) {
+    if (model->name().rfind("histogram", 0) == 0 ||
+        model->name().rfind("categorical", 0) == 0) {
+      continue;  // table models do not generalize continuous features
+    }
+    support::Rng fitRng{2};
+    model->fit(train, fitRng);
+    EXPECT_GT(accuracy(*model, test), 0.9) << model->name();
+  }
+}
+
+TEST(ModelsTest, AllModelsLearnCategoricalMajority) {
+  support::Rng rng{3};
+  const Dataset train = categoricalData(rng, 4000);
+  const Dataset test = categoricalData(rng, 2000);
+  // Bayes accuracy = mean(0.9, 0.8, 0.7, 0.6) = 0.75.  The mapping category
+  // -> P(y=1) is non-monotone in the raw code, which linear/distance models
+  // cannot represent without one-hot features — they only need to beat the
+  // majority floor; table and tree models must approach the Bayes rate.
+  for (auto& model : allModels()) {
+    support::Rng fitRng{4};
+    model->fit(train, fitRng);
+    const std::string name = model->name();
+    const bool linearFamily = name.rfind("gaussian", 0) == 0 ||
+                              name.rfind("logistic", 0) == 0 || name.rfind("knn", 0) == 0;
+    const double floor = linearFamily ? 0.45 : 0.65;
+    EXPECT_GT(accuracy(*model, test), floor) << name;
+    EXPECT_LT(accuracy(*model, test), 0.85) << name;
+  }
+}
+
+TEST(ModelsTest, MajorityClassifierMatchesPrior) {
+  Dataset data{1};
+  for (int i = 0; i < 10; ++i) data.add({0.0}, i < 7 ? 1 : 0);
+  MajorityClassifier model;
+  support::Rng rng{5};
+  model.fit(data, rng);
+  EXPECT_NEAR(model.predictProba({0.0}), 0.7, 1e-9);
+  EXPECT_EQ(model.predict({123.0}), 1);
+}
+
+TEST(ModelsTest, HistogramRespectsWeights) {
+  Dataset data{1};
+  data.add({1.0}, 1, 10.0);
+  data.add({1.0}, 0, 1.0);
+  data.add({2.0}, 0, 10.0);
+  data.add({2.0}, 1, 1.0);
+  HistogramClassifier model{0.0};
+  support::Rng rng{6};
+  model.fit(data, rng);
+  EXPECT_EQ(model.predict({1.0}), 1);
+  EXPECT_EQ(model.predict({2.0}), 0);
+  EXPECT_NEAR(model.predictProba({1.0}), 10.0 / 11.0, 1e-9);
+}
+
+TEST(ModelsTest, HistogramFallsBackToPriorOnUnseen) {
+  Dataset data{1};
+  data.add({1.0}, 1, 3.0);
+  data.add({2.0}, 0, 1.0);
+  HistogramClassifier model;
+  support::Rng rng{7};
+  model.fit(data, rng);
+  EXPECT_NEAR(model.predictProba({999.0}), 0.75, 1e-9);
+}
+
+TEST(ModelsTest, WeightedDataEquivalentToRepeatedRows) {
+  // A weighted dataset and its expansion must produce the same tree.
+  Dataset weighted{1};
+  weighted.add({1.0}, 1, 5.0);
+  weighted.add({2.0}, 0, 5.0);
+  weighted.add({1.0}, 0, 1.0);
+
+  Dataset expanded{1};
+  for (int i = 0; i < 5; ++i) expanded.add({1.0}, 1);
+  for (int i = 0; i < 5; ++i) expanded.add({2.0}, 0);
+  expanded.add({1.0}, 0);
+
+  DecisionTree a;
+  DecisionTree b;
+  support::Rng rngA{8};
+  support::Rng rngB{8};
+  a.fit(weighted, rngA);
+  b.fit(expanded, rngB);
+  for (const double x : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    EXPECT_NEAR(a.predictProba({x}), b.predictProba({x}), 1e-9) << x;
+  }
+}
+
+TEST(ModelsTest, TreeDepthZeroIsLeaf) {
+  support::Rng rng{9};
+  Dataset data{1};
+  for (int i = 0; i < 20; ++i) data.add({static_cast<double>(i)}, i < 15 ? 1 : 0);
+  TreeHyper hyper;
+  hyper.maxDepth = 0;
+  DecisionTree model{hyper};
+  model.fit(data, rng);
+  EXPECT_NEAR(model.predictProba({0.0}), 0.75, 1e-9);
+  EXPECT_NEAR(model.predictProba({19.0}), 0.75, 1e-9);
+}
+
+TEST(ModelsTest, FreshProducesUntrainedCopy) {
+  support::Rng rng{10};
+  const Dataset train = categoricalData(rng, 500);
+  for (auto& model : allModels()) {
+    auto copy = model->fresh();
+    EXPECT_EQ(copy->name(), model->name());
+    EXPECT_NEAR(copy->predictProba({0.0, 0.0}), 0.5, 0.5);  // must not crash
+  }
+}
+
+TEST(ModelsTest, PredictProbaInUnitInterval) {
+  support::Rng rng{11};
+  const Dataset train = categoricalData(rng, 1000);
+  for (auto& model : allModels()) {
+    support::Rng fitRng{12};
+    model->fit(train, fitRng);
+    for (int trial = 0; trial < 50; ++trial) {
+      const FeatureRow row{static_cast<double>(rng.below(6)),
+                           static_cast<double>(rng.below(6))};
+      const double proba = model->predictProba(row);
+      EXPECT_GE(proba, 0.0) << model->name();
+      EXPECT_LE(proba, 1.0) << model->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlock::ml

@@ -1,0 +1,84 @@
+#include "rtl/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtlock::rtl {
+namespace {
+
+TEST(BuilderTest, CombinationalChain) {
+  ModuleBuilder b{"chain"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto w = b.wire("w", 8);
+  const auto y = b.output("y", 8);
+  b.assign(w, b.add(b.ref(a), b.ref(c)));
+  b.assign(y, b.mul(b.ref(w), b.lit(3, 8)));
+  const Module m = b.take();
+  EXPECT_EQ(m.contAssigns().size(), 2u);
+  EXPECT_EQ(m.contAssigns()[0]->value().kind(), ExprKind::Binary);
+}
+
+TEST(BuilderTest, RegAssignCreatesOneProcessPerClock) {
+  ModuleBuilder b{"seq"};
+  const auto clk = b.input("clk", 1);
+  const auto d = b.input("d", 4);
+  const auto q0 = b.reg("q0", 4);
+  const auto q1 = b.reg("q1", 4);
+  b.regAssign(clk, q0, b.ref(d));
+  b.regAssign(clk, q1, b.ref(q0));
+  const Module m = b.take();
+  ASSERT_EQ(m.processes().size(), 1u);
+  EXPECT_EQ(m.processes()[0]->kind, ProcessKind::Sequential);
+  EXPECT_EQ(m.processes()[0]->clock, clk);
+  EXPECT_EQ(static_cast<const BlockStmt&>(*m.processes()[0]->body).size(), 2);
+}
+
+TEST(BuilderTest, TwoClocksTwoProcesses) {
+  ModuleBuilder b{"dualclk"};
+  const auto clkA = b.input("clk_a", 1);
+  const auto clkB = b.input("clk_b", 1);
+  const auto d = b.input("d", 4);
+  const auto qa = b.reg("qa", 4);
+  const auto qb = b.reg("qb", 4);
+  b.regAssign(clkA, qa, b.ref(d));
+  b.regAssign(clkB, qb, b.ref(d));
+  const Module m = b.take();
+  EXPECT_EQ(m.processes().size(), 2u);
+}
+
+TEST(BuilderTest, SliceAndConcatHelpers) {
+  ModuleBuilder b{"bits"};
+  const auto x = b.input("x", 8);
+  const auto y = b.output("y", 8);
+  std::vector<ExprPtr> parts;
+  parts.push_back(b.slice(b.ref(x), 3, 0));
+  parts.push_back(b.slice(b.ref(x), 7, 4));
+  b.assign(y, b.concat(std::move(parts)));
+  const Module m = b.take();
+  EXPECT_EQ(m.contAssigns()[0]->value().width(), 8);
+}
+
+TEST(BuilderTest, MuxHelper) {
+  ModuleBuilder b{"muxer"};
+  const auto s = b.input("s", 1);
+  const auto p = b.input("p", 8);
+  const auto q = b.input("q", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(b.ref(s), b.ref(p), b.ref(q)));
+  const Module m = b.take();
+  EXPECT_EQ(m.contAssigns()[0]->value().kind(), ExprKind::Ternary);
+}
+
+TEST(BuilderTest, AssignSlice) {
+  ModuleBuilder b{"partial"};
+  const auto x = b.input("x", 4);
+  const auto y = b.output("y", 8);
+  b.assignSlice(y, 3, 0, b.ref(x));
+  b.assignSlice(y, 7, 4, b.notE(b.ref(x)));
+  const Module m = b.take();
+  ASSERT_EQ(m.contAssigns().size(), 2u);
+  EXPECT_EQ(m.contAssigns()[0]->target().range, std::make_pair(3, 0));
+}
+
+}  // namespace
+}  // namespace rtlock::rtl

@@ -1,0 +1,111 @@
+#include "rtl/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::rtl {
+namespace {
+
+TEST(ModuleTest, SignalDeclarationAndLookup) {
+  Module m{"top"};
+  const auto a = m.addInput("a", 8);
+  const auto y = m.addOutput("y", 8);
+  const auto w = m.addWire("w", 4);
+  EXPECT_EQ(m.signalCount(), 3u);
+  EXPECT_EQ(m.signal(a).name, "a");
+  EXPECT_TRUE(m.signal(a).isPort);
+  EXPECT_EQ(m.signal(a).dir, PortDir::Input);
+  EXPECT_EQ(m.signal(y).dir, PortDir::Output);
+  EXPECT_FALSE(m.signal(w).isPort);
+  EXPECT_EQ(m.findSignal("w"), std::optional<SignalId>{w});
+  EXPECT_FALSE(m.findSignal("missing").has_value());
+}
+
+TEST(ModuleTest, DuplicateSignalNameThrows) {
+  Module m{"top"};
+  m.addInput("a", 8);
+  EXPECT_THROW(m.addWire("a", 4), support::ContractViolation);
+}
+
+TEST(ModuleTest, KeyPortNameCollisionThrows) {
+  Module m{"top"};
+  EXPECT_THROW(m.addWire("lock_key", 4), support::ContractViolation);
+}
+
+TEST(ModuleTest, PortsInDeclarationOrder) {
+  Module m{"top"};
+  m.addInput("clk", 1);
+  m.addWire("internal", 8);
+  m.addOutput("q", 8);
+  const auto ports = m.ports();
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(m.signal(ports[0]).name, "clk");
+  EXPECT_EQ(m.signal(ports[1]).name, "q");
+}
+
+TEST(ModuleTest, KeyAllocationAndRewind) {
+  Module m{"top"};
+  EXPECT_EQ(m.keyWidth(), 0);
+  EXPECT_EQ(m.allocateKeyBits(1), 0);
+  EXPECT_EQ(m.allocateKeyBits(4), 1);
+  EXPECT_EQ(m.keyWidth(), 5);
+  m.setKeyWidth(1);
+  EXPECT_EQ(m.keyWidth(), 1);
+  EXPECT_EQ(m.allocateKeyBits(2), 1);
+}
+
+TEST(ModuleTest, CloneIsStructurallyEqual) {
+  Module m{"top"};
+  const auto a = m.addInput("a", 8);
+  const auto b = m.addInput("b", 8);
+  const auto y = m.addOutput("y", 8);
+  m.addContAssign(LValue{y, std::nullopt},
+                  makeBinary(OpKind::Add, makeSignalRef(a, 8), makeSignalRef(b, 8)));
+  const auto clk = m.addInput("clk", 1);
+  auto body = makeBlock();
+  static_cast<BlockStmt&>(*body).append(
+      makeAssign(LValue{y, std::nullopt}, makeSignalRef(a, 8), true));
+  m.addProcess(ProcessKind::Sequential, clk, std::move(body));
+  m.allocateKeyBits(3);
+
+  const Module copy = m.clone();
+  EXPECT_TRUE(structurallyEqual(m, copy));
+  EXPECT_EQ(copy.keyWidth(), 3);
+}
+
+TEST(ModuleTest, CloneIsIndependent) {
+  Module m{"top"};
+  const auto a = m.addInput("a", 8);
+  const auto y = m.addOutput("y", 8);
+  m.addContAssign(LValue{y, std::nullopt}, makeSignalRef(a, 8));
+  Module copy = m.clone();
+  copy.contAssigns()[0]->exprSlotAt(0) = makeConstant(0, 8);
+  EXPECT_FALSE(structurallyEqual(m, copy));
+}
+
+TEST(ModuleTest, StructuralEqualityDiscriminates) {
+  Module a{"top"};
+  a.addInput("x", 8);
+  Module b{"top"};
+  b.addInput("x", 4);  // different width
+  EXPECT_FALSE(structurallyEqual(a, b));
+  Module c{"other"};
+  c.addInput("x", 8);
+  EXPECT_FALSE(structurallyEqual(a, c));
+}
+
+TEST(DesignTest, TopSelection) {
+  Design design;
+  design.addModule(Module{"alpha"});
+  design.addModule(Module{"beta"});
+  EXPECT_EQ(design.top().name(), "alpha");
+  design.setTop("beta");
+  EXPECT_EQ(design.top().name(), "beta");
+  EXPECT_THROW(design.setTop("gamma"), support::Error);
+  EXPECT_NE(design.findModule("alpha"), nullptr);
+  EXPECT_EQ(design.findModule("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace rtlock::rtl

@@ -1,0 +1,79 @@
+#include "rtl/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtlock::rtl {
+namespace {
+
+TEST(OpsTest, TokensMatchVerilogSpelling) {
+  EXPECT_EQ(opToken(OpKind::Add), "+");
+  EXPECT_EQ(opToken(OpKind::Pow), "**");
+  EXPECT_EQ(opToken(OpKind::AShr), ">>>");
+  EXPECT_EQ(opToken(OpKind::Xnor), "~^");
+  EXPECT_EQ(opToken(OpKind::LOr), "||");
+}
+
+TEST(OpsTest, NamesRoundTrip) {
+  for (int k = 0; k < kOpKindCount; ++k) {
+    const auto kind = static_cast<OpKind>(k);
+    const auto parsed = opFromName(opName(kind));
+    ASSERT_TRUE(parsed.has_value()) << opName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(OpsTest, UnknownNameIsEmpty) { EXPECT_FALSE(opFromName("bogus").has_value()); }
+
+TEST(OpsTest, ComparisonClassification) {
+  EXPECT_TRUE(isComparison(OpKind::Lt));
+  EXPECT_TRUE(isComparison(OpKind::Ne));
+  EXPECT_FALSE(isComparison(OpKind::Add));
+  EXPECT_FALSE(isComparison(OpKind::LAnd));
+}
+
+TEST(OpsTest, LogicalClassification) {
+  EXPECT_TRUE(isLogical(OpKind::LAnd));
+  EXPECT_TRUE(isLogical(OpKind::LOr));
+  EXPECT_FALSE(isLogical(OpKind::And));
+}
+
+TEST(OpsTest, ShiftClassification) {
+  EXPECT_TRUE(isShift(OpKind::Shl));
+  EXPECT_TRUE(isShift(OpKind::Shr));
+  EXPECT_TRUE(isShift(OpKind::AShr));
+  EXPECT_FALSE(isShift(OpKind::Mul));
+}
+
+TEST(OpsTest, ResultWidthRules) {
+  EXPECT_EQ(resultWidth(OpKind::Add, 8, 16), 16);
+  EXPECT_EQ(resultWidth(OpKind::Mul, 32, 4), 32);
+  EXPECT_EQ(resultWidth(OpKind::Shl, 8, 3), 8);
+  EXPECT_EQ(resultWidth(OpKind::Lt, 8, 16), 1);
+  EXPECT_EQ(resultWidth(OpKind::LAnd, 8, 8), 1);
+  EXPECT_EQ(resultWidth(OpKind::Eq, 64, 64), 1);
+  EXPECT_EQ(resultWidth(OpKind::Pow, 16, 4), 16);
+}
+
+TEST(OpsTest, UnaryResultWidths) {
+  EXPECT_EQ(unaryResultWidth(UnaryOp::Neg, 8), 8);
+  EXPECT_EQ(unaryResultWidth(UnaryOp::BitNot, 16), 16);
+  EXPECT_EQ(unaryResultWidth(UnaryOp::LogNot, 16), 1);
+  EXPECT_EQ(unaryResultWidth(UnaryOp::RedXor, 32), 1);
+}
+
+TEST(OpsTest, PrecedenceOrdering) {
+  // Verilog: ** > */% > +- > shifts > compares > ==/!= > & > ^ > | > && > ||
+  EXPECT_GT(opPrecedence(OpKind::Pow), opPrecedence(OpKind::Mul));
+  EXPECT_GT(opPrecedence(OpKind::Mul), opPrecedence(OpKind::Add));
+  EXPECT_GT(opPrecedence(OpKind::Add), opPrecedence(OpKind::Shl));
+  EXPECT_GT(opPrecedence(OpKind::Shl), opPrecedence(OpKind::Lt));
+  EXPECT_GT(opPrecedence(OpKind::Lt), opPrecedence(OpKind::Eq));
+  EXPECT_GT(opPrecedence(OpKind::Eq), opPrecedence(OpKind::And));
+  EXPECT_GT(opPrecedence(OpKind::And), opPrecedence(OpKind::Xor));
+  EXPECT_GT(opPrecedence(OpKind::Xor), opPrecedence(OpKind::Or));
+  EXPECT_GT(opPrecedence(OpKind::Or), opPrecedence(OpKind::LAnd));
+  EXPECT_GT(opPrecedence(OpKind::LAnd), opPrecedence(OpKind::LOr));
+}
+
+}  // namespace
+}  // namespace rtlock::rtl

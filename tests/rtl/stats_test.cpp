@@ -1,0 +1,88 @@
+#include "rtl/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+#include "rtl/traverse.hpp"
+
+namespace rtlock::rtl {
+namespace {
+
+Module sampleModule() {
+  ModuleBuilder b{"sample"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto w0 = b.wire("w0", 8);
+  const auto w1 = b.wire("w1", 8);
+  const auto y = b.output("y", 8);
+  b.assign(w0, b.add(b.ref(a), b.ref(c)));
+  b.assign(w1, b.sub(b.ref(w0), b.mul(b.ref(a), b.ref(c))));
+  b.assign(y, b.mux(b.bin(OpKind::Gt, b.ref(w0), b.ref(w1)), b.ref(w0), b.ref(w1)));
+  return b.take();
+}
+
+TEST(StatsTest, CountsPerKind) {
+  const Module m = sampleModule();
+  const OpCounts counts = countOps(m);
+  EXPECT_EQ(counts.of(OpKind::Add), 1);
+  EXPECT_EQ(counts.of(OpKind::Sub), 1);
+  EXPECT_EQ(counts.of(OpKind::Mul), 1);
+  EXPECT_EQ(counts.of(OpKind::Gt), 1);
+  EXPECT_EQ(counts.of(OpKind::Div), 0);
+  EXPECT_EQ(counts.total(), 4);
+}
+
+TEST(StatsTest, CountsIncludeStatementExpressions) {
+  ModuleBuilder b{"seq"};
+  const auto clk = b.input("clk", 1);
+  const auto d = b.input("d", 8);
+  const auto q = b.reg("q", 8);
+  b.regAssign(clk, q, b.add(b.ref(q), b.ref(d)));
+  const Module m = b.take();
+  EXPECT_EQ(countOps(m).of(OpKind::Add), 1);
+}
+
+TEST(StatsTest, ModuleStatsFields) {
+  const Module m = sampleModule();
+  const ModuleStats stats = computeStats(m);
+  EXPECT_EQ(stats.signals, 5);
+  EXPECT_EQ(stats.ports, 3);
+  EXPECT_EQ(stats.contAssigns, 3);
+  EXPECT_EQ(stats.processes, 0);
+  EXPECT_EQ(stats.binaryOps, 4);
+  EXPECT_EQ(stats.keyMuxes, 0);
+  EXPECT_EQ(stats.keyWidth, 0);
+  EXPECT_GE(stats.maxExprDepth, 2);
+}
+
+TEST(StatsTest, KeyMuxCounting) {
+  ModuleBuilder b{"locked"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(makeKeyRef(0), b.add(b.ref(a), b.lit(1, 8)),
+                    b.sub(b.ref(a), b.lit(1, 8))));
+  Module m = b.take();
+  m.allocateKeyBits(1);
+  const ModuleStats stats = computeStats(m);
+  EXPECT_EQ(stats.keyMuxes, 1);
+  EXPECT_EQ(stats.keyWidth, 1);
+}
+
+TEST(StatsTest, TraversalVisitsEverySlotOnce) {
+  Module m = sampleModule();
+  int slots = 0;
+  forEachExprSlot(m, [&slots](const ExprSlot&) { ++slots; });
+  int exprs = 0;
+  forEachExpr(m, [&exprs](const Expr&) { ++exprs; });
+  EXPECT_EQ(slots, exprs);
+  EXPECT_GT(slots, 10);
+}
+
+TEST(StatsTest, OpCountsEquality) {
+  const Module m = sampleModule();
+  EXPECT_EQ(countOps(m), countOps(m));
+  EXPECT_FALSE(countOps(m) == OpCounts{});
+}
+
+}  // namespace
+}  // namespace rtlock::rtl

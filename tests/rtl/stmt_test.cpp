@@ -1,0 +1,100 @@
+#include "rtl/stmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::rtl {
+namespace {
+
+StmtPtr sampleIf() {
+  return makeIf(makeBinary(OpKind::Gt, makeSignalRef(0, 8), makeSignalRef(1, 8)),
+                makeAssign(LValue{2, std::nullopt}, makeConstant(1, 8), false),
+                makeAssign(LValue{2, std::nullopt}, makeConstant(0, 8), false));
+}
+
+TEST(StmtTest, BlockAppendsAndCounts) {
+  auto block = makeBlock();
+  auto& body = static_cast<BlockStmt&>(*block);
+  EXPECT_EQ(body.size(), 0);
+  body.append(sampleIf());
+  body.append(makeAssign(LValue{0, std::nullopt}, makeConstant(1, 4), true));
+  EXPECT_EQ(body.size(), 2);
+  EXPECT_EQ(body.stmtSlotCount(), 2);
+  EXPECT_EQ(body.exprSlotCount(), 0);
+}
+
+TEST(StmtTest, IfSlots) {
+  auto stmt = sampleIf();
+  auto& ifStmt = static_cast<IfStmt&>(*stmt);
+  EXPECT_TRUE(ifStmt.hasElse());
+  EXPECT_EQ(ifStmt.exprSlotCount(), 1);
+  EXPECT_EQ(ifStmt.stmtSlotCount(), 2);
+  EXPECT_EQ(ifStmt.cond().kind(), ExprKind::Binary);
+}
+
+TEST(StmtTest, IfWithoutElse) {
+  auto stmt = makeIf(makeSignalRef(0, 1),
+                     makeAssign(LValue{1, std::nullopt}, makeConstant(1, 1), false));
+  auto& ifStmt = static_cast<IfStmt&>(*stmt);
+  EXPECT_FALSE(ifStmt.hasElse());
+  EXPECT_EQ(ifStmt.stmtSlotCount(), 1);
+  EXPECT_THROW((void)ifStmt.stmtSlotAt(1), support::ContractViolation);
+}
+
+TEST(StmtTest, CaseStructure) {
+  std::vector<CaseItem> items;
+  CaseItem item0;
+  item0.labels = {0, 1};
+  item0.body = makeAssign(LValue{1, std::nullopt}, makeConstant(1, 2), false);
+  items.push_back(std::move(item0));
+  auto stmt = makeCase(makeSignalRef(0, 2), std::move(items),
+                       makeAssign(LValue{1, std::nullopt}, makeConstant(0, 2), false));
+  auto& caseStmt = static_cast<CaseStmt&>(*stmt);
+  EXPECT_TRUE(caseStmt.hasDefault());
+  EXPECT_EQ(caseStmt.stmtSlotCount(), 2);  // one arm + default
+  EXPECT_EQ(caseStmt.exprSlotCount(), 1);
+}
+
+TEST(StmtTest, CaseWithoutLabelsThrows) {
+  std::vector<CaseItem> items;
+  CaseItem bad;
+  bad.body = makeAssign(LValue{0, std::nullopt}, makeConstant(0, 1), false);
+  items.push_back(std::move(bad));
+  EXPECT_THROW(makeCase(makeSignalRef(0, 2), std::move(items)), support::ContractViolation);
+}
+
+TEST(StmtTest, AssignSliceTarget) {
+  auto stmt = makeAssign(LValue{3, std::make_pair(7, 4)}, makeConstant(5, 4), true);
+  auto& assign = static_cast<AssignStmt&>(*stmt);
+  EXPECT_TRUE(assign.nonBlocking());
+  EXPECT_FALSE(assign.target().wholeSignal());
+  EXPECT_EQ(assign.target().range->first, 7);
+}
+
+TEST(StmtTest, CloneIsDeepAndEqual) {
+  auto original = sampleIf();
+  auto copy = original->clone();
+  EXPECT_TRUE(structurallyEqual(*original, *copy));
+}
+
+TEST(StmtTest, EqualityDiscriminatesStructure) {
+  auto a = sampleIf();
+  auto b = makeIf(makeBinary(OpKind::Gt, makeSignalRef(0, 8), makeSignalRef(1, 8)),
+                  makeAssign(LValue{2, std::nullopt}, makeConstant(1, 8), false));
+  EXPECT_FALSE(structurallyEqual(*a, *b));  // else missing
+  auto c = makeAssign(LValue{0, std::nullopt}, makeConstant(0, 1), false);
+  EXPECT_FALSE(structurallyEqual(*a, *c));  // different kind
+}
+
+TEST(StmtTest, NestedBlockClone) {
+  auto inner = makeBlock();
+  static_cast<BlockStmt&>(*inner).append(sampleIf());
+  auto outer = makeBlock();
+  static_cast<BlockStmt&>(*outer).append(std::move(inner));
+  auto copy = outer->clone();
+  EXPECT_TRUE(structurallyEqual(*outer, *copy));
+}
+
+}  // namespace
+}  // namespace rtlock::rtl

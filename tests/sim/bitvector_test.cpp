@@ -1,0 +1,162 @@
+#include "sim/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::sim {
+namespace {
+
+TEST(BitVectorTest, ConstructionAndMasking) {
+  const BitVector v{0xFFFF, 8};
+  EXPECT_EQ(v.width(), 8);
+  EXPECT_EQ(v.toUint64(), 0xFFu);
+  EXPECT_THROW(BitVector(0, 0), support::ContractViolation);
+}
+
+TEST(BitVectorTest, BitAccess) {
+  BitVector v{0b1010, 4};
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  v.setBit(0, true);
+  EXPECT_EQ(v.toUint64(), 0b1011u);
+  EXPECT_THROW((void)v.bit(4), support::ContractViolation);
+}
+
+TEST(BitVectorTest, WideVectorsAcrossWords) {
+  BitVector v{100};
+  v.setBit(99, true);
+  v.setBit(0, true);
+  EXPECT_TRUE(v.bit(99));
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.popcount(), 2);
+}
+
+// Property sweep: arithmetic on widths <= 64 must match native integer
+// arithmetic masked to the width.
+class ArithmeticProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithmeticProperty, MatchesNativeArithmetic) {
+  const int width = GetParam();
+  support::Rng rng{static_cast<std::uint64_t>(width) * 17};
+  const std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng() & mask;
+    const std::uint64_t b = rng() & mask;
+    const BitVector va{a, width};
+    const BitVector vb{b, width};
+    EXPECT_EQ(BitVector::add(va, vb, width).toUint64(), (a + b) & mask);
+    EXPECT_EQ(BitVector::sub(va, vb, width).toUint64(), (a - b) & mask);
+    EXPECT_EQ(BitVector::mul(va, vb, width).toUint64(), (a * b) & mask);
+    EXPECT_EQ(BitVector::bitAnd(va, vb, width).toUint64(), a & b);
+    EXPECT_EQ(BitVector::bitOr(va, vb, width).toUint64(), a | b);
+    EXPECT_EQ(BitVector::bitXor(va, vb, width).toUint64(), a ^ b);
+    EXPECT_EQ(BitVector::bitXnor(va, vb, width).toUint64(), ~(a ^ b) & mask);
+    EXPECT_EQ(BitVector::bitNot(va, width).toUint64(), ~a & mask);
+    EXPECT_EQ(BitVector::neg(va, width).toUint64(), (0 - a) & mask);
+    EXPECT_EQ(BitVector::ult(va, vb), a < b);
+    EXPECT_EQ(BitVector::ule(va, vb), a <= b);
+    EXPECT_EQ(BitVector::eq(va, vb), a == b);
+    if (b != 0) {
+      EXPECT_EQ(BitVector::div(va, vb, width).toUint64(), (a / b) & mask);
+      EXPECT_EQ(BitVector::mod(va, vb, width).toUint64(), (a % b) & mask);
+    }
+    const int shift = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+    const BitVector vs{static_cast<std::uint64_t>(shift), 8};
+    EXPECT_EQ(BitVector::shl(va, vs, width).toUint64(), (a << shift) & mask);
+    EXPECT_EQ(BitVector::shr(va, vs, width).toUint64(), (a & mask) >> shift);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ArithmeticProperty, ::testing::Values(1, 4, 8, 16, 31, 32, 63, 64));
+
+TEST(BitVectorTest, DivisionByZeroIsAllOnes) {
+  const BitVector a{5, 8};
+  const BitVector zero{0, 8};
+  EXPECT_EQ(BitVector::div(a, zero, 8).toUint64(), 0xFFu);
+  EXPECT_EQ(BitVector::mod(a, zero, 8).toUint64(), 0xFFu);
+}
+
+TEST(BitVectorTest, PowMatchesRepeatedMultiplication) {
+  const BitVector base{3, 16};
+  const BitVector exp{5, 16};
+  EXPECT_EQ(BitVector::pow(base, exp, 16).toUint64(), 243u);
+  EXPECT_EQ(BitVector::pow(base, BitVector{0, 16}, 16).toUint64(), 1u);
+}
+
+TEST(BitVectorTest, ShiftBeyondWidthIsZero) {
+  const BitVector a{0xFF, 8};
+  EXPECT_EQ(BitVector::shl(a, BitVector{8, 8}, 8).toUint64(), 0u);
+  EXPECT_EQ(BitVector::shr(a, BitVector{9, 8}, 8).toUint64(), 0u);
+}
+
+TEST(BitVectorTest, MultiWordShifts) {
+  BitVector v{1, 128};
+  const BitVector by100{100, 8};
+  const BitVector shifted = BitVector::shl(v, by100, 128);
+  EXPECT_TRUE(shifted.bit(100));
+  EXPECT_EQ(shifted.popcount(), 1);
+  const BitVector back = BitVector::shr(shifted, by100, 128);
+  EXPECT_TRUE(back.bit(0));
+  EXPECT_EQ(back.popcount(), 1);
+}
+
+TEST(BitVectorTest, MultiWordAddCarries) {
+  BitVector ones{128};
+  for (int i = 0; i < 64; ++i) ones.setBit(i, true);  // low word all ones
+  const BitVector one{1, 128};
+  const BitVector sum = BitVector::add(ones, one, 128);
+  EXPECT_TRUE(sum.bit(64));
+  EXPECT_EQ(sum.popcount(), 1);
+}
+
+TEST(BitVectorTest, SliceAndConcat) {
+  const BitVector v{0xABCD, 16};
+  EXPECT_EQ(v.slice(7, 0).toUint64(), 0xCDu);
+  EXPECT_EQ(v.slice(15, 8).toUint64(), 0xABu);
+  EXPECT_EQ(v.slice(11, 4).toUint64(), 0xBCu);
+
+  const BitVector hi{0xAB, 8};
+  const BitVector lo{0xCD, 8};
+  const BitVector joined = BitVector::concat({hi, lo});
+  EXPECT_EQ(joined.width(), 16);
+  EXPECT_EQ(joined.toUint64(), 0xABCDu);
+}
+
+TEST(BitVectorTest, InsertWritesField) {
+  BitVector v{0, 16};
+  v.insert(4, BitVector{0xF, 4});
+  EXPECT_EQ(v.toUint64(), 0xF0u);
+}
+
+TEST(BitVectorTest, ResizeExtendsAndTruncates) {
+  const BitVector v{0xFF, 8};
+  EXPECT_EQ(v.resized(16).toUint64(), 0xFFu);
+  EXPECT_EQ(v.resized(4).toUint64(), 0xFu);
+  EXPECT_EQ(v.resized(4).width(), 4);
+}
+
+TEST(BitVectorTest, HammingDistance) {
+  EXPECT_EQ(BitVector::hammingDistance(BitVector{0b1100, 4}, BitVector{0b1010, 4}), 2);
+  EXPECT_EQ(BitVector::hammingDistance(BitVector{0, 4}, BitVector{0xF, 4}), 4);
+  EXPECT_THROW(BitVector::hammingDistance(BitVector{0, 4}, BitVector{0, 5}),
+               support::ContractViolation);
+}
+
+TEST(BitVectorTest, RandomRespectsWidth) {
+  support::Rng rng{1};
+  for (int i = 0; i < 50; ++i) {
+    const BitVector v = BitVector::random(12, rng);
+    EXPECT_EQ(v.width(), 12);
+    EXPECT_LT(v.toUint64(), 1u << 12);
+  }
+}
+
+TEST(BitVectorTest, BinaryStringRendering) {
+  EXPECT_EQ(BitVector(0b101, 3).toBinaryString(), "101");
+  EXPECT_EQ(BitVector(0, 2).toBinaryString(), "00");
+}
+
+}  // namespace
+}  // namespace rtlock::sim

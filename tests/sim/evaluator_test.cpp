@@ -1,0 +1,232 @@
+#include "sim/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+#include "verilog/parser.hpp"
+
+namespace rtlock::sim {
+namespace {
+
+TEST(EvaluatorTest, CombinationalAdder) {
+  rtl::ModuleBuilder b{"adder"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.add(b.ref(a), b.ref(c)));
+  const rtl::Module m = b.take();
+
+  Evaluator eval{m};
+  eval.setValue(a, BitVector{200, 8});
+  eval.setValue(c, BitVector{100, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), (200 + 100) & 0xFF);
+}
+
+TEST(EvaluatorTest, AssignChainsFollowDependencyOrder) {
+  // Declared out of dependency order on purpose: y reads w2, w2 reads w1.
+  const auto m = verilog::parseModule(R"(
+    module chain (input [7:0] a, output [7:0] y);
+      wire [7:0] w1, w2;
+      assign y = w2 + 8'd1;
+      assign w2 = w1 * 8'd2;
+      assign w1 = a + 8'd3;
+    endmodule
+  )");
+  Evaluator eval{m};
+  eval.setValue(*m.findSignal("a"), BitVector{5, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(*m.findSignal("y")).toUint64(), ((5 + 3) * 2 + 1) & 0xFFu);
+}
+
+TEST(EvaluatorTest, CombinationalLoopRejected) {
+  const auto m = verilog::parseModule(R"(
+    module loop (input [3:0] a, output [3:0] y);
+      wire [3:0] u, v;
+      assign u = v + a;
+      assign v = u + 4'd1;
+      assign y = v;
+    endmodule
+  )");
+  EXPECT_THROW(Evaluator{m}, support::Error);
+}
+
+TEST(EvaluatorTest, KeyedMuxSelectsBranch) {
+  rtl::ModuleBuilder b{"locked"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(rtl::makeKeyRef(0), b.add(b.ref(a), b.lit(1, 8)),
+                    b.sub(b.ref(a), b.lit(1, 8))));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(1);
+
+  Evaluator eval{m};
+  eval.setValue(a, BitVector{10, 8});
+  eval.setKey(BitVector{1, 1});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 11u);
+  eval.setKey(BitVector{0, 1});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 9u);
+}
+
+TEST(EvaluatorTest, SequentialRegisterPipeline) {
+  const auto m = verilog::parseModule(R"(
+    module pipe (input clk, input [7:0] d, output [7:0] q2);
+      reg [7:0] q0, q1;
+      always @(posedge clk) begin
+        q0 <= d;
+        q1 <= q0;
+      end
+      assign q2 = q1;
+    endmodule
+  )");
+  Evaluator eval{m};
+  const auto clk = *m.findSignal("clk");
+  const auto d = *m.findSignal("d");
+  const auto q2 = *m.findSignal("q2");
+
+  eval.setValue(d, BitVector{42, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(q2).toUint64(), 0u);  // registers reset to zero
+  eval.clockEdge(clk);
+  EXPECT_EQ(eval.value(q2).toUint64(), 0u);  // one stage deep
+  eval.clockEdge(clk);
+  EXPECT_EQ(eval.value(q2).toUint64(), 42u);
+}
+
+TEST(EvaluatorTest, NonBlockingUsesPreEdgeValues) {
+  // Swap register: both assignments read pre-edge state.
+  const auto m = verilog::parseModule(R"(
+    module swap (input clk, input [3:0] seed, output [3:0] ya, output [3:0] yb);
+      reg [3:0] ra, rb;
+      always @(posedge clk) begin
+        ra <= rb;
+        rb <= ra + seed;
+      end
+      assign ya = ra;
+      assign yb = rb;
+    endmodule
+  )");
+  Evaluator eval{m};
+  const auto clk = *m.findSignal("clk");
+  eval.setValue(*m.findSignal("seed"), BitVector{1, 4});
+  eval.settle();
+  eval.clockEdge(clk);  // ra=0, rb=1
+  EXPECT_EQ(eval.value(*m.findSignal("ya")).toUint64(), 0u);
+  EXPECT_EQ(eval.value(*m.findSignal("yb")).toUint64(), 1u);
+  eval.clockEdge(clk);  // ra=1, rb=0+1=1
+  EXPECT_EQ(eval.value(*m.findSignal("ya")).toUint64(), 1u);
+  EXPECT_EQ(eval.value(*m.findSignal("yb")).toUint64(), 1u);
+}
+
+TEST(EvaluatorTest, CombinationalProcessWithCase) {
+  const auto m = verilog::parseModule(R"(
+    module alu (input [1:0] op, input [7:0] a, input [7:0] b, output reg [7:0] y);
+      always @(*) begin
+        case (op)
+          2'd0: y = a + b;
+          2'd1: y = a - b;
+          2'd2: y = a & b;
+          default: y = 8'h00;
+        endcase
+      end
+    endmodule
+  )");
+  Evaluator eval{m};
+  const auto op = *m.findSignal("op");
+  const auto a = *m.findSignal("a");
+  const auto bsig = *m.findSignal("b");
+  const auto y = *m.findSignal("y");
+  eval.setValue(a, BitVector{12, 8});
+  eval.setValue(bsig, BitVector{10, 8});
+
+  eval.setValue(op, BitVector{0, 2});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 22u);
+  eval.setValue(op, BitVector{1, 2});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 2u);
+  eval.setValue(op, BitVector{2, 2});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 8u);
+  eval.setValue(op, BitVector{3, 2});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 0u);
+}
+
+TEST(EvaluatorTest, IfElseChain) {
+  const auto m = verilog::parseModule(R"(
+    module cmp (input [7:0] a, input [7:0] b, output reg [1:0] y);
+      always @(*) begin
+        if (a > b) y = 2'd2;
+        else if (a == b) y = 2'd1;
+        else y = 2'd0;
+      end
+    endmodule
+  )");
+  Evaluator eval{m};
+  const auto a = *m.findSignal("a");
+  const auto bsig = *m.findSignal("b");
+  const auto y = *m.findSignal("y");
+  eval.setValue(a, BitVector{9, 8});
+  eval.setValue(bsig, BitVector{5, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 2u);
+  eval.setValue(bsig, BitVector{9, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 1u);
+  eval.setValue(bsig, BitVector{11, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 0u);
+}
+
+TEST(EvaluatorTest, PartSelectAssignment) {
+  const auto m = verilog::parseModule(R"(
+    module parts (input [3:0] lo, input [3:0] hi, output [7:0] y);
+      assign y[3:0] = lo;
+      assign y[7:4] = hi;
+    endmodule
+  )");
+  Evaluator eval{m};
+  eval.setValue(*m.findSignal("lo"), BitVector{0xA, 4});
+  eval.setValue(*m.findSignal("hi"), BitVector{0x5, 4});
+  eval.settle();
+  EXPECT_EQ(eval.value(*m.findSignal("y")).toUint64(), 0x5Au);
+}
+
+TEST(EvaluatorTest, ConcatSliceUnaryExpressions) {
+  const auto m = verilog::parseModule(R"(
+    module bits (input [7:0] a, output [7:0] y, output r);
+      assign y = {a[3:0], a[7:4]};
+      assign r = ^a;
+    endmodule
+  )");
+  Evaluator eval{m};
+  eval.setValue(*m.findSignal("a"), BitVector{0xA5, 8});
+  eval.settle();
+  EXPECT_EQ(eval.value(*m.findSignal("y")).toUint64(), 0x5Au);
+  EXPECT_EQ(eval.value(*m.findSignal("r")).toUint64(), 0u);  // 0xA5 has 4 ones
+}
+
+TEST(EvaluatorTest, ResetClearsState) {
+  rtl::ModuleBuilder b{"cnt"};
+  const auto clk = b.input("clk", 1);
+  const auto q = b.reg("q", 8);
+  const auto y = b.output("y", 8);
+  b.regAssign(clk, q, b.add(b.ref(q), b.lit(1, 8)));
+  b.assign(y, b.ref(q));
+  const rtl::Module m = b.take();
+
+  Evaluator eval{m};
+  eval.settle();
+  eval.clockEdge(clk);
+  eval.clockEdge(clk);
+  EXPECT_EQ(eval.value(y).toUint64(), 2u);
+  eval.reset();
+  eval.settle();
+  EXPECT_EQ(eval.value(y).toUint64(), 0u);
+}
+
+}  // namespace
+}  // namespace rtlock::sim

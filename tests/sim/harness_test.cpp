@@ -1,0 +1,115 @@
+#include "sim/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+
+namespace rtlock::sim {
+namespace {
+
+rtl::Module makeAdder(const std::string& name, bool buggy = false) {
+  rtl::ModuleBuilder b{name};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, buggy ? b.sub(b.ref(a), b.ref(c)) : b.add(b.ref(a), b.ref(c)));
+  return b.take();
+}
+
+/// Correctly locked adder: key bit 1 selects the true branch.
+rtl::Module makeLockedAdder(bool correctKeyIsOne) {
+  rtl::ModuleBuilder b{"adder_locked"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto y = b.output("y", 8);
+  auto real = b.add(b.ref(a), b.ref(c));
+  auto dummy = b.sub(b.ref(a), b.ref(c));
+  if (correctKeyIsOne) {
+    b.assign(y, b.mux(rtl::makeKeyRef(0), std::move(real), std::move(dummy)));
+  } else {
+    b.assign(y, b.mux(rtl::makeKeyRef(0), std::move(dummy), std::move(real)));
+  }
+  rtl::Module m = b.take();
+  m.allocateKeyBits(1);
+  return m;
+}
+
+TEST(HarnessTest, IdenticalModulesAreEquivalent) {
+  support::Rng rng{1};
+  const auto golden = makeAdder("golden");
+  const auto candidate = makeAdder("candidate");
+  EXPECT_TRUE(functionallyEquivalent(golden, candidate, BitVector{1}, {}, rng));
+}
+
+TEST(HarnessTest, BuggyModuleIsDetected) {
+  support::Rng rng{2};
+  const auto golden = makeAdder("golden");
+  const auto buggy = makeAdder("buggy", /*buggy=*/true);
+  const auto mismatch = findMismatch(golden, buggy, BitVector{1}, {}, rng);
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_EQ(mismatch->output, "y");
+}
+
+TEST(HarnessTest, LockedModuleEquivalentUnderCorrectKey) {
+  support::Rng rng{3};
+  const auto golden = makeAdder("golden");
+  EXPECT_TRUE(
+      functionallyEquivalent(golden, makeLockedAdder(true), BitVector{1, 1}, {}, rng));
+  EXPECT_TRUE(
+      functionallyEquivalent(golden, makeLockedAdder(false), BitVector{0, 1}, {}, rng));
+}
+
+TEST(HarnessTest, LockedModuleDivergesUnderWrongKey) {
+  support::Rng rng{4};
+  const auto golden = makeAdder("golden");
+  EXPECT_FALSE(
+      functionallyEquivalent(golden, makeLockedAdder(true), BitVector{0, 1}, {}, rng));
+}
+
+TEST(HarnessTest, CorruptionZeroForCorrectKey) {
+  support::Rng rng{5};
+  const auto golden = makeAdder("golden");
+  const auto locked = makeLockedAdder(true);
+  EXPECT_DOUBLE_EQ(outputCorruption(golden, locked, BitVector{1, 1}, {}, rng), 0.0);
+}
+
+TEST(HarnessTest, CorruptionPositiveForWrongKey) {
+  support::Rng rng{6};
+  const auto golden = makeAdder("golden");
+  const auto locked = makeLockedAdder(true);
+  const double corruption = outputCorruption(golden, locked, BitVector{0, 1}, {}, rng);
+  EXPECT_GT(corruption, 0.1);  // add vs sub differ on most random stimuli
+}
+
+TEST(HarnessTest, SequentialDesignsCompared) {
+  // Two counters, one off by one: divergence appears after a clock edge.
+  const auto makeCounter = [](const std::string& name, std::uint64_t step) {
+    rtl::ModuleBuilder b{name};
+    const auto clk = b.input("clk", 1);
+    const auto q = b.reg("q", 8);
+    const auto y = b.output("y", 8);
+    b.regAssign(clk, q, b.add(b.ref(q), b.lit(step, 8)));
+    b.assign(y, b.ref(q));
+    return b.take();
+  };
+  support::Rng rng{7};
+  EXPECT_TRUE(
+      functionallyEquivalent(makeCounter("c1", 1), makeCounter("c2", 1), BitVector{1}, {}, rng));
+  EXPECT_FALSE(
+      functionallyEquivalent(makeCounter("c1", 1), makeCounter("c3", 2), BitVector{1}, {}, rng));
+}
+
+TEST(HarnessTest, MissingPortIsContractViolation) {
+  support::Rng rng{8};
+  const auto golden = makeAdder("golden");
+  rtl::ModuleBuilder b{"narrow"};
+  b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.lit(0, 8));
+  const auto narrow = b.take();
+  EXPECT_THROW((void)findMismatch(golden, narrow, BitVector{1}, {}, rng),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtlock::sim

@@ -1,0 +1,179 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rtlock::support {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowZeroThrows) {
+  Rng rng{7};
+  EXPECT_THROW((void)rng.below(0), ContractViolation);
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto value = rng.range(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformWithinUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniform();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng{13};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, CoinIsRoughlyFair) {
+  Rng rng{17};
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.coin()) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceRespectsProbability) {
+  Rng rng{19};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsAreStandard) {
+  Rng rng{23};
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.gaussian();
+    sum += value;
+    sumSq += value * value;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.08);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng{29};
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng{31};
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);
+}
+
+TEST(RngTest, PickReturnsContainedElement) {
+  Rng rng{37};
+  const std::vector<int> values{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int picked = rng.pick(values);
+    EXPECT_TRUE(picked == 10 || picked == 20 || picked == 30);
+  }
+}
+
+TEST(RngTest, PickEmptyThrows) {
+  Rng rng{37};
+  const std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(empty), ContractViolation);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng{41};
+  const auto sample = rng.sampleIndices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(RngTest, SampleIndicesFullPopulation) {
+  Rng rng{43};
+  const auto sample = rng.sampleIndices(10, 10);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleMoreThanPopulationThrows) {
+  Rng rng{43};
+  EXPECT_THROW((void)rng.sampleIndices(5, 6), ContractViolation);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent{47};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace rtlock::support

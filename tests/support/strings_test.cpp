@@ -1,0 +1,67 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtlock::support {
+namespace {
+
+TEST(StringsTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StringsTest, SplitOnSeparator) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StringsTest, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"x"}, ","), "x");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, SplitJoinRoundTrip) {
+  const std::string original = "one,two,three";
+  EXPECT_EQ(join(split(original, ','), ","), original);
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("module foo", "module"));
+  EXPECT_FALSE(startsWith("foo module", "module"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("ab", "abc"));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(toLower("HeLLo123"), "hello123");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(100.0, 0), "100");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace rtlock::support

@@ -1,0 +1,59 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::support {
+namespace {
+
+TEST(TableTest, TextRenderingAligns) {
+  Table table{{"name", "kpa"}};
+  table.addRow({"FIR", "74.5"});
+  table.addRow({"N_2046", "100.0"});
+  std::ostringstream out;
+  table.renderText(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("FIR"), std::string::npos);
+  EXPECT_NE(text.find("N_2046"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table table{{"a", "b"}};
+  table.addRow({"1", "2"});
+  std::ostringstream out;
+  table.renderCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table table{{"a"}};
+  table.addRow({"hello, world"});
+  table.addRow({"say \"hi\""});
+  std::ostringstream out;
+  table.renderCsv(out);
+  EXPECT_EQ(out.str(), "a\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, DoubleRowFormatting) {
+  Table table{{"x", "y"}};
+  table.addNumericRow({1.234, 5.0}, 1);
+  ASSERT_EQ(table.rowCount(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "1.2");
+  EXPECT_EQ(table.rows()[0][1], "5.0");
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table table{{"a", "b"}};
+  EXPECT_THROW(table.addRow({"only-one"}), ContractViolation);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtlock::support

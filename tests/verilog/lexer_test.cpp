@@ -1,0 +1,98 @@
+#include "verilog/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::verilog {
+namespace {
+
+std::vector<Token> lex(std::string_view source) { return Lexer{source}.tokenize(); }
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  const auto tokens = lex("module foo endmodule");
+  ASSERT_EQ(tokens.size(), 4u);  // incl. EOF
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwModule);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].kind, TokenKind::KwEndmodule);
+  EXPECT_EQ(tokens[3].kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, SizedLiterals) {
+  const auto tokens = lex("8'hFF 4'b1010 16'd255 6'o17");
+  EXPECT_EQ(tokens[0].value, 0xFFu);
+  EXPECT_EQ(tokens[0].numberWidth, 8);
+  EXPECT_EQ(tokens[1].value, 0b1010u);
+  EXPECT_EQ(tokens[1].numberWidth, 4);
+  EXPECT_EQ(tokens[2].value, 255u);
+  EXPECT_EQ(tokens[2].numberWidth, 16);
+  EXPECT_EQ(tokens[3].value, 017u);
+}
+
+TEST(LexerTest, UnsizedLiterals) {
+  const auto tokens = lex("42 'd9");
+  EXPECT_EQ(tokens[0].value, 42u);
+  EXPECT_EQ(tokens[0].numberWidth, 0);
+  EXPECT_EQ(tokens[1].value, 9u);
+  EXPECT_EQ(tokens[1].numberWidth, 0);
+}
+
+TEST(LexerTest, UnderscoresInLiterals) {
+  const auto tokens = lex("32'hDEAD_BEEF 1_000");
+  EXPECT_EQ(tokens[0].value, 0xDEADBEEFu);
+  EXPECT_EQ(tokens[1].value, 1000u);
+}
+
+TEST(LexerTest, OperatorsGreedyMatching) {
+  const auto tokens = lex("<< <= < >>> >> > ** * ~^ ^~ ~ ^ && & || | == = != !");
+  const std::vector<TokenKind> expected{
+      TokenKind::Shl,       TokenKind::LtEq,   TokenKind::Lt,     TokenKind::AShr,
+      TokenKind::Shr,       TokenKind::Gt,     TokenKind::StarStar, TokenKind::Star,
+      TokenKind::TildeCaret, TokenKind::TildeCaret, TokenKind::Tilde, TokenKind::Caret,
+      TokenKind::AmpAmp,    TokenKind::Amp,    TokenKind::PipePipe, TokenKind::Pipe,
+      TokenKind::EqEq,      TokenKind::Assign, TokenKind::BangEq, TokenKind::Bang,
+  };
+  ASSERT_GE(tokens.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto tokens = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, EscapedIdentifier) {
+  const auto tokens = lex("\\weird$name rest");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[0].text, "weird$name");
+  EXPECT_EQ(tokens[1].text, "rest");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("a /* never closed"), support::Error);
+}
+
+TEST(LexerTest, OversizedLiteralThrows) {
+  EXPECT_THROW(lex("128'hFFFF_FFFF_FFFF_FFFF_1"), support::Error);
+}
+
+TEST(LexerTest, UnknownCharacterThrows) { EXPECT_THROW(lex("a # b"), support::Error); }
+
+TEST(LexerTest, BasedLiteralWithoutDigitsThrows) { EXPECT_THROW(lex("8'h"), support::Error); }
+
+}  // namespace
+}  // namespace rtlock::verilog

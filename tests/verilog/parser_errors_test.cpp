@@ -1,0 +1,149 @@
+// Negative-path coverage for the Verilog frontend: every rejected construct
+// must fail with a support::Error (never a crash or silent acceptance).
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "verilog/parser.hpp"
+
+namespace rtlock::verilog {
+namespace {
+
+void expectRejected(const char* source, const char* fragment) {
+  try {
+    (void)parseModule(source);
+    FAIL() << "expected rejection of: " << source;
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find(fragment), std::string::npos)
+        << "got: " << error.what();
+  }
+}
+
+TEST(ParserErrorsTest, EmptyInput) { expectRejected("", "expected 'module'"); }
+
+TEST(ParserErrorsTest, MissingSemicolonAfterHeader) {
+  expectRejected("module m (input a, output y) endmodule", "';'");
+}
+
+TEST(ParserErrorsTest, MissingEndmodule) {
+  expectRejected("module m (input a, output y); assign y = a;", "unsupported module item");
+}
+
+TEST(ParserErrorsTest, DuplicatePortDeclaration) {
+  expectRejected("module m (a); input a; input a; endmodule", "declared twice");
+}
+
+TEST(ParserErrorsTest, InputRegIsIllegal) {
+  expectRejected("module m (input reg a, output y); endmodule", "cannot be declared 'reg'");
+}
+
+TEST(ParserErrorsTest, NonZeroLsbRange) {
+  expectRejected("module m (input [7:4] a, output y); assign y = a[4]; endmodule",
+                 "[msb:0]");
+}
+
+TEST(ParserErrorsTest, AssignToKeyPort) {
+  expectRejected(R"(
+    module m (a, y, lock_key);
+      input a; output y; input [3:0] lock_key;
+      assign lock_key = a;
+    endmodule)",
+                 "cannot assign");
+}
+
+TEST(ParserErrorsTest, KeyPortAsOutput) {
+  expectRejected("module m (input a, output [3:0] lock_key); endmodule", "must be an input");
+}
+
+TEST(ParserErrorsTest, DynamicBitSelect) {
+  expectRejected(R"(
+    module m (input [7:0] a, input [2:0] i, output y);
+      assign y = a[i];
+    endmodule)",
+                 "constant bit/part-select");
+}
+
+TEST(ParserErrorsTest, UnbalancedParentheses) {
+  expectRejected("module m (input a, output y); assign y = (a; endmodule", "')'");
+}
+
+TEST(ParserErrorsTest, MissingTernaryColon) {
+  expectRejected("module m (input a, output y); assign y = a ? a ; endmodule", "':'");
+}
+
+TEST(ParserErrorsTest, NonBlockingInCombinational) {
+  expectRejected(R"(
+    module m (input a, output reg y);
+      always @(*) y <= a;
+    endmodule)",
+                 "blocking");
+}
+
+TEST(ParserErrorsTest, UnsupportedSensitivityList) {
+  expectRejected(R"(
+    module m (input clk, input a, output reg y);
+      always @(negedge clk) y <= a;
+    endmodule)",
+                 "sensitivity");
+}
+
+TEST(ParserErrorsTest, CaseLabelMustBeConstant) {
+  expectRejected(R"(
+    module m (input [1:0] s, input [1:0] a, output reg y);
+      always @(*) begin
+        case (s)
+          a: y = 1'b1;
+        endcase
+      end
+    endmodule)",
+                 "constant case label");
+}
+
+TEST(ParserErrorsTest, DuplicateDefaultArm) {
+  expectRejected(R"(
+    module m (input [1:0] s, output reg y);
+      always @(*) begin
+        case (s)
+          default: y = 1'b0;
+          default: y = 1'b1;
+        endcase
+      end
+    endmodule)",
+                 "duplicate default");
+}
+
+TEST(ParserErrorsTest, WideSignalRejected) {
+  expectRejected("module m (input [64:0] a, output y); assign y = a[0]; endmodule",
+                 "64-bit");
+}
+
+TEST(ParserErrorsTest, ConflictingRedeclarationWidth) {
+  expectRejected(R"(
+    module m (a, y);
+      input [7:0] a; output y;
+      wire [3:0] a;
+      assign y = a[0];
+    endmodule)",
+                 "conflicting width");
+}
+
+TEST(ParserErrorsTest, PartSelectOutOfRange) {
+  expectRejected("module m (input [3:0] a, output [7:0] y); assign y[9:0] = a; endmodule",
+                 "out of range");
+}
+
+TEST(ParserErrorsTest, ReplicationCountZero) {
+  expectRejected("module m (input a, output y); assign y = {0{a}}; endmodule",
+                 "replication count");
+}
+
+TEST(ParserErrorsTest, GoodErrorLocationReporting) {
+  try {
+    (void)parseModule("module m (input a,\n output y);\n assign z = a;\nendmodule");
+    FAIL();
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 3"), std::string::npos) << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace rtlock::verilog

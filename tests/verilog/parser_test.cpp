@@ -1,0 +1,198 @@
+#include "verilog/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/stats.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::verilog {
+namespace {
+
+TEST(ParserTest, ClassicPortStyle) {
+  const auto m = parseModule(R"(
+    module adder (a, b, y);
+      input [7:0] a;
+      input [7:0] b;
+      output [7:0] y;
+      assign y = a + b;
+    endmodule
+  )");
+  EXPECT_EQ(m.name(), "adder");
+  EXPECT_EQ(m.ports().size(), 3u);
+  ASSERT_EQ(m.contAssigns().size(), 1u);
+  EXPECT_EQ(m.contAssigns()[0]->value().kind(), rtl::ExprKind::Binary);
+}
+
+TEST(ParserTest, AnsiPortStyle) {
+  const auto m = parseModule(R"(
+    module f (input [3:0] a, input wire [3:0] b, output reg [3:0] q);
+      always @(*) q = a & b;
+    endmodule
+  )");
+  EXPECT_EQ(m.ports().size(), 3u);
+  const auto q = m.findSignal("q");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(m.signal(*q).net, rtl::NetKind::Reg);
+  EXPECT_EQ(m.processes().size(), 1u);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  const auto m = parseModule(R"(
+    module p (input [7:0] a, input [7:0] b, output [7:0] y);
+      assign y = a + b * a;
+    endmodule
+  )");
+  const auto& root = static_cast<const rtl::BinaryExpr&>(m.contAssigns()[0]->value());
+  EXPECT_EQ(root.op(), rtl::OpKind::Add);
+  EXPECT_EQ(static_cast<const rtl::BinaryExpr&>(root.rhs()).op(), rtl::OpKind::Mul);
+}
+
+TEST(ParserTest, PowerIsRightAssociative) {
+  const auto m = parseModule(R"(
+    module p (input [7:0] a, output [7:0] y);
+      assign y = a ** a ** a;
+    endmodule
+  )");
+  const auto& root = static_cast<const rtl::BinaryExpr&>(m.contAssigns()[0]->value());
+  EXPECT_EQ(root.op(), rtl::OpKind::Pow);
+  EXPECT_EQ(root.lhs().kind(), rtl::ExprKind::SignalRef);
+  EXPECT_EQ(root.rhs().kind(), rtl::ExprKind::Binary);
+}
+
+TEST(ParserTest, TernaryAndComparison) {
+  const auto m = parseModule(R"(
+    module p (input [7:0] a, input [7:0] b, output [7:0] y);
+      assign y = (a > b) ? a - b : b - a;
+    endmodule
+  )");
+  EXPECT_EQ(m.contAssigns()[0]->value().kind(), rtl::ExprKind::Ternary);
+}
+
+TEST(ParserTest, ConcatAndReplication) {
+  const auto m = parseModule(R"(
+    module p (input [3:0] a, output [7:0] y, output [7:0] z);
+      assign y = {a, a[3:2], a[1], 1'b0};
+      assign z = {2{a}};
+    endmodule
+  )");
+  EXPECT_EQ(m.contAssigns()[0]->value().width(), 8);
+  EXPECT_EQ(m.contAssigns()[1]->value().width(), 8);
+}
+
+TEST(ParserTest, SequentialAlwaysBlock) {
+  const auto m = parseModule(R"(
+    module p (input clk, input [3:0] d, output reg [3:0] q);
+      always @(posedge clk) begin
+        q <= d;
+      end
+    endmodule
+  )");
+  ASSERT_EQ(m.processes().size(), 1u);
+  EXPECT_EQ(m.processes()[0]->kind, rtl::ProcessKind::Sequential);
+  EXPECT_EQ(m.signal(m.processes()[0]->clock).name, "clk");
+}
+
+TEST(ParserTest, CaseStatement) {
+  const auto m = parseModule(R"(
+    module p (input [1:0] sel, input [3:0] a, output reg [3:0] y);
+      always @(*) begin
+        case (sel)
+          2'd0: y = a;
+          2'd1, 2'd2: y = ~a;
+          default: y = 4'h0;
+        endcase
+      end
+    endmodule
+  )");
+  ASSERT_EQ(m.processes().size(), 1u);
+  // Find the case statement inside the block.
+  const auto& block = static_cast<const rtl::BlockStmt&>(*m.processes()[0]->body);
+  auto& mutableBlock = const_cast<rtl::BlockStmt&>(block);
+  const auto& caseStmt = static_cast<const rtl::CaseStmt&>(*mutableBlock.stmtSlotAt(0));
+  EXPECT_EQ(caseStmt.items().size(), 2u);
+  EXPECT_EQ(caseStmt.items()[1].labels.size(), 2u);
+  EXPECT_TRUE(caseStmt.hasDefault());
+}
+
+TEST(ParserTest, KeyPortBecomesKeyRefs) {
+  const auto m = parseModule(R"(
+    module locked (a, y, lock_key);
+      input [7:0] a;
+      output [7:0] y;
+      input [1:0] lock_key;
+      assign y = lock_key[0] ? a + 8'd1 : a - 8'd1;
+    endmodule
+  )");
+  EXPECT_EQ(m.keyWidth(), 2);
+  EXPECT_FALSE(m.findSignal("lock_key").has_value());  // not an ordinary signal
+  const auto& mux = static_cast<const rtl::TernaryExpr&>(m.contAssigns()[0]->value());
+  EXPECT_TRUE(mux.isKeyMux());
+}
+
+TEST(ParserTest, MultipleModules) {
+  const auto design = parseDesign(R"(
+    module a (input x, output y); assign y = x; endmodule
+    module b (input x, output y); assign y = ~x; endmodule
+  )");
+  EXPECT_EQ(design.moduleCount(), 2u);
+}
+
+TEST(ParserTest, PartSelectLValue) {
+  const auto m = parseModule(R"(
+    module p (input [3:0] a, output [7:0] y);
+      assign y[3:0] = a;
+      assign y[7] = a[0];
+    endmodule
+  )");
+  ASSERT_EQ(m.contAssigns().size(), 2u);
+  EXPECT_EQ(m.contAssigns()[0]->target().range, std::make_pair(3, 0));
+  EXPECT_EQ(m.contAssigns()[1]->target().range, std::make_pair(7, 7));
+}
+
+TEST(ParserTest, ErrorsCarryLocation) {
+  try {
+    (void)parseModule("module m (input a, output y);\n  assign y = q;\nendmodule");
+    FAIL() << "expected parse error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 2"), std::string::npos);
+    EXPECT_NE(std::string{error.what()}.find("undeclared"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, RejectsUndeclaredPortDirection) {
+  EXPECT_THROW(parseModule("module m (a); endmodule"), support::Error);
+}
+
+TEST(ParserTest, RejectsBlockingInSequential) {
+  EXPECT_THROW(parseModule(R"(
+    module m (input clk, input d, output reg q);
+      always @(posedge clk) q = d;
+    endmodule
+  )"),
+               support::Error);
+}
+
+TEST(ParserTest, RejectsOutOfRangeSelect) {
+  EXPECT_THROW(parseModule(R"(
+    module m (input [3:0] a, output y);
+      assign y = a[4];
+    endmodule
+  )"),
+               support::Error);
+}
+
+TEST(ParserTest, UnsizedLiteralWidthOption) {
+  ParserOptions options;
+  options.unsizedLiteralWidth = 8;
+  const auto m = parseModule(R"(
+    module m (input [7:0] a, output [7:0] y);
+      assign y = a + 1;
+    endmodule
+  )",
+                             options);
+  const auto& add = static_cast<const rtl::BinaryExpr&>(m.contAssigns()[0]->value());
+  EXPECT_EQ(add.rhs().width(), 8);
+}
+
+}  // namespace
+}  // namespace rtlock::verilog

@@ -1,0 +1,102 @@
+#include "verilog/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+
+namespace rtlock::verilog {
+namespace {
+
+TEST(WriterTest, EmitsModuleSkeleton) {
+  rtl::ModuleBuilder b{"skeleton"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.ref(a));
+  const std::string text = writeModule(b.take());
+  EXPECT_NE(text.find("module skeleton (a, y);"), std::string::npos);
+  EXPECT_NE(text.find("input [7:0] a;"), std::string::npos);
+  EXPECT_NE(text.find("output [7:0] y;"), std::string::npos);
+  EXPECT_NE(text.find("assign y = a;"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(WriterTest, ScalarPortsHaveNoRange) {
+  rtl::ModuleBuilder b{"scalar"};
+  const auto a = b.input("clk", 1);
+  const auto y = b.output("y", 1);
+  b.assign(y, b.ref(a));
+  const std::string text = writeModule(b.take());
+  EXPECT_NE(text.find("input clk;"), std::string::npos);
+  EXPECT_EQ(text.find("input [0:0]"), std::string::npos);
+}
+
+TEST(WriterTest, KeyPortEmission) {
+  rtl::ModuleBuilder b{"locked"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(rtl::makeKeyRef(0), b.add(b.ref(a), b.lit(1, 8)),
+                    b.sub(b.ref(a), b.lit(1, 8))));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(2);
+  const std::string text = writeModule(m);
+  EXPECT_NE(text.find("module locked (a, y, lock_key);"), std::string::npos);
+  EXPECT_NE(text.find("input [1:0] lock_key;"), std::string::npos);
+  EXPECT_NE(text.find("lock_key[0] ?"), std::string::npos);
+}
+
+TEST(WriterTest, SizedConstants) {
+  rtl::ModuleBuilder b{"consts"};
+  const auto y = b.output("y", 16);
+  b.assign(y, b.lit(0xBEEF, 16));
+  const std::string text = writeModule(b.take());
+  EXPECT_NE(text.find("16'hbeef"), std::string::npos);
+}
+
+TEST(WriterTest, PrecedenceAwareParentheses) {
+  rtl::ModuleBuilder b{"expr"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto y = b.output("y", 8);
+  const auto z = b.output("z", 8);
+  // (a + b) * a needs parens; a + b * a does not.
+  b.assign(y, b.mul(b.add(b.ref(a), b.ref(c)), b.ref(a)));
+  b.assign(z, b.add(b.ref(a), b.mul(b.ref(c), b.ref(a))));
+  const std::string text = writeModule(b.take());
+  EXPECT_NE(text.find("assign y = (a + b) * a;"), std::string::npos);
+  EXPECT_NE(text.find("assign z = a + b * a;"), std::string::npos);
+}
+
+TEST(WriterTest, SequentialProcess) {
+  rtl::ModuleBuilder b{"seq"};
+  const auto clk = b.input("clk", 1);
+  const auto d = b.input("d", 4);
+  const auto q = b.reg("q", 4);
+  const auto y = b.output("y", 4);
+  b.regAssign(clk, q, b.ref(d));
+  b.assign(y, b.ref(q));
+  const std::string text = writeModule(b.take());
+  EXPECT_NE(text.find("always @(posedge clk) begin"), std::string::npos);
+  EXPECT_NE(text.find("q <= d;"), std::string::npos);
+  EXPECT_NE(text.find("reg [3:0] q;"), std::string::npos);
+}
+
+TEST(WriterTest, ExprRendering) {
+  rtl::ModuleBuilder b{"ctx"};
+  const auto a = b.input("a", 8);
+  auto expr = b.add(b.ref(a), b.lit(3, 8));
+  const rtl::Module m = b.take();
+  EXPECT_EQ(writeExpr(*expr, m), "a + 8'h3");
+}
+
+TEST(WriterTest, NestedTernaryParenthesized) {
+  rtl::ModuleBuilder b{"mux2"};
+  const auto s = b.input("s", 1);
+  const auto a = b.input("a", 4);
+  const auto y = b.output("y", 4);
+  b.assign(y, b.mux(b.ref(s), b.mux(b.ref(s), b.ref(a), b.lit(0, 4)), b.lit(1, 4)));
+  const std::string text = writeModule(b.take());
+  EXPECT_NE(text.find("s ? (s ? a : 4'h0) : 4'h1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlock::verilog
