@@ -14,73 +14,12 @@
 
 #include "attack/locality.hpp"
 #include "common.hpp"
-#include "core/algorithms.hpp"
-#include "designs/networks.hpp"
+#include "fig4_scenarios.hpp"
 
 namespace {
 
 using namespace rtlock;
-
-enum class Scenario { SerialSerial, RandomRandom, SerialDisjoint };
-
-struct Observation {
-  int ones = 0;
-  int total = 0;
-  [[nodiscard]] double pOne() const {
-    return total == 0 ? 0.5 : static_cast<double>(ones) / total;
-  }
-};
-
-std::map<std::pair<int, int>, Observation> observe(Scenario scenario, int networkSize,
-                                                   int testBits, int rounds,
-                                                   support::Rng& rng) {
-  rtl::Module network = designs::makePlusNetwork(networkSize);
-  lock::LockEngine engine{network, lock::PairTable::fixed()};
-
-  // Test-set locking (the design under attack).
-  if (scenario == Scenario::RandomRandom) {
-    lock::assureRandomLock(engine, testBits, rng);
-  } else {
-    lock::assureSerialLock(engine, testBits, rng);
-  }
-
-  std::map<std::pair<int, int>, Observation> observations;
-  for (int round = 0; round < rounds; ++round) {
-    const std::size_t checkpoint = engine.checkpoint();
-    const int keyStart = network.keyWidth();
-
-    switch (scenario) {
-      case Scenario::SerialSerial:
-        // Deterministic order: relocking extends the same leading operations
-        // (both branches of each test mux), yielding balanced observations.
-        lock::assureSerialLock(engine, testBits, rng);
-        break;
-      case Scenario::RandomRandom:
-        lock::assureRandomLock(engine, testBits, rng);
-        break;
-      case Scenario::SerialDisjoint:
-        // Training touches only operations the serial test lock skipped:
-        // pool positions testBits.. of the '+' pool are still unwrapped.
-        for (int position = testBits; position < networkSize; ++position) {
-          engine.lockOpAt(rtl::OpKind::Add, static_cast<std::size_t>(position), rng.coin());
-        }
-        break;
-    }
-
-    std::map<int, bool> labels;
-    for (std::size_t i = checkpoint; i < engine.records().size(); ++i) {
-      labels[engine.records()[i].keyIndex] = engine.records()[i].keyValue;
-    }
-    for (const auto& locality : attack::extractLocalities(network, {}, keyStart)) {
-      auto& entry = observations[{static_cast<int>(locality.features[0]),
-                                  static_cast<int>(locality.features[1])}];
-      ++entry.total;
-      if (labels.at(locality.keyIndex)) ++entry.ones;
-    }
-    engine.undoTo(checkpoint);
-  }
-  return observations;
-}
+using bench::Fig4Scenario;
 
 std::string codeName(int code) {
   if (code == attack::kMuxCode) return "mux";
@@ -91,7 +30,7 @@ std::string codeName(int code) {
 }
 
 void report(const std::string& scenario, const std::string& figure,
-            const std::map<std::pair<int, int>, Observation>& observations, bool csv) {
+            const bench::Fig4Observations& observations, bool csv) {
   std::cout << "--- " << scenario << " (" << figure << ") ---\n";
   support::Table table{{"locality (C1,C2)", "observations", "P(key=1)", "inference"}};
   double worstBias = 0.0;
@@ -131,14 +70,15 @@ int main(int argc, char** argv) {
 
     support::Rng serialRng{seed};
     report("serial test + serial relocking", "Fig. 4b/4e",
-           observe(Scenario::SerialSerial, network, bits, rounds, serialRng), csv);
+           bench::observeFig4(Fig4Scenario::SerialSerial, network, bits, rounds, serialRng), csv);
 
     support::Rng randomRng{seed + 1};
     report("random test + random relocking (overlapping)", "Fig. 4c/4f",
-           observe(Scenario::RandomRandom, network, bits, rounds, randomRng), csv);
+           bench::observeFig4(Fig4Scenario::RandomRandom, network, bits, rounds, randomRng), csv);
 
     support::Rng disjointRng{seed + 2};
     report("serial test + disjoint training (no overlap)", "Fig. 4d/4g",
-           observe(Scenario::SerialDisjoint, network, bits, rounds, disjointRng), csv);
+           bench::observeFig4(Fig4Scenario::SerialDisjoint, network, bits, rounds, disjointRng),
+           csv);
   });
 }

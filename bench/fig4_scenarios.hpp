@@ -1,0 +1,93 @@
+// The Fig. 4 relocking thought experiment (Sec. 3), shared between the
+// figure bench (fig4_observations.cpp) and the baseline runner so the two
+// cannot drift apart: lock a pure '+' network, relock it `rounds` times with
+// known keys, and accumulate P(key = 1 | locality) observations.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "attack/locality.hpp"
+#include "core/algorithms.hpp"
+#include "designs/networks.hpp"
+
+namespace rtlock::bench {
+
+enum class Fig4Scenario { SerialSerial, RandomRandom, SerialDisjoint };
+
+struct Fig4Observation {
+  int ones = 0;
+  int total = 0;
+  [[nodiscard]] double pOne() const {
+    return total == 0 ? 0.5 : static_cast<double>(ones) / total;
+  }
+};
+
+using Fig4Observations = std::map<std::pair<int, int>, Fig4Observation>;
+
+/// Runs one scenario: test-set lock + `rounds` relocking rounds, keyed by
+/// the (C1, C2) locality codes an attacker would extract.
+inline Fig4Observations observeFig4(Fig4Scenario scenario, int networkSize, int testBits,
+                                    int rounds, support::Rng& rng) {
+  rtl::Module network = designs::makePlusNetwork(networkSize);
+  lock::LockEngine engine{network, lock::PairTable::fixed()};
+
+  // Test-set locking (the design under attack).
+  if (scenario == Fig4Scenario::RandomRandom) {
+    lock::assureRandomLock(engine, testBits, rng);
+  } else {
+    lock::assureSerialLock(engine, testBits, rng);
+  }
+
+  Fig4Observations observations;
+  for (int round = 0; round < rounds; ++round) {
+    const std::size_t checkpoint = engine.checkpoint();
+    const int keyStart = network.keyWidth();
+
+    switch (scenario) {
+      case Fig4Scenario::SerialSerial:
+        // Deterministic order: relocking extends the same leading operations
+        // (both branches of each test mux), yielding balanced observations.
+        lock::assureSerialLock(engine, testBits, rng);
+        break;
+      case Fig4Scenario::RandomRandom:
+        lock::assureRandomLock(engine, testBits, rng);
+        break;
+      case Fig4Scenario::SerialDisjoint:
+        // Training touches only operations the serial test lock skipped:
+        // pool positions testBits.. of the '+' pool are still unwrapped.
+        for (int position = testBits; position < networkSize; ++position) {
+          engine.lockOpAt(rtl::OpKind::Add, static_cast<std::size_t>(position), rng.coin());
+        }
+        break;
+    }
+
+    std::map<int, bool> labels;
+    for (std::size_t i = checkpoint; i < engine.records().size(); ++i) {
+      labels[engine.records()[i].keyIndex] = engine.records()[i].keyValue;
+    }
+    for (const auto& locality : attack::extractLocalities(network, {}, keyStart)) {
+      auto& entry = observations[{static_cast<int>(locality.features[0]),
+                                  static_cast<int>(locality.features[1])}];
+      ++entry.total;
+      if (labels.at(locality.keyIndex)) ++entry.ones;
+    }
+    engine.undoTo(checkpoint);
+  }
+  return observations;
+}
+
+/// Headline number: max |P(key=1 | locality) - 0.5| over observed localities.
+/// Resilient configurations sit near 0, fully leaky ones at 0.5.
+inline double fig4WorstBias(const Fig4Observations& observations) {
+  double worstBias = 0.0;
+  for (const auto& [locality, observation] : observations) {
+    worstBias = std::max(worstBias, std::abs(observation.pOne() - 0.5));
+  }
+  return worstBias;
+}
+
+}  // namespace rtlock::bench

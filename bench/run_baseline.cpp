@@ -1,0 +1,290 @@
+// Baseline runner: one binary that re-runs the headline figure reproductions
+// (Fig. 4/5/6) plus the hot-path microbenchmarks with fixed seeds and emits a
+// machine-readable BENCH_baseline.json, so optimisation PRs have a recorded
+// perf/quality trajectory to compare against.
+//
+// Flags:
+//   --seed=N    master seed (default 1; every section derives fixed offsets)
+//   --json      write BENCH_baseline.json (see --out) in addition to stdout
+//   --out=PATH  JSON output path (default BENCH_baseline.json)
+//   --full      paper-sized fig6 configuration (slow); default is a quick,
+//               fixed-seed configuration sized for CI
+//
+// JSON schema: {"schema": "...", "seed": N, "rows": [{bench, config, metric,
+// value, wall_ms}, ...]}.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/locality.hpp"
+#include "attack/pipeline.hpp"
+#include "common.hpp"
+#include "fig4_scenarios.hpp"
+#include "core/algorithms.hpp"
+#include "core/metric.hpp"
+#include "designs/networks.hpp"
+#include "designs/registry.hpp"
+#include "sim/evaluator.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/writer.hpp"
+
+namespace {
+
+using namespace rtlock;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string bench;
+  std::string config;
+  std::string metric;
+  double value = 0.0;
+  double wallMs = 0.0;
+};
+
+double elapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Runs `body` and appends a row holding its result plus wall time.
+template <typename Body>
+void timedRow(std::vector<Row>& rows, std::string bench, std::string config, std::string metric,
+              Body&& body) {
+  const auto start = Clock::now();
+  const double value = body();
+  rows.push_back({std::move(bench), std::move(config), std::move(metric), value,
+                  elapsedMs(start)});
+}
+
+// --- Fig. 4: worst key-correlated locality bias per relocking scenario -----
+//
+// Shares the observation loop with bench/fig4_observations.cpp via
+// fig4_scenarios.hpp, reduced to the headline number per scenario.
+
+void runFig4(std::vector<Row>& rows, std::uint64_t seed) {
+  constexpr int kNetworkSize = 64;
+  constexpr int kTestBits = 32;
+  constexpr int kRounds = 100;
+  const auto worstBias = [&](bench::Fig4Scenario scenario, std::uint64_t scenarioSeed) {
+    support::Rng rng{scenarioSeed};
+    return bench::fig4WorstBias(
+        bench::observeFig4(scenario, kNetworkSize, kTestBits, kRounds, rng));
+  };
+  timedRow(rows, "fig4", "serial+serial", "worst_locality_bias",
+           [&] { return worstBias(bench::Fig4Scenario::SerialSerial, seed); });
+  timedRow(rows, "fig4", "random+random", "worst_locality_bias",
+           [&] { return worstBias(bench::Fig4Scenario::RandomRandom, seed + 1); });
+  timedRow(rows, "fig4", "serial+disjoint", "worst_locality_bias",
+           [&] { return worstBias(bench::Fig4Scenario::SerialDisjoint, seed + 2); });
+}
+
+// --- Fig. 5: key-bit cost and final metric per algorithm -------------------
+
+void runFig5(std::vector<Row>& rows, std::uint64_t seed) {
+  constexpr int kBudget = 60;
+  for (const auto algorithm :
+       {lock::Algorithm::Era, lock::Algorithm::Hra, lock::Algorithm::Greedy}) {
+    const std::string name{lock::algorithmName(algorithm)};
+    lock::AlgorithmReport report;
+    timedRow(rows, "fig5", name, "bits_used", [&] {
+      rtl::Module design = designs::makeOperationNetwork(
+          "fig5", {{rtl::OpKind::Add, 25}, {rtl::OpKind::Shl, 10}});
+      lock::LockEngine engine{design, lock::PairTable::fixed()};
+      support::Rng rng{seed};
+      report = lock::lockWithAlgorithm(engine, algorithm, kBudget, rng);
+      return static_cast<double>(report.bitsUsed);
+    });
+    rows.push_back({"fig5", name, "final_global_metric", report.finalGlobalMetric, 0.0});
+  }
+}
+
+// --- Fig. 6: mean SnapShot-RTL KPA per algorithm ---------------------------
+
+void runFig6(std::vector<Row>& rows, std::uint64_t seed, bool full) {
+  attack::EvaluationConfig config;
+  config.testLocks = full ? 10 : 1;
+  config.keyBudgetFraction = 0.75;
+  config.snapshot.relockRounds = full ? 1000 : 30;
+  config.snapshot.relockBudgetFraction = config.keyBudgetFraction;
+  config.snapshot.automl.folds = 3;
+
+  const std::vector<std::string> benchmarks =
+      full ? designs::benchmarkNames() : std::vector<std::string>{"FIR", "SASC"};
+  const std::vector<lock::Algorithm> algorithms{
+      lock::Algorithm::AssureSerial, lock::Algorithm::Hra, lock::Algorithm::Era};
+  const std::string benchConfig =
+      support::join(benchmarks, "+") + (full ? " (paper-sized)" : " (quick)");
+
+  support::Rng rng{seed + 100};
+  for (const auto algorithm : algorithms) {
+    timedRow(rows, "fig6", std::string{lock::algorithmName(algorithm)} + " / " + benchConfig,
+             "mean_kpa_percent", [&] {
+               double sum = 0.0;
+               for (const auto& name : benchmarks) {
+                 const rtl::Module original = designs::makeBenchmark(name);
+                 sum += attack::evaluateBenchmark(original, name, algorithm,
+                                                  lock::PairTable::fixed(), config, rng)
+                            .meanKpa;
+               }
+               return sum / static_cast<double>(benchmarks.size());
+             });
+  }
+}
+
+// --- perf: chrono timings of the hot paths perf_microbench covers ----------
+
+void runPerf(std::vector<Row>& rows, std::uint64_t seed) {
+  {
+    rtl::Module module = designs::makePlusNetwork(1024);
+    lock::LockEngine engine{module, lock::PairTable::fixed()};
+    support::Rng rng{seed};
+    constexpr int kIterations = 2000;
+    timedRow(rows, "perf", "plus_network_1024", "lock_undo_us_per_op", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kIterations; ++i) {
+        const auto checkpoint = engine.checkpoint();
+        (void)engine.lockRandomOp(rng);
+        engine.undoTo(checkpoint);
+      }
+      return elapsedMs(start) * 1000.0 / kIterations;
+    });
+  }
+  {
+    rtl::Module module = designs::makePlusNetwork(1024);
+    lock::LockEngine engine{module, lock::PairTable::fixed()};
+    support::Rng rng{seed + 1};
+    lock::assureRandomLock(engine, static_cast<int>(0.75 * engine.initialLockableOps()), rng);
+    constexpr int kIterations = 50;
+    timedRow(rows, "perf", "plus_network_1024 @75%", "extract_localities_ms", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kIterations; ++i) {
+        if (attack::extractLocalities(module, {}).empty()) return -1.0;
+      }
+      return elapsedMs(start) / kIterations;
+    });
+  }
+  {
+    const rtl::Module module = designs::makeBenchmark("MD5");
+    const std::string text = verilog::writeModule(module);
+    constexpr int kIterations = 20;
+    timedRow(rows, "perf", "MD5", "verilog_roundtrip_ms", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kIterations; ++i) {
+        if (verilog::writeModule(verilog::parseModule(text)).empty()) return -1.0;
+      }
+      return elapsedMs(start) / kIterations;
+    });
+  }
+  {
+    const rtl::Module module = designs::makeBenchmark("SHA256");
+    sim::Evaluator eval{module};
+    support::Rng rng{seed + 2};
+    const auto blk = *module.findSignal("blk");
+    const auto digest = *module.findSignal("digest");
+    constexpr int kIterations = 200;
+    timedRow(rows, "perf", "SHA256", "simulate_cycle_us", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kIterations; ++i) {
+        eval.setValue(blk, sim::BitVector::random(32, rng));
+        eval.settle();
+        (void)eval.value(digest);
+      }
+      return elapsedMs(start) * 1000.0 / kIterations;
+    });
+  }
+  {
+    constexpr int kIterations = 5;
+    timedRow(rows, "perf", "era plus_network_256", "era_lock_ms", [&] {
+      double totalMs = 0.0;
+      for (int i = 0; i < kIterations; ++i) {
+        rtl::Module module = designs::makePlusNetwork(256);
+        lock::LockEngine engine{module, lock::PairTable::fixed()};
+        support::Rng rng{seed + 3};
+        const auto start = Clock::now();
+        (void)lock::eraLock(engine, engine.initialLockableOps(), rng);
+        totalMs += elapsedMs(start);
+      }
+      return totalMs / kIterations;
+    });
+  }
+}
+
+// --- output ----------------------------------------------------------------
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x", static_cast<unsigned>(c));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void writeJson(std::ostream& out, const std::vector<Row>& rows, std::uint64_t seed) {
+  out << "{\n  \"schema\": \"rtlock-bench-baseline/v1\",\n  \"seed\": " << seed
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"bench\": \"" << jsonEscape(row.bench) << "\", \"config\": \""
+        << jsonEscape(row.config) << "\", \"metric\": \"" << jsonEscape(row.metric)
+        << "\", \"value\": " << support::formatDouble(row.value, 4)
+        << ", \"wall_ms\": " << support::formatDouble(row.wallMs, 2) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rtlock::bench::runBench([&] {
+    const support::CliArgs args(argc, argv, {"seed", "json", "out", "full", "csv"});
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const bool json = args.getBool("json", false);
+    const bool full = args.getBool("full", false);
+    const bool csv = args.getBool("csv", false);
+    const std::string outPath = args.get("out", "BENCH_baseline.json");
+
+    rtlock::bench::banner("baseline runner — perf/quality trajectory seed",
+                          "Fig. 4/5/6 headline numbers + hot-path timings, fixed seeds",
+                          "deterministic values per (seed, config); timings machine-dependent");
+
+    std::vector<Row> rows;
+    const auto start = Clock::now();
+    runFig4(rows, seed);
+    runFig5(rows, seed);
+    runFig6(rows, seed, full);
+    runPerf(rows, seed);
+
+    support::Table table{{"bench", "config", "metric", "value", "wall_ms"}};
+    for (const Row& row : rows) {
+      table.addRow({row.bench, row.config, row.metric, support::formatDouble(row.value, 4),
+                    support::formatDouble(row.wallMs, 2)});
+    }
+    rtlock::bench::emit(table, csv);
+    std::cout << "\n" << rows.size() << " metric rows in "
+              << support::formatDouble(elapsedMs(start), 0) << " ms\n";
+
+    if (json) {
+      std::ofstream file{outPath};
+      if (!file) throw support::Error("cannot open " + outPath + " for writing");
+      writeJson(file, rows, seed);
+      std::cout << "wrote " << outPath << "\n";
+    }
+  });
+}

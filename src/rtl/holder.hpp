@@ -14,6 +14,8 @@
 
 #include <memory>
 
+#include "support/config.hpp"  // C++20 floor: ExprSlot uses defaulted operator==
+
 namespace rtlock::rtl {
 
 class Expr;

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "support/config.hpp"  // C++20 floor: pick() takes std::span
 #include "support/diagnostics.hpp"
 
 namespace rtlock::support {

@@ -1,0 +1,53 @@
+// Fast canary for the whole build: cheap library-wide invariants that catch
+// gross breakage (empty registry, broken Verilog round-trip, dead locking
+// path) before the slow suites spend minutes confirming it.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "designs/registry.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/writer.hpp"
+
+namespace rtlock {
+namespace {
+
+TEST(BuildSanityTest, CompiledUnderCpp20) {
+  EXPECT_GE(support::kCompiledCppStandard, support::kRequiredCppStandard);
+}
+
+TEST(BuildSanityTest, BenchmarkRegistryIsPopulated) {
+  const auto& benchmarks = designs::allBenchmarks();
+  ASSERT_FALSE(benchmarks.empty());
+  EXPECT_EQ(benchmarks.size(), designs::benchmarkNames().size());
+  for (const auto& info : benchmarks) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_NE(info.make, nullptr) << info.name;
+  }
+}
+
+TEST(BuildSanityTest, EveryRegisteredDesignRoundTripsThroughVerilog) {
+  for (const auto& name : designs::benchmarkNames()) {
+    SCOPED_TRACE(name);
+    const rtl::Module original = designs::makeBenchmark(name);
+    const std::string once = verilog::writeModule(original);
+    const rtl::Module reparsed = verilog::parseModule(once);
+    EXPECT_EQ(once, verilog::writeModule(reparsed));
+  }
+}
+
+TEST(BuildSanityTest, LockingPathIsAlive) {
+  rtl::Module module = designs::makeBenchmark("FIR");
+  lock::LockEngine engine{module, lock::PairTable::fixed()};
+  ASSERT_GT(engine.initialLockableOps(), 0);
+  support::Rng rng{1};
+  const auto checkpoint = engine.checkpoint();
+  ASSERT_TRUE(engine.lockRandomOp(rng));
+  EXPECT_EQ(module.keyWidth(), 1);
+  engine.undoTo(checkpoint);
+  EXPECT_EQ(module.keyWidth(), 0);
+}
+
+}  // namespace
+}  // namespace rtlock

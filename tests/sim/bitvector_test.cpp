@@ -140,7 +140,7 @@ TEST(BitVectorTest, ResizeExtendsAndTruncates) {
 TEST(BitVectorTest, HammingDistance) {
   EXPECT_EQ(BitVector::hammingDistance(BitVector{0b1100, 4}, BitVector{0b1010, 4}), 2);
   EXPECT_EQ(BitVector::hammingDistance(BitVector{0, 4}, BitVector{0xF, 4}), 4);
-  EXPECT_THROW(BitVector::hammingDistance(BitVector{0, 4}, BitVector{0, 5}),
+  EXPECT_THROW((void)BitVector::hammingDistance(BitVector{0, 4}, BitVector{0, 5}),
                support::ContractViolation);
 }
 

@@ -1,0 +1,39 @@
+// Guards the guard: support/config.hpp must keep the C++20 floor visible and
+// accurate, so a mis-configured build dies with one clear #error instead of
+// a wall of template noise.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "support/config.hpp"
+
+namespace rtlock::support {
+namespace {
+
+static_assert(kRequiredCppStandard == 202002L, "the documented floor is C++20");
+static_assert(kCompiledCppStandard >= kRequiredCppStandard,
+              "config.hpp must refuse to compile below the floor");
+
+TEST(ConfigTest, FloorConstantsAreConsistent) {
+  EXPECT_EQ(kRequiredCppStandard, 202002L);
+  EXPECT_GE(kCompiledCppStandard, kRequiredCppStandard);
+  EXPECT_GE(RTLOCK_CPLUSPLUS, 202002L);
+}
+
+TEST(ConfigTest, Cpp20LibraryFeaturesAreUsable) {
+  // The two features the floor exists for: std::span (rng.hpp) and defaulted
+  // operator== on aggregates (holder.hpp).
+  std::vector<int> values{1, 2, 3};
+  std::span<int> view{values};
+  EXPECT_EQ(view.size(), 3u);
+
+  struct Probe {
+    int a = 0;
+    bool operator==(const Probe&) const = default;
+  };
+  EXPECT_EQ(Probe{}, Probe{});
+}
+
+}  // namespace
+}  // namespace rtlock::support
