@@ -8,7 +8,10 @@
 #include "designs/networks.hpp"
 #include "designs/registry.hpp"
 #include "ml/automl.hpp"
+#include "sim/compiled_sim.hpp"
+#include "sim/compiler.hpp"
 #include "sim/evaluator.hpp"
+#include "sim/harness.hpp"
 #include "verilog/parser.hpp"
 #include "verilog/writer.hpp"
 
@@ -105,6 +108,65 @@ void BM_SimulateCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimulateCycle);
+
+void BM_CompiledSimulateCycle(benchmark::State& state) {
+  // Same cycle as BM_SimulateCycle on the compiled bytecode backend.
+  const rtl::Module module = designs::makeBenchmark("SHA256");
+  sim::CompiledSim compiled{module};
+  support::Rng rng{6};
+  const auto blk = *module.findSignal("blk");
+  const auto digest = *module.findSignal("digest");
+  for (auto _ : state) {
+    compiled.setValue(blk, sim::BitVector::random(32, rng));
+    compiled.settle();
+    benchmark::DoNotOptimize(compiled.value(digest));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledSimulateCycle);
+
+void BM_CompileProgram(benchmark::State& state) {
+  // One-off cost the compiled backend pays per (module, lock) combination.
+  const rtl::Module module = designs::makeBenchmark("SHA256");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Compiler::compile(module).instructionCount());
+  }
+}
+BENCHMARK(BM_CompileProgram)->Iterations(50);
+
+void BM_CorruptionSweep(benchmark::State& state) {
+  // Oracle-attack hot loop: one compiled pair, many hypothesis keys.
+  const rtl::Module original = designs::makeBenchmark("SHA256");
+  rtl::Module locked = original.clone();
+  lock::LockEngine engine{locked, lock::PairTable::fixed()};
+  support::Rng lockRng{9};
+  lock::assureRandomLock(engine, engine.initialLockableOps() / 2, lockRng);
+  sim::Harness harness{original, locked};
+  sim::EquivalenceOptions options;
+  options.vectors = 4;
+  support::Rng keyRng{10};
+  for (auto _ : state) {
+    support::Rng stimulusRng{11};
+    benchmark::DoNotOptimize(harness.outputCorruption(
+        sim::BitVector::random(locked.keyWidth(), keyRng), options, stimulusRng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CorruptionSweep);
+
+void BM_BitVectorNarrowOps(benchmark::State& state) {
+  // Small-buffer fast path: width <= 64 vectors never touch the heap.
+  const int width = static_cast<int>(state.range(0));
+  support::Rng rng{12};
+  const sim::BitVector a = sim::BitVector::random(width, rng);
+  const sim::BitVector b = sim::BitVector::random(width, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::BitVector::bitXor(sim::BitVector::add(a, b, width), a, width));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_BitVectorNarrowOps)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_AutoMlSelect(benchmark::State& state) {
   support::Rng rng{7};

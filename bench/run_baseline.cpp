@@ -31,7 +31,9 @@
 #include "core/metric.hpp"
 #include "designs/networks.hpp"
 #include "designs/registry.hpp"
+#include "sim/compiled_sim.hpp"
 #include "sim/evaluator.hpp"
+#include "sim/harness.hpp"
 #include "verilog/parser.hpp"
 #include "verilog/writer.hpp"
 
@@ -183,19 +185,62 @@ void runPerf(std::vector<Row>& rows, std::uint64_t seed) {
   }
   {
     const rtl::Module module = designs::makeBenchmark("SHA256");
-    sim::Evaluator eval{module};
     support::Rng rng{seed + 2};
     const auto blk = *module.findSignal("blk");
     const auto digest = *module.findSignal("digest");
-    constexpr int kIterations = 200;
-    timedRow(rows, "perf", "SHA256", "simulate_cycle_us", [&] {
+    // Production backend: compiled bytecode tape (this is the headline
+    // simulate_cycle_us row that optimisation PRs track).
+    {
+      sim::CompiledSim compiled{module};
+      constexpr int kIterations = 2000;
+      timedRow(rows, "perf", "SHA256", "simulate_cycle_us", [&] {
+        const auto start = Clock::now();
+        for (int i = 0; i < kIterations; ++i) {
+          compiled.setValue(blk, sim::BitVector::random(32, rng));
+          compiled.settle();
+          (void)compiled.value(digest);
+        }
+        return elapsedMs(start) * 1000.0 / kIterations;
+      });
+    }
+    // Reference interpreter, for the backend-vs-backend trajectory.
+    {
+      sim::Evaluator eval{module};
+      constexpr int kIterations = 200;
+      timedRow(rows, "perf", "SHA256 (interpreter)", "simulate_cycle_us", [&] {
+        const auto start = Clock::now();
+        for (int i = 0; i < kIterations; ++i) {
+          eval.setValue(blk, sim::BitVector::random(32, rng));
+          eval.settle();
+          (void)eval.value(digest);
+        }
+        return elapsedMs(start) * 1000.0 / kIterations;
+      });
+    }
+  }
+  {
+    // Corruption sweep: compile a locked SHA256 pair once, then measure
+    // output corruption under many hypothesis keys (the oracle-guided
+    // attack's hot loop shape).
+    const rtl::Module original = designs::makeBenchmark("SHA256");
+    rtl::Module locked = original.clone();
+    lock::LockEngine engine{locked, lock::PairTable::fixed()};
+    support::Rng lockRng{seed + 4};
+    lock::assureRandomLock(engine, engine.initialLockableOps() / 2, lockRng);
+    sim::Harness harness{original, locked};
+    sim::EquivalenceOptions options;
+    options.vectors = 4;
+    options.cyclesPerVector = 4;
+    support::Rng rng{seed + 5};
+    constexpr int kKeys = 20;
+    timedRow(rows, "perf", "SHA256 locked@50%", "corruption_sweep_ms", [&] {
       const auto start = Clock::now();
-      for (int i = 0; i < kIterations; ++i) {
-        eval.setValue(blk, sim::BitVector::random(32, rng));
-        eval.settle();
-        (void)eval.value(digest);
+      for (int i = 0; i < kKeys; ++i) {
+        support::Rng stimulusRng{seed + 6};
+        (void)harness.outputCorruption(sim::BitVector::random(locked.keyWidth(), rng),
+                                       options, stimulusRng);
       }
-      return elapsedMs(start) * 1000.0 / kIterations;
+      return elapsedMs(start) / kKeys;
     });
   }
   {

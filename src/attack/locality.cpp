@@ -56,9 +56,8 @@ struct Collector {
       }
     }
     const int myCode = constructCode(expr);
-    auto& mutableExpr = const_cast<Expr&>(expr);
-    for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
-      visit(*mutableExpr.exprSlotAt(i), myCode);
+    for (int i = 0; i < expr.exprSlotCount(); ++i) {
+      visit(expr.child(i), myCode);
     }
   }
 };
@@ -92,9 +91,8 @@ std::vector<Locality> extractLocalities(const rtl::Module& module, const Localit
     collector.visit(assign->value(), kTopCode);
   }
   rtl::forEachStmt(module, [&collector](const rtl::Stmt& stmt) {
-    auto& mutableStmt = const_cast<rtl::Stmt&>(stmt);
-    for (int i = 0; i < mutableStmt.exprSlotCount(); ++i) {
-      collector.visit(*mutableStmt.exprSlotAt(i), kTopCode);
+    for (int i = 0; i < stmt.exprSlotCount(); ++i) {
+      collector.visit(stmt.exprAt(i), kTopCode);
     }
   });
   std::sort(localities.begin(), localities.end(),

@@ -11,12 +11,16 @@ OracleAttackResult oracleGuidedAttack(const rtl::Module& oracle, const rtl::Modu
   options.vectors = config.vectors;
   options.cyclesPerVector = config.cyclesPerVector;
 
+  // Compile both designs once; the hill climb then only streams hypothesis
+  // keys and stimuli through the tapes (the attack's hot loop).
+  sim::Harness harness{oracle, locked};
+
   // Fixed stimulus seed: every corruption measurement uses identical inputs,
   // so hypothesis comparisons are exact rather than statistical.
   const std::uint64_t stimulusSeed = rng();
   const auto measure = [&](const sim::BitVector& key) {
     support::Rng stimulusRng{stimulusSeed};
-    return sim::outputCorruption(oracle, locked, key, options, stimulusRng);
+    return harness.outputCorruption(key, options, stimulusRng);
   };
 
   // Multi-pass hill climbing over the key bits with random restarts: flip a

@@ -215,29 +215,25 @@ bool structurallyEqual(const Expr& a, const Expr& b) noexcept {
       break;
     }
   }
-  auto& ma = const_cast<Expr&>(a);
-  auto& mb = const_cast<Expr&>(b);
-  if (ma.exprSlotCount() != mb.exprSlotCount()) return false;
-  for (int i = 0; i < ma.exprSlotCount(); ++i) {
-    if (!structurallyEqual(*ma.exprSlotAt(i), *mb.exprSlotAt(i))) return false;
+  if (a.exprSlotCount() != b.exprSlotCount()) return false;
+  for (int i = 0; i < a.exprSlotCount(); ++i) {
+    if (!structurallyEqual(a.exprAt(i), b.exprAt(i))) return false;
   }
   return true;
 }
 
 int exprSize(const Expr& expr) noexcept {
-  auto& mutableExpr = const_cast<Expr&>(expr);
   int total = 1;
-  for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
-    total += exprSize(*mutableExpr.exprSlotAt(i));
+  for (int i = 0; i < expr.exprSlotCount(); ++i) {
+    total += exprSize(expr.exprAt(i));
   }
   return total;
 }
 
 int exprDepth(const Expr& expr) noexcept {
-  auto& mutableExpr = const_cast<Expr&>(expr);
   int deepest = 0;
-  for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
-    deepest = std::max(deepest, exprDepth(*mutableExpr.exprSlotAt(i)));
+  for (int i = 0; i < expr.exprSlotCount(); ++i) {
+    deepest = std::max(deepest, exprDepth(expr.exprAt(i)));
   }
   return deepest + 1;
 }

@@ -49,9 +49,7 @@ class Expr : public ExprHolder {
   [[nodiscard]] virtual ExprPtr clone() const = 0;
 
   /// Children double as expression slots (ExprHolder interface).
-  [[nodiscard]] const Expr& child(int index) const {
-    return *const_cast<Expr*>(this)->exprSlotAt(index);
-  }
+  [[nodiscard]] const Expr& child(int index) const { return exprAt(index); }
 
  protected:
   Expr(ExprKind kind, int width) : kind_(kind), width_(width) {

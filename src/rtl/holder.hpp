@@ -30,6 +30,13 @@ class ExprHolder {
 
   /// Mutable access to slot `index` in [0, exprSlotCount()).
   [[nodiscard]] virtual std::unique_ptr<Expr>& exprSlotAt(int index) = 0;
+
+  /// Read-only access to the expression in slot `index`.  The standard
+  /// const-overload idiom: forwarding through the non-const virtual is safe
+  /// because the result is returned as const.
+  [[nodiscard]] const Expr& exprAt(int index) const {
+    return *const_cast<ExprHolder*>(this)->exprSlotAt(index);
+  }
 };
 
 /// A stable handle to one owned expression position.

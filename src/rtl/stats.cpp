@@ -42,9 +42,8 @@ ModuleStats computeStats(const Module& module) {
     stats.maxExprDepth = std::max(stats.maxExprDepth, exprDepth(assign->value()));
   }
   forEachStmt(module, [&stats](const Stmt& stmt) {
-    auto& mutableStmt = const_cast<Stmt&>(stmt);
-    for (int i = 0; i < mutableStmt.exprSlotCount(); ++i) {
-      stats.maxExprDepth = std::max(stats.maxExprDepth, exprDepth(*mutableStmt.exprSlotAt(i)));
+    for (int i = 0; i < stmt.exprSlotCount(); ++i) {
+      stats.maxExprDepth = std::max(stats.maxExprDepth, exprDepth(stmt.exprAt(i)));
     }
   });
   return stats;

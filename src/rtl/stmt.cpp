@@ -133,8 +133,6 @@ StmtPtr makeAssign(LValue target, ExprPtr value, bool nonBlocking) {
 
 bool structurallyEqual(const Stmt& a, const Stmt& b) noexcept {
   if (a.kind() != b.kind()) return false;
-  auto& ma = const_cast<Stmt&>(a);
-  auto& mb = const_cast<Stmt&>(b);
 
   switch (a.kind()) {
     case StmtKind::Assign: {
@@ -162,14 +160,14 @@ bool structurallyEqual(const Stmt& a, const Stmt& b) noexcept {
     case StmtKind::Block: break;
   }
 
-  if (ma.exprSlotCount() != mb.exprSlotCount() || ma.stmtSlotCount() != mb.stmtSlotCount()) {
+  if (a.exprSlotCount() != b.exprSlotCount() || a.stmtSlotCount() != b.stmtSlotCount()) {
     return false;
   }
-  for (int i = 0; i < ma.exprSlotCount(); ++i) {
-    if (!structurallyEqual(*ma.exprSlotAt(i), *mb.exprSlotAt(i))) return false;
+  for (int i = 0; i < a.exprSlotCount(); ++i) {
+    if (!structurallyEqual(a.exprAt(i), b.exprAt(i))) return false;
   }
-  for (int i = 0; i < ma.stmtSlotCount(); ++i) {
-    if (!structurallyEqual(*ma.stmtSlotAt(i), *mb.stmtSlotAt(i))) return false;
+  for (int i = 0; i < a.stmtSlotCount(); ++i) {
+    if (!structurallyEqual(a.stmtAt(i), b.stmtAt(i))) return false;
   }
   return true;
 }

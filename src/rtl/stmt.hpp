@@ -41,6 +41,12 @@ class Stmt : public ExprHolder {
   [[nodiscard]] virtual int stmtSlotCount() const noexcept = 0;
   [[nodiscard]] virtual StmtPtr& stmtSlotAt(int index) = 0;
 
+  /// Read-only access to child statement `index` (const-overload idiom,
+  /// mirroring ExprHolder::exprAt).
+  [[nodiscard]] const Stmt& stmtAt(int index) const {
+    return *const_cast<Stmt*>(this)->stmtSlotAt(index);
+  }
+
  protected:
   explicit Stmt(StmtKind kind) : kind_(kind) {}
 

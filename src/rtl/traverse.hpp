@@ -50,20 +50,18 @@ void forEachExprSlot(Module& module, Visitor&& visit) {
 template <typename Visitor>
 void forEachExpr(const Expr& expr, Visitor&& visit) {
   visit(expr);
-  auto& mutableExpr = const_cast<Expr&>(expr);
-  for (int i = 0; i < mutableExpr.exprSlotCount(); ++i) {
-    forEachExpr(*mutableExpr.exprSlotAt(i), visit);
+  for (int i = 0; i < expr.exprSlotCount(); ++i) {
+    forEachExpr(expr.exprAt(i), visit);
   }
 }
 
 template <typename Visitor>
 void forEachExprInStmt(const Stmt& stmt, Visitor&& visit) {
-  auto& mutableStmt = const_cast<Stmt&>(stmt);
-  for (int i = 0; i < mutableStmt.exprSlotCount(); ++i) {
-    forEachExpr(*mutableStmt.exprSlotAt(i), visit);
+  for (int i = 0; i < stmt.exprSlotCount(); ++i) {
+    forEachExpr(stmt.exprAt(i), visit);
   }
-  for (int i = 0; i < mutableStmt.stmtSlotCount(); ++i) {
-    forEachExprInStmt(*mutableStmt.stmtSlotAt(i), visit);
+  for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+    forEachExprInStmt(stmt.stmtAt(i), visit);
   }
 }
 
@@ -81,9 +79,8 @@ void forEachExpr(const Module& module, Visitor&& visit) {
 template <typename Visitor>
 void forEachStmt(const Stmt& stmt, Visitor&& visit) {
   visit(stmt);
-  auto& mutableStmt = const_cast<Stmt&>(stmt);
-  for (int i = 0; i < mutableStmt.stmtSlotCount(); ++i) {
-    forEachStmt(*mutableStmt.stmtSlotAt(i), visit);
+  for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+    forEachStmt(stmt.stmtAt(i), visit);
   }
 }
 

@@ -16,49 +16,63 @@ using u128 = unsigned __int128;
 
 BitVector::BitVector(int width) : width_(width) {
   RTLOCK_REQUIRE(width >= 1, "bit vectors must be at least one bit wide");
-  words_.assign(static_cast<std::size_t>(wordCountFor(width)), 0);
+  if (width > 64) heap_.assign(static_cast<std::size_t>(wordCountFor(width)), 0);
 }
 
 BitVector::BitVector(std::uint64_t value, int width) : BitVector(width) {
-  words_[0] = value;
+  words()[0] = value;
   canonicalize();
 }
 
 BitVector BitVector::random(int width, support::Rng& rng) {
   BitVector result{width};
-  for (auto& word : result.words_) word = rng();
+  u64* w = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) w[i] = rng();
   result.canonicalize();
   return result;
+}
+
+BitVector BitVector::fromWords(const std::uint64_t* words, int width) {
+  BitVector result{width};
+  std::copy_n(words, result.wordCount(), result.words());
+  result.canonicalize();
+  return result;
+}
+
+void BitVector::writeWords(std::uint64_t* dest) const noexcept {
+  std::copy_n(words(), wordCount(), dest);
 }
 
 void BitVector::canonicalize() noexcept {
   const int topBits = width_ % 64;
   if (topBits != 0) {
-    words_.back() &= (u64{1} << topBits) - 1;
+    words()[wordCount() - 1] &= (u64{1} << topBits) - 1;
   }
 }
 
 bool BitVector::bit(int index) const {
   RTLOCK_REQUIRE(index >= 0 && index < width_, "bit index out of range");
-  return ((words_[static_cast<std::size_t>(index / 64)] >> (index % 64)) & 1u) != 0;
+  return ((words()[index / 64] >> (index % 64)) & 1u) != 0;
 }
 
 void BitVector::setBit(int index, bool value) {
   RTLOCK_REQUIRE(index >= 0 && index < width_, "bit index out of range");
   const u64 mask = u64{1} << (index % 64);
-  auto& word = words_[static_cast<std::size_t>(index / 64)];
+  u64& word = words()[index / 64];
   word = value ? (word | mask) : (word & ~mask);
 }
 
-std::uint64_t BitVector::toUint64() const noexcept { return words_[0]; }
+std::uint64_t BitVector::toUint64() const noexcept { return words()[0]; }
 
 bool BitVector::any() const noexcept {
-  return std::any_of(words_.begin(), words_.end(), [](u64 w) { return w != 0; });
+  const u64* w = words();
+  return std::any_of(w, w + wordCount(), [](u64 word) { return word != 0; });
 }
 
 int BitVector::popcount() const noexcept {
   int total = 0;
-  for (const u64 word : words_) total += std::popcount(word);
+  const u64* w = words();
+  for (int i = 0; i < wordCount(); ++i) total += std::popcount(w[i]);
   return total;
 }
 
@@ -71,20 +85,20 @@ std::string BitVector::toBinaryString() const {
 
 BitVector BitVector::resized(int width) const {
   BitVector result{width};
-  const std::size_t copyWords = std::min(result.words_.size(), words_.size());
-  std::copy_n(words_.begin(), copyWords, result.words_.begin());
+  std::copy_n(words(), std::min(result.wordCount(), wordCount()), result.words());
   result.canonicalize();
   return result;
 }
 
 BitVector BitVector::add(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
+  u64* out = result.words();
   u64 carry = 0;
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
     const u128 sum = static_cast<u128>(wa) + wb + carry;
-    result.words_[i] = static_cast<u64>(sum);
+    out[i] = static_cast<u64>(sum);
     carry = static_cast<u64>(sum >> 64);
   }
   result.canonicalize();
@@ -93,12 +107,13 @@ BitVector BitVector::add(const BitVector& a, const BitVector& b, int width) {
 
 BitVector BitVector::sub(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
+  u64* out = result.words();
   u64 borrow = 0;
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
     const u128 diff = static_cast<u128>(wa) - wb - borrow;
-    result.words_[i] = static_cast<u64>(diff);
+    out[i] = static_cast<u64>(diff);
     borrow = static_cast<u64>((diff >> 64) & 1);
   }
   result.canonicalize();
@@ -110,8 +125,8 @@ BitVector BitVector::mul(const BitVector& a, const BitVector& b, int width) {
                  "multiplication is defined for operands up to 64 bits");
   const u128 product = static_cast<u128>(a.toUint64()) * b.toUint64();
   BitVector result{width};
-  result.words_[0] = static_cast<u64>(product);
-  if (result.words_.size() > 1) result.words_[1] = static_cast<u64>(product >> 64);
+  result.words()[0] = static_cast<u64>(product);
+  if (result.wordCount() > 1) result.words()[1] = static_cast<u64>(product >> 64);
   result.canonicalize();
   return result;
 }
@@ -122,9 +137,10 @@ BitVector BitVector::div(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
   if (!b.any()) {
     // Deterministic stand-in for Verilog's X result.
-    for (auto& word : result.words_) word = ~u64{0};
+    u64* out = result.words();
+    for (int i = 0; i < result.wordCount(); ++i) out[i] = ~u64{0};
   } else {
-    result.words_[0] = a.toUint64() / b.toUint64();
+    result.words()[0] = a.toUint64() / b.toUint64();
   }
   result.canonicalize();
   return result;
@@ -135,9 +151,10 @@ BitVector BitVector::mod(const BitVector& a, const BitVector& b, int width) {
                  "modulo is defined for operands up to 64 bits");
   BitVector result{width};
   if (!b.any()) {
-    for (auto& word : result.words_) word = ~u64{0};
+    u64* out = result.words();
+    for (int i = 0; i < result.wordCount(); ++i) out[i] = ~u64{0};
   } else {
-    result.words_[0] = a.toUint64() % b.toUint64();
+    result.words()[0] = a.toUint64() % b.toUint64();
   }
   result.canonicalize();
   return result;
@@ -166,19 +183,20 @@ BitVector BitVector::shl(const BitVector& a, const BitVector& amount, int width)
   BitVector result{width};
   // Shift amounts >= width zero the result; amounts are capped so huge
   // operands cannot overflow the word arithmetic.
-  const u64 rawShift = amount.words_.size() == 1 ? amount.toUint64()
-                                                 : (amount.any() ? u64{1} << 20 : 0);
+  const u64 rawShift = amount.wordCount() == 1 ? amount.toUint64()
+                                               : (amount.any() ? u64{1} << 20 : 0);
   if (rawShift >= static_cast<u64>(width)) return result;
   const int shift = static_cast<int>(rawShift);
   const int wordShift = shift / 64;
   const int bitShift = shift % 64;
-  for (int i = static_cast<int>(result.words_.size()) - 1; i >= wordShift; --i) {
-    const std::size_t src = static_cast<std::size_t>(i - wordShift);
-    u64 word = src < a.words_.size() ? a.words_[src] << bitShift : 0;
-    if (bitShift != 0 && src >= 1 && src - 1 < a.words_.size()) {
-      word |= a.words_[src - 1] >> (64 - bitShift);
+  u64* out = result.words();
+  for (int i = result.wordCount() - 1; i >= wordShift; --i) {
+    const int src = i - wordShift;
+    u64 word = src < a.wordCount() ? a.words()[src] << bitShift : 0;
+    if (bitShift != 0 && src >= 1 && src - 1 < a.wordCount()) {
+      word |= a.words()[src - 1] >> (64 - bitShift);
     }
-    result.words_[static_cast<std::size_t>(i)] = word;
+    out[i] = word;
   }
   result.canonicalize();
   return result;
@@ -186,19 +204,20 @@ BitVector BitVector::shl(const BitVector& a, const BitVector& amount, int width)
 
 BitVector BitVector::shr(const BitVector& a, const BitVector& amount, int width) {
   BitVector result{width};
-  const u64 rawShift = amount.words_.size() == 1 ? amount.toUint64()
-                                                 : (amount.any() ? u64{1} << 20 : 0);
+  const u64 rawShift = amount.wordCount() == 1 ? amount.toUint64()
+                                               : (amount.any() ? u64{1} << 20 : 0);
   if (rawShift >= static_cast<u64>(a.width_)) return result;
   const int shift = static_cast<int>(rawShift);
   const int wordShift = shift / 64;
   const int bitShift = shift % 64;
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const std::size_t src = i + static_cast<std::size_t>(wordShift);
-    u64 word = src < a.words_.size() ? a.words_[src] >> bitShift : 0;
-    if (bitShift != 0 && src + 1 < a.words_.size()) {
-      word |= a.words_[src + 1] << (64 - bitShift);
+  u64* out = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const int src = i + wordShift;
+    u64 word = src < a.wordCount() ? a.words()[src] >> bitShift : 0;
+    if (bitShift != 0 && src + 1 < a.wordCount()) {
+      word |= a.words()[src + 1] << (64 - bitShift);
     }
-    result.words_[i] = word;
+    out[i] = word;
   }
   result.canonicalize();
   return result;
@@ -206,10 +225,11 @@ BitVector BitVector::shr(const BitVector& a, const BitVector& amount, int width)
 
 BitVector BitVector::bitAnd(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
-    result.words_[i] = wa & wb;
+  u64* out = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
+    out[i] = wa & wb;
   }
   result.canonicalize();
   return result;
@@ -217,10 +237,11 @@ BitVector BitVector::bitAnd(const BitVector& a, const BitVector& b, int width) {
 
 BitVector BitVector::bitOr(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
-    result.words_[i] = wa | wb;
+  u64* out = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
+    out[i] = wa | wb;
   }
   result.canonicalize();
   return result;
@@ -228,10 +249,11 @@ BitVector BitVector::bitOr(const BitVector& a, const BitVector& b, int width) {
 
 BitVector BitVector::bitXor(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
-    result.words_[i] = wa ^ wb;
+  u64* out = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
+    out[i] = wa ^ wb;
   }
   result.canonicalize();
   return result;
@@ -239,10 +261,11 @@ BitVector BitVector::bitXor(const BitVector& a, const BitVector& b, int width) {
 
 BitVector BitVector::bitXnor(const BitVector& a, const BitVector& b, int width) {
   BitVector result{width};
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
-    result.words_[i] = ~(wa ^ wb);
+  u64* out = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
+    out[i] = ~(wa ^ wb);
   }
   result.canonicalize();
   return result;
@@ -250,18 +273,19 @@ BitVector BitVector::bitXnor(const BitVector& a, const BitVector& b, int width) 
 
 BitVector BitVector::bitNot(const BitVector& a, int width) {
   BitVector result{width};
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    result.words_[i] = ~(i < a.words_.size() ? a.words_[i] : 0);
+  u64* out = result.words();
+  for (int i = 0; i < result.wordCount(); ++i) {
+    out[i] = ~(i < a.wordCount() ? a.words()[i] : 0);
   }
   result.canonicalize();
   return result;
 }
 
 bool BitVector::ult(const BitVector& a, const BitVector& b) noexcept {
-  const std::size_t words = std::max(a.words_.size(), b.words_.size());
-  for (std::size_t i = words; i-- > 0;) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+  const int wordCount = std::max(a.wordCount(), b.wordCount());
+  for (int i = wordCount; i-- > 0;) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
     if (wa != wb) return wa < wb;
   }
   return false;
@@ -270,10 +294,10 @@ bool BitVector::ult(const BitVector& a, const BitVector& b) noexcept {
 bool BitVector::ule(const BitVector& a, const BitVector& b) noexcept { return !ult(b, a); }
 
 bool BitVector::eq(const BitVector& a, const BitVector& b) noexcept {
-  const std::size_t words = std::max(a.words_.size(), b.words_.size());
-  for (std::size_t i = 0; i < words; ++i) {
-    const u64 wa = i < a.words_.size() ? a.words_[i] : 0;
-    const u64 wb = i < b.words_.size() ? b.words_[i] : 0;
+  const int wordCount = std::max(a.wordCount(), b.wordCount());
+  for (int i = 0; i < wordCount; ++i) {
+    const u64 wa = i < a.wordCount() ? a.words()[i] : 0;
+    const u64 wb = i < b.wordCount() ? b.words()[i] : 0;
     if (wa != wb) return false;
   }
   return true;
@@ -303,14 +327,15 @@ void BitVector::insert(int lo, const BitVector& value) {
 }
 
 bool BitVector::operator==(const BitVector& other) const noexcept {
-  return width_ == other.width_ && words_ == other.words_;
+  if (width_ != other.width_) return false;
+  return std::equal(words(), words() + wordCount(), other.words());
 }
 
 int BitVector::hammingDistance(const BitVector& a, const BitVector& b) {
   RTLOCK_REQUIRE(a.width_ == b.width_, "hamming distance requires equal widths");
   int total = 0;
-  for (std::size_t i = 0; i < a.words_.size(); ++i) {
-    total += std::popcount(a.words_[i] ^ b.words_[i]);
+  for (int i = 0; i < a.wordCount(); ++i) {
+    total += std::popcount(a.words()[i] ^ b.words()[i]);
   }
   return total;
 }

@@ -6,10 +6,12 @@
 //
 // Representation: little-endian array of 64-bit words; unused high bits of
 // the top word are kept zero (canonical form) so equality is word-wise.
-// Multiplication, division, modulo and exponentiation are defined for
-// operands up to 64 bits (the subset limit for named signals); wider values
-// only arise through concatenation, where linear ops (add/sub/shift/bitwise/
-// compare) remain fully supported.
+// Widths up to 64 bits (the overwhelmingly common case) live in an inline
+// word with no heap allocation; only wider vectors spill to a heap-backed
+// word array.  Multiplication, division, modulo and exponentiation are
+// defined for operands up to 64 bits (the subset limit for named signals);
+// wider values only arise through concatenation, where linear ops
+// (add/sub/shift/bitwise/compare) remain fully supported.
 #pragma once
 
 #include <cstdint>
@@ -89,12 +91,31 @@ class BitVector {
   /// Number of differing bits between equal-width vectors.
   [[nodiscard]] static int hammingDistance(const BitVector& a, const BitVector& b);
 
- private:
+  // ---- raw word access (the compiled simulator's value arena) ----
+
+  /// Words needed to hold `width` bits.
   [[nodiscard]] static int wordCountFor(int width) noexcept { return (width + 63) / 64; }
+
+  /// Wraps `wordCountFor(width)` little-endian words as a vector of `width`
+  /// bits (high bits of the top word are masked off).
+  [[nodiscard]] static BitVector fromWords(const std::uint64_t* words, int width);
+
+  /// Copies the canonical words into `dest` (`wordCountFor(width())` words).
+  void writeWords(std::uint64_t* dest) const noexcept;
+
+ private:
+  [[nodiscard]] int wordCount() const noexcept { return wordCountFor(width_); }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return width_ <= 64 ? &inline_ : heap_.data();
+  }
+  [[nodiscard]] std::uint64_t* words() noexcept {
+    return width_ <= 64 ? &inline_ : heap_.data();
+  }
   void canonicalize() noexcept;
 
   int width_;
-  std::vector<std::uint64_t> words_;
+  std::uint64_t inline_ = 0;         // storage for widths <= 64 (no heap)
+  std::vector<std::uint64_t> heap_;  // all words for widths > 64
 };
 
 }  // namespace rtlock::sim

@@ -1,0 +1,248 @@
+#include "sim/compiled_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/compiler.hpp"
+#include "sim/op_eval.hpp"
+
+namespace rtlock::sim {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+u64 powU64(u64 base, u64 exponent) noexcept {
+  // Square-and-multiply modulo 2^64 (same semantics as BitVector::pow).
+  u64 value = 1;
+  while (exponent != 0) {
+    if ((exponent & 1) != 0) value *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return value;
+}
+
+}  // namespace
+
+CompiledSim::CompiledSim(const rtl::Module& module)
+    : CompiledSim(std::make_shared<const Program>(Compiler::compile(module))) {}
+
+CompiledSim::CompiledSim(std::shared_ptr<const Program> program)
+    : program_(std::move(program)), words_(program_->initialWords()) {
+  if (program_->keyWidth() > 0) key_ = BitVector{program_->keyWidth()};
+}
+
+void CompiledSim::reset() {
+  words_ = program_->initialWords();
+  if (program_->keyWidth() > 0) key_ = BitVector{program_->keyWidth()};
+}
+
+void CompiledSim::setValue(rtl::SignalId signal, const BitVector& value) {
+  const Slot& slot = program_->signalSlot(signal);
+  value.resized(slot.width).writeWords(&words_[static_cast<std::size_t>(slot.offset)]);
+}
+
+BitVector CompiledSim::value(rtl::SignalId signal) const {
+  const Slot& slot = program_->signalSlot(signal);
+  return BitVector::fromWords(&words_[static_cast<std::size_t>(slot.offset)], slot.width);
+}
+
+void CompiledSim::setKey(const BitVector& key) {
+  RTLOCK_REQUIRE(program_->keyWidth() > 0, "module has no key input");
+  key_ = key.resized(program_->keyWidth());
+  for (const KeyBinding& binding : program_->keyBindings()) {
+    const Slot& slot = program_->slots()[static_cast<std::size_t>(binding.slot)];
+    key_.slice(binding.firstBit + binding.width - 1, binding.firstBit)
+        .writeWords(&words_[static_cast<std::size_t>(slot.offset)]);
+  }
+}
+
+void CompiledSim::settle() { exec(program_->combTape()); }
+
+void CompiledSim::clockEdge(rtl::SignalId clock) {
+  for (const SequentialTape& seq : program_->sequentialTapes()) {
+    if (seq.clock != clock) continue;
+    // Seed shadows from the live values so partial (if/case-guarded or
+    // sliced) updates keep unwritten bits, then run the tape against the
+    // pre-edge state and commit.
+    for (const ShadowCopy& copy : seq.shadows) {
+      std::copy_n(&words_[static_cast<std::size_t>(copy.liveOffset)], copy.words,
+                  &words_[static_cast<std::size_t>(copy.shadowOffset)]);
+    }
+    exec(seq.tape);
+    for (const ShadowCopy& copy : seq.shadows) {
+      std::copy_n(&words_[static_cast<std::size_t>(copy.shadowOffset)], copy.words,
+                  &words_[static_cast<std::size_t>(copy.liveOffset)]);
+    }
+  }
+  settle();
+}
+
+BitVector CompiledSim::load(std::int32_t slotId) const {
+  const Slot& slot = program_->slots()[static_cast<std::size_t>(slotId)];
+  return BitVector::fromWords(&words_[static_cast<std::size_t>(slot.offset)], slot.width);
+}
+
+void CompiledSim::store(std::int32_t slotId, const BitVector& value) {
+  const Slot& slot = program_->slots()[static_cast<std::size_t>(slotId)];
+  u64* dest = &words_[static_cast<std::size_t>(slot.offset)];
+  if (value.width() == slot.width) {
+    value.writeWords(dest);
+  } else {
+    value.resized(slot.width).writeWords(dest);
+  }
+}
+
+void CompiledSim::exec(const std::vector<Instr>& tape) {
+  u64* const w = words_.data();
+  const std::size_t size = tape.size();
+  for (std::size_t pc = 0; pc < size; ++pc) {
+    const Instr& in = tape[pc];
+    switch (in.op) {
+      case Opcode::Copy: w[in.dst] = w[in.a] & narrowMask(in.width); break;
+      case Opcode::Add: w[in.dst] = (w[in.a] + w[in.b]) & narrowMask(in.width); break;
+      case Opcode::Sub: w[in.dst] = (w[in.a] - w[in.b]) & narrowMask(in.width); break;
+      case Opcode::Mul: w[in.dst] = (w[in.a] * w[in.b]) & narrowMask(in.width); break;
+      case Opcode::Div:
+        w[in.dst] = w[in.b] == 0 ? narrowMask(in.width)
+                                 : (w[in.a] / w[in.b]) & narrowMask(in.width);
+        break;
+      case Opcode::Mod:
+        w[in.dst] = w[in.b] == 0 ? narrowMask(in.width)
+                                 : (w[in.a] % w[in.b]) & narrowMask(in.width);
+        break;
+      case Opcode::Pow:
+        w[in.dst] = powU64(w[in.a], w[in.b]) & narrowMask(in.width);
+        break;
+      case Opcode::Shl: {
+        const u64 amount = w[in.b];
+        w[in.dst] = amount >= static_cast<u64>(in.width)
+                        ? 0
+                        : (w[in.a] << amount) & narrowMask(in.width);
+        break;
+      }
+      case Opcode::Shr: {
+        const u64 amount = w[in.b];
+        w[in.dst] = amount >= static_cast<u64>(in.c)
+                        ? 0
+                        : (w[in.a] >> amount) & narrowMask(in.width);
+        break;
+      }
+      case Opcode::And: w[in.dst] = w[in.a] & w[in.b]; break;
+      case Opcode::Or: w[in.dst] = w[in.a] | w[in.b]; break;
+      case Opcode::Xor: w[in.dst] = w[in.a] ^ w[in.b]; break;
+      case Opcode::Xnor: w[in.dst] = ~(w[in.a] ^ w[in.b]) & narrowMask(in.width); break;
+      case Opcode::Lt: w[in.dst] = w[in.a] < w[in.b] ? 1 : 0; break;
+      case Opcode::Le: w[in.dst] = w[in.a] <= w[in.b] ? 1 : 0; break;
+      case Opcode::Eq: w[in.dst] = w[in.a] == w[in.b] ? 1 : 0; break;
+      case Opcode::Ne: w[in.dst] = w[in.a] != w[in.b] ? 1 : 0; break;
+      case Opcode::LAnd: w[in.dst] = w[in.a] != 0 && w[in.b] != 0 ? 1 : 0; break;
+      case Opcode::LOr: w[in.dst] = w[in.a] != 0 || w[in.b] != 0 ? 1 : 0; break;
+      case Opcode::Neg: w[in.dst] = (0 - w[in.a]) & narrowMask(in.width); break;
+      case Opcode::Not: w[in.dst] = ~w[in.a] & narrowMask(in.width); break;
+      case Opcode::LogNot: w[in.dst] = w[in.a] == 0 ? 1 : 0; break;
+      case Opcode::RedAnd: w[in.dst] = std::popcount(w[in.a]) == in.b ? 1 : 0; break;
+      case Opcode::RedOr: w[in.dst] = w[in.a] != 0 ? 1 : 0; break;
+      case Opcode::RedXor: w[in.dst] = static_cast<u64>(std::popcount(w[in.a])) & 1; break;
+      case Opcode::Select:
+        w[in.dst] = (w[in.a] != 0 ? w[in.b] : w[in.c]) & narrowMask(in.width);
+        break;
+      case Opcode::SliceLow: w[in.dst] = (w[in.a] >> in.b) & narrowMask(in.width); break;
+      case Opcode::ConcatPair:
+        w[in.dst] = ((w[in.a] << in.c) | w[in.b]) & narrowMask(in.width);
+        break;
+      case Opcode::Insert: {
+        const u64 mask = narrowMask(in.c);
+        w[in.dst] = (w[in.dst] & ~(mask << in.b)) | ((w[in.a] & mask) << in.b);
+        break;
+      }
+      case Opcode::Jump: pc = static_cast<std::size_t>(in.dst) - 1; break;
+      case Opcode::JumpIfZero:
+        if (w[in.a] == 0) pc = static_cast<std::size_t>(in.dst) - 1;
+        break;
+      case Opcode::JumpIfEq:
+        if (w[in.a] == w[in.b]) pc = static_cast<std::size_t>(in.dst) - 1;
+        break;
+      case Opcode::WideBinary:
+        store(in.dst, evalBinaryOp(static_cast<rtl::OpKind>(in.c), load(in.a), load(in.b),
+                                   program_->slots()[static_cast<std::size_t>(in.dst)].width));
+        break;
+      case Opcode::WideUnary:
+        store(in.dst, evalUnaryOp(static_cast<rtl::UnaryOp>(in.c), load(in.a),
+                                  program_->slots()[static_cast<std::size_t>(in.dst)].width));
+        break;
+      case Opcode::WideSelect: {
+        const int width = program_->slots()[static_cast<std::size_t>(in.dst)].width;
+        store(in.dst, (load(in.a).any() ? load(in.b) : load(in.c)).resized(width));
+        break;
+      }
+      case Opcode::WideConcat: {
+        std::vector<BitVector> parts;
+        parts.reserve(static_cast<std::size_t>(in.b));
+        for (std::int32_t i = 0; i < in.b; ++i) {
+          parts.push_back(load(program_->argPool()[static_cast<std::size_t>(in.a + i)]));
+        }
+        store(in.dst, BitVector::concat(parts));
+        break;
+      }
+      case Opcode::WideSlice: {
+        const int width = program_->slots()[static_cast<std::size_t>(in.dst)].width;
+        store(in.dst, load(in.a).slice(in.b + width - 1, in.b));
+        break;
+      }
+      case Opcode::WideCopy: {
+        const int width = program_->slots()[static_cast<std::size_t>(in.dst)].width;
+        store(in.dst, load(in.a).resized(width));
+        break;
+      }
+      case Opcode::WideInsert: {
+        BitVector target = load(in.dst);
+        target.insert(in.b, load(in.a).resized(in.c));
+        store(in.dst, target);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<BitVector>> CompiledSim::runVectors(
+    const BatchRequest& request, const std::vector<std::vector<BitVector>>& stimuli,
+    const std::vector<BitVector>& keys) {
+  RTLOCK_REQUIRE(request.cycles >= 1, "batch runs need at least one cycle");
+  RTLOCK_REQUIRE(keys.empty() || keys.size() == stimuli.size(),
+                 "runVectors needs no keys or one key per stimulus vector");
+  const std::size_t inputCount = request.inputs.size();
+  const std::size_t samplesPerCycle = request.clock.has_value() ? 2 : 1;
+
+  std::vector<std::vector<BitVector>> traces;
+  traces.reserve(stimuli.size());
+  for (std::size_t vector = 0; vector < stimuli.size(); ++vector) {
+    const std::vector<BitVector>& stimulus = stimuli[vector];
+    RTLOCK_REQUIRE(stimulus.size() ==
+                       inputCount * static_cast<std::size_t>(request.cycles),
+                   "stimulus vector size must be cycles * inputs");
+    reset();
+    if (!keys.empty()) setKey(keys[vector]);
+
+    std::vector<BitVector> trace;
+    trace.reserve(static_cast<std::size_t>(request.cycles) * samplesPerCycle *
+                  request.outputs.size());
+    for (int cycle = 0; cycle < request.cycles; ++cycle) {
+      for (std::size_t i = 0; i < inputCount; ++i) {
+        setValue(request.inputs[i],
+                 stimulus[static_cast<std::size_t>(cycle) * inputCount + i]);
+      }
+      settle();
+      for (const rtl::SignalId output : request.outputs) trace.push_back(value(output));
+      if (request.clock.has_value()) {
+        clockEdge(*request.clock);
+        for (const rtl::SignalId output : request.outputs) trace.push_back(value(output));
+      }
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace rtlock::sim

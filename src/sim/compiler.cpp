@@ -1,0 +1,416 @@
+#include "sim/compiler.hpp"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace rtlock::sim {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+using rtl::OpKind;
+using rtl::SignalId;
+using rtl::Stmt;
+using rtl::StmtKind;
+
+constexpr int kNarrow = 64;  // widths up to this use the single-word fast path
+
+/// Narrow opcode for a binary operator; Gt/Ge lower to Lt/Le with swapped
+/// operands, so they have no opcode of their own.
+Opcode narrowBinaryOpcode(OpKind op) {
+  switch (op) {
+    case OpKind::Add: return Opcode::Add;
+    case OpKind::Sub: return Opcode::Sub;
+    case OpKind::Mul: return Opcode::Mul;
+    case OpKind::Div: return Opcode::Div;
+    case OpKind::Mod: return Opcode::Mod;
+    case OpKind::Pow: return Opcode::Pow;
+    case OpKind::Shl: return Opcode::Shl;
+    case OpKind::Shr:
+    case OpKind::AShr: return Opcode::Shr;
+    case OpKind::And: return Opcode::And;
+    case OpKind::Or: return Opcode::Or;
+    case OpKind::Xor: return Opcode::Xor;
+    case OpKind::Xnor: return Opcode::Xnor;
+    case OpKind::Lt:
+    case OpKind::Gt: return Opcode::Lt;
+    case OpKind::Le:
+    case OpKind::Ge: return Opcode::Le;
+    case OpKind::Eq: return Opcode::Eq;
+    case OpKind::Ne: return Opcode::Ne;
+    case OpKind::LAnd: return Opcode::LAnd;
+    case OpKind::LOr: return Opcode::LOr;
+  }
+  RTLOCK_UNREACHABLE("binary operator");
+}
+
+struct CompilerImpl {
+  const rtl::Module& module;
+
+  // Program pieces, assembled by Compiler::compile at the end.
+  std::vector<Slot> slots;
+  std::vector<std::int32_t> signalSlots;
+  std::vector<Instr> combTape;
+  std::vector<SequentialTape> seqTapes;
+  std::vector<KeyBinding> keyBindings;
+  std::vector<std::int32_t> argPool;
+  std::vector<rtl::SignalId> clocks;
+
+  std::int32_t nextOffset = 0;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> constInits;  // {offset, word0}
+  std::map<std::pair<std::uint64_t, int>, std::int32_t> constSlots;
+  std::map<std::pair<int, int>, std::int32_t> keySlots;
+  std::unordered_map<SignalId, std::int32_t> shadowSlots;
+
+  // Lowering context: the tape being emitted, and (for sequential tapes)
+  // whether assignments are non-blocking plus the set of written signals.
+  std::vector<Instr>* tape = nullptr;
+  bool nonBlocking = false;
+  std::set<SignalId>* seqWrites = nullptr;
+
+  explicit CompilerImpl(const rtl::Module& m) : module(m) {}
+
+  [[nodiscard]] std::int32_t addSlot(int width) {
+    const auto id = static_cast<std::int32_t>(slots.size());
+    slots.push_back({nextOffset, width});
+    nextOffset += slots.back().wordCount();
+    return id;
+  }
+
+  [[nodiscard]] const Slot& slot(std::int32_t id) const {
+    return slots[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::int32_t offset(std::int32_t id) const { return slot(id).offset; }
+  [[nodiscard]] bool narrow(std::int32_t id) const { return slot(id).width <= kNarrow; }
+
+  [[nodiscard]] std::int32_t constSlot(std::uint64_t value, int width) {
+    const std::uint64_t canonical = width < 64 ? (value & narrowMask(width)) : value;
+    const auto [it, inserted] = constSlots.try_emplace({canonical, width}, 0);
+    if (inserted) {
+      it->second = addSlot(width);
+      constInits.emplace_back(offset(it->second), canonical);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::int32_t keySlot(int firstBit, int width) {
+    RTLOCK_REQUIRE(firstBit + width <= module.keyWidth(), "key reference exceeds key width");
+    const auto [it, inserted] = keySlots.try_emplace({firstBit, width}, 0);
+    if (inserted) {
+      it->second = addSlot(width);
+      keyBindings.push_back({firstBit, width, it->second});
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::int32_t shadowSlot(SignalId signal) {
+    const auto [it, inserted] = shadowSlots.try_emplace(signal, 0);
+    if (inserted) it->second = addSlot(module.signal(signal).width);
+    return it->second;
+  }
+
+  void emit(Opcode op, int width, std::int32_t dst, std::int32_t a, std::int32_t b = 0,
+            std::int32_t c = 0) {
+    tape->push_back({op, static_cast<std::uint8_t>(width), dst, a, b, c});
+  }
+
+  /// Emits a placeholder jump; the target is patched later.
+  [[nodiscard]] std::size_t emitJump(Opcode op, std::int32_t a = 0, std::int32_t b = 0) {
+    tape->push_back({op, 0, 0, a, b, 0});
+    return tape->size() - 1;
+  }
+
+  void patchJump(std::size_t at, std::size_t target) {
+    (*tape)[at].dst = static_cast<std::int32_t>(target);
+  }
+
+  [[nodiscard]] std::size_t here() const { return tape->size(); }
+
+  /// Reduces a slot to a single "is non-zero" word usable by JumpIfZero /
+  /// narrow Select; returns the word offset.
+  [[nodiscard]] std::int32_t condWord(std::int32_t slotId) {
+    if (narrow(slotId)) return offset(slotId);
+    const std::int32_t reduced = addSlot(1);
+    emit(Opcode::WideUnary, 0, reduced, slotId, 0, static_cast<std::int32_t>(rtl::UnaryOp::RedOr));
+    return offset(reduced);
+  }
+
+  // ---- expressions ------------------------------------------------------
+
+  /// Lowers `expr`; returns the slot holding its value.
+  [[nodiscard]] std::int32_t lowerExpr(const Expr& expr) {
+    const int width = expr.width();
+    switch (expr.kind()) {
+      case ExprKind::Constant:
+        return constSlot(static_cast<const rtl::ConstantExpr&>(expr).value(), width);
+      case ExprKind::SignalRef:
+        return signalSlots[static_cast<const rtl::SignalRefExpr&>(expr).signal()];
+      case ExprKind::KeyRef: {
+        const auto& key = static_cast<const rtl::KeyRefExpr&>(expr);
+        return keySlot(key.firstBit(), key.width());
+      }
+      case ExprKind::Unary: return lowerUnary(static_cast<const rtl::UnaryExpr&>(expr));
+      case ExprKind::Binary: return lowerBinary(static_cast<const rtl::BinaryExpr&>(expr));
+      case ExprKind::Ternary: return lowerTernary(static_cast<const rtl::TernaryExpr&>(expr));
+      case ExprKind::Concat: return lowerConcat(expr);
+      case ExprKind::Slice: return lowerSlice(static_cast<const rtl::SliceExpr&>(expr));
+    }
+    RTLOCK_UNREACHABLE("expression kind");
+  }
+
+  [[nodiscard]] std::int32_t lowerUnary(const rtl::UnaryExpr& expr) {
+    const std::int32_t operand = lowerExpr(expr.operand());
+    const int width = expr.width();
+    const std::int32_t dst = addSlot(width);
+    if (width > kNarrow || !narrow(operand)) {
+      emit(Opcode::WideUnary, 0, dst, operand, 0, static_cast<std::int32_t>(expr.op()));
+      return dst;
+    }
+    const int operandWidth = slot(operand).width;
+    switch (expr.op()) {
+      case rtl::UnaryOp::Neg: emit(Opcode::Neg, width, offset(dst), offset(operand)); break;
+      case rtl::UnaryOp::BitNot: emit(Opcode::Not, width, offset(dst), offset(operand)); break;
+      case rtl::UnaryOp::LogNot: emit(Opcode::LogNot, width, offset(dst), offset(operand)); break;
+      case rtl::UnaryOp::RedAnd:
+        emit(Opcode::RedAnd, width, offset(dst), offset(operand), operandWidth);
+        break;
+      case rtl::UnaryOp::RedOr: emit(Opcode::RedOr, width, offset(dst), offset(operand)); break;
+      case rtl::UnaryOp::RedXor: emit(Opcode::RedXor, width, offset(dst), offset(operand)); break;
+    }
+    return dst;
+  }
+
+  [[nodiscard]] std::int32_t lowerBinary(const rtl::BinaryExpr& expr) {
+    std::int32_t lhs = lowerExpr(expr.lhs());
+    std::int32_t rhs = lowerExpr(expr.rhs());
+    const int width = expr.width();
+    const std::int32_t dst = addSlot(width);
+    if (width > kNarrow || !narrow(lhs) || !narrow(rhs)) {
+      emit(Opcode::WideBinary, 0, dst, lhs, rhs, static_cast<std::int32_t>(expr.op()));
+      return dst;
+    }
+    const OpKind op = expr.op();
+    // Gt/Ge are Lt/Le with the operands swapped.
+    if (op == OpKind::Gt || op == OpKind::Ge) std::swap(lhs, rhs);
+    // Shr zeroes the result when the amount reaches the *operand* width.
+    const std::int32_t aux = op == OpKind::Shr || op == OpKind::AShr ? slot(lhs).width : 0;
+    emit(narrowBinaryOpcode(op), width, offset(dst), offset(lhs), offset(rhs), aux);
+    return dst;
+  }
+
+  [[nodiscard]] std::int32_t lowerTernary(const rtl::TernaryExpr& expr) {
+    const std::int32_t cond = lowerExpr(expr.cond());
+    const std::int32_t thenSlot = lowerExpr(expr.thenExpr());
+    const std::int32_t elseSlot = lowerExpr(expr.elseExpr());
+    const int width = expr.width();
+    const std::int32_t dst = addSlot(width);
+    if (width > kNarrow || !narrow(thenSlot) || !narrow(elseSlot)) {
+      emit(Opcode::WideSelect, 0, dst, cond, thenSlot, elseSlot);
+      return dst;
+    }
+    emit(Opcode::Select, width, offset(dst), condWord(cond), offset(thenSlot),
+         offset(elseSlot));
+    return dst;
+  }
+
+  [[nodiscard]] std::int32_t lowerConcat(const Expr& expr) {
+    std::vector<std::int32_t> parts;
+    parts.reserve(static_cast<std::size_t>(expr.exprSlotCount()));
+    for (int i = 0; i < expr.exprSlotCount(); ++i) parts.push_back(lowerExpr(expr.exprAt(i)));
+    if (parts.size() == 1) return parts.front();
+
+    const int width = expr.width();
+    if (width > kNarrow) {
+      const std::int32_t dst = addSlot(width);
+      const auto start = static_cast<std::int32_t>(argPool.size());
+      argPool.insert(argPool.end(), parts.begin(), parts.end());
+      emit(Opcode::WideConcat, 0, dst, start, static_cast<std::int32_t>(parts.size()));
+      return dst;
+    }
+    // Fold left: acc = {acc, part}; parts[0] is most significant.
+    std::int32_t acc = parts.front();
+    int accWidth = slot(acc).width;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const int partWidth = slot(parts[i]).width;
+      accWidth += partWidth;
+      const std::int32_t next = addSlot(accWidth);
+      emit(Opcode::ConcatPair, accWidth, offset(next), offset(acc), offset(parts[i]),
+           partWidth);
+      acc = next;
+    }
+    return acc;
+  }
+
+  [[nodiscard]] std::int32_t lowerSlice(const rtl::SliceExpr& expr) {
+    const std::int32_t value = lowerExpr(expr.value());
+    RTLOCK_REQUIRE(expr.lo() >= 0 && expr.hi() >= expr.lo() && expr.hi() < slot(value).width,
+                   "slice bounds out of range");
+    const int width = expr.width();
+    const std::int32_t dst = addSlot(width);
+    if (!narrow(value)) {
+      emit(Opcode::WideSlice, 0, dst, value, expr.lo());
+    } else {
+      emit(Opcode::SliceLow, width, offset(dst), offset(value), expr.lo());
+    }
+    return dst;
+  }
+
+  // ---- statements -------------------------------------------------------
+
+  void emitStore(const rtl::LValue& lvalue, std::int32_t value) {
+    const int signalWidth = module.signal(lvalue.signal).width;
+    if (nonBlocking) seqWrites->insert(lvalue.signal);
+    const std::int32_t target =
+        nonBlocking ? shadowSlot(lvalue.signal) : signalSlots[lvalue.signal];
+    if (lvalue.wholeSignal()) {
+      if (signalWidth <= kNarrow) {
+        emit(Opcode::Copy, signalWidth, offset(target), offset(value));
+      } else {
+        emit(Opcode::WideCopy, 0, target, value);
+      }
+      return;
+    }
+    const auto [hi, lo] = *lvalue.range;
+    RTLOCK_REQUIRE(lo >= 0 && hi >= lo && hi < signalWidth, "lvalue slice out of range");
+    const int sliceWidth = hi - lo + 1;
+    if (signalWidth <= kNarrow) {
+      emit(Opcode::Insert, signalWidth, offset(target), offset(value), lo, sliceWidth);
+    } else {
+      emit(Opcode::WideInsert, 0, target, value, lo, sliceWidth);
+    }
+  }
+
+  void lowerStmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::Block: {
+        for (int i = 0; i < stmt.stmtSlotCount(); ++i) lowerStmt(stmt.stmtAt(i));
+        break;
+      }
+      case StmtKind::If: {
+        const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
+        const std::int32_t cond = condWord(lowerExpr(ifStmt.cond()));
+        const std::size_t skipThen = emitJump(Opcode::JumpIfZero, cond);
+        lowerStmt(ifStmt.stmtAt(0));
+        if (ifStmt.hasElse()) {
+          const std::size_t skipElse = emitJump(Opcode::Jump);
+          patchJump(skipThen, here());
+          lowerStmt(ifStmt.stmtAt(1));
+          patchJump(skipElse, here());
+        } else {
+          patchJump(skipThen, here());
+        }
+        break;
+      }
+      case StmtKind::Case: lowerCase(static_cast<const rtl::CaseStmt&>(stmt)); break;
+      case StmtKind::Assign: {
+        const auto& assign = static_cast<const rtl::AssignStmt&>(stmt);
+        RTLOCK_REQUIRE(assign.nonBlocking() == nonBlocking,
+                       nonBlocking ? "blocking assignment inside sequential process"
+                                   : "non-blocking assignment inside combinational process");
+        emitStore(assign.target(), lowerExpr(assign.value()));
+        break;
+      }
+    }
+  }
+
+  void lowerCase(const rtl::CaseStmt& caseStmt) {
+    // subject == label dispatches on the low word, matching the
+    // interpreter's toUint64() comparison (labels are raw 64-bit values).
+    const std::int32_t subjectWord = offset(lowerExpr(caseStmt.subject()));
+    const std::size_t itemCount = caseStmt.items().size();
+
+    std::vector<std::size_t> dispatches(itemCount);  // first jump of each item
+    for (std::size_t i = 0; i < itemCount; ++i) {
+      const auto& labels = caseStmt.items()[i].labels;
+      dispatches[i] = here();
+      for (const std::uint64_t label : labels) {
+        (void)emitJump(Opcode::JumpIfEq, subjectWord, offset(constSlot(label, 64)));
+      }
+    }
+    std::vector<std::size_t> exits;
+    if (caseStmt.hasDefault()) {
+      lowerStmt(caseStmt.stmtAt(static_cast<int>(itemCount)));
+    }
+    exits.push_back(emitJump(Opcode::Jump));
+
+    for (std::size_t i = 0; i < itemCount; ++i) {
+      const std::size_t body = here();
+      for (std::size_t j = 0; j < caseStmt.items()[i].labels.size(); ++j) {
+        patchJump(dispatches[i] + j, body);
+      }
+      lowerStmt(caseStmt.stmtAt(static_cast<int>(i)));
+      exits.push_back(emitJump(Opcode::Jump));
+    }
+    for (const std::size_t exit : exits) patchJump(exit, here());
+  }
+
+  // ---- top level --------------------------------------------------------
+
+  void run(const Schedule& schedule) {
+    signalSlots.reserve(module.signalCount());
+    for (SignalId id = 0; id < module.signalCount(); ++id) {
+      signalSlots.push_back(addSlot(module.signal(id).width));
+    }
+
+    tape = &combTape;
+    nonBlocking = false;
+    for (const ScheduleUnit& unit : schedule.comb) {
+      if (unit.assign != nullptr) {
+        emitStore(unit.assign->target(), lowerExpr(unit.assign->value()));
+      } else {
+        lowerStmt(*unit.process->body);
+      }
+    }
+
+    clocks = schedule.clocks;
+    for (const SequentialGroup& group : schedule.sequential) {
+      SequentialTape seq;
+      seq.clock = group.clock;
+      std::set<SignalId> writes;
+      tape = &seq.tape;
+      nonBlocking = true;
+      seqWrites = &writes;
+      for (const rtl::Process* process : group.processes) lowerStmt(*process->body);
+      nonBlocking = false;
+      seqWrites = nullptr;
+      for (const SignalId signal : writes) {
+        const Slot& live = slot(signalSlots[signal]);
+        const Slot& shadow = slot(shadowSlot(signal));
+        seq.shadows.push_back({live.offset, shadow.offset, live.wordCount()});
+      }
+      seqTapes.push_back(std::move(seq));
+    }
+    tape = nullptr;
+  }
+};
+
+}  // namespace
+
+Program Compiler::compile(const rtl::Module& module) {
+  const Schedule schedule = buildSchedule(module);
+  CompilerImpl impl{module};
+  impl.run(schedule);
+
+  Program program;
+  program.slots_ = std::move(impl.slots);
+  program.signalSlots_ = std::move(impl.signalSlots);
+  program.combTape_ = std::move(impl.combTape);
+  program.seqTapes_ = std::move(impl.seqTapes);
+  program.keyBindings_ = std::move(impl.keyBindings);
+  program.argPool_ = std::move(impl.argPool);
+  program.clocks_ = std::move(impl.clocks);
+  program.keyWidth_ = module.keyWidth();
+  program.initialWords_.assign(static_cast<std::size_t>(impl.nextOffset), 0);
+  for (const auto& [offset, word] : impl.constInits) {
+    program.initialWords_[static_cast<std::size_t>(offset)] = word;
+  }
+  return program;
+}
+
+}  // namespace rtlock::sim

@@ -1,0 +1,26 @@
+// Lowers a module to a flat bytecode Program (see sim/program.hpp).
+//
+// The compiler walks the levelized schedule (the same one the reference
+// interpreter executes) and emits one opcode per IR operation:
+//  * expression trees become straight-line tapes over arena slots, with the
+//    single-word fast path chosen per node at compile time;
+//  * if/case statements become conditional jumps, so the executor never
+//    re-inspects the IR;
+//  * constants are baked into the arena image and key slices bound to slots
+//    refreshed on setKey — neither costs anything per cycle.
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace rtlock::sim {
+
+class Compiler {
+ public:
+  /// Compiles `module`.  The Program is self-contained: the module may be
+  /// mutated or destroyed afterwards (relocking invalidates a Program — just
+  /// recompile).  Throws support::Error on combinational loops, like the
+  /// interpreter.
+  [[nodiscard]] static Program compile(const rtl::Module& module);
+};
+
+}  // namespace rtlock::sim

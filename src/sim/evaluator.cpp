@@ -1,8 +1,8 @@
 #include "sim/evaluator.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <set>
+
+#include "sim/op_eval.hpp"
 
 namespace rtlock::sim {
 
@@ -10,42 +10,19 @@ namespace {
 
 using rtl::Expr;
 using rtl::ExprKind;
-using rtl::OpKind;
 using rtl::SignalId;
 using rtl::Stmt;
 using rtl::StmtKind;
 
-/// Signals read by an expression.
-void collectReads(const Expr& expr, std::set<SignalId>& reads) {
-  rtl::forEachExpr(expr, [&reads](const Expr& node) {
-    if (node.kind() == ExprKind::SignalRef) {
-      reads.insert(static_cast<const rtl::SignalRefExpr&>(node).signal());
-    }
-  });
-}
-
-void collectStmtReadsWrites(const Stmt& stmt, std::set<SignalId>& reads,
-                            std::set<SignalId>& writes) {
-  rtl::forEachStmt(stmt, [&](const Stmt& node) {
-    auto& mutableNode = const_cast<Stmt&>(node);
-    for (int i = 0; i < mutableNode.exprSlotCount(); ++i) {
-      collectReads(*mutableNode.exprSlotAt(i), reads);
-    }
-    if (node.kind() == StmtKind::Assign) {
-      writes.insert(static_cast<const rtl::AssignStmt&>(node).target().signal);
-    }
-  });
-}
-
 }  // namespace
 
-Evaluator::Evaluator(const rtl::Module& module) : module_(module) {
+Evaluator::Evaluator(const rtl::Module& module)
+    : module_(module), schedule_(buildSchedule(module)) {
   values_.reserve(module.signalCount());
   for (SignalId id = 0; id < module.signalCount(); ++id) {
     values_.emplace_back(module.signal(id).width);
   }
   if (module.keyWidth() > 0) key_ = BitVector{module.keyWidth()};
-  buildSchedule();
 }
 
 void Evaluator::reset() {
@@ -70,87 +47,11 @@ void Evaluator::setKey(BitVector key) {
   key_ = key.resized(module_.keyWidth());
 }
 
-void Evaluator::buildSchedule() {
-  std::vector<Unit> units;
-
-  for (const auto& assign : module_.contAssigns()) {
-    Unit unit;
-    unit.assign = assign.get();
-    std::set<SignalId> reads;
-    collectReads(assign->value(), reads);
-    unit.reads.assign(reads.begin(), reads.end());
-    unit.writes.push_back(assign->target().signal);
-    units.push_back(std::move(unit));
-  }
-
-  for (const auto& process : module_.processes()) {
-    if (process->kind == rtl::ProcessKind::Sequential) {
-      if (std::find(clocks_.begin(), clocks_.end(), process->clock) == clocks_.end()) {
-        clocks_.push_back(process->clock);
-      }
-      continue;
-    }
-    Unit unit;
-    unit.process = process.get();
-    std::set<SignalId> reads;
-    std::set<SignalId> writes;
-    collectStmtReadsWrites(*process->body, reads, writes);
-    // A signal both written and read inside one @(*) block is an internal
-    // (blocking) chain, not an external dependency.
-    for (const SignalId w : writes) reads.erase(w);
-    unit.reads.assign(reads.begin(), reads.end());
-    unit.writes.assign(writes.begin(), writes.end());
-    units.push_back(std::move(unit));
-  }
-
-  // Signals produced by sequential processes (or inputs) are sources; build
-  // writer map for combinational units only.
-  std::vector<int> writerOf(module_.signalCount(), -1);
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    for (const SignalId w : units[i].writes) {
-      writerOf[w] = static_cast<int>(i);
-    }
-  }
-
-  // Kahn's algorithm over unit dependencies.
-  std::vector<std::vector<int>> successors(units.size());
-  std::vector<int> inDegree(units.size(), 0);
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    for (const SignalId r : units[i].reads) {
-      const int writer = writerOf[r];
-      if (writer >= 0 && writer != static_cast<int>(i)) {
-        successors[static_cast<std::size_t>(writer)].push_back(static_cast<int>(i));
-        ++inDegree[i];
-      }
-    }
-  }
-
-  std::queue<int> ready;
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    if (inDegree[i] == 0) ready.push(static_cast<int>(i));
-  }
-  schedule_.clear();
-  schedule_.reserve(units.size());
-  std::vector<int> order;
-  while (!ready.empty()) {
-    const int index = ready.front();
-    ready.pop();
-    order.push_back(index);
-    for (const int next : successors[static_cast<std::size_t>(index)]) {
-      if (--inDegree[static_cast<std::size_t>(next)] == 0) ready.push(next);
-    }
-  }
-  if (order.size() != units.size()) {
-    throw support::Error{"combinational loop detected in module '" + module_.name() + "'"};
-  }
-  for (const int index : order) schedule_.push_back(std::move(units[static_cast<std::size_t>(index)]));
-}
-
 void Evaluator::settle() {
-  for (const Unit& unit : schedule_) executeUnit(unit);
+  for (const ScheduleUnit& unit : schedule_.comb) executeUnit(unit);
 }
 
-void Evaluator::executeUnit(const Unit& unit) {
+void Evaluator::executeUnit(const ScheduleUnit& unit) {
   if (unit.assign != nullptr) {
     writeLValue(unit.assign->target(), evalExpr(unit.assign->value()));
   } else {
@@ -161,35 +62,31 @@ void Evaluator::executeUnit(const Unit& unit) {
 void Evaluator::executeStmtBlocking(const Stmt& stmt) {
   switch (stmt.kind()) {
     case StmtKind::Block: {
-      auto& block = const_cast<Stmt&>(stmt);
-      for (int i = 0; i < block.stmtSlotCount(); ++i) executeStmtBlocking(*block.stmtSlotAt(i));
+      for (int i = 0; i < stmt.stmtSlotCount(); ++i) executeStmtBlocking(stmt.stmtAt(i));
       break;
     }
     case StmtKind::If: {
       const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
-      auto& mutableIf = const_cast<rtl::IfStmt&>(ifStmt);
       if (evalExpr(ifStmt.cond()).any()) {
-        executeStmtBlocking(*mutableIf.stmtSlotAt(0));
+        executeStmtBlocking(ifStmt.stmtAt(0));
       } else if (ifStmt.hasElse()) {
-        executeStmtBlocking(*mutableIf.stmtSlotAt(1));
+        executeStmtBlocking(ifStmt.stmtAt(1));
       }
       break;
     }
     case StmtKind::Case: {
       const auto& caseStmt = static_cast<const rtl::CaseStmt&>(stmt);
-      auto& mutableCase = const_cast<rtl::CaseStmt&>(caseStmt);
       const BitVector subject = evalExpr(caseStmt.subject());
       const std::uint64_t subjectValue = subject.toUint64();
       for (std::size_t i = 0; i < caseStmt.items().size(); ++i) {
         const auto& labels = caseStmt.items()[i].labels;
         if (std::find(labels.begin(), labels.end(), subjectValue) != labels.end()) {
-          executeStmtBlocking(*mutableCase.stmtSlotAt(static_cast<int>(i)));
+          executeStmtBlocking(caseStmt.stmtAt(static_cast<int>(i)));
           return;
         }
       }
       if (caseStmt.hasDefault()) {
-        executeStmtBlocking(
-            *mutableCase.stmtSlotAt(static_cast<int>(caseStmt.items().size())));
+        executeStmtBlocking(caseStmt.stmtAt(static_cast<int>(caseStmt.items().size())));
       }
       break;
     }
@@ -207,36 +104,33 @@ void Evaluator::collectNonBlocking(
     const Stmt& stmt, std::vector<std::pair<rtl::LValue, BitVector>>& updates) const {
   switch (stmt.kind()) {
     case StmtKind::Block: {
-      auto& block = const_cast<Stmt&>(stmt);
-      for (int i = 0; i < block.stmtSlotCount(); ++i) {
-        collectNonBlocking(*block.stmtSlotAt(i), updates);
+      for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+        collectNonBlocking(stmt.stmtAt(i), updates);
       }
       break;
     }
     case StmtKind::If: {
       const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
-      auto& mutableIf = const_cast<rtl::IfStmt&>(ifStmt);
       if (evalExpr(ifStmt.cond()).any()) {
-        collectNonBlocking(*mutableIf.stmtSlotAt(0), updates);
+        collectNonBlocking(ifStmt.stmtAt(0), updates);
       } else if (ifStmt.hasElse()) {
-        collectNonBlocking(*mutableIf.stmtSlotAt(1), updates);
+        collectNonBlocking(ifStmt.stmtAt(1), updates);
       }
       break;
     }
     case StmtKind::Case: {
       const auto& caseStmt = static_cast<const rtl::CaseStmt&>(stmt);
-      auto& mutableCase = const_cast<rtl::CaseStmt&>(caseStmt);
       const std::uint64_t subjectValue = evalExpr(caseStmt.subject()).toUint64();
       for (std::size_t i = 0; i < caseStmt.items().size(); ++i) {
         const auto& labels = caseStmt.items()[i].labels;
         if (std::find(labels.begin(), labels.end(), subjectValue) != labels.end()) {
-          collectNonBlocking(*mutableCase.stmtSlotAt(static_cast<int>(i)), updates);
+          collectNonBlocking(caseStmt.stmtAt(static_cast<int>(i)), updates);
           return;
         }
       }
       if (caseStmt.hasDefault()) {
-        collectNonBlocking(
-            *mutableCase.stmtSlotAt(static_cast<int>(caseStmt.items().size())), updates);
+        collectNonBlocking(caseStmt.stmtAt(static_cast<int>(caseStmt.items().size())),
+                           updates);
       }
       break;
     }
@@ -250,13 +144,14 @@ void Evaluator::collectNonBlocking(
 }
 
 void Evaluator::clockEdge(SignalId clock) {
-  std::vector<std::pair<rtl::LValue, BitVector>> updates;
-  for (const auto& process : module_.processes()) {
-    if (process->kind == rtl::ProcessKind::Sequential && process->clock == clock) {
-      collectNonBlocking(*process->body, updates);
+  updatesScratch_.clear();
+  for (const SequentialGroup& group : schedule_.sequential) {
+    if (group.clock != clock) continue;
+    for (const rtl::Process* process : group.processes) {
+      collectNonBlocking(*process->body, updatesScratch_);
     }
   }
-  for (const auto& [lvalue, value] : updates) writeLValue(lvalue, value);
+  for (const auto& [lvalue, value] : updatesScratch_) writeLValue(lvalue, value);
   settle();
 }
 
@@ -286,48 +181,11 @@ BitVector Evaluator::evalExpr(const Expr& expr) const {
     }
     case ExprKind::Unary: {
       const auto& unary = static_cast<const rtl::UnaryExpr&>(expr);
-      const BitVector operand = evalExpr(unary.operand());
-      switch (unary.op()) {
-        case rtl::UnaryOp::Neg: return BitVector::neg(operand, width);
-        case rtl::UnaryOp::BitNot: return BitVector::bitNot(operand, width);
-        case rtl::UnaryOp::LogNot: return BitVector{operand.any() ? 0u : 1u, 1};
-        case rtl::UnaryOp::RedAnd:
-          return BitVector{operand.popcount() == operand.width() ? 1u : 0u, 1};
-        case rtl::UnaryOp::RedOr: return BitVector{operand.any() ? 1u : 0u, 1};
-        case rtl::UnaryOp::RedXor: return BitVector{(operand.popcount() & 1) != 0 ? 1u : 0u, 1};
-      }
-      RTLOCK_UNREACHABLE("unary operator");
+      return evalUnaryOp(unary.op(), evalExpr(unary.operand()), width);
     }
     case ExprKind::Binary: {
       const auto& binary = static_cast<const rtl::BinaryExpr&>(expr);
-      const BitVector lhs = evalExpr(binary.lhs());
-      const BitVector rhs = evalExpr(binary.rhs());
-      switch (binary.op()) {
-        case OpKind::Add: return BitVector::add(lhs, rhs, width);
-        case OpKind::Sub: return BitVector::sub(lhs, rhs, width);
-        case OpKind::Mul: return BitVector::mul(lhs, rhs, width);
-        case OpKind::Div: return BitVector::div(lhs, rhs, width);
-        case OpKind::Mod: return BitVector::mod(lhs, rhs, width);
-        case OpKind::Pow: return BitVector::pow(lhs, rhs, width);
-        case OpKind::Shl: return BitVector::shl(lhs, rhs, width);
-        // Unsigned semantics: >>> behaves as logical shift (signed nets are
-        // outside the subset).
-        case OpKind::Shr:
-        case OpKind::AShr: return BitVector::shr(lhs, rhs, width);
-        case OpKind::And: return BitVector::bitAnd(lhs, rhs, width);
-        case OpKind::Or: return BitVector::bitOr(lhs, rhs, width);
-        case OpKind::Xor: return BitVector::bitXor(lhs, rhs, width);
-        case OpKind::Xnor: return BitVector::bitXnor(lhs, rhs, width);
-        case OpKind::Lt: return BitVector{BitVector::ult(lhs, rhs) ? 1u : 0u, 1};
-        case OpKind::Gt: return BitVector{BitVector::ult(rhs, lhs) ? 1u : 0u, 1};
-        case OpKind::Le: return BitVector{BitVector::ule(lhs, rhs) ? 1u : 0u, 1};
-        case OpKind::Ge: return BitVector{BitVector::ule(rhs, lhs) ? 1u : 0u, 1};
-        case OpKind::Eq: return BitVector{BitVector::eq(lhs, rhs) ? 1u : 0u, 1};
-        case OpKind::Ne: return BitVector{BitVector::eq(lhs, rhs) ? 0u : 1u, 1};
-        case OpKind::LAnd: return BitVector{lhs.any() && rhs.any() ? 1u : 0u, 1};
-        case OpKind::LOr: return BitVector{lhs.any() || rhs.any() ? 1u : 0u, 1};
-      }
-      RTLOCK_UNREACHABLE("binary operator");
+      return evalBinaryOp(binary.op(), evalExpr(binary.lhs()), evalExpr(binary.rhs()), width);
     }
     case ExprKind::Ternary: {
       const auto& ternary = static_cast<const rtl::TernaryExpr&>(expr);
@@ -336,11 +194,10 @@ BitVector Evaluator::evalExpr(const Expr& expr) const {
       return chosen.resized(width);
     }
     case ExprKind::Concat: {
-      auto& concat = const_cast<Expr&>(expr);
       std::vector<BitVector> parts;
-      parts.reserve(static_cast<std::size_t>(concat.exprSlotCount()));
-      for (int i = 0; i < concat.exprSlotCount(); ++i) {
-        parts.push_back(evalExpr(*concat.exprSlotAt(i)));
+      parts.reserve(static_cast<std::size_t>(expr.exprSlotCount()));
+      for (int i = 0; i < expr.exprSlotCount(); ++i) {
+        parts.push_back(evalExpr(expr.child(i)));
       }
       return BitVector::concat(parts);
     }

@@ -1,4 +1,4 @@
-// Cycle-based two-state RTL simulator.
+// Cycle-based two-state RTL simulator (reference interpreter).
 //
 // The evaluator executes a module directly on the IR:
 //  * continuous assignments and always @(*) processes are levelized into a
@@ -10,13 +10,18 @@
 //
 // The locking key is part of the environment (setKey), so locked modules
 // simulate exactly like any other input-extended design.
+//
+// This backend is the executable semantics of the IR; the compiled backend
+// (sim/compiled_sim.hpp) is the fast path and is differential-tested against
+// this one.  Prefer CompiledSim for anything that simulates more than a
+// handful of cycles.
 #pragma once
 
 #include <vector>
 
 #include "rtl/module.hpp"
-#include "rtl/traverse.hpp"
 #include "sim/bitvector.hpp"
+#include "sim/schedule.hpp"
 
 namespace rtlock::sim {
 
@@ -44,18 +49,12 @@ class Evaluator {
   [[nodiscard]] BitVector evalExpr(const rtl::Expr& expr) const;
 
   /// Clocks that drive at least one sequential process.
-  [[nodiscard]] const std::vector<rtl::SignalId>& clocks() const noexcept { return clocks_; }
+  [[nodiscard]] const std::vector<rtl::SignalId>& clocks() const noexcept {
+    return schedule_.clocks;
+  }
 
  private:
-  struct Unit {
-    const rtl::ContAssign* assign = nullptr;   // exactly one of assign/process set
-    const rtl::Process* process = nullptr;
-    std::vector<rtl::SignalId> reads;
-    std::vector<rtl::SignalId> writes;
-  };
-
-  void buildSchedule();
-  void executeUnit(const Unit& unit);
+  void executeUnit(const ScheduleUnit& unit);
   void executeStmtBlocking(const rtl::Stmt& stmt);
   void collectNonBlocking(const rtl::Stmt& stmt,
                           std::vector<std::pair<rtl::LValue, BitVector>>& updates) const;
@@ -64,8 +63,9 @@ class Evaluator {
   const rtl::Module& module_;
   std::vector<BitVector> values_;
   BitVector key_{1};
-  std::vector<Unit> schedule_;           // topologically ordered combinational units
-  std::vector<rtl::SignalId> clocks_;
+  Schedule schedule_;
+  /// Non-blocking update buffer, reused across clockEdge calls.
+  std::vector<std::pair<rtl::LValue, BitVector>> updatesScratch_;
 };
 
 }  // namespace rtlock::sim

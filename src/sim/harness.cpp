@@ -1,6 +1,5 @@
 #include "sim/harness.hpp"
 
-#include <algorithm>
 #include <vector>
 
 namespace rtlock::sim {
@@ -11,21 +10,13 @@ using rtl::Module;
 using rtl::PortDir;
 using rtl::SignalId;
 
-struct PortPair {
-  SignalId golden;
-  SignalId candidate;
-  int width;
-};
+}  // namespace
 
-struct MatchedPorts {
-  std::vector<PortPair> inputs;   // clock excluded
-  std::vector<PortPair> outputs;
-  std::optional<PortPair> clock;
-};
-
-MatchedPorts matchPorts(const Module& golden, const Module& candidate) {
-  MatchedPorts matched;
-
+Harness::Harness(const Module& golden, const Module& candidate)
+    : goldenLocked_(golden.keyWidth() > 0),
+      candidateLocked_(candidate.keyWidth() > 0),
+      golden_(golden),
+      candidate_(candidate) {
   // Single-clock designs: a clock is any signal driving a sequential process.
   std::optional<SignalId> goldenClock;
   for (const auto& process : golden.processes()) {
@@ -42,68 +33,111 @@ MatchedPorts matchPorts(const Module& golden, const Module& candidate) {
                    "candidate module is missing port '" + signal.name + "'");
     RTLOCK_REQUIRE(candidate.signal(*other).width == signal.width,
                    "port width mismatch on '" + signal.name + "'");
-    const PortPair pair{id, *other, signal.width};
+    PortPair pair;
+    pair.golden = id;
+    pair.candidate = *other;
+    pair.width = signal.width;
+    pair.name = signal.name;
     if (signal.dir == PortDir::Input) {
       if (goldenClock && *goldenClock == id) {
-        matched.clock = pair;
+        clock_ = pair;
       } else {
-        matched.inputs.push_back(pair);
+        inputs_.push_back(pair);
       }
     } else {
-      matched.outputs.push_back(pair);
+      outputs_.push_back(pair);
     }
   }
-  return matched;
 }
 
-}  // namespace
+void Harness::beginVector(const BitVector& candidateKey, bool keyGolden) {
+  golden_.reset();
+  candidate_.reset();
+  if (candidateLocked_) candidate_.setKey(candidateKey);
+  if (keyGolden && goldenLocked_) {
+    // Comparing two locked modules: drive the golden one with the same key.
+    golden_.setKey(candidateKey);
+  }
+}
 
-std::optional<Mismatch> findMismatch(const Module& golden, const Module& candidate,
-                                     const BitVector& candidateKey,
-                                     const EquivalenceOptions& options, support::Rng& rng) {
-  const MatchedPorts ports = matchPorts(golden, candidate);
-  Evaluator goldenEval{golden};
-  Evaluator candidateEval{candidate};
-
-  const bool sequential = ports.clock.has_value();
+std::optional<Mismatch> Harness::findMismatch(const BitVector& candidateKey,
+                                              const EquivalenceOptions& options,
+                                              support::Rng& rng) {
+  const bool sequential = clock_.has_value();
 
   for (int vector = 0; vector < options.vectors; ++vector) {
-    goldenEval.reset();
-    candidateEval.reset();
-    if (candidate.keyWidth() > 0) candidateEval.setKey(candidateKey);
-    if (golden.keyWidth() > 0) {
-      // Comparing two locked modules: drive the golden one with the same key.
-      goldenEval.setKey(candidateKey);
-    }
+    beginVector(candidateKey, /*keyGolden=*/true);
 
     const int cycles = sequential ? options.cyclesPerVector : 1;
     for (int cycle = 0; cycle < cycles; ++cycle) {
-      for (const auto& pair : ports.inputs) {
+      for (const auto& pair : inputs_) {
         const BitVector stimulus = BitVector::random(pair.width, rng);
-        goldenEval.setValue(pair.golden, stimulus);
-        candidateEval.setValue(pair.candidate, stimulus);
+        golden_.setValue(pair.golden, stimulus);
+        candidate_.setValue(pair.candidate, stimulus);
       }
-      goldenEval.settle();
-      candidateEval.settle();
+      golden_.settle();
+      candidate_.settle();
 
-      for (const auto& pair : ports.outputs) {
-        if (!(goldenEval.value(pair.golden) == candidateEval.value(pair.candidate))) {
-          return Mismatch{golden.signal(pair.golden).name, vector, cycle};
+      for (const auto& pair : outputs_) {
+        if (!(golden_.value(pair.golden) == candidate_.value(pair.candidate))) {
+          return Mismatch{pair.name, vector, cycle};
         }
       }
 
       if (sequential) {
-        goldenEval.clockEdge(ports.clock->golden);
-        candidateEval.clockEdge(ports.clock->candidate);
-        for (const auto& pair : ports.outputs) {
-          if (!(goldenEval.value(pair.golden) == candidateEval.value(pair.candidate))) {
-            return Mismatch{golden.signal(pair.golden).name, vector, cycle};
+        golden_.clockEdge(clock_->golden);
+        candidate_.clockEdge(clock_->candidate);
+        for (const auto& pair : outputs_) {
+          if (!(golden_.value(pair.golden) == candidate_.value(pair.candidate))) {
+            return Mismatch{pair.name, vector, cycle};
           }
         }
       }
     }
   }
   return std::nullopt;
+}
+
+double Harness::outputCorruption(const BitVector& key, const EquivalenceOptions& options,
+                                 support::Rng& rng) {
+  const bool sequential = clock_.has_value();
+
+  std::int64_t differingBits = 0;
+  std::int64_t totalBits = 0;
+
+  for (int vector = 0; vector < options.vectors; ++vector) {
+    // The golden module keeps its zero key: corruption is always measured
+    // against the unlocked behaviour, even if the golden design is locked.
+    beginVector(key, /*keyGolden=*/false);
+
+    const int cycles = sequential ? options.cyclesPerVector : 1;
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      for (const auto& pair : inputs_) {
+        const BitVector stimulus = BitVector::random(pair.width, rng);
+        golden_.setValue(pair.golden, stimulus);
+        candidate_.setValue(pair.candidate, stimulus);
+      }
+      golden_.settle();
+      candidate_.settle();
+      for (const auto& pair : outputs_) {
+        differingBits += BitVector::hammingDistance(golden_.value(pair.golden),
+                                                    candidate_.value(pair.candidate));
+        totalBits += pair.width;
+      }
+      if (sequential) {
+        golden_.clockEdge(clock_->golden);
+        candidate_.clockEdge(clock_->candidate);
+      }
+    }
+  }
+  return totalBits == 0 ? 0.0 : static_cast<double>(differingBits) / static_cast<double>(totalBits);
+}
+
+std::optional<Mismatch> findMismatch(const Module& golden, const Module& candidate,
+                                     const BitVector& candidateKey,
+                                     const EquivalenceOptions& options, support::Rng& rng) {
+  Harness harness{golden, candidate};
+  return harness.findMismatch(candidateKey, options, rng);
 }
 
 bool functionallyEquivalent(const Module& golden, const Module& candidate,
@@ -114,40 +148,8 @@ bool functionallyEquivalent(const Module& golden, const Module& candidate,
 
 double outputCorruption(const Module& golden, const Module& locked, const BitVector& key,
                         const EquivalenceOptions& options, support::Rng& rng) {
-  const MatchedPorts ports = matchPorts(golden, locked);
-  Evaluator goldenEval{golden};
-  Evaluator lockedEval{locked};
-  const bool sequential = ports.clock.has_value();
-
-  std::int64_t differingBits = 0;
-  std::int64_t totalBits = 0;
-
-  for (int vector = 0; vector < options.vectors; ++vector) {
-    goldenEval.reset();
-    lockedEval.reset();
-    if (locked.keyWidth() > 0) lockedEval.setKey(key);
-
-    const int cycles = sequential ? options.cyclesPerVector : 1;
-    for (int cycle = 0; cycle < cycles; ++cycle) {
-      for (const auto& pair : ports.inputs) {
-        const BitVector stimulus = BitVector::random(pair.width, rng);
-        goldenEval.setValue(pair.golden, stimulus);
-        lockedEval.setValue(pair.candidate, stimulus);
-      }
-      goldenEval.settle();
-      lockedEval.settle();
-      for (const auto& pair : ports.outputs) {
-        differingBits += BitVector::hammingDistance(goldenEval.value(pair.golden),
-                                                    lockedEval.value(pair.candidate));
-        totalBits += pair.width;
-      }
-      if (sequential) {
-        goldenEval.clockEdge(ports.clock->golden);
-        lockedEval.clockEdge(ports.clock->candidate);
-      }
-    }
-  }
-  return totalBits == 0 ? 0.0 : static_cast<double>(differingBits) / static_cast<double>(totalBits);
+  Harness harness{golden, locked};
+  return harness.outputCorruption(key, options, rng);
 }
 
 }  // namespace rtlock::sim

@@ -4,13 +4,20 @@
 // These are the verification backbone of the locking test-suite: every
 // locking algorithm must preserve functionality under the correct key
 // (equivalence) and should corrupt outputs under wrong keys (corruption).
+//
+// Both run on the compiled bytecode backend (sim/compiled_sim.hpp).  The
+// Harness class compiles the module pair once and can then stream any number
+// of stimulus/key batches through the tapes — the hot shape for oracle-style
+// attacks that measure corruption under thousands of hypothesis keys.  The
+// free functions are one-shot conveniences with identical semantics (and an
+// identical rng draw order, so results are reproducible across both forms).
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "rtl/module.hpp"
-#include "sim/evaluator.hpp"
+#include "sim/compiled_sim.hpp"
 
 namespace rtlock::sim {
 
@@ -25,10 +32,52 @@ struct Mismatch {
   int cycle = 0;
 };
 
-/// Drives both modules with identical random stimuli (ports matched by name;
-/// `golden`'s inputs must exist in `candidate`).  `candidateKey` is applied
-/// to the candidate's key input when it has one.  Returns the first mismatch
-/// found, or nullopt when all compared outputs agree.
+/// Compile-once harness over a (golden, candidate) module pair.  Ports are
+/// matched by name (`golden`'s ports must exist in `candidate` with the same
+/// widths); single-clock sequential designs are driven through both backends'
+/// clockEdge.  Construction compiles both modules; each call then streams
+/// fresh random stimuli, drawing from the passed rng one vector at a time.
+class Harness {
+ public:
+  Harness(const rtl::Module& golden, const rtl::Module& candidate);
+
+  /// Drives both modules with identical random stimuli; `candidateKey` is
+  /// applied to the candidate's key input when it has one (and to the golden
+  /// module too when comparing two locked designs).  Returns the first
+  /// mismatch found, or nullopt when all compared outputs agree.
+  [[nodiscard]] std::optional<Mismatch> findMismatch(const BitVector& candidateKey,
+                                                     const EquivalenceOptions& options,
+                                                     support::Rng& rng);
+
+  /// Average fraction of output bits that differ between the golden module
+  /// and the candidate driven with `key` (0.0 = identical behaviour, 0.5 ≈
+  /// uncorrelated outputs).
+  [[nodiscard]] double outputCorruption(const BitVector& key,
+                                        const EquivalenceOptions& options, support::Rng& rng);
+
+ private:
+  struct PortPair {
+    rtl::SignalId golden = 0;
+    rtl::SignalId candidate = 0;
+    int width = 1;
+    std::string name;  // golden-side port name (for mismatch reports)
+  };
+
+  /// Resets both sims and applies the key(s) for a fresh stimulus vector;
+  /// `keyGolden` additionally drives a locked golden module with the key
+  /// (equivalence checks do, corruption measurement does not).
+  void beginVector(const BitVector& candidateKey, bool keyGolden);
+
+  bool goldenLocked_ = false;
+  bool candidateLocked_ = false;
+  std::vector<PortPair> inputs_;  // clock excluded
+  std::vector<PortPair> outputs_;
+  std::optional<PortPair> clock_;
+  CompiledSim golden_;
+  CompiledSim candidate_;
+};
+
+/// One-shot form of Harness::findMismatch (compiles both modules per call).
 [[nodiscard]] std::optional<Mismatch> findMismatch(const rtl::Module& golden,
                                                    const rtl::Module& candidate,
                                                    const BitVector& candidateKey,
@@ -40,9 +89,8 @@ struct Mismatch {
                                           const BitVector& candidateKey,
                                           const EquivalenceOptions& options, support::Rng& rng);
 
-/// Average fraction of output bits that differ between the golden module and
-/// the locked module driven with `key` (0.0 = identical behaviour, 0.5 ≈
-/// uncorrelated outputs).
+/// One-shot form of Harness::outputCorruption (compiles both modules per
+/// call).
 [[nodiscard]] double outputCorruption(const rtl::Module& golden, const rtl::Module& locked,
                                       const BitVector& key, const EquivalenceOptions& options,
                                       support::Rng& rng);

@@ -1,0 +1,52 @@
+#include "sim/op_eval.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::sim {
+
+using rtl::OpKind;
+using rtl::UnaryOp;
+
+BitVector evalBinaryOp(OpKind op, const BitVector& lhs, const BitVector& rhs, int width) {
+  switch (op) {
+    case OpKind::Add: return BitVector::add(lhs, rhs, width);
+    case OpKind::Sub: return BitVector::sub(lhs, rhs, width);
+    case OpKind::Mul: return BitVector::mul(lhs, rhs, width);
+    case OpKind::Div: return BitVector::div(lhs, rhs, width);
+    case OpKind::Mod: return BitVector::mod(lhs, rhs, width);
+    case OpKind::Pow: return BitVector::pow(lhs, rhs, width);
+    case OpKind::Shl: return BitVector::shl(lhs, rhs, width);
+    // Unsigned semantics: >>> behaves as logical shift (signed nets are
+    // outside the subset).
+    case OpKind::Shr:
+    case OpKind::AShr: return BitVector::shr(lhs, rhs, width);
+    case OpKind::And: return BitVector::bitAnd(lhs, rhs, width);
+    case OpKind::Or: return BitVector::bitOr(lhs, rhs, width);
+    case OpKind::Xor: return BitVector::bitXor(lhs, rhs, width);
+    case OpKind::Xnor: return BitVector::bitXnor(lhs, rhs, width);
+    case OpKind::Lt: return BitVector{BitVector::ult(lhs, rhs) ? 1u : 0u, 1};
+    case OpKind::Gt: return BitVector{BitVector::ult(rhs, lhs) ? 1u : 0u, 1};
+    case OpKind::Le: return BitVector{BitVector::ule(lhs, rhs) ? 1u : 0u, 1};
+    case OpKind::Ge: return BitVector{BitVector::ule(rhs, lhs) ? 1u : 0u, 1};
+    case OpKind::Eq: return BitVector{BitVector::eq(lhs, rhs) ? 1u : 0u, 1};
+    case OpKind::Ne: return BitVector{BitVector::eq(lhs, rhs) ? 0u : 1u, 1};
+    case OpKind::LAnd: return BitVector{lhs.any() && rhs.any() ? 1u : 0u, 1};
+    case OpKind::LOr: return BitVector{lhs.any() || rhs.any() ? 1u : 0u, 1};
+  }
+  RTLOCK_UNREACHABLE("binary operator");
+}
+
+BitVector evalUnaryOp(UnaryOp op, const BitVector& operand, int width) {
+  switch (op) {
+    case UnaryOp::Neg: return BitVector::neg(operand, width);
+    case UnaryOp::BitNot: return BitVector::bitNot(operand, width);
+    case UnaryOp::LogNot: return BitVector{operand.any() ? 0u : 1u, 1};
+    case UnaryOp::RedAnd:
+      return BitVector{operand.popcount() == operand.width() ? 1u : 0u, 1};
+    case UnaryOp::RedOr: return BitVector{operand.any() ? 1u : 0u, 1};
+    case UnaryOp::RedXor: return BitVector{(operand.popcount() & 1) != 0 ? 1u : 0u, 1};
+  }
+  RTLOCK_UNREACHABLE("unary operator");
+}
+
+}  // namespace rtlock::sim

@@ -1,0 +1,11 @@
+#include "sim/program.hpp"
+
+namespace rtlock::sim {
+
+std::size_t Program::instructionCount() const noexcept {
+  std::size_t total = combTape_.size();
+  for (const SequentialTape& tape : seqTapes_) total += tape.tape.size();
+  return total;
+}
+
+}  // namespace rtlock::sim

@@ -1,0 +1,128 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <queue>
+#include <utility>
+
+#include "rtl/traverse.hpp"
+
+namespace rtlock::sim {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+using rtl::SignalId;
+using rtl::Stmt;
+using rtl::StmtKind;
+
+}  // namespace
+
+void collectExprReads(const Expr& expr, std::set<SignalId>& reads) {
+  rtl::forEachExpr(expr, [&reads](const Expr& node) {
+    if (node.kind() == ExprKind::SignalRef) {
+      reads.insert(static_cast<const rtl::SignalRefExpr&>(node).signal());
+    }
+  });
+}
+
+void collectStmtReadsWrites(const Stmt& stmt, std::set<SignalId>& reads,
+                            std::set<SignalId>& writes) {
+  rtl::forEachStmt(stmt, [&](const Stmt& node) {
+    for (int i = 0; i < node.exprSlotCount(); ++i) {
+      collectExprReads(node.exprAt(i), reads);
+    }
+    if (node.kind() == StmtKind::Assign) {
+      writes.insert(static_cast<const rtl::AssignStmt&>(node).target().signal);
+    }
+  });
+}
+
+Schedule buildSchedule(const rtl::Module& module) {
+  Schedule schedule;
+
+  struct PendingUnit {
+    ScheduleUnit unit;
+    std::vector<SignalId> reads;
+    std::vector<SignalId> writes;
+  };
+  std::vector<PendingUnit> units;
+
+  for (const auto& assign : module.contAssigns()) {
+    PendingUnit unit;
+    unit.unit.assign = assign.get();
+    std::set<SignalId> reads;
+    collectExprReads(assign->value(), reads);
+    unit.reads.assign(reads.begin(), reads.end());
+    unit.writes.push_back(assign->target().signal);
+    units.push_back(std::move(unit));
+  }
+
+  for (const auto& process : module.processes()) {
+    if (process->kind == rtl::ProcessKind::Sequential) {
+      auto group = std::find_if(schedule.sequential.begin(), schedule.sequential.end(),
+                                [&](const SequentialGroup& g) { return g.clock == process->clock; });
+      if (group == schedule.sequential.end()) {
+        schedule.sequential.push_back({process->clock, {}});
+        schedule.clocks.push_back(process->clock);
+        group = std::prev(schedule.sequential.end());
+      }
+      group->processes.push_back(process.get());
+      continue;
+    }
+    PendingUnit unit;
+    unit.unit.process = process.get();
+    std::set<SignalId> reads;
+    std::set<SignalId> writes;
+    collectStmtReadsWrites(*process->body, reads, writes);
+    // A signal both written and read inside one @(*) block is an internal
+    // (blocking) chain, not an external dependency.
+    for (const SignalId w : writes) reads.erase(w);
+    unit.reads.assign(reads.begin(), reads.end());
+    unit.writes.assign(writes.begin(), writes.end());
+    units.push_back(std::move(unit));
+  }
+
+  // Signals produced by sequential processes (or inputs) are sources; build
+  // writer map for combinational units only.
+  std::vector<int> writerOf(module.signalCount(), -1);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    for (const SignalId w : units[i].writes) {
+      writerOf[w] = static_cast<int>(i);
+    }
+  }
+
+  // Kahn's algorithm over unit dependencies.
+  std::vector<std::vector<int>> successors(units.size());
+  std::vector<int> inDegree(units.size(), 0);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    for (const SignalId r : units[i].reads) {
+      const int writer = writerOf[r];
+      if (writer >= 0 && writer != static_cast<int>(i)) {
+        successors[static_cast<std::size_t>(writer)].push_back(static_cast<int>(i));
+        ++inDegree[i];
+      }
+    }
+  }
+
+  std::queue<int> ready;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (inDegree[i] == 0) ready.push(static_cast<int>(i));
+  }
+  schedule.comb.reserve(units.size());
+  while (!ready.empty()) {
+    const int index = ready.front();
+    ready.pop();
+    schedule.comb.push_back(units[static_cast<std::size_t>(index)].unit);
+    for (const int next : successors[static_cast<std::size_t>(index)]) {
+      if (--inDegree[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    }
+  }
+  if (schedule.comb.size() != units.size()) {
+    throw support::Error{"combinational loop detected in module '" + module.name() + "'"};
+  }
+  return schedule;
+}
+
+}  // namespace rtlock::sim

@@ -123,10 +123,9 @@ class ModuleWriter {
     if (leadingIndent) indent(depth);
     switch (stmt.kind()) {
       case rtl::StmtKind::Block: {
-        auto& block = const_cast<rtl::Stmt&>(stmt);
         out_ << "begin\n";
-        for (int i = 0; i < block.stmtSlotCount(); ++i) {
-          writeStmt(*block.stmtSlotAt(i), depth + 1);
+        for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+          writeStmt(stmt.stmtAt(i), depth + 1);
         }
         indent(depth);
         out_ << "end\n";
@@ -134,21 +133,19 @@ class ModuleWriter {
       }
       case rtl::StmtKind::If: {
         const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
-        auto& mutableIf = const_cast<rtl::IfStmt&>(ifStmt);
         out_ << "if (";
         writeExprNode(ifStmt.cond(), 0, false);
         out_ << ") ";
-        writeStmt(*mutableIf.stmtSlotAt(0), depth, /*leadingIndent=*/false);
+        writeStmt(ifStmt.stmtAt(0), depth, /*leadingIndent=*/false);
         if (ifStmt.hasElse()) {
           indent(depth);
           out_ << "else ";
-          writeStmt(*mutableIf.stmtSlotAt(1), depth, /*leadingIndent=*/false);
+          writeStmt(ifStmt.stmtAt(1), depth, /*leadingIndent=*/false);
         }
         break;
       }
       case rtl::StmtKind::Case: {
         const auto& caseStmt = static_cast<const rtl::CaseStmt&>(stmt);
-        auto& mutableCase = const_cast<rtl::CaseStmt&>(caseStmt);
         out_ << "case (";
         writeExprNode(caseStmt.subject(), 0, false);
         out_ << ")\n";
@@ -161,13 +158,13 @@ class ModuleWriter {
             writeLiteral(labels[j], width);
           }
           out_ << ": ";
-          writeStmt(*mutableCase.stmtSlotAt(static_cast<int>(i)), depth + 1,
+          writeStmt(caseStmt.stmtAt(static_cast<int>(i)), depth + 1,
                     /*leadingIndent=*/false);
         }
         if (caseStmt.hasDefault()) {
           indent(depth + 1);
           out_ << "default: ";
-          writeStmt(*mutableCase.stmtSlotAt(static_cast<int>(caseStmt.items().size())),
+          writeStmt(caseStmt.stmtAt(static_cast<int>(caseStmt.items().size())),
                     depth + 1, /*leadingIndent=*/false);
         }
         indent(depth);
@@ -250,11 +247,10 @@ class ModuleWriter {
         break;
       }
       case ExprKind::Concat: {
-        auto& concat = const_cast<Expr&>(expr);
         out_ << '{';
-        for (int i = 0; i < concat.exprSlotCount(); ++i) {
+        for (int i = 0; i < expr.exprSlotCount(); ++i) {
           if (i != 0) out_ << ", ";
-          writeExprNode(*concat.exprSlotAt(i), 0, false);
+          writeExprNode(expr.child(i), 0, false);
         }
         out_ << '}';
         break;
