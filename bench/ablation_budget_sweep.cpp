@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace rtlock;
   return bench::runBench([&] {
     const support::CliArgs args(argc, argv,
-                                {"seed", "csv", "samples", "relocks", "benchmark"});
+                                {"seed", "csv", "samples", "relocks", "benchmark", "threads"});
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const bool csv = args.getBool("csv", false);
     const std::string benchmarkName = args.get("benchmark", "FIR");
@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     config.testLocks = static_cast<int>(args.getInt("samples", 2));
     config.snapshot.relockRounds = static_cast<int>(args.getInt("relocks", 50));
     config.snapshot.automl.folds = 2;
+    config.threads = 1;  // sweep cells are the outer parallelism level
 
     bench::banner("Key-budget sweep — the 'half measures' claim",
                   "Sisejkovic et al., DAC'22, Sec. 5.1 (lessons learned)",
@@ -34,27 +35,35 @@ int main(int argc, char** argv) {
     support::Table table{{"budget %", "ASSURE KPA%", "HRA KPA%", "HRA M^g", "ERA KPA%",
                           "ERA bits used"}};
 
-    support::Rng rng{seed};
-    for (const int budgetPercent : {10, 25, 50, 75, 90, 100}) {
-      config.keyBudgetFraction = budgetPercent / 100.0;
-      config.snapshot.relockBudgetFraction = 0.75;
+    // One task per (budget, algorithm) cell; cell i draws only from
+    // substream(i) of the master seed, so the sweep is bit-identical at any
+    // thread count.
+    const std::vector<int> budgetGrid{10, 25, 50, 75, 90, 100};
+    const std::vector<lock::Algorithm> algorithms{
+        lock::Algorithm::AssureSerial, lock::Algorithm::Hra, lock::Algorithm::Era};
+    const support::Rng root{seed};
+    support::TaskPool pool{support::threadsForTasks(bench::requestedThreads(args),
+                                                    budgetGrid.size() * algorithms.size())};
+    const auto cells = pool.map(
+        budgetGrid.size() * algorithms.size(), [&](std::size_t index) {
+          attack::EvaluationConfig cellConfig = config;
+          cellConfig.keyBudgetFraction = budgetGrid[index / algorithms.size()] / 100.0;
+          cellConfig.snapshot.relockBudgetFraction = 0.75;
+          support::Rng rng = root.substream(index);
+          return attack::evaluateBenchmark(original, benchmarkName,
+                                           algorithms[index % algorithms.size()],
+                                           lock::PairTable::fixed(), cellConfig, rng);
+        });
 
-      std::vector<std::string> row{std::to_string(budgetPercent)};
-      const auto assure = attack::evaluateBenchmark(original, benchmarkName,
-                                                    lock::Algorithm::AssureSerial,
-                                                    lock::PairTable::fixed(), config, rng);
-      row.push_back(support::formatDouble(assure.meanKpa, 2));
-      const auto hra =
-          attack::evaluateBenchmark(original, benchmarkName, lock::Algorithm::Hra,
-                                    lock::PairTable::fixed(), config, rng);
-      row.push_back(support::formatDouble(hra.meanKpa, 2));
-      row.push_back(support::formatDouble(hra.meanGlobalMetric, 1));
-      const auto era =
-          attack::evaluateBenchmark(original, benchmarkName, lock::Algorithm::Era,
-                                    lock::PairTable::fixed(), config, rng);
-      row.push_back(support::formatDouble(era.meanKpa, 2));
-      row.push_back(support::formatDouble(era.meanBitsUsed, 0));
-      table.addRow(std::move(row));
+    for (std::size_t b = 0; b < budgetGrid.size(); ++b) {
+      const auto& assure = cells[b * algorithms.size() + 0];
+      const auto& hra = cells[b * algorithms.size() + 1];
+      const auto& era = cells[b * algorithms.size() + 2];
+      table.addRow({std::to_string(budgetGrid[b]), support::formatDouble(assure.meanKpa, 2),
+                    support::formatDouble(hra.meanKpa, 2),
+                    support::formatDouble(hra.meanGlobalMetric, 1),
+                    support::formatDouble(era.meanKpa, 2),
+                    support::formatDouble(era.meanBitsUsed, 0)});
     }
     bench::emit(table, csv);
   });

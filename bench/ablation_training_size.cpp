@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace rtlock;
   return bench::runBench([&] {
-    const support::CliArgs args(argc, argv, {"seed", "csv", "samples", "benchmark"});
+    const support::CliArgs args(argc, argv, {"seed", "csv", "samples", "benchmark", "threads"});
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const bool csv = args.getBool("csv", false);
     const std::string benchmarkName = args.get("benchmark", "FIR");
@@ -25,24 +25,41 @@ int main(int argc, char** argv) {
     support::Table table{
         {"relock rounds", "training rows", "ASSURE KPA%", "ERA KPA%"}};
 
-    support::Rng rng{seed};
-    for (const int rounds : {5, 10, 25, 50, 100, 200}) {
+    // One task per round-count cell, seeded from substream(cell index); the
+    // two algorithm evaluations inside a cell share the cell's stream
+    // serially, so the sweep is bit-identical at any thread count.
+    const std::vector<int> roundGrid{5, 10, 25, 50, 100, 200};
+    struct Cell {
+      attack::EvaluationResult assure;
+      attack::EvaluationResult era;
+    };
+    const support::Rng root{seed};
+    support::TaskPool pool{
+        support::threadsForTasks(bench::requestedThreads(args), roundGrid.size())};
+    const auto cells = pool.map(roundGrid.size(), [&](std::size_t index) {
       attack::EvaluationConfig config;
       config.testLocks = static_cast<int>(args.getInt("samples", 2));
-      config.snapshot.relockRounds = rounds;
+      config.snapshot.relockRounds = roundGrid[index];
       config.snapshot.automl.folds = 2;
+      config.threads = 1;  // sweep cells are the outer parallelism level
 
-      const auto assure = attack::evaluateBenchmark(original, benchmarkName,
-                                                    lock::Algorithm::AssureSerial,
-                                                    lock::PairTable::fixed(), config, rng);
-      const auto era =
-          attack::evaluateBenchmark(original, benchmarkName, lock::Algorithm::Era,
-                                    lock::PairTable::fixed(), config, rng);
+      support::Rng rng = root.substream(index);
+      Cell cell;
+      cell.assure = attack::evaluateBenchmark(original, benchmarkName,
+                                              lock::Algorithm::AssureSerial,
+                                              lock::PairTable::fixed(), config, rng);
+      cell.era = attack::evaluateBenchmark(original, benchmarkName, lock::Algorithm::Era,
+                                           lock::PairTable::fixed(), config, rng);
+      return cell;
+    });
+
+    for (std::size_t index = 0; index < roundGrid.size(); ++index) {
       // Rows per round ~ relock budget; report the product as training size.
-      const auto rows = static_cast<long long>(rounds * assure.meanKeyBits);
-      table.addRow({std::to_string(rounds), std::to_string(rows),
-                    support::formatDouble(assure.meanKpa, 2),
-                    support::formatDouble(era.meanKpa, 2)});
+      const auto rows =
+          static_cast<long long>(roundGrid[index] * cells[index].assure.meanKeyBits);
+      table.addRow({std::to_string(roundGrid[index]), std::to_string(rows),
+                    support::formatDouble(cells[index].assure.meanKpa, 2),
+                    support::formatDouble(cells[index].era.meanKpa, 2)});
     }
     bench::emit(table, csv);
   });

@@ -5,18 +5,48 @@
 //   --csv          emit CSV instead of an aligned table
 //   --samples=N    locked samples per configuration (paper: 10)
 //   --relocks=N    training relock rounds per sample (paper: 1000)
-// plus bench-specific flags documented in each main().
+// Benches routed through the experiment engine (fig4/5/6, run_baseline, the
+// evaluateBenchmark-based ablations) additionally accept
+//   --threads=N    experiment-engine workers (default: RTLOCK_THREADS env,
+//                  else hardware concurrency; 1 = serial reference path)
+// and their results are bit-identical at every thread count (see
+// support/task_pool.hpp).  Other flags are documented in each main().
 #pragma once
 
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "support/cli.hpp"
+#include "support/diagnostics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/task_pool.hpp"
 
 namespace rtlock::bench {
+
+/// Requested worker count for a bench: the --threads flag wins, then the
+/// RTLOCK_THREADS environment override, then 0 ("hardware concurrency").
+/// Feed the result to TaskPool / EvaluationConfig::threads, which resolve 0
+/// via support::resolveThreadCount.  A malformed RTLOCK_THREADS fails loudly
+/// (same policy as CliArgs: typos must not silently run a default config).
+inline int requestedThreads(const support::CliArgs& args) {
+  if (args.has("threads")) return static_cast<int>(args.getInt("threads", 0));
+  if (const char* env = std::getenv("RTLOCK_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(env, &end, 10);
+    constexpr long kMaxThreads = 4096;  // sanity bound, not a real target
+    if (end == env || *end != '\0' || errno == ERANGE || value < 0 || value > kMaxThreads) {
+      throw support::Error("RTLOCK_THREADS expects an integer in [0, 4096], got \"" +
+                           std::string{env} + "\"");
+    }
+    return static_cast<int>(value);
+  }
+  return 0;
+}
 
 /// Renders a table according to the --csv flag.
 inline void emit(const support::Table& table, bool csv) {

@@ -24,6 +24,7 @@ struct Fig4Observation {
   [[nodiscard]] double pOne() const {
     return total == 0 ? 0.5 : static_cast<double>(ones) / total;
   }
+  friend bool operator==(const Fig4Observation&, const Fig4Observation&) = default;
 };
 
 using Fig4Observations = std::map<std::pair<int, int>, Fig4Observation>;

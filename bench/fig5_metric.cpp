@@ -41,20 +41,24 @@ void surface(bool csv, int step) {
   std::cout << '\n';
 }
 
-void evolution(bool csv, std::uint64_t seed, int budget) {
+void evolution(bool csv, std::uint64_t seed, int budget, int threads) {
   std::cout << "--- Fig. 5b: metric evolution per key bit ---\n";
   struct Run {
     lock::Algorithm algorithm;
     lock::AlgorithmReport report;
   };
-  std::vector<Run> runs;
-  for (const auto algorithm :
-       {lock::Algorithm::Era, lock::Algorithm::Hra, lock::Algorithm::Greedy}) {
+  // Every algorithm cell restarts from a fresh rng{seed} (as the serial
+  // version always did), so the sharded grid stays bit-identical.
+  const std::vector<lock::Algorithm> algorithms{
+      lock::Algorithm::Era, lock::Algorithm::Hra, lock::Algorithm::Greedy};
+  support::TaskPool pool{support::threadsForTasks(threads, algorithms.size())};
+  std::vector<Run> runs = pool.map(algorithms.size(), [&](std::size_t index) {
     rtl::Module design = fig5Design();
     lock::LockEngine engine{design, lock::PairTable::fixed()};
     support::Rng rng{seed};
-    runs.push_back(Run{algorithm, lock::lockWithAlgorithm(engine, algorithm, budget, rng)});
-  }
+    return Run{algorithms[index],
+               lock::lockWithAlgorithm(engine, algorithms[index], budget, rng)};
+  });
 
   support::Table table{{"key bits", "ERA", "HRA", "Greedy"}};
   int maxBits = 0;
@@ -101,17 +105,18 @@ void evolution(bool csv, std::uint64_t seed, int budget) {
 
 int main(int argc, char** argv) {
   return rtlock::bench::runBench([&] {
-    const support::CliArgs args(argc, argv, {"seed", "csv", "grid-step", "budget"});
+    const support::CliArgs args(argc, argv, {"seed", "csv", "grid-step", "budget", "threads"});
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const bool csv = args.getBool("csv", false);
     const int step = static_cast<int>(args.getInt("grid-step", 5));
     const int budget = static_cast<int>(args.getInt("budget", 60));
+    const int threads = rtlock::bench::requestedThreads(args);
 
     rtlock::bench::banner("Fig. 5 — metric surface and evolution",
                           "Sisejkovic et al., DAC'22, Fig. 5a/5b",
                           "monotone surface; Greedy secures at 35 bits, HRA later, ERA in "
                           "two coarse jumps");
     surface(csv, step);
-    evolution(csv, seed, budget);
+    evolution(csv, seed, budget, threads);
   });
 }

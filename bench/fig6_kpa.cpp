@@ -22,10 +22,11 @@ using namespace rtlock;
 
 int main(int argc, char** argv) {
   return rtlock::bench::runBench([&] {
-    const support::CliArgs args(
-        argc, argv, {"seed", "csv", "samples", "relocks", "budget", "benchmarks", "extended"});
+    const support::CliArgs args(argc, argv, {"seed", "csv", "samples", "relocks", "budget",
+                                             "benchmarks", "extended", "threads"});
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const bool csv = args.getBool("csv", false);
+    const int threads = rtlock::bench::requestedThreads(args);
 
     attack::EvaluationConfig config;
     config.testLocks = static_cast<int>(args.getInt("samples", 3));
@@ -34,6 +35,9 @@ int main(int argc, char** argv) {
     config.snapshot.relockBudgetFraction = config.keyBudgetFraction;
     config.snapshot.locality.extendedFeatures = args.getBool("extended", false);
     config.snapshot.automl.folds = 3;
+    // The grid is the outer parallelism level; keep the per-cell sample loop
+    // on the serial reference path to avoid oversubscription.
+    config.threads = 1;
 
     std::vector<std::string> benchmarks = designs::benchmarkNames();
     if (args.has("benchmarks")) {
@@ -53,20 +57,38 @@ int main(int argc, char** argv) {
                                  "ERA bits (budget)"}};
     std::vector<double> sums(algorithms.size(), 0.0);
 
-    support::Rng rng{seed};
-    for (const auto& name : benchmarks) {
-      const rtl::Module original = designs::makeBenchmark(name);
+    // Build each benchmark once; tasks clone from the shared const module.
+    std::vector<rtl::Module> originals;
+    originals.reserve(benchmarks.size());
+    for (const auto& name : benchmarks) originals.push_back(designs::makeBenchmark(name));
+
+    // One task per (benchmark, algorithm) cell; cell i draws only from
+    // substream(i) of the master seed, so the grid is thread-count
+    // invariant.  Results come back in submission order.
+    const support::Rng root{seed};
+    support::TaskPool pool{
+        support::threadsForTasks(threads, benchmarks.size() * algorithms.size())};
+    const auto cells = pool.map(
+        benchmarks.size() * algorithms.size(), [&](std::size_t index) {
+          const std::size_t b = index / algorithms.size();
+          const lock::Algorithm algorithm = algorithms[index % algorithms.size()];
+          support::Rng cellRng = root.substream(index);
+          return attack::evaluateBenchmark(originals[b], benchmarks[b], algorithm,
+                                           lock::PairTable::fixed(), config, cellRng);
+        });
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+      const std::string& name = benchmarks[b];
       std::vector<std::string> row{name};
       {
-        rtl::Module probe = original.clone();
+        rtl::Module probe = originals[b].clone();
         lock::LockEngine probeEngine{probe, lock::PairTable::fixed()};
         row.push_back(std::to_string(probeEngine.initialLockableOps()));
       }
 
       std::string eraBits;
       for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        const auto result = attack::evaluateBenchmark(original, name, algorithms[a],
-                                                      lock::PairTable::fixed(), config, rng);
+        const auto& result = cells[b * algorithms.size() + a];
         sums[a] += result.meanKpa;
         row.push_back(support::formatDouble(result.meanKpa, 2));
         if (algorithms[a] == lock::Algorithm::Era) {

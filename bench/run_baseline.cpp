@@ -9,6 +9,9 @@
 //   --out=PATH  JSON output path (default BENCH_baseline.json)
 //   --full      paper-sized fig6 configuration (slow); default is a quick,
 //               fixed-seed configuration sized for CI
+//   --threads=N experiment-engine workers (default: RTLOCK_THREADS env, else
+//               hardware concurrency).  Quality rows are bit-identical at
+//               every thread count; only wall times vary.
 //
 // JSON schema: {"schema": "...", "seed": N, "rows": [{bench, config, metric,
 // value, wall_ms}, ...]}.
@@ -67,54 +70,82 @@ void timedRow(std::vector<Row>& rows, std::string bench, std::string config, std
 // --- Fig. 4: worst key-correlated locality bias per relocking scenario -----
 //
 // Shares the observation loop with bench/fig4_observations.cpp via
-// fig4_scenarios.hpp, reduced to the headline number per scenario.
+// fig4_scenarios.hpp, reduced to the headline number per scenario.  The
+// scenarios have always owned dedicated seeds (seed + offset), so sharding
+// them keeps every bias value bit-identical; wall time is measured inside
+// each task.
 
-void runFig4(std::vector<Row>& rows, std::uint64_t seed) {
+void runFig4(std::vector<Row>& rows, std::uint64_t seed, int threads) {
   constexpr int kNetworkSize = 64;
   constexpr int kTestBits = 32;
   constexpr int kRounds = 100;
-  const auto worstBias = [&](bench::Fig4Scenario scenario, std::uint64_t scenarioSeed) {
-    support::Rng rng{scenarioSeed};
-    return bench::fig4WorstBias(
-        bench::observeFig4(scenario, kNetworkSize, kTestBits, kRounds, rng));
-  };
-  timedRow(rows, "fig4", "serial+serial", "worst_locality_bias",
-           [&] { return worstBias(bench::Fig4Scenario::SerialSerial, seed); });
-  timedRow(rows, "fig4", "random+random", "worst_locality_bias",
-           [&] { return worstBias(bench::Fig4Scenario::RandomRandom, seed + 1); });
-  timedRow(rows, "fig4", "serial+disjoint", "worst_locality_bias",
-           [&] { return worstBias(bench::Fig4Scenario::SerialDisjoint, seed + 2); });
+  const std::vector<std::pair<const char*, bench::Fig4Scenario>> cells{
+      {"serial+serial", bench::Fig4Scenario::SerialSerial},
+      {"random+random", bench::Fig4Scenario::RandomRandom},
+      {"serial+disjoint", bench::Fig4Scenario::SerialDisjoint}};
+  support::TaskPool pool{support::threadsForTasks(threads, cells.size())};
+  const auto results = pool.map(cells.size(), [&](std::size_t index) {
+    const auto start = Clock::now();
+    support::Rng rng{seed + index};
+    const double bias = bench::fig4WorstBias(
+        bench::observeFig4(cells[index].second, kNetworkSize, kTestBits, kRounds, rng));
+    return std::pair<double, double>{bias, elapsedMs(start)};
+  });
+  for (std::size_t index = 0; index < cells.size(); ++index) {
+    rows.push_back({"fig4", cells[index].first, "worst_locality_bias", results[index].first,
+                    results[index].second});
+  }
 }
 
 // --- Fig. 5: key-bit cost and final metric per algorithm -------------------
 
-void runFig5(std::vector<Row>& rows, std::uint64_t seed) {
+void runFig5(std::vector<Row>& rows, std::uint64_t seed, int threads) {
   constexpr int kBudget = 60;
-  for (const auto algorithm :
-       {lock::Algorithm::Era, lock::Algorithm::Hra, lock::Algorithm::Greedy}) {
-    const std::string name{lock::algorithmName(algorithm)};
+  const std::vector<lock::Algorithm> algorithms{
+      lock::Algorithm::Era, lock::Algorithm::Hra, lock::Algorithm::Greedy};
+  struct Cell {
     lock::AlgorithmReport report;
-    timedRow(rows, "fig5", name, "bits_used", [&] {
-      rtl::Module design = designs::makeOperationNetwork(
-          "fig5", {{rtl::OpKind::Add, 25}, {rtl::OpKind::Shl, 10}});
-      lock::LockEngine engine{design, lock::PairTable::fixed()};
-      support::Rng rng{seed};
-      report = lock::lockWithAlgorithm(engine, algorithm, kBudget, rng);
-      return static_cast<double>(report.bitsUsed);
-    });
-    rows.push_back({"fig5", name, "final_global_metric", report.finalGlobalMetric, 0.0});
+    double wallMs = 0.0;
+  };
+  // Every cell restarts from rng{seed}, exactly as the serial loop did.
+  support::TaskPool pool{support::threadsForTasks(threads, algorithms.size())};
+  const auto cells = pool.map(algorithms.size(), [&](std::size_t index) {
+    const auto start = Clock::now();
+    rtl::Module design = designs::makeOperationNetwork(
+        "fig5", {{rtl::OpKind::Add, 25}, {rtl::OpKind::Shl, 10}});
+    lock::LockEngine engine{design, lock::PairTable::fixed()};
+    support::Rng rng{seed};
+    Cell cell;
+    cell.report = lock::lockWithAlgorithm(engine, algorithms[index], kBudget, rng);
+    cell.wallMs = elapsedMs(start);
+    return cell;
+  });
+  for (std::size_t index = 0; index < algorithms.size(); ++index) {
+    const std::string name{lock::algorithmName(algorithms[index])};
+    rows.push_back({"fig5", name, "bits_used",
+                    static_cast<double>(cells[index].report.bitsUsed), cells[index].wallMs});
+    rows.push_back(
+        {"fig5", name, "final_global_metric", cells[index].report.finalGlobalMetric, 0.0});
   }
 }
 
 // --- Fig. 6: mean SnapShot-RTL KPA per algorithm ---------------------------
+//
+// One task per (algorithm, benchmark) cell; cell i draws only from
+// substream(i) of the section root, so the grid is bit-identical at every
+// thread count (the engine's seeding convention — see support/task_pool.hpp).
+// The whole grid is timed as one batch and recorded as the
+// fig6_quick/wall_ms (or fig6_full/wall_ms) perf row that optimisation PRs
+// track; per-algorithm quality rows carry no wall time of their own.
 
-void runFig6(std::vector<Row>& rows, std::uint64_t seed, bool full) {
+void runFig6(std::vector<Row>& rows, std::uint64_t seed, bool full, int threads) {
   attack::EvaluationConfig config;
   config.testLocks = full ? 10 : 1;
   config.keyBudgetFraction = 0.75;
   config.snapshot.relockRounds = full ? 1000 : 30;
   config.snapshot.relockBudgetFraction = config.keyBudgetFraction;
   config.snapshot.automl.folds = 3;
+  config.threads = 1;  // grid cells are the outer parallelism level
 
   const std::vector<std::string> benchmarks =
       full ? designs::benchmarkNames() : std::vector<std::string>{"FIR", "SASC"};
@@ -123,20 +154,35 @@ void runFig6(std::vector<Row>& rows, std::uint64_t seed, bool full) {
   const std::string benchConfig =
       support::join(benchmarks, "+") + (full ? " (paper-sized)" : " (quick)");
 
-  support::Rng rng{seed + 100};
-  for (const auto algorithm : algorithms) {
-    timedRow(rows, "fig6", std::string{lock::algorithmName(algorithm)} + " / " + benchConfig,
-             "mean_kpa_percent", [&] {
-               double sum = 0.0;
-               for (const auto& name : benchmarks) {
-                 const rtl::Module original = designs::makeBenchmark(name);
-                 sum += attack::evaluateBenchmark(original, name, algorithm,
-                                                  lock::PairTable::fixed(), config, rng)
-                            .meanKpa;
-               }
-               return sum / static_cast<double>(benchmarks.size());
-             });
+  // Build each benchmark once; tasks clone from the shared const module.
+  std::vector<rtl::Module> originals;
+  originals.reserve(benchmarks.size());
+  for (const auto& name : benchmarks) originals.push_back(designs::makeBenchmark(name));
+
+  const support::Rng root{seed + 100};
+  // Construct the pool outside the timed region: the fig6 wall row tracks
+  // grid execution, not worker spawn/join overhead.
+  support::TaskPool pool{
+      support::threadsForTasks(threads, algorithms.size() * benchmarks.size())};
+  const auto start = Clock::now();
+  const auto cells = pool.map(
+      algorithms.size() * benchmarks.size(), [&](std::size_t index) {
+        const lock::Algorithm algorithm = algorithms[index / benchmarks.size()];
+        const std::size_t b = index % benchmarks.size();
+        support::Rng cellRng = root.substream(index);
+        return attack::evaluateBenchmark(originals[b], benchmarks[b], algorithm,
+                                         lock::PairTable::fixed(), config, cellRng)
+            .meanKpa;
+      });
+  const double gridWallMs = elapsedMs(start);
+
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) sum += cells[a * benchmarks.size() + b];
+    rows.push_back({"fig6", std::string{lock::algorithmName(algorithms[a])} + " / " + benchConfig,
+                    "mean_kpa_percent", sum / static_cast<double>(benchmarks.size()), 0.0});
   }
+  rows.push_back({"perf", full ? "fig6_full" : "fig6_quick", "wall_ms", gridWallMs, gridWallMs});
 }
 
 // --- perf: chrono timings of the hot paths perf_microbench covers ----------
@@ -298,11 +344,12 @@ void writeJson(std::ostream& out, const std::vector<Row>& rows, std::uint64_t se
 
 int main(int argc, char** argv) {
   return rtlock::bench::runBench([&] {
-    const support::CliArgs args(argc, argv, {"seed", "json", "out", "full", "csv"});
+    const support::CliArgs args(argc, argv, {"seed", "json", "out", "full", "csv", "threads"});
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const bool json = args.getBool("json", false);
     const bool full = args.getBool("full", false);
     const bool csv = args.getBool("csv", false);
+    const int threads = rtlock::bench::requestedThreads(args);
     const std::string outPath = args.get("out", "BENCH_baseline.json");
 
     rtlock::bench::banner("baseline runner — perf/quality trajectory seed",
@@ -311,9 +358,9 @@ int main(int argc, char** argv) {
 
     std::vector<Row> rows;
     const auto start = Clock::now();
-    runFig4(rows, seed);
-    runFig5(rows, seed);
-    runFig6(rows, seed, full);
+    runFig4(rows, seed, threads);
+    runFig5(rows, seed, threads);
+    runFig6(rows, seed, full, threads);
     runPerf(rows, seed);
 
     support::Table table{{"bench", "config", "metric", "value", "wall_ms"}};

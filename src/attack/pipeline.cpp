@@ -2,39 +2,79 @@
 
 #include <algorithm>
 
+#include "support/task_pool.hpp"
+
 namespace rtlock::attack {
+
+namespace {
+
+/// Everything one locked sample contributes to the aggregate.  Tasks return
+/// these by value; aggregation happens serially in sample order so the
+/// floating-point sums are bit-identical at every thread count.
+struct SampleOutcome {
+  double kpa = 0.0;
+  double keyBits = 0.0;
+  double bitsUsed = 0.0;
+  double globalMetric = 0.0;
+  double restrictedMetric = 0.0;
+};
+
+SampleOutcome evaluateSample(const rtl::Module& original, lock::Algorithm algorithm,
+                             const lock::PairTable& table, const EvaluationConfig& config,
+                             support::Rng rng) {
+  rtl::Module locked = original.clone();
+  lock::LockEngine engine{locked, table};
+  const int budget =
+      std::max(1, static_cast<int>(config.keyBudgetFraction *
+                                   static_cast<double>(engine.initialLockableOps())));
+  const lock::AlgorithmReport lockReport = lock::lockWithAlgorithm(engine, algorithm, budget, rng);
+
+  // Copy the ground truth before the attack relocks the module.
+  const std::vector<lock::LockRecord> truth = engine.records();
+  const SnapshotResult attack = snapshotAttack(locked, truth, table, config.snapshot, rng);
+
+  SampleOutcome outcome;
+  outcome.kpa = attack.kpa;
+  outcome.keyBits = static_cast<double>(attack.keyBits);
+  outcome.bitsUsed = static_cast<double>(lockReport.bitsUsed);
+  outcome.globalMetric = lockReport.finalGlobalMetric;
+  outcome.restrictedMetric = lockReport.finalRestrictedMetric;
+  return outcome;
+}
+
+}  // namespace
 
 EvaluationResult evaluateBenchmark(const rtl::Module& original, const std::string& benchmarkName,
                                    lock::Algorithm algorithm, const lock::PairTable& table,
                                    const EvaluationConfig& config, support::Rng& rng) {
   RTLOCK_REQUIRE(config.testLocks > 0, "evaluation needs at least one locked sample");
 
+  // Seeding convention: one fork advances the caller's stream, then sample i
+  // draws from substream(i) of that root.  Sample streams therefore depend
+  // only on (caller stream, sample index), which is what makes the sharded
+  // loop bit-identical at every thread count.
+  const support::Rng sampleRoot = rng.fork();
+
+  support::TaskPool pool{
+      support::threadsForTasks(config.threads, static_cast<std::size_t>(config.testLocks))};
+  const std::vector<SampleOutcome> outcomes =
+      pool.map(static_cast<std::size_t>(config.testLocks), [&](std::size_t sample) {
+        return evaluateSample(original, algorithm, table, config, sampleRoot.substream(sample));
+      });
+
   EvaluationResult result;
   result.benchmark = benchmarkName;
   result.algorithm = algorithm;
   result.minKpa = 100.0;
   result.maxKpa = 0.0;
-
-  for (int sample = 0; sample < config.testLocks; ++sample) {
-    rtl::Module locked = original.clone();
-    lock::LockEngine engine{locked, table};
-    const int budget =
-        std::max(1, static_cast<int>(config.keyBudgetFraction *
-                                     static_cast<double>(engine.initialLockableOps())));
-    const lock::AlgorithmReport lockReport =
-        lock::lockWithAlgorithm(engine, algorithm, budget, rng);
-
-    // Copy the ground truth before the attack relocks the module.
-    const std::vector<lock::LockRecord> truth = engine.records();
-    const SnapshotResult attack = snapshotAttack(locked, truth, table, config.snapshot, rng);
-
-    result.meanKpa += attack.kpa;
-    result.minKpa = std::min(result.minKpa, attack.kpa);
-    result.maxKpa = std::max(result.maxKpa, attack.kpa);
-    result.meanKeyBits += static_cast<double>(attack.keyBits);
-    result.meanBitsUsed += static_cast<double>(lockReport.bitsUsed);
-    result.meanGlobalMetric += lockReport.finalGlobalMetric;
-    result.meanRestrictedMetric += lockReport.finalRestrictedMetric;
+  for (const SampleOutcome& outcome : outcomes) {
+    result.meanKpa += outcome.kpa;
+    result.minKpa = std::min(result.minKpa, outcome.kpa);
+    result.maxKpa = std::max(result.maxKpa, outcome.kpa);
+    result.meanKeyBits += outcome.keyBits;
+    result.meanBitsUsed += outcome.bitsUsed;
+    result.meanGlobalMetric += outcome.globalMetric;
+    result.meanRestrictedMetric += outcome.restrictedMetric;
     ++result.samples;
   }
 

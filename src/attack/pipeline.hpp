@@ -17,6 +17,12 @@ struct EvaluationConfig {
   int testLocks = 10;               // locked samples per benchmark (paper: 10)
   double keyBudgetFraction = 0.75;  // of the original design's lockable ops
   SnapshotConfig snapshot;
+  /// Worker threads for the sample loop: 0 = hardware concurrency,
+  /// 1 = serial reference path (no worker threads).  Results are
+  /// bit-identical at every thread count: sample i always draws from
+  /// `substream(i)` of a root forked once from the caller's rng, and the
+  /// per-sample outcomes are aggregated in sample order.
+  int threads = 0;
 };
 
 struct EvaluationResult {
@@ -32,7 +38,10 @@ struct EvaluationResult {
   double meanRestrictedMetric = 0.0;
 };
 
-/// Evaluates `algorithm` on clones of `original`.
+/// Evaluates `algorithm` on clones of `original`.  The sample loop is
+/// sharded across `config.threads` workers (each sample clones the module
+/// and owns an Rng substream); `rng` advances by exactly one draw per call
+/// regardless of thread count or sample count.
 [[nodiscard]] EvaluationResult evaluateBenchmark(const rtl::Module& original,
                                                  const std::string& benchmarkName,
                                                  lock::Algorithm algorithm,

@@ -132,6 +132,26 @@ class Rng {
   /// statistically unrelated.
   [[nodiscard]] Rng fork() noexcept { return Rng{(*this)()}; }
 
+  /// Task-indexed child stream: derived only from the current state and
+  /// `index`, without advancing the parent.  This is the experiment engine's
+  /// seeding convention — task i of a batch draws from `base.substream(i)`,
+  /// so a sharded run produces bit-identical results at any thread count
+  /// (every task's stream depends on (root seed, task index) alone, never on
+  /// how many draws its siblings consumed).  Distinct indices give
+  /// statistically unrelated streams via splitmix64 mixing.
+  [[nodiscard]] Rng substream(std::uint64_t index) const noexcept {
+    // Fold the 256-bit state and the index through splitmix64 finalizers;
+    // the Rng constructor expands the folded seed back into 256 bits.
+    auto mix = [](std::uint64_t z) noexcept {
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    std::uint64_t h = mix(index + 0x9e3779b97f4a7c15ULL);
+    for (const std::uint64_t word : state_) h = mix(h ^ word);
+    return Rng{h};
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

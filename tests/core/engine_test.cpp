@@ -209,5 +209,58 @@ TEST(EngineTest, UndoToFutureCheckpointThrows) {
   EXPECT_THROW(engine.undoTo(1), support::ContractViolation);
 }
 
+TEST(EngineTest, FuzzedLockUndoInterleavingsRoundTripToRtlEqualModule) {
+  // Property test for the undo stack the attack's relock loop leans on:
+  // any interleaving of random locks, targeted locks, checkpoints, and
+  // partial rollbacks must round-trip to an RTL-equal module once fully
+  // undone — checked both structurally and on the emitted Verilog, which
+  // also covers key-input bookkeeping the structural walk abstracts over.
+  support::Rng rng{101};
+  for (int trial = 0; trial < 10; ++trial) {
+    rtl::Module m = designs::makeOperationNetwork(
+        "fuzz", {{OpKind::Add, 12}, {OpKind::Sub, 6}, {OpKind::Mul, 8}, {OpKind::Xor, 5}});
+    const rtl::Module reference = m.clone();
+    const std::string referenceText = verilog::writeModule(reference);
+    LockEngine engine{m, PairTable::fixed()};
+
+    std::vector<std::size_t> checkpoints{engine.checkpoint()};
+    for (int step = 0; step < 80; ++step) {
+      switch (rng.below(5)) {
+        case 0:
+        case 1:
+          ASSERT_TRUE(engine.lockRandomOp(rng));
+          break;
+        case 2: {
+          // Targeted (re)lock through the same coordinates the serial
+          // ASSURE policy uses, including already-locked and dummy ops.
+          const auto ops = engine.opsInTraversalOrder();
+          ASSERT_FALSE(ops.empty());
+          const auto& [kind, position] = ops[static_cast<std::size_t>(rng.below(ops.size()))];
+          engine.lockOpAt(kind, position, rng.coin());
+          break;
+        }
+        case 3:
+          checkpoints.push_back(engine.checkpoint());
+          break;
+        case 4: {
+          // Roll back to a random earlier checkpoint; later checkpoints
+          // become stale and are dropped.
+          const auto target = static_cast<std::size_t>(rng.below(checkpoints.size()));
+          engine.undoTo(checkpoints[target]);
+          checkpoints.resize(target + 1);
+          break;
+        }
+      }
+    }
+
+    engine.undoAll();
+    EXPECT_TRUE(structurallyEqual(m, reference)) << "trial " << trial;
+    EXPECT_EQ(verilog::writeModule(m), referenceText) << "trial " << trial;
+    EXPECT_EQ(m.keyWidth(), 0) << "trial " << trial;
+    EXPECT_TRUE(engine.records().empty()) << "trial " << trial;
+    EXPECT_EQ(engine.totalLockableOps(), engine.initialLockableOps()) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace rtlock::lock

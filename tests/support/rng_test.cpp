@@ -175,5 +175,49 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(RngTest, SubstreamIsDeterministicPerIndex) {
+  const Rng parent{53};
+  Rng a = parent.substream(4);
+  Rng b = parent.substream(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, SubstreamDoesNotAdvanceParent) {
+  Rng parent{53};
+  Rng witness{53};
+  (void)parent.substream(0);
+  (void)parent.substream(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(parent(), witness());
+}
+
+TEST(RngTest, SubstreamsOfDistinctIndicesDiverge) {
+  const Rng parent{59};
+  Rng a = parent.substream(0);
+  Rng b = parent.substream(1);
+  Rng c = parent.substream(0x100000000ULL);  // index aliasing guard
+  int equalAb = 0;
+  int equalAc = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    if (va == b()) ++equalAb;
+    if (va == c()) ++equalAc;
+  }
+  EXPECT_LT(equalAb, 3);
+  EXPECT_LT(equalAc, 3);
+}
+
+TEST(RngTest, SubstreamDependsOnParentState) {
+  Rng early{61};
+  Rng late{61};
+  (void)late();  // advance by one draw
+  Rng a = early.substream(2);
+  Rng b = late.substream(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 }  // namespace
 }  // namespace rtlock::support

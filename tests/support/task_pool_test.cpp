@@ -1,0 +1,184 @@
+#include "support/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::support {
+namespace {
+
+TEST(TaskPoolTest, ResolveThreadCountPassesExplicitValuesThrough) {
+  EXPECT_EQ(resolveThreadCount(1), 1);
+  EXPECT_EQ(resolveThreadCount(4), 4);
+  EXPECT_EQ(resolveThreadCount(64), 64);
+}
+
+TEST(TaskPoolTest, ResolveThreadCountDefaultsToAtLeastOne) {
+  EXPECT_GE(resolveThreadCount(0), 1);
+  EXPECT_GE(resolveThreadCount(-3), 1);
+}
+
+TEST(TaskPoolTest, MapReturnsResultsInSubmissionOrder) {
+  TaskPool pool{4};
+  // Later tasks finish first (earlier submissions sleep longer), so a pool
+  // that collected by completion order would return a reversed vector.
+  const auto results = pool.map(16, [](std::size_t index) {
+    std::this_thread::sleep_for(std::chrono::microseconds((16 - index) * 200));
+    return index;
+  });
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i);
+}
+
+TEST(TaskPoolTest, SingleThreadPoolRunsTasksInlineOnCallingThread) {
+  TaskPool pool{1};
+  EXPECT_EQ(pool.threadCount(), 1);
+  const auto caller = std::this_thread::get_id();
+  const auto ids =
+      pool.map(8, [&](std::size_t) { return std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(TaskPoolTest, MultiThreadPoolUsesWorkerThreads) {
+  TaskPool pool{4};
+  EXPECT_EQ(pool.threadCount(), 4);
+  const auto caller = std::this_thread::get_id();
+  const auto ids = pool.map(32, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_NE(id, caller);
+}
+
+TEST(TaskPoolTest, ExceptionPropagatesFromWait) {
+  TaskPool pool{4};
+  EXPECT_THROW(pool.map(8,
+                        [](std::size_t index) {
+                          if (index == 5) throw std::runtime_error("task 5 failed");
+                          return index;
+                        }),
+               std::runtime_error);
+}
+
+TEST(TaskPoolTest, FirstExceptionBySubmissionOrderWins) {
+  for (const int threads : {1, 4}) {
+    TaskPool pool{threads};
+    try {
+      pool.map(8, [](std::size_t index) {
+        // Make the *later* submission fail first in wall-clock time; the
+        // earlier submission's error must still win.
+        if (index == 6) throw std::runtime_error("task 6");
+        if (index == 2) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          throw std::runtime_error("task 2");
+        }
+        return index;
+      });
+      FAIL() << "expected a task exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "task 2") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(TaskPoolTest, InlinePoolDefersExceptionsToWait) {
+  TaskPool pool{1};
+  // submit() must not throw even though the task does; the error surfaces
+  // at wait(), matching the threaded pool's contract.
+  EXPECT_NO_THROW(pool.submit([] { throw std::runtime_error("deferred"); }));
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(TaskPoolTest, PoolIsReusableAcrossBatches) {
+  TaskPool pool{3};
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto results =
+        pool.map(10, [batch](std::size_t index) { return batch * 100 + static_cast<int>(index); });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], batch * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(TaskPoolTest, PoolIsReusableAfterAFailedBatch) {
+  TaskPool pool{3};
+  EXPECT_THROW(pool.map(4, [](std::size_t) -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  const auto results = pool.map(4, [](std::size_t index) { return index + 1; });
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i + 1);
+}
+
+TEST(TaskPoolTest, SubmitWaitApiTracksSubmissionIndices) {
+  TaskPool pool{2};
+  std::atomic<int> counter{0};
+  EXPECT_EQ(pool.submit([&] { ++counter; }), 0u);
+  EXPECT_EQ(pool.submit([&] { ++counter; }), 1u);
+  EXPECT_EQ(pool.submit([&] { ++counter; }), 2u);
+  pool.wait();
+  EXPECT_EQ(counter.load(), 3);
+  // Indices restart per batch after wait().
+  EXPECT_EQ(pool.submit([&] { ++counter; }), 0u);
+  pool.wait();
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(TaskPoolTest, NullTaskIsRejected) {
+  TaskPool pool{2};
+  EXPECT_THROW(pool.submit(std::function<void()>{}), ContractViolation);
+}
+
+TEST(TaskPoolTest, StressTasksCompletingOutOfOrderStayOrdered) {
+  TaskPool pool{8};
+  std::atomic<std::size_t> completionStamp{0};
+  constexpr std::size_t kTasks = 400;
+  // Pseudo-random sleeps decorrelate completion order from submission
+  // order; each task records when it finished.
+  const auto stamps = pool.map(kTasks, [&](std::size_t index) {
+    std::this_thread::sleep_for(std::chrono::microseconds((index * 7919) % 293));
+    return completionStamp.fetch_add(1);
+  });
+  ASSERT_EQ(stamps.size(), kTasks);
+  // Every stamp is present exactly once (no lost or duplicated slots)...
+  std::vector<std::size_t> sorted = stamps;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(sorted[i], i);
+  // ...and with 8 workers the completion order genuinely diverged from the
+  // submission order somewhere, which is exactly what map() must hide.
+  bool outOfOrder = false;
+  for (std::size_t i = 1; i < kTasks && !outOfOrder; ++i) {
+    outOfOrder = stamps[i] < stamps[i - 1];
+  }
+  EXPECT_TRUE(outOfOrder);
+}
+
+TEST(TaskPoolTest, MapWithZeroTasksReturnsEmpty) {
+  TaskPool pool{4};
+  const auto results = pool.map(0, [](std::size_t index) { return index; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(TaskPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    TaskPool pool{4};
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+    // No wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace rtlock::support
