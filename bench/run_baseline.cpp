@@ -12,6 +12,9 @@
 //   --threads=N experiment-engine workers (default: RTLOCK_THREADS env, else
 //               hardware concurrency).  Quality rows are bit-identical at
 //               every thread count; only wall times vary.
+//   --check=PATH quality gate: compare every non-perf row of this run against
+//               the committed baseline JSON at PATH and fail on any drift
+//               (CI runs this against the repo-root BENCH_baseline.json).
 //
 // JSON schema: {"schema": "...", "seed": N, "rows": [{bench, config, metric,
 // value, wall_ms}, ...]}.
@@ -290,6 +293,58 @@ void runPerf(std::vector<Row>& rows, std::uint64_t seed) {
     });
   }
   {
+    // End-to-end SnapShot attack (the PR-4 headline row): one paper-sized
+    // attack — 1000 relock rounds (the paper's training setup), locality
+    // harvesting, auto-ml selection and per-bit prediction — against an
+    // ASSURE-locked FIR.  This is the attack-pipeline cost that dominates
+    // experiment wall time now that simulation is cheap; it exercises the
+    // incremental harvester, the flat ML data plane and the engine's
+    // lock/undo hot loop together.
+    rtl::Module locked = designs::makeBenchmark("FIR");
+    lock::LockEngine engine{locked, lock::PairTable::fixed()};
+    support::Rng lockRng{seed + 7};
+    lock::assureRandomLock(
+        engine, static_cast<int>(0.75 * engine.initialLockableOps()), lockRng);
+    const std::vector<lock::LockRecord> truth = engine.records();
+    attack::SnapshotConfig config;
+    config.relockRounds = 1000;
+    config.automl.folds = 3;
+    support::Rng rng{seed + 8};
+    constexpr int kIterations = 3;
+    timedRow(rows, "perf", "FIR locked@75%", "snapshot_attack_ms", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kIterations; ++i) {
+        if (attack::snapshotAttack(locked, truth, lock::PairTable::fixed(), config, rng)
+                .keyBits == 0) {
+          return -1.0;
+        }
+      }
+      return elapsedMs(start) / kIterations;
+    });
+  }
+  {
+    // Auto-ml portfolio selection on a locality-shaped training set (the
+    // attack's step-3 cost in isolation).
+    support::Rng dataRng{seed + 9};
+    ml::Dataset training{2};
+    for (int i = 0; i < 5000; ++i) {
+      const auto c1 = static_cast<double>(dataRng.below(8));
+      const auto c2 = static_cast<double>(dataRng.below(8));
+      training.add({c1, c2}, dataRng.chance(c1 > c2 ? 0.9 : 0.3) ? 1 : 0);
+    }
+    ml::AutoMlConfig config;
+    config.folds = 3;
+    constexpr int kIterations = 3;
+    timedRow(rows, "perf", "locality_rows_5000", "automl_fit_ms", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kIterations; ++i) {
+        support::Rng rng{seed + 10};
+        if (ml::autoSelect(training, config, rng).model == nullptr) return -1.0;
+      }
+      return elapsedMs(start) / kIterations;
+    });
+  }
+  {
     constexpr int kIterations = 5;
     timedRow(rows, "perf", "era plus_network_256", "era_lock_ms", [&] {
       double totalMs = 0.0;
@@ -326,6 +381,94 @@ std::string jsonEscape(const std::string& text) {
   return out;
 }
 
+// --- quality gate -----------------------------------------------------------
+//
+// --check=PATH re-reads a committed baseline JSON and compares every
+// non-`perf` row (the seed-deterministic quality values) against this run.
+// Quality rows are bit-identical across thread counts and machines, so any
+// drift is a real behaviour change — the CI job fails on it.  The parser
+// handles exactly the schema writeJson emits (one row object per line).
+
+struct ParsedRow {
+  std::string bench;
+  std::string config;
+  std::string metric;
+  std::string value;  // formatted text, compared verbatim
+};
+
+std::string extractField(const std::string& line, const std::string& key, bool quoted) {
+  const std::string tag = "\"" + key + "\": ";
+  const std::size_t start = line.find(tag);
+  if (start == std::string::npos) throw support::Error("baseline row misses key " + key);
+  std::size_t begin = start + tag.size();
+  std::size_t end;
+  if (quoted) {
+    begin += 1;  // opening quote
+    end = line.find('"', begin);
+    while (end != std::string::npos && line[end - 1] == '\\') end = line.find('"', end + 1);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  if (end == std::string::npos) throw support::Error("malformed baseline row: " + line);
+  return line.substr(begin, end - begin);
+}
+
+std::vector<ParsedRow> parseBaseline(const std::string& path) {
+  std::ifstream file{path};
+  if (!file) throw support::Error("cannot open committed baseline " + path);
+  std::vector<ParsedRow> rows;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.find("\"bench\": ") == std::string::npos) continue;
+    rows.push_back(ParsedRow{extractField(line, "bench", true), extractField(line, "config", true),
+                             extractField(line, "metric", true),
+                             extractField(line, "value", false)});
+  }
+  if (rows.empty()) throw support::Error("no rows found in committed baseline " + path);
+  return rows;
+}
+
+/// Returns the number of drifting/missing quality rows (0 = gate passes).
+int checkAgainstBaseline(const std::vector<Row>& rows, const std::string& path) {
+  const std::vector<ParsedRow> committed = parseBaseline(path);
+  std::map<std::string, std::string> committedValues;
+  for (const ParsedRow& row : committed) {
+    if (row.bench == "perf") continue;  // timings are machine-dependent
+    committedValues[row.bench + " | " + row.config + " | " + row.metric] = row.value;
+  }
+
+  int failures = 0;
+  std::map<std::string, std::string> currentValues;
+  for (const Row& row : rows) {
+    if (row.bench == "perf") continue;
+    currentValues[row.bench + " | " + row.config + " | " + row.metric] =
+        support::formatDouble(row.value, 4);
+  }
+  for (const auto& [key, value] : committedValues) {
+    const auto it = currentValues.find(key);
+    if (it == currentValues.end()) {
+      std::cout << "quality gate: row disappeared: " << key << "\n";
+      ++failures;
+    } else if (it->second != value) {
+      std::cout << "quality gate: DRIFT in " << key << ": committed " << value << ", got "
+                << it->second << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& [key, value] : currentValues) {
+    if (committedValues.find(key) == committedValues.end()) {
+      std::cout << "quality gate: new uncommitted quality row: " << key << " = " << value
+                << " (regenerate the baseline)\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "quality gate: all " << committedValues.size()
+              << " quality rows match the committed baseline\n";
+  }
+  return failures;
+}
+
 void writeJson(std::ostream& out, const std::vector<Row>& rows, std::uint64_t seed) {
   out << "{\n  \"schema\": \"rtlock-bench-baseline/v1\",\n  \"seed\": " << seed
       << ",\n  \"rows\": [\n";
@@ -344,13 +487,15 @@ void writeJson(std::ostream& out, const std::vector<Row>& rows, std::uint64_t se
 
 int main(int argc, char** argv) {
   return rtlock::bench::runBench([&] {
-    const support::CliArgs args(argc, argv, {"seed", "json", "out", "full", "csv", "threads"});
+    const support::CliArgs args(argc, argv,
+                                {"seed", "json", "out", "full", "csv", "threads", "check"});
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const bool json = args.getBool("json", false);
     const bool full = args.getBool("full", false);
     const bool csv = args.getBool("csv", false);
     const int threads = rtlock::bench::requestedThreads(args);
     const std::string outPath = args.get("out", "BENCH_baseline.json");
+    const std::string checkPath = args.get("check", "");
 
     rtlock::bench::banner("baseline runner — perf/quality trajectory seed",
                           "Fig. 4/5/6 headline numbers + hot-path timings, fixed seeds",
@@ -377,6 +522,10 @@ int main(int argc, char** argv) {
       if (!file) throw support::Error("cannot open " + outPath + " for writing");
       writeJson(file, rows, seed);
       std::cout << "wrote " << outPath << "\n";
+    }
+
+    if (!checkPath.empty() && checkAgainstBaseline(rows, checkPath) != 0) {
+      throw support::Error("quality gate failed against " + checkPath);
     }
   });
 }

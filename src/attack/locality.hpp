@@ -33,10 +33,22 @@ struct LocalityConfig {
 /// Code assigned to nested key muxes.
 inline constexpr int kMuxCode = 100;
 
+/// Parent code for expression roots (continuous-assignment values,
+/// statement expression slots).
+inline constexpr int kTopCode = 0;
+
 struct Locality {
   int keyIndex = 0;
   ml::FeatureRow features;
 };
+
+/// Appends the feature encoding of one key mux to `out`: [C1, C2] and, under
+/// extended features, [depth(C1), depth(C2), parentCode, widthBucket].
+/// Shared by the full-walk extractor below and the incremental harvester
+/// (attack/harvest.hpp), which guarantees the two produce identical rows for
+/// the same mux by construction.
+void appendLocalityFeatures(const rtl::TernaryExpr& mux, int parentCode,
+                            const LocalityConfig& config, ml::FeatureRow& out);
 
 /// Extracts one locality per key mux with key index >= minKeyIndex, in
 /// ascending key-index order.

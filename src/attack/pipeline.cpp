@@ -1,6 +1,7 @@
 #include "attack/pipeline.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "support/task_pool.hpp"
 
@@ -19,19 +20,34 @@ struct SampleOutcome {
   double restrictedMetric = 0.0;
 };
 
-SampleOutcome evaluateSample(const rtl::Module& original, lock::Algorithm algorithm,
-                             const lock::PairTable& table, const EvaluationConfig& config,
-                             support::Rng rng) {
-  rtl::Module locked = original.clone();
-  lock::LockEngine engine{locked, table};
+/// Per-worker reusable module + engine.  Cloning the benchmark and
+/// rebuilding the op index per sample was the sample loop's dominant
+/// allocator; instead each worker clones once, and every sample restores the
+/// module through the engine's checkpoint/undo path (undoAll splices the
+/// trees back and re-pins the pools, so the restored state is exactly the
+/// freshly-cloned state — proved by EngineTest's fuzzed round-trips).
+struct WorkerSlot {
+  std::unique_ptr<rtl::Module> module;
+  std::unique_ptr<lock::LockEngine> engine;
+};
+
+SampleOutcome evaluateSample(WorkerSlot& slot, const rtl::Module& original,
+                             lock::Algorithm algorithm, const lock::PairTable& table,
+                             const EvaluationConfig& config, support::Rng rng) {
+  if (slot.engine == nullptr) {
+    slot.module = std::make_unique<rtl::Module>(original.clone());
+    slot.engine = std::make_unique<lock::LockEngine>(*slot.module, table);
+  }
+  lock::LockEngine& engine = *slot.engine;
   const int budget =
       std::max(1, static_cast<int>(config.keyBudgetFraction *
                                    static_cast<double>(engine.initialLockableOps())));
-  const lock::AlgorithmReport lockReport = lock::lockWithAlgorithm(engine, algorithm, budget, rng);
+  const lock::AlgorithmReport lockReport = lock::lockWithAlgorithm(
+      engine, algorithm, budget, rng, lock::ReportDetail::Summary);
 
   // Copy the ground truth before the attack relocks the module.
   const std::vector<lock::LockRecord> truth = engine.records();
-  const SnapshotResult attack = snapshotAttack(locked, truth, table, config.snapshot, rng);
+  const SnapshotResult attack = snapshotAttack(*slot.module, truth, table, config.snapshot, rng);
 
   SampleOutcome outcome;
   outcome.kpa = attack.kpa;
@@ -39,6 +55,9 @@ SampleOutcome evaluateSample(const rtl::Module& original, lock::Algorithm algori
   outcome.bitsUsed = static_cast<double>(lockReport.bitsUsed);
   outcome.globalMetric = lockReport.finalGlobalMetric;
   outcome.restrictedMetric = lockReport.finalRestrictedMetric;
+
+  // Restore the worker's module for the next sample.
+  engine.undoAll();
   return outcome;
 }
 
@@ -57,10 +76,16 @@ EvaluationResult evaluateBenchmark(const rtl::Module& original, const std::strin
 
   support::TaskPool pool{
       support::threadsForTasks(config.threads, static_cast<std::size_t>(config.testLocks))};
+  // One reusable slot per worker; a slot is only ever touched by its owning
+  // worker, and reuse cannot influence results (see WorkerSlot above).
+  std::vector<WorkerSlot> slots(static_cast<std::size_t>(pool.threadCount()));
   const std::vector<SampleOutcome> outcomes =
-      pool.map(static_cast<std::size_t>(config.testLocks), [&](std::size_t sample) {
-        return evaluateSample(original, algorithm, table, config, sampleRoot.substream(sample));
-      });
+      pool.mapWithWorker(static_cast<std::size_t>(config.testLocks),
+                         [&](int worker, std::size_t sample) {
+                           return evaluateSample(slots[static_cast<std::size_t>(worker)],
+                                                 original, algorithm, table, config,
+                                                 sampleRoot.substream(sample));
+                         });
 
   EvaluationResult result;
   result.benchmark = benchmarkName;

@@ -38,10 +38,11 @@ struct EvaluationResult {
   double meanRestrictedMetric = 0.0;
 };
 
-/// Evaluates `algorithm` on clones of `original`.  The sample loop is
-/// sharded across `config.threads` workers (each sample clones the module
-/// and owns an Rng substream); `rng` advances by exactly one draw per call
-/// regardless of thread count or sample count.
+/// Evaluates `algorithm` on per-worker clones of `original`.  The sample
+/// loop is sharded across `config.threads` workers; each worker clones the
+/// module once and restores it between samples through the engine's undo
+/// path, and each sample owns an Rng substream.  `rng` advances by exactly
+/// one draw per call regardless of thread count or sample count.
 [[nodiscard]] EvaluationResult evaluateBenchmark(const rtl::Module& original,
                                                  const std::string& benchmarkName,
                                                  lock::Algorithm algorithm,

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "attack/harvest.hpp"
+
 namespace rtlock::attack {
 
 SnapshotResult snapshotAttack(rtl::Module& lockedTarget,
@@ -10,7 +12,8 @@ SnapshotResult snapshotAttack(rtl::Module& lockedTarget,
                               support::Rng& rng) {
   RTLOCK_REQUIRE(config.relockRounds > 0, "the attack needs at least one relocking round");
 
-  // Step 1: target localities, keyed by key-bit index.
+  // Step 1: target localities, keyed by key-bit index (one full walk — the
+  // only O(module) pass the attack performs).
   const std::vector<Locality> targetLocalities =
       extractLocalities(lockedTarget, config.locality);
   std::unordered_map<int, const ml::FeatureRow*> targetFeatures;
@@ -21,33 +24,30 @@ SnapshotResult snapshotAttack(rtl::Module& lockedTarget,
 
   // Step 2: self-referencing training set.  Each round applies a fresh
   // random-ASSURE relock with known key bits, harvests the new localities,
-  // and rolls the module back.
+  // and rolls the module back.  Harvesting is incremental — the engine's
+  // lock observer records each new key mux as it is inserted, so a round
+  // costs O(relock budget) instead of O(module) (attack/harvest.hpp; the
+  // full-walk extractor above remains the differential oracle).
   lock::LockEngine engine{lockedTarget, table};
+  LocalityHarvester harvester{engine, config.locality};
   ml::Dataset training{featureCount(config.locality)};
 
   for (int round = 0; round < config.relockRounds; ++round) {
     const std::size_t checkpoint = engine.checkpoint();
-    const int keyStart = lockedTarget.keyWidth();
     const int budget = std::max(
         1, static_cast<int>(config.relockBudgetFraction *
                             static_cast<double>(engine.totalLockableOps())));
-    lock::assureRandomLock(engine, budget, rng);
-
-    // Labels for the fresh key bits come from the engine's records.
-    std::unordered_map<int, bool> labelOf;
-    const auto& records = engine.records();
-    for (std::size_t i = checkpoint; i < records.size(); ++i) {
-      labelOf.emplace(records[i].keyIndex, records[i].keyValue);
-    }
-
-    for (const Locality& locality :
-         extractLocalities(lockedTarget, config.locality, keyStart)) {
-      const auto it = labelOf.find(locality.keyIndex);
-      RTLOCK_REQUIRE(it != labelOf.end(), "extracted a training mux with unknown key bit");
-      training.add(locality.features, it->second ? 1 : 0);
-    }
-
+    harvester.beginRound();
+    // Summary detail: the relock report is discarded, so skip the per-bit
+    // metric trace (two ODT scans per lock).
+    (void)lock::assureRandomLock(engine, budget, rng, lock::ReportDetail::Summary);
+    harvester.harvestInto(training);
     engine.undoTo(checkpoint);
+    if (round == 0) {
+      // Rounds produce near-identical row counts; one up-front reservation
+      // keeps the remaining appends growth-free.
+      training.reserveRows(training.size() * static_cast<std::size_t>(config.relockRounds - 1));
+    }
   }
 
   // Step 3: model selection + training.

@@ -7,15 +7,18 @@
 
 namespace rtlock::lock {
 
-/// Runs the selected algorithm against the engine.
+/// Runs the selected algorithm against the engine.  `detail` selects how
+/// much of the report to compute (see ReportDetail); it never affects the
+/// locking decisions or the Rng stream.
 inline AlgorithmReport lockWithAlgorithm(LockEngine& engine, Algorithm algorithm, int keyBudget,
-                                         support::Rng& rng) {
+                                         support::Rng& rng,
+                                         ReportDetail detail = ReportDetail::Full) {
   switch (algorithm) {
-    case Algorithm::AssureSerial: return assureSerialLock(engine, keyBudget, rng);
-    case Algorithm::AssureRandom: return assureRandomLock(engine, keyBudget, rng);
-    case Algorithm::Hra: return hraLock(engine, keyBudget, rng);
-    case Algorithm::Greedy: return greedyLock(engine, keyBudget, rng);
-    case Algorithm::Era: return eraLock(engine, keyBudget, rng);
+    case Algorithm::AssureSerial: return assureSerialLock(engine, keyBudget, rng, detail);
+    case Algorithm::AssureRandom: return assureRandomLock(engine, keyBudget, rng, detail);
+    case Algorithm::Hra: return hraLock(engine, keyBudget, rng, detail);
+    case Algorithm::Greedy: return greedyLock(engine, keyBudget, rng, detail);
+    case Algorithm::Era: return eraLock(engine, keyBudget, rng, detail);
   }
   RTLOCK_UNREACHABLE("algorithm");
 }

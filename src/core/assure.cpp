@@ -33,27 +33,29 @@ std::string_view algorithmName(Algorithm algorithm) noexcept {
   return "?";
 }
 
-AlgorithmReport assureSerialLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+AlgorithmReport assureSerialLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                                 ReportDetail detail) {
   const auto order = engine.opsInTraversalOrder();
   std::vector<std::pair<int, double>> trace;
   int bitsUsed = 0;
-  const bool involutive = engine.pairTable().involutive();
+  const bool trackTrace = detail == ReportDetail::Full && engine.pairTable().involutive();
   for (const auto& [kind, position] : order) {
     if (bitsUsed >= keyBudget) break;
     engine.lockOpAt(kind, position, rng.coin());
     ++bitsUsed;
-    if (involutive) trace.emplace_back(bitsUsed, engine.globalMetric());
+    if (trackTrace) trace.emplace_back(bitsUsed, engine.globalMetric());
   }
   return makeReport(Algorithm::AssureSerial, engine, keyBudget, bitsUsed, std::move(trace));
 }
 
-AlgorithmReport assureRandomLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+AlgorithmReport assureRandomLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                                 ReportDetail detail) {
   std::vector<std::pair<int, double>> trace;
   int bitsUsed = 0;
-  const bool involutive = engine.pairTable().involutive();
+  const bool trackTrace = detail == ReportDetail::Full && engine.pairTable().involutive();
   while (bitsUsed < keyBudget && engine.lockRandomOp(rng)) {
     ++bitsUsed;
-    if (involutive) trace.emplace_back(bitsUsed, engine.globalMetric());
+    if (trackTrace) trace.emplace_back(bitsUsed, engine.globalMetric());
   }
   return makeReport(Algorithm::AssureRandom, engine, keyBudget, bitsUsed, std::move(trace));
 }

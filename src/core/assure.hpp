@@ -18,11 +18,13 @@ namespace rtlock::lock {
 /// module traversal order ("serial manner w.r.t. the design topology").
 /// Re-applying to an already-locked design extends the same leading
 /// operations with nested locking pairs, reproducing Fig. 4b.
-AlgorithmReport assureSerialLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+AlgorithmReport assureSerialLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                                 ReportDetail detail = ReportDetail::Full);
 
 /// Random selection: locks `keyBudget` uniformly random lockable operations
 /// (dummies introduced earlier in the same run are eligible).
-AlgorithmReport assureRandomLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+AlgorithmReport assureRandomLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                                 ReportDetail detail = ReportDetail::Full);
 
 // ---- Auxiliary ASSURE obfuscations ----
 //

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "core/pairs.hpp"
@@ -40,6 +41,19 @@ struct LockRecord {
   bool keyValue = false;   // correct key-bit value
   rtl::OpKind realOp = rtl::OpKind::Add;
   rtl::OpKind dummyOp = rtl::OpKind::Sub;
+};
+
+/// Observer for lock/undo events — the hook behind incremental locality
+/// harvesting (attack/harvest.hpp).  Callbacks fire synchronously inside
+/// lockOpAt/undoTo after the module mutation completed: onLock sees the
+/// freshly installed key mux through `slot` (the slot that now holds it),
+/// onUndo sees the record that was just rolled back.  Observers must not
+/// lock or undo re-entrantly.
+class LockObserver {
+ public:
+  virtual ~LockObserver() = default;
+  virtual void onLock(const LockRecord& record, const rtl::ExprSlot& slot) = 0;
+  virtual void onUndo(const LockRecord& record) = 0;
 };
 
 class LockEngine {
@@ -121,13 +135,21 @@ class LockEngine {
   /// All currently applied locks, oldest first.
   [[nodiscard]] const std::vector<LockRecord>& records() const noexcept { return records_; }
 
+  // ---- observation ----
+
+  /// Registers the single lock/undo observer (nullptr detaches).  The
+  /// observer must outlive every lock/undo it can witness.
+  void setObserver(LockObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] LockObserver* observer() const noexcept { return observer_; }
+
  private:
   struct UndoRecord {
     rtl::ExprSlot slot;                          // where the mux sits
     rtl::OpKind realKind = rtl::OpKind::Add;
     std::size_t poolPosition = 0;                // index into ops_[realKind]
     int realBranchSlot = 0;                      // kThenSlot or kElseSlot
-    std::vector<rtl::OpKind> dummyAppends;       // appended pool entries, in order
+    std::uint32_t dummyAppendCount = 0;          // entries in dummyAppendLog_
+    bool recyclable = false;                     // shell may be cached on undo
     int prevKeyWidth = 0;
     int pairIndex = -1;                          // -1 for non-involutive tables
     bool pairWasTouched = false;
@@ -144,10 +166,26 @@ class LockEngine {
   rtl::Module& module_;
   const PairTable& table_;
   std::array<std::vector<rtl::ExprSlot>, rtl::kOpKindCount> ops_;
+  /// Kinds of dummy-branch pool appends, across all live locks (LIFO with
+  /// undoStack_; each UndoRecord owns its trailing dummyAppendCount entries).
+  /// A shared log instead of a per-lock vector: lock/undo is the attack's
+  /// innermost loop and must not allocate per operation.
+  std::vector<rtl::OpKind> dummyAppendLog_;
+  /// Detached mux shells (ternary + key ref + dummy, real slot empty) cached
+  /// by (kind, pool position) on undo and reused by the next lock of the
+  /// same position — the relock/undo training loop otherwise rebuilds the
+  /// identical five heap nodes tens of thousands of times.  Reuse is gated
+  /// on the shell's dummy operands matching the live operation's operands
+  /// exactly (content check, so stale entries are impossible), which holds
+  /// precisely for the three-address case where operands are immutable
+  /// leaves; the resulting module states are bit-identical to fresh builds.
+  std::array<std::vector<rtl::ExprPtr>, rtl::kOpKindCount> shells_;
   std::vector<int> initialMagnitudes_;
   std::vector<bool> touched_;
   std::vector<UndoRecord> undoStack_;
   std::vector<LockRecord> records_;
+  LockObserver* observer_ = nullptr;
+  int lockableTotal_ = 0;  // sum of pool sizes, maintained incrementally
   int initialLockableOps_ = 0;
 };
 

@@ -4,7 +4,8 @@
 
 namespace rtlock::lock {
 
-AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
+AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                        ReportDetail detail) {
   RTLOCK_REQUIRE(engine.pairTable().involutive(), "ERA requires the involutive pair table");
   const auto& pairs = engine.pairTable().pairs();
 
@@ -34,14 +35,18 @@ AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
         const int used = engine.lockStep(type, /*pairMode=*/false, rng);
         RTLOCK_REQUIRE(used > 0, "ERA inner loop failed to make progress");
         bitsUsed += used;
-        report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+        if (detail == ReportDetail::Full) {
+          report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+        }
       }
     } else {
       // Balanced pair: one 2-bit balanced Lock (documented deviation).
       const int used = engine.lockStep(type, /*pairMode=*/true, rng);
       if (used == 0) break;  // nothing lockable anywhere in this pair
       bitsUsed += used;
-      report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+      if (detail == ReportDetail::Full) {
+        report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+      }
     }
   }
 

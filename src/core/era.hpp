@@ -17,6 +17,7 @@
 
 namespace rtlock::lock {
 
-AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+AlgorithmReport eraLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                        ReportDetail detail = ReportDetail::Full);
 
 }  // namespace rtlock::lock

@@ -8,7 +8,8 @@ namespace rtlock::lock {
 
 namespace {
 
-AlgorithmReport runHra(LockEngine& engine, int keyBudget, support::Rng& rng, bool greedy) {
+AlgorithmReport runHra(LockEngine& engine, int keyBudget, support::Rng& rng, bool greedy,
+                       ReportDetail detail) {
   RTLOCK_REQUIRE(engine.pairTable().involutive(), "HRA requires the involutive pair table");
   const auto& pairs = engine.pairTable().pairs();
   const std::vector<int>& initial = engine.initialMagnitudes();
@@ -57,7 +58,9 @@ AlgorithmReport runHra(LockEngine& engine, int keyBudget, support::Rng& rng, boo
     const int used = engine.lockStep(pairs[chosen].first, pairMode, rng);  // line 23
     if (used == 0) break;  // chosen pair exhausted; budget cannot be spent
     bitsUsed += used;
-    report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+    if (detail == ReportDetail::Full) {
+      report.metricTrace.emplace_back(bitsUsed, engine.globalMetric());
+    }
   }
 
   report.bitsUsed = bitsUsed;
@@ -68,12 +71,14 @@ AlgorithmReport runHra(LockEngine& engine, int keyBudget, support::Rng& rng, boo
 
 }  // namespace
 
-AlgorithmReport hraLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
-  return runHra(engine, keyBudget, rng, /*greedy=*/false);
+AlgorithmReport hraLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                        ReportDetail detail) {
+  return runHra(engine, keyBudget, rng, /*greedy=*/false, detail);
 }
 
-AlgorithmReport greedyLock(LockEngine& engine, int keyBudget, support::Rng& rng) {
-  return runHra(engine, keyBudget, rng, /*greedy=*/true);
+AlgorithmReport greedyLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                           ReportDetail detail) {
+  return runHra(engine, keyBudget, rng, /*greedy=*/true, detail);
 }
 
 }  // namespace rtlock::lock

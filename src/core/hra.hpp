@@ -19,9 +19,11 @@
 
 namespace rtlock::lock {
 
-AlgorithmReport hraLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+AlgorithmReport hraLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                        ReportDetail detail = ReportDetail::Full);
 
 /// HRA with P pinned to false — the reversible greedy baseline of Sec. 4.4.
-AlgorithmReport greedyLock(LockEngine& engine, int keyBudget, support::Rng& rng);
+AlgorithmReport greedyLock(LockEngine& engine, int keyBudget, support::Rng& rng,
+                           ReportDetail detail = ReportDetail::Full);
 
 }  // namespace rtlock::lock

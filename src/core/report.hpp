@@ -20,6 +20,13 @@ enum class Algorithm {
 
 [[nodiscard]] std::string_view algorithmName(Algorithm algorithm) noexcept;
 
+/// How much of the report a locking run should compute.  Summary skips the
+/// per-step metric trace (Fig. 5b data), which costs two ODT scans and a
+/// heap allocation per locked bit — pure overhead for callers that only read
+/// the final metrics (the attack's relock loop, the evaluation pipeline).
+/// The choice never touches the Rng, so results are bit-identical either way.
+enum class ReportDetail { Full, Summary };
+
 /// Outcome of one locking run.
 struct AlgorithmReport {
   Algorithm algorithm = Algorithm::AssureSerial;

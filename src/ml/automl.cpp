@@ -1,6 +1,7 @@
 #include "ml/automl.hpp"
 
 #include <chrono>
+#include <optional>
 
 #include "ml/baseline.hpp"
 #include "ml/forest.hpp"
@@ -12,16 +13,6 @@
 #include "support/diagnostics.hpp"
 
 namespace rtlock::ml {
-
-namespace {
-
-[[nodiscard]] bool isSlowFamily(const Classifier& model) {
-  const std::string name = model.name();
-  return name.rfind("knn", 0) == 0 || name.rfind("mlp", 0) == 0 ||
-         name.rfind("forest", 0) == 0;
-}
-
-}  // namespace
 
 std::vector<std::unique_ptr<Classifier>> defaultPortfolio() {
   std::vector<std::unique_ptr<Classifier>> portfolio;
@@ -45,35 +36,48 @@ std::vector<std::unique_ptr<Classifier>> defaultPortfolio() {
 AutoMlResult autoSelect(const Dataset& rawData, const AutoMlConfig& config, support::Rng& rng) {
   RTLOCK_REQUIRE(!rawData.empty(), "auto-ml needs a non-empty training set");
 
-  const auto start = std::chrono::steady_clock::now();
-  const auto elapsedSeconds = [&start] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  using Clock = std::chrono::steady_clock;
+  const auto elapsedSecondsSince = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
   };
 
   // Subsample raw rows first (folding must happen on raw rows: aggregating
   // duplicates before the split would make folds all-or-nothing per feature
-  // tuple and bias validation accuracy).  Each fold is aggregated afterwards
-  // — lossless — so model fitting stays fast.
-  Dataset data = rawData.sampled(config.maxTrainingRows, rng);
+  // tuple and bias validation accuracy).  Folds are index views over the one
+  // backing matrix; each view is aggregated afterwards — lossless — so model
+  // fitting stays fast.  Under the cap, fold directly over the caller's data
+  // (sampled() would be a full flat copy and draws no randomness then).
+  std::optional<Dataset> sampledStorage;
+  if (rawData.size() > config.maxTrainingRows) {
+    sampledStorage.emplace(rawData.sampled(config.maxTrainingRows, rng));
+  }
+  const Dataset& data = sampledStorage.has_value() ? *sampledStorage : rawData;
 
-  std::vector<std::pair<Dataset, Dataset>> folds;
+  // Single-pass fold construction: per-fold aggregated (train, validation)
+  // pairs plus the full aggregate for the final refit, row-for-row identical
+  // to aggregating kFold() views one by one.
+  KFoldAggregates aggregates = data.kFoldAggregated(config.folds, rng);
+  const std::vector<std::pair<Dataset, Dataset>>& folds = aggregates.folds;
   std::size_t largestTrainFold = 0;
-  for (auto& [train, validation] : data.kFold(config.folds, rng)) {
-    Dataset aggregatedTrain = train.aggregated();
-    Dataset aggregatedValidation = validation.aggregated();
-    largestTrainFold = std::max(largestTrainFold, aggregatedTrain.size());
-    folds.emplace_back(std::move(aggregatedTrain), std::move(aggregatedValidation));
+  for (const auto& [train, validation] : folds) {
+    largestTrainFold = std::max(largestTrainFold, train.size());
   }
 
   AutoMlResult result;
   result.bestCvAccuracy = -1.0;
+  std::size_t rowsConsumed = 0;
 
   for (auto& candidate : defaultPortfolio()) {
-    // Always evaluate at least one candidate, budget or not.
-    if (!result.leaderboard.empty() && elapsedSeconds() > config.timeBudgetSeconds) break;
-    if (largestTrainFold > config.slowModelRowLimit && isSlowFamily(*candidate)) continue;
+    // Always evaluate at least one candidate, budget or not.  The budget is
+    // a deterministic row count, never wall clock, so the candidate cut-off
+    // is identical on every machine.
+    if (!result.leaderboard.empty() && rowsConsumed > config.fitRowBudget) break;
+    if (largestTrainFold > config.slowModelRowLimit &&
+        candidate->costClass() == CostClass::Slow) {
+      continue;
+    }
 
-    const double candidateStart = elapsedSeconds();
+    const auto candidateStart = Clock::now();
     double weightedCorrect = 0.0;
     double weightedTotal = 0.0;
     for (const auto& [train, validation] : folds) {
@@ -82,11 +86,12 @@ AutoMlResult autoSelect(const Dataset& rawData, const AutoMlConfig& config, supp
       foldModel->fit(train, rng);
       weightedCorrect += accuracy(*foldModel, validation) * validation.totalWeight();
       weightedTotal += validation.totalWeight();
+      rowsConsumed += train.size() + validation.size();
     }
     const double cvAccuracy = weightedTotal == 0.0 ? 0.0 : weightedCorrect / weightedTotal;
 
     result.leaderboard.push_back(
-        LeaderboardEntry{candidate->name(), cvAccuracy, elapsedSeconds() - candidateStart});
+        LeaderboardEntry{candidate->name(), cvAccuracy, elapsedSecondsSince(candidateStart)});
     if (cvAccuracy > result.bestCvAccuracy) {
       result.bestCvAccuracy = cvAccuracy;
       result.bestName = candidate->name();
@@ -95,7 +100,7 @@ AutoMlResult autoSelect(const Dataset& rawData, const AutoMlConfig& config, supp
   }
 
   RTLOCK_REQUIRE(result.model != nullptr, "auto-ml evaluated no candidates");
-  result.model->fit(data.aggregated(), rng);
+  result.model->fit(aggregates.all, rng);
   return result;
 }
 

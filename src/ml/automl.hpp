@@ -3,12 +3,13 @@
 // The driver enumerates a model/hyperparameter portfolio (histogram table,
 // categorical & Gaussian naive Bayes, logistic regression, decision tree,
 // random forest, k-NN, MLP), scores every candidate with k-fold
-// cross-validation under a wall-clock budget, and refits the winner on the
-// full training set.  The paper allots 600 s per attack iteration; the
-// portfolio here converges in far less on locality data because aggregation
-// shrinks the dataset to the distinct feature tuples.
+// cross-validation under a deterministic row-count budget, and refits the
+// winner on the full training set.  The paper allots 600 s per attack
+// iteration; the portfolio here converges in far less on locality data
+// because aggregation shrinks the dataset to the distinct feature tuples.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -18,18 +19,25 @@ namespace rtlock::ml {
 
 struct AutoMlConfig {
   int folds = 3;
-  double timeBudgetSeconds = 600.0;
+  /// Deterministic search budget: cumulative rows consumed by candidate
+  /// cross-validations (aggregated fold train + validation rows, summed
+  /// after each candidate).  Once exceeded, the portfolio scan stops — at
+  /// least one candidate is always evaluated.  A row-count budget (instead
+  /// of the historical wall-clock cutoff) means model selection can never
+  /// differ across machines; the default is far above what any experiment
+  /// configuration consumes.
+  std::size_t fitRowBudget = 50'000'000;
   /// Rows are aggregated first; if still larger, subsampled to this cap.
   std::size_t maxTrainingRows = 100000;
-  /// Skip slow families (knn/mlp/forest) when the aggregated set is larger
-  /// than this.
+  /// Skip Slow-cost families (knn/mlp/forest, per Classifier::costClass)
+  /// when the largest aggregated training fold exceeds this.
   std::size_t slowModelRowLimit = 20000;
 };
 
 struct LeaderboardEntry {
   std::string model;
   double cvAccuracy = 0.0;
-  double seconds = 0.0;
+  double seconds = 0.0;  // informational only; never feeds back into selection
 };
 
 struct AutoMlResult {

@@ -8,9 +8,7 @@ void MajorityClassifier::fit(const Dataset& data, support::Rng& /*rng*/) {
   positiveFraction_ = data.empty() ? 0.5 : data.positiveFraction();
 }
 
-double MajorityClassifier::predictProba(const FeatureRow& /*features*/) const {
-  return positiveFraction_;
-}
+double MajorityClassifier::probaOf(RowView /*features*/) const { return positiveFraction_; }
 
 std::unique_ptr<Classifier> MajorityClassifier::fresh() const {
   return std::make_unique<MajorityClassifier>();
@@ -22,29 +20,22 @@ std::string HistogramClassifier::name() const {
   return "histogram(smoothing=" + std::to_string(smoothing_) + ")";
 }
 
-std::string HistogramClassifier::keyFor(const FeatureRow& features) {
-  std::string key;
-  key.reserve(features.size() * sizeof(double));
-  for (const double value : features) {
-    key.append(reinterpret_cast<const char*>(&value), sizeof(double));
-  }
-  return key;
-}
-
 void HistogramClassifier::fit(const Dataset& data, support::Rng& /*rng*/) {
   table_.clear();
   prior_ = data.empty() ? 0.5 : data.positiveFraction();
   for (std::size_t i = 0; i < data.size(); ++i) {
-    auto& weights = table_[keyFor(data.features(i))];
+    const std::string_view key = keyFor(data.row(i));
+    auto it = table_.find(key);
+    if (it == table_.end()) it = table_.emplace(std::string{key}, ClassWeights{}).first;
     if (data.label(i) == 1) {
-      weights.positive += data.weight(i);
+      it->second.positive += data.weight(i);
     } else {
-      weights.negative += data.weight(i);
+      it->second.negative += data.weight(i);
     }
   }
 }
 
-double HistogramClassifier::predictProba(const FeatureRow& features) const {
+double HistogramClassifier::probaOf(RowView features) const {
   const auto it = table_.find(keyFor(features));
   if (it == table_.end()) return prior_;
   const double positive = it->second.positive + smoothing_ * prior_;

@@ -7,6 +7,7 @@
 // approximation.
 #pragma once
 
+#include <string_view>
 #include <unordered_map>
 
 #include "ml/model.hpp"
@@ -18,10 +19,11 @@ class MajorityClassifier final : public Classifier {
  public:
   [[nodiscard]] std::string name() const override { return "majority"; }
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
+  [[nodiscard]] double probaOf(RowView features) const override;
+
   double positiveFraction_ = 0.5;
 };
 
@@ -34,7 +36,6 @@ class HistogramClassifier final : public Classifier {
 
   [[nodiscard]] std::string name() const override;
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
@@ -43,11 +44,28 @@ class HistogramClassifier final : public Classifier {
     double positive = 0.0;
   };
 
-  [[nodiscard]] static std::string keyFor(const FeatureRow& features);
+  /// Transparent hashing lets lookups run on a string_view over the raw row
+  /// bytes — no per-prediction key allocation.
+  struct RowKeyHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view key) const noexcept {
+      return std::hash<std::string_view>{}(key);
+    }
+    [[nodiscard]] std::size_t operator()(const std::string& key) const noexcept {
+      return std::hash<std::string_view>{}(key);
+    }
+  };
+
+  [[nodiscard]] static std::string_view keyFor(RowView features) noexcept {
+    return std::string_view{reinterpret_cast<const char*>(features.data()),
+                            features.size() * sizeof(double)};
+  }
+
+  [[nodiscard]] double probaOf(RowView features) const override;
 
   double smoothing_;
   double prior_ = 0.5;
-  std::unordered_map<std::string, ClassWeights> table_;
+  std::unordered_map<std::string, ClassWeights, RowKeyHash, std::equal_to<>> table_;
 };
 
 }  // namespace rtlock::ml

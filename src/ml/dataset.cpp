@@ -1,8 +1,7 @@
 #include "ml/dataset.hpp"
 
+#include <cstring>
 #include <numeric>
-#include <string>
-#include <unordered_map>
 
 #include "support/diagnostics.hpp"
 
@@ -12,14 +11,31 @@ Dataset::Dataset(int featureCount) : featureCount_(featureCount) {
   RTLOCK_REQUIRE(featureCount >= 1, "datasets need at least one feature");
 }
 
-void Dataset::add(FeatureRow features, int label, double weight) {
+void Dataset::add(RowView features, int label, double weight) {
   RTLOCK_REQUIRE(static_cast<int>(features.size()) == featureCount_,
                  "feature row arity mismatch");
   RTLOCK_REQUIRE(label == 0 || label == 1, "binary labels only");
   RTLOCK_REQUIRE(weight > 0.0, "weights must be positive");
-  features_.push_back(std::move(features));
+  const double* source = features.data();
+  if (values_.size() + features.size() > values_.capacity()) {
+    // Growth would invalidate `features` if it views this dataset's own
+    // matrix (e.g. d.add(d.row(i), ...)); re-anchor through the row offset.
+    const bool aliasesSelf =
+        source >= values_.data() && source < values_.data() + values_.size();
+    const std::size_t offset =
+        aliasesSelf ? static_cast<std::size_t>(source - values_.data()) : 0;
+    values_.reserve(std::max(values_.capacity() * 2, values_.size() + features.size()));
+    if (aliasesSelf) source = values_.data() + offset;
+  }
+  values_.insert(values_.end(), source, source + features.size());
   labels_.push_back(label);
   weights_.push_back(weight);
+}
+
+void Dataset::reserveRows(std::size_t rows) {
+  values_.reserve(values_.size() + rows * static_cast<std::size_t>(featureCount_));
+  labels_.reserve(labels_.size() + rows);
+  weights_.reserve(weights_.size() + rows);
 }
 
 double Dataset::totalWeight() const noexcept {
@@ -36,53 +52,93 @@ double Dataset::positiveFraction() const noexcept {
   return total == 0.0 ? 0.0 : positive / total;
 }
 
-Dataset Dataset::aggregated() const {
-  // Key: features + label serialized into a string of doubles (exact bit
-  // patterns), preserving first-seen order via index map.
-  std::unordered_map<std::string, std::size_t> keyToRow;
-  Dataset result{featureCount_};
-  for (std::size_t i = 0; i < size(); ++i) {
-    std::string key;
-    key.reserve(features_[i].size() * sizeof(double) + 1);
-    for (const double value : features_[i]) {
-      key.append(reinterpret_cast<const char*>(&value), sizeof(double));
+namespace {
+
+/// Word-wise mix over a row's exact double bit patterns plus the label.
+/// Only equality (exact bytes) affects aggregation results — the hash merely
+/// routes probes, so grouping, first-seen order and accumulated weights are
+/// identical to the historical string-key map regardless of this function.
+[[nodiscard]] std::uint64_t hashRow(RowView row, int label) noexcept {
+  auto mix = [](std::uint64_t h, std::uint64_t value) noexcept {
+    h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h * 0xff51afd7ed558ccdull;
+  };
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const double value : row) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    hash = mix(hash, bits);
+  }
+  return mix(hash, static_cast<std::uint64_t>(label));
+}
+
+[[nodiscard]] bool sameRow(RowView a, RowView b) noexcept {
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+/// Open-addressing index from (features, label) to a result row, preserving
+/// first-seen order.  Aggregation runs several times per auto-ml call over
+/// ~10^5 raw rows — it has to be a flat probe table, not a node-based map
+/// with a string key per row.
+class Dataset::Aggregator {
+ public:
+  explicit Aggregator(int featureCount) : result_(featureCount) {}
+
+  void consume(RowView row, int label, double weight, std::uint64_t hash) {
+    std::size_t slot = static_cast<std::size_t>(hash) & (capacity_ - 1);
+    for (;;) {
+      const std::uint32_t candidate = slots_[slot];
+      if (candidate == UINT32_MAX) {
+        slots_[slot] = static_cast<std::uint32_t>(result_.size());
+        rowHashes_.push_back(hash);
+        result_.add(row, label, weight);
+        break;
+      }
+      if (rowHashes_[candidate] == hash && result_.labels_[candidate] == label &&
+          sameRow(result_.row(candidate), row)) {
+        result_.weights_[candidate] += weight;
+        break;
+      }
+      slot = (slot + 1) & (capacity_ - 1);
     }
-    key.push_back(static_cast<char>(labels_[i]));
-    const auto it = keyToRow.find(key);
-    if (it == keyToRow.end()) {
-      keyToRow.emplace(std::move(key), result.size());
-      result.add(features_[i], labels_[i], weights_[i]);
-    } else {
-      result.weights_[it->second] += weights_[i];
+    if (result_.size() * 2 >= capacity_) grow();
+  }
+
+  [[nodiscard]] Dataset take() && { return std::move(result_); }
+
+ private:
+  void grow() {
+    capacity_ *= 2;
+    slots_.assign(capacity_, UINT32_MAX);
+    for (std::uint32_t r = 0; r < result_.size(); ++r) {
+      std::size_t slot = static_cast<std::size_t>(rowHashes_[r]) & (capacity_ - 1);
+      while (slots_[slot] != UINT32_MAX) slot = (slot + 1) & (capacity_ - 1);
+      slots_[slot] = r;
     }
   }
-  return result;
-}
 
-Dataset Dataset::sampled(std::size_t maxRows, support::Rng& rng) const {
-  if (size() <= maxRows) return *this;
-  Dataset result{featureCount_};
-  // Uniform row sample with weight rescaling keeps the total mass unbiased.
-  const auto indices = rng.sampleIndices(size(), maxRows);
-  const double scale = static_cast<double>(size()) / static_cast<double>(maxRows);
-  for (const std::size_t i : indices) {
-    result.add(features_[i], labels_[i], weights_[i] * scale);
+  Dataset result_;
+  std::size_t capacity_ = 64;  // power of two; grown when half full
+  std::vector<std::uint32_t> slots_ = std::vector<std::uint32_t>(64, UINT32_MAX);
+  std::vector<std::uint64_t> rowHashes_;  // per result row
+};
+
+template <typename Table>
+Dataset Dataset::aggregateOf(const Table& table) {
+  Aggregator aggregator{table.featureCount()};
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const RowView row = table.row(i);
+    const int label = table.label(i);
+    aggregator.consume(row, label, table.weight(i), hashRow(row, label));
   }
-  return result;
+  return std::move(aggregator).take();
 }
 
-std::pair<Dataset, Dataset> Dataset::split(double trainFraction, support::Rng& rng) const {
-  RTLOCK_REQUIRE(trainFraction > 0.0 && trainFraction < 1.0,
-                 "train fraction must lie strictly between 0 and 1");
-  Dataset train{featureCount_};
-  Dataset test{featureCount_};
-  for (std::size_t i = 0; i < size(); ++i) {
-    (rng.chance(trainFraction) ? train : test).add(features_[i], labels_[i], weights_[i]);
-  }
-  return {std::move(train), std::move(test)};
-}
+Dataset Dataset::aggregated() const { return aggregateOf(*this); }
 
-std::vector<std::pair<Dataset, Dataset>> Dataset::kFold(int folds, support::Rng& rng) const {
+KFoldAggregates Dataset::kFoldAggregated(int folds, support::Rng& rng) const {
   RTLOCK_REQUIRE(folds >= 2, "k-fold needs at least two folds");
   std::vector<std::size_t> order(size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -93,16 +149,112 @@ std::vector<std::pair<Dataset, Dataset>> Dataset::kFold(int folds, support::Rng&
     foldOf[order[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
   }
 
-  std::vector<std::pair<Dataset, Dataset>> result;
+  // One streaming pass: row i (ascending, exactly the view order) feeds its
+  // own fold's validation aggregate, every other fold's train aggregate, and
+  // the whole-dataset aggregate; the row hash is computed once.
+  std::vector<Aggregator> trains;
+  std::vector<Aggregator> validations;
+  for (int fold = 0; fold < folds; ++fold) {
+    trains.emplace_back(featureCount_);
+    validations.emplace_back(featureCount_);
+  }
+  Aggregator full{featureCount_};
+  for (std::size_t i = 0; i < size(); ++i) {
+    const RowView r = row(i);
+    const int label = labels_[i];
+    const double w = weights_[i];
+    const std::uint64_t hash = hashRow(r, label);
+    for (int fold = 0; fold < folds; ++fold) {
+      (foldOf[i] == fold ? validations : trains)[static_cast<std::size_t>(fold)].consume(
+          r, label, w, hash);
+    }
+    full.consume(r, label, w, hash);
+  }
+
+  KFoldAggregates result;
+  result.folds.reserve(static_cast<std::size_t>(folds));
+  for (int fold = 0; fold < folds; ++fold) {
+    result.folds.emplace_back(std::move(trains[static_cast<std::size_t>(fold)]).take(),
+                              std::move(validations[static_cast<std::size_t>(fold)]).take());
+  }
+  result.all = std::move(full).take();
+  return result;
+}
+
+Dataset Dataset::sampled(std::size_t maxRows, support::Rng& rng) const {
+  if (size() <= maxRows) return *this;
+  Dataset result{featureCount_};
+  result.reserveRows(maxRows);
+  // Uniform row sample with weight rescaling keeps the total mass unbiased.
+  const auto indices = rng.sampleIndices(size(), maxRows);
+  const double scale = static_cast<double>(size()) / static_cast<double>(maxRows);
+  for (const std::size_t i : indices) {
+    result.add(row(i), labels_[i], weights_[i] * scale);
+  }
+  return result;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double trainFraction, support::Rng& rng) const {
+  RTLOCK_REQUIRE(trainFraction > 0.0 && trainFraction < 1.0,
+                 "train fraction must lie strictly between 0 and 1");
+  Dataset train{featureCount_};
+  Dataset test{featureCount_};
+  for (std::size_t i = 0; i < size(); ++i) {
+    (rng.chance(trainFraction) ? train : test).add(row(i), labels_[i], weights_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::pair<DatasetView, DatasetView>> Dataset::kFold(int folds,
+                                                                support::Rng& rng) const {
+  RTLOCK_REQUIRE(folds >= 2, "k-fold needs at least two folds");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::vector<int> foldOf(size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    foldOf[order[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
+  }
+
+  std::vector<std::pair<DatasetView, DatasetView>> result;
   result.reserve(static_cast<std::size_t>(folds));
   for (int fold = 0; fold < folds; ++fold) {
-    Dataset train{featureCount_};
-    Dataset validation{featureCount_};
+    std::vector<std::uint32_t> train;
+    std::vector<std::uint32_t> validation;
+    train.reserve(size());
+    validation.reserve(size() / static_cast<std::size_t>(folds) + 1);
     for (std::size_t i = 0; i < size(); ++i) {
-      (foldOf[i] == fold ? validation : train).add(features_[i], labels_[i], weights_[i]);
+      (foldOf[i] == fold ? validation : train).push_back(static_cast<std::uint32_t>(i));
     }
-    result.emplace_back(std::move(train), std::move(validation));
+    result.emplace_back(DatasetView{*this, std::move(train)},
+                        DatasetView{*this, std::move(validation)});
   }
+  return result;
+}
+
+double DatasetView::totalWeight() const noexcept {
+  double total = 0.0;
+  for (const std::uint32_t r : rows_) total += base_->weights_[r];
+  return total;
+}
+
+double DatasetView::positiveFraction() const noexcept {
+  double positive = 0.0;
+  double total = 0.0;
+  for (const std::uint32_t r : rows_) {
+    total += base_->weights_[r];
+    if (base_->labels_[r] == 1) positive += base_->weights_[r];
+  }
+  return total == 0.0 ? 0.0 : positive / total;
+}
+
+Dataset DatasetView::aggregated() const { return Dataset::aggregateOf(*this); }
+
+Dataset DatasetView::materialized() const {
+  Dataset result{featureCount()};
+  result.reserveRows(size());
+  for (std::size_t i = 0; i < size(); ++i) result.add(row(i), label(i), weight(i));
   return result;
 }
 

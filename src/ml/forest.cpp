@@ -22,11 +22,13 @@ void RandomForest::fit(const Dataset& data, support::Rng& rng) {
   treeHyper.featureSubset = subset;
 
   for (int t = 0; t < hyper_.trees; ++t) {
-    // Bootstrap by row (weights carried over): classic bagging.
+    // Bootstrap by row (weights carried over): classic bagging.  Rows copy
+    // flat-matrix to flat-matrix — no per-row vector churn.
     Dataset bootstrap{data.featureCount()};
+    bootstrap.reserveRows(data.size());
     for (std::size_t i = 0; i < data.size(); ++i) {
       const auto row = static_cast<std::size_t>(rng.below(data.size()));
-      bootstrap.add(data.features(row), data.label(row), data.weight(row));
+      bootstrap.add(data.row(row), data.label(row), data.weight(row));
     }
     DecisionTree tree{treeHyper};
     tree.fit(bootstrap, rng);
@@ -34,7 +36,7 @@ void RandomForest::fit(const Dataset& data, support::Rng& rng) {
   }
 }
 
-double RandomForest::predictProba(const FeatureRow& features) const {
+double RandomForest::probaOf(RowView features) const {
   if (trees_.empty()) return 0.5;
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree.predictProba(features);

@@ -19,11 +19,13 @@ class RandomForest final : public Classifier {
   explicit RandomForest(Hyper hyper = Hyper()) : hyper_(hyper) {}
 
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] CostClass costClass() const noexcept override { return CostClass::Slow; }
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
+  [[nodiscard]] double probaOf(RowView features) const override;
+
   Hyper hyper_;
   std::vector<DecisionTree> trees_;
 };

@@ -8,43 +8,36 @@ namespace rtlock::ml {
 std::string KnnClassifier::name() const { return "knn(k=" + std::to_string(hyper_.k) + ")"; }
 
 void KnnClassifier::fit(const Dataset& data, support::Rng& rng) {
-  rows_.clear();
-  labels_.clear();
-  weights_.clear();
-  const Dataset stored = data.aggregated().sampled(hyper_.maxStoredRows, rng);
-  rows_.reserve(stored.size());
-  for (std::size_t i = 0; i < stored.size(); ++i) {
-    rows_.push_back(stored.features(i));
-    labels_.push_back(stored.label(i));
-    weights_.push_back(stored.weight(i));
-  }
+  stored_ = data.aggregated().sampled(hyper_.maxStoredRows, rng);
+  fitted_ = !stored_.empty();
 }
 
-double KnnClassifier::predictProba(const FeatureRow& features) const {
-  if (rows_.empty()) return 0.5;
+double KnnClassifier::probaOf(RowView features) const {
+  if (!fitted_ || stored_.empty()) return 0.5;
 
   // Distances to all stored rows; take the k nearest by partial sort.
-  std::vector<std::pair<double, std::size_t>> distances;
-  distances.reserve(rows_.size());
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
+  distances_.clear();
+  distances_.reserve(stored_.size());
+  for (std::size_t i = 0; i < stored_.size(); ++i) {
+    const RowView candidate = stored_.row(i);
     double sum = 0.0;
     for (std::size_t f = 0; f < features.size(); ++f) {
-      const double delta = features[f] - rows_[i][f];
+      const double delta = features[f] - candidate[f];
       sum += delta * delta;
     }
-    distances.emplace_back(sum, i);
+    distances_.emplace_back(sum, i);
   }
   const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(hyper_.k),
-                                              distances.size());
-  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
-                    distances.end());
+                                              distances_.size());
+  std::partial_sort(distances_.begin(), distances_.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances_.end());
 
   double positive = 0.0;
   double total = 0.0;
   for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t row = distances[i].second;
-    total += weights_[row];
-    if (labels_[row] == 1) positive += weights_[row];
+    const std::size_t row = distances_[i].second;
+    total += stored_.weight(row);
+    if (stored_.label(row) == 1) positive += stored_.weight(row);
   }
   return total == 0.0 ? 0.5 : positive / total;
 }

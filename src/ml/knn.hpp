@@ -18,15 +18,20 @@ class KnnClassifier final : public Classifier {
   explicit KnnClassifier(Hyper hyper = Hyper()) : hyper_(hyper) {}
 
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] CostClass costClass() const noexcept override { return CostClass::Slow; }
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
+  [[nodiscard]] double probaOf(RowView features) const override;
+
   Hyper hyper_;
-  std::vector<FeatureRow> rows_;
-  std::vector<int> labels_;
-  std::vector<double> weights_;
+  /// Aggregated + capped training rows, stored flat.
+  Dataset stored_{1};
+  bool fitted_ = false;
+  /// Per-prediction distance scratch (predictions are not thread-safe; see
+  /// Classifier docs).
+  mutable std::vector<std::pair<double, std::size_t>> distances_;
 };
 
 }  // namespace rtlock::ml

@@ -25,15 +25,17 @@ void LogisticRegression::fit(const Dataset& data, support::Rng& /*rng*/) {
   // Standardize features for stable step sizes.
   const double totalWeight = data.totalWeight();
   for (std::size_t i = 0; i < data.size(); ++i) {
+    const RowView row = data.row(i);
     for (std::size_t f = 0; f < features; ++f) {
-      mean_[f] += data.weight(i) * data.features(i)[f];
+      mean_[f] += data.weight(i) * row[f];
     }
   }
   for (double& m : mean_) m /= totalWeight;
   std::vector<double> variance(features, 0.0);
   for (std::size_t i = 0; i < data.size(); ++i) {
+    const RowView row = data.row(i);
     for (std::size_t f = 0; f < features; ++f) {
-      const double delta = data.features(i)[f] - mean_[f];
+      const double delta = row[f] - mean_[f];
       variance[f] += data.weight(i) * delta * delta;
     }
   }
@@ -46,14 +48,15 @@ void LogisticRegression::fit(const Dataset& data, support::Rng& /*rng*/) {
     std::fill(gradient.begin(), gradient.end(), 0.0);
     double biasGradient = 0.0;
     for (std::size_t i = 0; i < data.size(); ++i) {
+      const RowView row = data.row(i);
       double z = bias_;
       for (std::size_t f = 0; f < features; ++f) {
-        z += weights_[f] * (data.features(i)[f] - mean_[f]) / scale_[f];
+        z += weights_[f] * (row[f] - mean_[f]) / scale_[f];
       }
       const double error = sigmoid(z) - static_cast<double>(data.label(i));
       const double scaledError = data.weight(i) * error / totalWeight;
       for (std::size_t f = 0; f < features; ++f) {
-        gradient[f] += scaledError * (data.features(i)[f] - mean_[f]) / scale_[f];
+        gradient[f] += scaledError * (row[f] - mean_[f]) / scale_[f];
       }
       biasGradient += scaledError;
     }
@@ -65,7 +68,7 @@ void LogisticRegression::fit(const Dataset& data, support::Rng& /*rng*/) {
   }
 }
 
-double LogisticRegression::decision(const FeatureRow& features) const {
+double LogisticRegression::decision(RowView features) const {
   double z = bias_;
   for (std::size_t f = 0; f < features.size() && f < weights_.size(); ++f) {
     z += weights_[f] * (features[f] - mean_[f]) / scale_[f];
@@ -73,7 +76,7 @@ double LogisticRegression::decision(const FeatureRow& features) const {
   return z;
 }
 
-double LogisticRegression::predictProba(const FeatureRow& features) const {
+double LogisticRegression::probaOf(RowView features) const {
   if (!fitted_) return 0.5;
   return sigmoid(decision(features));
 }

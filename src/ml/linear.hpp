@@ -20,11 +20,11 @@ class LogisticRegression final : public Classifier {
 
   [[nodiscard]] std::string name() const override;
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
-  [[nodiscard]] double decision(const FeatureRow& features) const;
+  [[nodiscard]] double probaOf(RowView features) const override;
+  [[nodiscard]] double decision(RowView features) const;
 
   Hyper hyper_;
   std::vector<double> weights_;

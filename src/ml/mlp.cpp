@@ -61,13 +61,15 @@ void MlpClassifier::fit(const Dataset& data, support::Rng& rng) {
   // Standardization statistics.
   const double totalWeight = data.totalWeight();
   for (std::size_t i = 0; i < data.size(); ++i) {
-    for (std::size_t f = 0; f < inputs; ++f) mean_[f] += data.weight(i) * data.features(i)[f];
+    const RowView row = data.row(i);
+    for (std::size_t f = 0; f < inputs; ++f) mean_[f] += data.weight(i) * row[f];
   }
   for (double& m : mean_) m /= totalWeight;
   std::vector<double> variance(inputs, 0.0);
   for (std::size_t i = 0; i < data.size(); ++i) {
+    const RowView row = data.row(i);
     for (std::size_t f = 0; f < inputs; ++f) {
-      const double delta = data.features(i)[f] - mean_[f];
+      const double delta = row[f] - mean_[f];
       variance[f] += data.weight(i) * delta * delta;
     }
   }
@@ -94,8 +96,9 @@ void MlpClassifier::fit(const Dataset& data, support::Rng& rng) {
     gradOutputB[0] = 0.0;
 
     for (std::size_t i = 0; i < data.size(); ++i) {
+      const RowView row = data.row(i);
       for (std::size_t f = 0; f < inputs; ++f) {
-        normalized[f] = (data.features(i)[f] - mean_[f]) / scale_[f];
+        normalized[f] = (row[f] - mean_[f]) / scale_[f];
       }
       double output = outputBias_;
       for (std::size_t h = 0; h < hidden; ++h) {
@@ -138,26 +141,25 @@ void MlpClassifier::fit(const Dataset& data, support::Rng& rng) {
   }
 }
 
-std::vector<double> MlpClassifier::hiddenActivations(const FeatureRow& features) const {
+void MlpClassifier::hiddenActivations(RowView features) const {
   const auto hidden = static_cast<std::size_t>(hyper_.hiddenUnits);
   const auto inputs = static_cast<std::size_t>(inputs_);
-  std::vector<double> activations(hidden);
+  activations_.resize(hidden);
   for (std::size_t h = 0; h < hidden; ++h) {
     double z = hiddenBias_[h];
     for (std::size_t f = 0; f < inputs && f < features.size(); ++f) {
       z += hiddenWeights_[h * inputs + f] * (features[f] - mean_[f]) / scale_[f];
     }
-    activations[h] = std::tanh(z);
+    activations_[h] = std::tanh(z);
   }
-  return activations;
 }
 
-double MlpClassifier::predictProba(const FeatureRow& features) const {
+double MlpClassifier::probaOf(RowView features) const {
   if (!fitted_) return 0.5;
-  const std::vector<double> activations = hiddenActivations(features);
+  hiddenActivations(features);
   double output = outputBias_;
-  for (std::size_t h = 0; h < activations.size(); ++h) {
-    output += outputWeights_[h] * activations[h];
+  for (std::size_t h = 0; h < activations_.size(); ++h) {
+    output += outputWeights_[h] * activations_[h];
   }
   return sigmoid(output);
 }

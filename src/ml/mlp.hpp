@@ -21,12 +21,15 @@ class MlpClassifier final : public Classifier {
   explicit MlpClassifier(Hyper hyper = Hyper()) : hyper_(hyper) {}
 
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] CostClass costClass() const noexcept override { return CostClass::Slow; }
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
-  [[nodiscard]] std::vector<double> hiddenActivations(const FeatureRow& features) const;
+  [[nodiscard]] double probaOf(RowView features) const override;
+  /// Fills activations_ (per-prediction scratch; predictions are not
+  /// thread-safe, see Classifier docs).
+  void hiddenActivations(RowView features) const;
 
   Hyper hyper_;
   int inputs_ = 0;
@@ -37,6 +40,7 @@ class MlpClassifier final : public Classifier {
   std::vector<double> mean_;
   std::vector<double> scale_;
   bool fitted_ = false;
+  mutable std::vector<double> activations_;
 };
 
 }  // namespace rtlock::ml

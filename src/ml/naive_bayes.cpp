@@ -36,10 +36,11 @@ void GaussianNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
 
   for (std::size_t i = 0; i < data.size(); ++i) {
     const int label = data.label(i);
+    const RowView row = data.row(i);
     classWeight[label] += data.weight(i);
     for (int f = 0; f < features; ++f) {
       classes_[label].mean[static_cast<std::size_t>(f)] +=
-          data.weight(i) * data.features(i)[static_cast<std::size_t>(f)];
+          data.weight(i) * row[static_cast<std::size_t>(f)];
     }
   }
   for (int label = 0; label < 2; ++label) {
@@ -47,8 +48,9 @@ void GaussianNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
   }
   for (std::size_t i = 0; i < data.size(); ++i) {
     const int label = data.label(i);
+    const RowView row = data.row(i);
     for (int f = 0; f < features; ++f) {
-      const double delta = data.features(i)[static_cast<std::size_t>(f)] -
+      const double delta = row[static_cast<std::size_t>(f)] -
                            classes_[label].mean[static_cast<std::size_t>(f)];
       classes_[label].variance[static_cast<std::size_t>(f)] += data.weight(i) * delta * delta;
     }
@@ -63,8 +65,7 @@ void GaussianNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
   fitted_ = true;
 }
 
-double GaussianNaiveBayes::logLikelihood(const ClassModel& model,
-                                         const FeatureRow& features) const {
+double GaussianNaiveBayes::logLikelihood(const ClassModel& model, RowView features) const {
   double logSum = model.logPrior;
   for (std::size_t f = 0; f < features.size(); ++f) {
     const double variance = model.variance[f];
@@ -74,7 +75,7 @@ double GaussianNaiveBayes::logLikelihood(const ClassModel& model,
   return logSum;
 }
 
-double GaussianNaiveBayes::predictProba(const FeatureRow& features) const {
+double GaussianNaiveBayes::probaOf(RowView features) const {
   if (!fitted_) return 0.5;
   return softmaxBinary(logLikelihood(classes_[0], features),
                        logLikelihood(classes_[1], features));
@@ -102,9 +103,10 @@ void CategoricalNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
   std::vector<std::set<long long>> seen(features);
   for (std::size_t i = 0; i < data.size(); ++i) {
     const int label = data.label(i);
+    const RowView row = data.row(i);
     classWeight[label] += data.weight(i);
     for (std::size_t f = 0; f < features; ++f) {
-      const long long category = categoryOf(data.features(i)[f]);
+      const long long category = categoryOf(row[f]);
       counts_[label][f][category] += data.weight(i);
       classFeatureTotals_[label][f] += data.weight(i);
       seen[f].insert(category);
@@ -119,7 +121,7 @@ void CategoricalNaiveBayes::fit(const Dataset& data, support::Rng& /*rng*/) {
   fitted_ = true;
 }
 
-double CategoricalNaiveBayes::predictProba(const FeatureRow& features) const {
+double CategoricalNaiveBayes::probaOf(RowView features) const {
   if (!fitted_) return 0.5;
   double logScore[2] = {logPrior_[0], logPrior_[1]};
   for (int label = 0; label < 2; ++label) {

@@ -14,7 +14,6 @@ class GaussianNaiveBayes final : public Classifier {
  public:
   [[nodiscard]] std::string name() const override { return "gaussian-nb"; }
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
@@ -24,7 +23,8 @@ class GaussianNaiveBayes final : public Classifier {
     std::vector<double> variance;
   };
 
-  [[nodiscard]] double logLikelihood(const ClassModel& model, const FeatureRow& features) const;
+  [[nodiscard]] double logLikelihood(const ClassModel& model, RowView features) const;
+  [[nodiscard]] double probaOf(RowView features) const override;
 
   ClassModel classes_[2];
   bool fitted_ = false;
@@ -38,10 +38,11 @@ class CategoricalNaiveBayes final : public Classifier {
 
   [[nodiscard]] std::string name() const override;
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
+  [[nodiscard]] double probaOf(RowView features) const override;
+
   double alpha_;
   double logPrior_[2] = {0.0, 0.0};
   /// Per class, per feature: category -> accumulated weight.

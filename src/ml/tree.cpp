@@ -81,7 +81,7 @@ int DecisionTree::buildNode(const Dataset& data, const std::vector<std::size_t>&
     // (subsampled to maxThresholds).
     std::set<double> values;
     for (const std::size_t row : rows) {
-      values.insert(data.features(row)[static_cast<std::size_t>(feature)]);
+      values.insert(data.row(row)[static_cast<std::size_t>(feature)]);
     }
     if (values.size() < 2) continue;
     std::vector<double> sorted(values.begin(), values.end());
@@ -96,7 +96,7 @@ int DecisionTree::buildNode(const Dataset& data, const std::vector<std::size_t>&
       ClassMass left;
       ClassMass right;
       for (const std::size_t row : rows) {
-        const bool goLeft = data.features(row)[static_cast<std::size_t>(feature)] <= threshold;
+        const bool goLeft = data.row(row)[static_cast<std::size_t>(feature)] <= threshold;
         ClassMass& side = goLeft ? left : right;
         if (data.label(row) == 1) {
           side.positive += data.weight(row);
@@ -121,7 +121,7 @@ int DecisionTree::buildNode(const Dataset& data, const std::vector<std::size_t>&
   std::vector<std::size_t> leftRows;
   std::vector<std::size_t> rightRows;
   for (const std::size_t row : rows) {
-    if (data.features(row)[static_cast<std::size_t>(bestFeature)] <= bestThreshold) {
+    if (data.row(row)[static_cast<std::size_t>(bestFeature)] <= bestThreshold) {
       leftRows.push_back(row);
     } else {
       rightRows.push_back(row);
@@ -138,7 +138,7 @@ int DecisionTree::buildNode(const Dataset& data, const std::vector<std::size_t>&
   return nodeIndex;
 }
 
-double DecisionTree::predictProba(const FeatureRow& features) const {
+double DecisionTree::probaOf(RowView features) const {
   if (nodes_.empty()) return 0.5;
   int index = 0;
   for (;;) {

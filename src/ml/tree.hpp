@@ -23,10 +23,11 @@ class DecisionTree final : public Classifier {
 
   [[nodiscard]] std::string name() const override;
   void fit(const Dataset& data, support::Rng& rng) override;
-  [[nodiscard]] double predictProba(const FeatureRow& features) const override;
   [[nodiscard]] std::unique_ptr<Classifier> fresh() const override;
 
  private:
+  [[nodiscard]] double probaOf(RowView features) const override;
+
   struct Node {
     int feature = -1;          // -1 = leaf
     double threshold = 0.0;    // go left if value <= threshold

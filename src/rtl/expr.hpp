@@ -42,6 +42,8 @@ class Expr : public ExprHolder {
 
   [[nodiscard]] ExprKind kind() const noexcept { return kind_; }
 
+  [[nodiscard]] const Expr* asExpr() const noexcept override { return this; }
+
   /// Bit width of the value this expression produces (>= 1).
   [[nodiscard]] int width() const noexcept { return width_; }
 
@@ -105,6 +107,9 @@ class KeyRefExpr final : public Expr {
   }
 
   [[nodiscard]] int firstBit() const noexcept { return firstBit_; }
+
+  /// Re-targets the reference (locking-engine shell recycling).
+  void setFirstBit(int firstBit) noexcept { firstBit_ = firstBit; }
 
   [[nodiscard]] int exprSlotCount() const noexcept override { return 0; }
   [[nodiscard]] ExprPtr& exprSlotAt(int) override;

@@ -37,6 +37,12 @@ class ExprHolder {
   [[nodiscard]] const Expr& exprAt(int index) const {
     return *const_cast<ExprHolder*>(this)->exprSlotAt(index);
   }
+
+  /// Downcast to Expr when this holder IS an expression node (a parent
+  /// expression, as opposed to a statement or continuous assignment).  A
+  /// virtual instead of dynamic_cast: the incremental locality harvester
+  /// asks once per applied lock, on the hottest path of the attack.
+  [[nodiscard]] virtual const Expr* asExpr() const noexcept { return nullptr; }
 };
 
 /// A stable handle to one owned expression position.

@@ -23,7 +23,7 @@ TaskPool::TaskPool(int threads) : threadCount_(resolveThreadCount(threads)) {
   if (threadCount_ > 1) {
     workers_.reserve(static_cast<std::size_t>(threadCount_));
     for (int i = 0; i < threadCount_; ++i) {
-      workers_.emplace_back([this] { workerLoop(); });
+      workers_.emplace_back([this, i] { workerLoop(i); });
     }
   }
 }
@@ -39,12 +39,17 @@ TaskPool::~TaskPool() {
 
 std::size_t TaskPool::submit(std::function<void()> task) {
   RTLOCK_REQUIRE(task != nullptr, "TaskPool::submit requires a callable task");
+  return submitWithWorker([task = std::move(task)](int /*worker*/) { task(); });
+}
+
+std::size_t TaskPool::submitWithWorker(std::function<void(int)> task) {
+  RTLOCK_REQUIRE(task != nullptr, "TaskPool::submitWithWorker requires a callable task");
   if (workers_.empty()) {
-    // Serial reference path: run inline, capture failures for wait() so the
-    // error contract matches the threaded pool exactly.
+    // Serial reference path: run inline (as worker 0), capture failures for
+    // wait() so the error contract matches the threaded pool exactly.
     const std::size_t index = nextIndex_++;
     errors_.emplace_back();
-    runTask(index, task);
+    runTask(index, task, 0);
     return index;
   }
   std::size_t index = 0;
@@ -85,9 +90,9 @@ void TaskPool::wait() {
   if (first) std::rethrow_exception(first);
 }
 
-void TaskPool::workerLoop() {
+void TaskPool::workerLoop(int workerId) {
   for (;;) {
-    std::pair<std::size_t, std::function<void()>> job;
+    std::pair<std::size_t, std::function<void(int)>> job;
     {
       std::unique_lock<std::mutex> lock{mutex_};
       workAvailable_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -95,7 +100,7 @@ void TaskPool::workerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    runTask(job.first, job.second);
+    runTask(job.first, job.second, workerId);
     {
       const std::lock_guard<std::mutex> lock{mutex_};
       --inFlight_;
@@ -104,9 +109,10 @@ void TaskPool::workerLoop() {
   }
 }
 
-void TaskPool::runTask(std::size_t index, const std::function<void()>& task) noexcept {
+void TaskPool::runTask(std::size_t index, const std::function<void(int)>& task,
+                       int workerId) noexcept {
   try {
-    task();
+    task(workerId);
   } catch (...) {
     if (workers_.empty()) {
       errors_[index] = std::current_exception();

@@ -63,6 +63,12 @@ class TaskPool {
   /// batch.  Tasks may run in any order and on any worker.
   std::size_t submit(std::function<void()> task);
 
+  /// Like submit(), but the task receives the id of the worker executing it
+  /// (in [0, threadCount()); the inline serial path passes 0).  Worker ids
+  /// let tasks index per-worker reusable state — the ids are stable for the
+  /// pool's lifetime and never shared between concurrently running tasks.
+  std::size_t submitWithWorker(std::function<void(int)> task);
+
   /// Blocks until every task submitted since the last wait() has finished,
   /// then rethrows the earliest failure by *submission* order (if any) and
   /// resets the batch so the pool can be reused.
@@ -98,9 +104,35 @@ class TaskPool {
     return results;
   }
 
+  /// map() variant whose callable receives (workerId, index).  Determinism
+  /// contract unchanged: per-worker state must never influence a task's
+  /// observable result — it exists for reuse (allocation amortization), not
+  /// for communication.
+  template <typename Fn>
+  auto mapWithWorker(std::size_t count, Fn&& fn) {
+    using Result = std::decay_t<std::invoke_result_t<Fn&, int, std::size_t>>;
+    static_assert(!std::is_same_v<Result, bool>,
+                  "TaskPool::mapWithWorker cannot return bool (vector<bool> bit-packing races)");
+    std::vector<Result> results(count);
+    try {
+      for (std::size_t index = 0; index < count; ++index) {
+        submitWithWorker(
+            [&results, &fn, index](int worker) { results[index] = fn(worker, index); });
+      }
+    } catch (...) {
+      try {
+        wait();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+      throw;
+    }
+    wait();
+    return results;
+  }
+
  private:
-  void workerLoop();
-  void runTask(std::size_t index, const std::function<void()>& task) noexcept;
+  void workerLoop(int workerId);
+  void runTask(std::size_t index, const std::function<void(int)>& task, int workerId) noexcept;
 
   int threadCount_ = 1;
   std::vector<std::thread> workers_;
@@ -108,7 +140,7 @@ class TaskPool {
   std::mutex mutex_;
   std::condition_variable workAvailable_;
   std::condition_variable batchDone_;
-  std::deque<std::pair<std::size_t, std::function<void()>>> queue_;
+  std::deque<std::pair<std::size_t, std::function<void(int)>>> queue_;
   std::vector<std::exception_ptr> errors_;  // slot per submission index
   std::size_t nextIndex_ = 0;               // submissions in the current batch
   std::size_t inFlight_ = 0;                // queued + running tasks

@@ -109,6 +109,43 @@ TEST(LocalityTest, LocalitiesInsideProcesses) {
   EXPECT_EQ(extractLocalities(m, {}).size(), 1u);
 }
 
+TEST(LocalityTest, DeepExpressionChainsDoNotOverflowTheStack) {
+  // The collector walks with an explicit work list, so extraction depth is
+  // bounded by heap, not stack.  The chain is dismantled iteratively at the
+  // end because ~Expr recursion is the remaining depth limit elsewhere.
+  constexpr int kDepth = 100000;
+  rtl::ModuleBuilder b{"deep"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  rtl::ExprPtr chain = rtl::makeTernary(rtl::makeKeyRef(0), b.add(b.ref(a), b.lit(1, 8)),
+                                        b.sub(b.ref(a), b.lit(1, 8)));
+  for (int i = 0; i < kDepth; ++i) {
+    chain = rtl::makeBinary(OpKind::Add, std::move(chain), b.lit(1, 8));
+  }
+  b.assign(y, std::move(chain));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(1);
+
+  const auto localities = extractLocalities(m, {});
+  ASSERT_EQ(localities.size(), 1u);
+  EXPECT_EQ(localities[0].keyIndex, 0);
+  EXPECT_EQ(localities[0].features[0], 1 + static_cast<int>(OpKind::Add));
+
+  // Iterative teardown: move every child out breadth-first, then destroy the
+  // flat node list (each node's children are already detached).
+  std::vector<rtl::ExprPtr> flat;
+  for (auto& assign : m.contAssigns()) {
+    flat.push_back(std::move(assign->exprSlotAt(rtl::ContAssign::kValueSlot)));
+  }
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    for (int slot = 0; slot < flat[i]->exprSlotCount(); ++slot) {
+      if (flat[i]->exprSlotAt(slot) != nullptr) {
+        flat.push_back(std::move(flat[i]->exprSlotAt(slot)));
+      }
+    }
+  }
+}
+
 TEST(LocalityTest, SortedByKeyIndex) {
   rtl::Module m = designs::makePlusNetwork(10);
   lock::LockEngine engine{m, lock::PairTable::fixed()};

@@ -16,7 +16,6 @@ SnapshotConfig fastConfig() {
   SnapshotConfig config;
   config.relockRounds = 40;
   config.automl.folds = 2;
-  config.automl.timeBudgetSeconds = 30.0;
   return config;
 }
 

@@ -262,5 +262,63 @@ TEST(EngineTest, FuzzedLockUndoInterleavingsRoundTripToRtlEqualModule) {
   }
 }
 
+TEST(EngineTest, RepeatedLockUndoCyclesAreStructurallyIdempotent) {
+  // The engine recycles detached mux shells across lock/undo cycles (leaf
+  // operands); the rebuilt module must be byte-identical to a fresh build,
+  // orientation flips included.
+  rtl::Module reference = smallDesign();
+  LockEngine referenceEngine{reference, PairTable::fixed()};
+  referenceEngine.lockOpAt(OpKind::Add, 0, false);
+  const std::string referenceText = verilog::writeModule(reference);
+  referenceEngine.undoAll();
+
+  rtl::Module m = smallDesign();
+  LockEngine engine{m, PairTable::fixed()};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    // Alternate key values so the recycled shell must re-orient its dummy
+    // branch between then/else slots.
+    engine.lockOpAt(OpKind::Add, 0, cycle % 2 == 0);
+    if (cycle % 2 == 1) {
+      EXPECT_EQ(verilog::writeModule(m), referenceText) << cycle;
+    }
+    engine.undoAll();
+    EXPECT_TRUE(structurallyEqual(m, smallDesign())) << cycle;
+    EXPECT_EQ(m.keyWidth(), 0) << cycle;
+  }
+}
+
+TEST(EngineTest, ShellRecyclingKeepsNestedOperandsCorrect) {
+  // Non-leaf operands are not recyclable: the dummy must be a fresh clone of
+  // the operand subtree every time, including after the subtree changed.
+  rtl::ModuleBuilder b{"nested"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.add(b.add(b.ref(a), b.lit(1, 8)), b.ref(a)));
+  rtl::Module m = b.take();
+  LockEngine engine{m, PairTable::fixed()};
+  ASSERT_EQ(engine.opCount(OpKind::Add), 2);
+
+  std::string lockedText;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const std::size_t checkpoint = engine.checkpoint();
+    // Lock the outer op: the dummy is a fresh clone of the nested operand
+    // subtree (one Sub dummy root + one cloned inner Add), identical every
+    // cycle.
+    engine.lockOpAt(OpKind::Add, 0, true);
+    EXPECT_EQ(engine.opCount(OpKind::Sub), 1) << cycle;
+    EXPECT_EQ(engine.opCount(OpKind::Add), 3) << cycle;
+    const std::string text = verilog::writeModule(m);
+    if (cycle == 0) {
+      lockedText = text;
+    } else {
+      EXPECT_EQ(text, lockedText) << cycle;
+    }
+    engine.undoTo(checkpoint);
+    EXPECT_EQ(engine.opCount(OpKind::Sub), 0) << cycle;
+    EXPECT_EQ(engine.opCount(OpKind::Add), 2) << cycle;
+  }
+  EXPECT_TRUE(rtl::computeStats(m).keyMuxes == 0);
+}
+
 }  // namespace
 }  // namespace rtlock::lock

@@ -57,14 +57,33 @@ TEST(AutoMlTest, EmptyDatasetRejected) {
   EXPECT_THROW((void)autoSelect(empty, {}, rng), support::ContractViolation);
 }
 
-TEST(AutoMlTest, TimeBudgetStopsSearchEarly) {
+TEST(AutoMlTest, RowBudgetStopsSearchEarly) {
   support::Rng rng{5};
   const Dataset train = localityLikeData(rng, 2000, 0.9);
   AutoMlConfig config;
-  config.timeBudgetSeconds = 0.0;  // only the first candidate fits
+  config.fitRowBudget = 0;  // only the first candidate is evaluated
   const AutoMlResult result = autoSelect(train, config, rng);
   ASSERT_NE(result.model, nullptr);
-  EXPECT_LE(result.leaderboard.size(), 1u);
+  EXPECT_EQ(result.leaderboard.size(), 1u);
+}
+
+TEST(AutoMlTest, RowBudgetIsDeterministicNotWallClock) {
+  // The same budget must cut the portfolio at the same candidate on every
+  // run/machine: leaderboards of two identical invocations match exactly.
+  support::Rng dataRng{8};
+  const Dataset train = localityLikeData(dataRng, 1200, 0.9);
+  AutoMlConfig config;
+  config.fitRowBudget = 200;  // enough for a prefix of the portfolio only
+  support::Rng rngA{9};
+  support::Rng rngB{9};
+  const AutoMlResult a = autoSelect(train, config, rngA);
+  const AutoMlResult b = autoSelect(train, config, rngB);
+  ASSERT_EQ(a.leaderboard.size(), b.leaderboard.size());
+  EXPECT_LT(a.leaderboard.size(), defaultPortfolio().size());
+  for (std::size_t i = 0; i < a.leaderboard.size(); ++i) {
+    EXPECT_EQ(a.leaderboard[i].model, b.leaderboard[i].model);
+    EXPECT_DOUBLE_EQ(a.leaderboard[i].cvAccuracy, b.leaderboard[i].cvAccuracy);
+  }
 }
 
 TEST(AutoMlTest, DeterministicGivenSeed) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "support/diagnostics.hpp"
 
 namespace rtlock::ml {
@@ -83,6 +86,145 @@ TEST(DatasetTest, KFoldCoversEveryRowExactlyOnce) {
 TEST(DatasetTest, KFoldNeedsTwoFolds) {
   support::Rng rng{4};
   EXPECT_THROW((void)sample().kFold(1, rng), support::ContractViolation);
+}
+
+TEST(DatasetTest, RowViewsExposeTheFlatMatrix) {
+  const Dataset data = sample();
+  const RowView row0 = data.row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_DOUBLE_EQ(row0[0], 1.0);
+  EXPECT_DOUBLE_EQ(row0[1], 2.0);
+  // Rows are contiguous slices of one backing matrix.
+  EXPECT_EQ(data.row(1).data(), data.row(0).data() + 2);
+  EXPECT_EQ(data.row(3).data(), data.row(0).data() + 6);
+}
+
+/// Reference implementation of the historical deep-copy kFold semantics:
+/// shuffle positions, fold = position % folds, materialize per fold.
+std::vector<std::pair<Dataset, Dataset>> referenceKFold(const Dataset& data, int folds,
+                                                        support::Rng& rng) {
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<int> foldOf(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    foldOf[order[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
+  }
+  std::vector<std::pair<Dataset, Dataset>> result;
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train{data.featureCount()};
+    Dataset validation{data.featureCount()};
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (foldOf[i] == fold ? validation : train).add(data.row(i), data.label(i), data.weight(i));
+    }
+    result.emplace_back(std::move(train), std::move(validation));
+  }
+  return result;
+}
+
+void expectSameRows(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.featureCount(), b.featureCount());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(std::equal(a.row(i).begin(), a.row(i).end(), b.row(i).begin())) << i;
+    EXPECT_EQ(a.label(i), b.label(i)) << i;
+    EXPECT_DOUBLE_EQ(a.weight(i), b.weight(i)) << i;
+  }
+}
+
+TEST(DatasetTest, KFoldViewsMatchHistoricalDeepCopySemantics) {
+  support::Rng dataRng{11};
+  Dataset data{2};
+  for (int i = 0; i < 500; ++i) {
+    data.add({static_cast<double>(dataRng.below(5)), static_cast<double>(dataRng.below(3))},
+             i % 2, 1.0 + (i % 4));
+  }
+  // Identical Rng state for both implementations: fold membership must be
+  // byte-identical under a fixed seed.
+  support::Rng rngA{42};
+  support::Rng rngB{42};
+  const auto views = data.kFold(3, rngA);
+  const auto reference = referenceKFold(data, 3, rngB);
+  ASSERT_EQ(views.size(), reference.size());
+  for (std::size_t fold = 0; fold < views.size(); ++fold) {
+    expectSameRows(views[fold].first.materialized(), reference[fold].first);
+    expectSameRows(views[fold].second.materialized(), reference[fold].second);
+  }
+  // View indices are ascending backing-row positions (the historical
+  // iteration order).
+  for (const auto& [train, validation] : views) {
+    EXPECT_TRUE(std::is_sorted(train.indices().begin(), train.indices().end()));
+    EXPECT_TRUE(std::is_sorted(validation.indices().begin(), validation.indices().end()));
+  }
+}
+
+TEST(DatasetTest, ViewAggregationMatchesMaterializedAggregation) {
+  support::Rng dataRng{12};
+  Dataset data{2};
+  for (int i = 0; i < 400; ++i) {
+    data.add({static_cast<double>(dataRng.below(3)), static_cast<double>(dataRng.below(3))},
+             static_cast<int>(dataRng.below(2)), 1.0);
+  }
+  support::Rng rng{13};
+  for (const auto& [train, validation] : data.kFold(4, rng)) {
+    expectSameRows(train.aggregated(), train.materialized().aggregated());
+    expectSameRows(validation.aggregated(), validation.materialized().aggregated());
+  }
+}
+
+TEST(DatasetTest, KFoldAggregatedMatchesPerViewAggregation) {
+  support::Rng dataRng{14};
+  Dataset data{2};
+  for (int i = 0; i < 600; ++i) {
+    data.add({static_cast<double>(dataRng.below(4)), static_cast<double>(dataRng.below(4))},
+             static_cast<int>(dataRng.below(2)), 1.0 + (i % 3));
+  }
+  // Same seed for both paths: kFoldAggregated consumes the Rng exactly like
+  // kFold (one shuffle), so downstream draws cannot shift.
+  support::Rng rngA{15};
+  support::Rng rngB{15};
+  const auto fused = data.kFoldAggregated(3, rngA);
+  const auto views = data.kFold(3, rngB);
+  EXPECT_EQ(rngA(), rngB());  // identical Rng state afterwards
+  ASSERT_EQ(fused.folds.size(), views.size());
+  for (std::size_t fold = 0; fold < views.size(); ++fold) {
+    expectSameRows(fused.folds[fold].first, views[fold].first.aggregated());
+    expectSameRows(fused.folds[fold].second, views[fold].second.aggregated());
+  }
+  expectSameRows(fused.all, data.aggregated());
+}
+
+TEST(DatasetTest, SampledIsDeterministicPerSeed) {
+  support::Rng dataRng{16};
+  Dataset data{1};
+  for (int i = 0; i < 300; ++i) data.add({static_cast<double>(i)}, i % 2);
+  support::Rng rngA{17};
+  support::Rng rngB{17};
+  expectSameRows(data.sampled(50, rngA), data.sampled(50, rngB));
+}
+
+TEST(DatasetTest, AddingARowViewOfItselfIsSafeAcrossReallocation) {
+  Dataset data{2};
+  data.add({1.0, 2.0}, 1);
+  // Repeated self-appends force several reallocations of the backing matrix
+  // while the source span views it.
+  for (int i = 0; i < 200; ++i) data.add(data.row(0), data.label(0), data.weight(0));
+  ASSERT_EQ(data.size(), 201u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(data.row(i)[0], 1.0) << i;
+    EXPECT_DOUBLE_EQ(data.row(i)[1], 2.0) << i;
+  }
+}
+
+TEST(DatasetTest, AggregationDistinguishesLabelsAndBitPatterns) {
+  Dataset data{1};
+  data.add({1.0}, 1, 2.0);
+  data.add({1.0}, 0, 3.0);   // same features, other label: separate row
+  data.add({-0.0}, 1, 1.0);  // -0.0 and 0.0 differ bitwise: separate rows
+  data.add({0.0}, 1, 1.0);
+  const Dataset aggregated = data.aggregated();
+  EXPECT_EQ(aggregated.size(), 4u);
+  EXPECT_DOUBLE_EQ(aggregated.totalWeight(), 7.0);
 }
 
 }  // namespace

@@ -180,5 +180,57 @@ TEST(TaskPoolTest, DestructorDrainsOutstandingTasks) {
   EXPECT_EQ(counter.load(), 64);
 }
 
+TEST(TaskPoolTest, MapWithWorkerPassesIdsInRange) {
+  TaskPool pool{4};
+  constexpr std::size_t kTasks = 200;
+  const auto workers = pool.mapWithWorker(kTasks, [&](int worker, std::size_t index) {
+    std::this_thread::sleep_for(std::chrono::microseconds((index * 131) % 97));
+    return worker;
+  });
+  ASSERT_EQ(workers.size(), kTasks);
+  for (const int worker : workers) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, pool.threadCount());
+  }
+}
+
+TEST(TaskPoolTest, MapWithWorkerSerialPathRunsInlineAsWorkerZero) {
+  TaskPool pool{1};
+  const auto mainId = std::this_thread::get_id();
+  const auto results = pool.mapWithWorker(8, [&](int worker, std::size_t index) {
+    EXPECT_EQ(std::this_thread::get_id(), mainId);
+    EXPECT_EQ(worker, 0);
+    return index * 2;
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * 2);
+}
+
+TEST(TaskPoolTest, PerWorkerSlotsAreNeverShared) {
+  // The clone-free sample loop's contract: a slot indexed by worker id is
+  // only ever touched by one thread at a time.  Tag each slot with its
+  // owning thread and fail on any cross-thread access.
+  TaskPool pool{4};
+  struct Slot {
+    std::thread::id owner{};
+    int uses = 0;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(pool.threadCount()));
+  const auto results = pool.mapWithWorker(300, [&](int worker, std::size_t index) {
+    Slot& slot = slots[static_cast<std::size_t>(worker)];
+    if (slot.uses == 0) {
+      slot.owner = std::this_thread::get_id();
+    } else {
+      EXPECT_EQ(slot.owner, std::this_thread::get_id());
+    }
+    ++slot.uses;
+    std::this_thread::sleep_for(std::chrono::microseconds(index % 53));
+    return 1;
+  });
+  int totalUses = 0;
+  for (const Slot& slot : slots) totalUses += slot.uses;
+  EXPECT_EQ(totalUses, 300);
+  EXPECT_EQ(results.size(), 300u);
+}
+
 }  // namespace
 }  // namespace rtlock::support
