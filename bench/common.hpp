@@ -27,25 +27,12 @@
 
 namespace rtlock::bench {
 
-/// Requested worker count for a bench: the --threads flag wins, then the
-/// RTLOCK_THREADS environment override, then 0 ("hardware concurrency").
-/// Feed the result to TaskPool / EvaluationConfig::threads, which resolve 0
-/// via support::resolveThreadCount.  A malformed RTLOCK_THREADS fails loudly
-/// (same policy as CliArgs: typos must not silently run a default config).
+/// Requested worker count for a bench: --threads flag, then RTLOCK_THREADS,
+/// then hardware concurrency.  Shared with the rtlock CLI through
+/// support::requestedThreads so both front ends resolve thread counts
+/// identically.
 inline int requestedThreads(const support::CliArgs& args) {
-  if (args.has("threads")) return static_cast<int>(args.getInt("threads", 0));
-  if (const char* env = std::getenv("RTLOCK_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    const long value = std::strtol(env, &end, 10);
-    constexpr long kMaxThreads = 4096;  // sanity bound, not a real target
-    if (end == env || *end != '\0' || errno == ERANGE || value < 0 || value > kMaxThreads) {
-      throw support::Error("RTLOCK_THREADS expects an integer in [0, 4096], got \"" +
-                           std::string{env} + "\"");
-    }
-    return static_cast<int>(value);
-  }
-  return 0;
+  return support::requestedThreads(args);
 }
 
 /// Renders a table according to the --csv flag.

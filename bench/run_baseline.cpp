@@ -40,6 +40,7 @@
 #include "sim/compiled_sim.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/harness.hpp"
+#include "support/json.hpp"
 #include "verilog/parser.hpp"
 #include "verilog/writer.hpp"
 
@@ -362,24 +363,11 @@ void runPerf(std::vector<Row>& rows, std::uint64_t seed) {
 }
 
 // --- output ----------------------------------------------------------------
-
-std::string jsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof buffer, "\\u%04x", static_cast<unsigned>(c));
-      out += buffer;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
+//
+// String escaping comes from support::jsonEscape — the one implementation
+// behind the CLI reports and this baseline, so the documents can never drift
+// in how they encode strings.
+using support::jsonEscape;
 
 // --- quality gate -----------------------------------------------------------
 //

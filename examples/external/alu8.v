@@ -1,0 +1,37 @@
+// External fixture: a parameterized combinational ALU.
+//
+// This file is *not* generated from the in-tree registry — it exists to
+// exercise the front-end constructs arbitrary user Verilog brings in:
+// #(parameter ...) headers, ANSI port-direction carry-over
+// (`input [WIDTH-1:0] a, b`), localparam constants inside expressions,
+// wire declaration initializers and case-based operator selection.
+// docs/CLI.md and tests/cli/ both run the lock -> attack flow on it.
+module alu8 #(parameter WIDTH = 8, parameter SHIFT = 1) (
+  input [WIDTH-1:0] a, b,
+  input [1:0] op,
+  output [WIDTH-1:0] result,
+  output zero
+);
+  localparam LSB = 0;
+
+  wire [WIDTH-1:0] sum = a + b;
+  wire [WIDTH-1:0] diff = a - b;
+  wire [WIDTH-1:0] prod;
+  wire [WIDTH-1:0] mix;
+  reg [WIDTH-1:0] selected;
+
+  assign prod = a * b;
+  assign mix = (a & b) ^ (a | b);
+
+  always @(*) begin
+    case (op)
+      0: selected = sum;
+      1: selected = diff;
+      2: selected = prod;
+      default: selected = mix;
+    endcase
+  end
+
+  assign result = selected >> SHIFT;
+  assign zero = result == LSB;
+endmodule

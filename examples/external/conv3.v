@@ -1,0 +1,30 @@
+// External fixture: a 3-tap convolution pipeline (sequential).
+//
+// Exercises the classic (non-ANSI) header combined with #(parameter ...)
+// ports, parameters inside ranges and expressions, synchronous reset, and
+// a delay line of non-blocking assignments — the shape of real filter RTL
+// that the in-tree registry generators never produce textually.
+module conv3 #(parameter W = 8, parameter K0 = 3, parameter K1 = 2) (clk, rst, sample, filtered);
+  input clk;
+  input rst;
+  input [W-1:0] sample;
+  output [W-1:0] filtered;
+
+  reg [W-1:0] d0;
+  reg [W-1:0] d1;
+  reg [W-1:0] d2;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      d0 <= 0;
+      d1 <= 0;
+      d2 <= 0;
+    end else begin
+      d0 <= sample;
+      d1 <= d0;
+      d2 <= d1;
+    end
+  end
+
+  assign filtered = (d0 * K0) + (d1 * K1) - (d2 >> 1);
+endmodule

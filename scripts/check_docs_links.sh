@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Docs link checker: every relative markdown link in the first-party docs
+# must resolve to an existing file, so the handbook can never point at
+# renamed or deleted paths.  External (http/https/mailto) links and pure
+# anchors are skipped — CI must not depend on network reachability.
+#
+# Checked: all tracked *.md at the repo root, under docs/, and the per-dir
+# READMEs in src/.  Exits non-zero listing every broken link.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+files=$(find . -maxdepth 1 -name '*.md' ; find docs src -name '*.md' 2>/dev/null)
+
+for file in $files; do
+  dir=$(dirname "$file")
+  # Markdown inline links: capture the (...) target of [text](target).
+  links=$(grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"              # strip in-page anchors
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "broken link in $file: $link"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs_links: all relative links resolve"
+else
+  echo "check_docs_links: fix the links above"
+fi
+exit "$status"

@@ -2,10 +2,9 @@
 # clang-format check over the first-party tree (src/ bench/ tests/
 # examples/), driven by the repo-root .clang-format policy.
 #
-# Exits non-zero when any file would be reformatted, listing the offenders;
-# CI wires this as a non-blocking (continue-on-error) step, so a drifted
-# file warns without gating merges.  Run locally with FIX=1 to reformat in
-# place:
+# Exits non-zero when any file would be reformatted, listing the offenders.
+# CI runs this as a blocking step (the tree is clean; drift fails the
+# build).  Run locally with FIX=1 to reformat in place:
 #   FIX=1 ./scripts/check_format.sh
 set -u
 cd "$(dirname "$0")/.."

@@ -41,8 +41,20 @@ struct EvaluationResult {
 /// Evaluates `algorithm` on per-worker clones of `original`.  The sample
 /// loop is sharded across `config.threads` workers; each worker clones the
 /// module once and restores it between samples through the engine's undo
-/// path, and each sample owns an Rng substream.  `rng` advances by exactly
-/// one draw per call regardless of thread count or sample count.
+/// path, and each sample owns an Rng substream.
+///
+/// Contract -------------------------------------------------------------------
+/// Ownership: `original` and `table` are borrowed const for the duration of
+///   the call and never mutated — all locking happens on private per-worker
+///   clones that die with the call.
+/// Determinism: the result is a pure function of (original, algorithm,
+///   table, config minus threads, rng state); `config.threads` only selects
+///   the worker count and is proven not to change a single output bit
+///   (tests/integration/determinism_test.cpp).  `rng` advances by exactly
+///   one draw per call regardless of thread or sample count.
+/// Thread-safety: safe to call concurrently with distinct `rng` objects;
+///   internal workers never share mutable state.  Do not share one Rng
+///   across concurrent callers.
 [[nodiscard]] EvaluationResult evaluateBenchmark(const rtl::Module& original,
                                                  const std::string& benchmarkName,
                                                  lock::Algorithm algorithm,

@@ -43,8 +43,20 @@ struct SnapshotResult {
 };
 
 /// Runs the attack against a locked module.  `targetRecords` is the locking
-/// ground truth used only for scoring (the classifier never sees it).  The
-/// module is mutated during relocking but restored before returning.
+/// ground truth used only for scoring (the classifier never sees it).
+///
+/// Contract -------------------------------------------------------------------
+/// Ownership: `lockedTarget` is borrowed mutably — relock rounds edit it in
+///   place — and is restored bit-exactly before returning (also on throw the
+///   undo path unwinds cleanly).  The caller keeps exclusive ownership;
+///   nothing retains a pointer past the call.
+/// Determinism: (lockedTarget, targetRecords, table, config, rng state)
+///   fully determines the result, including the auto-ml winner — model
+///   selection runs under a row-count budget (ml::AutoMlConfig), never
+///   wall-clock, so outcomes cannot differ across machines.
+/// Thread-safety: the attack itself is single-threaded over its target;
+///   concurrent attacks need distinct target modules and distinct Rngs
+///   (attack repeats in the CLI clone per repeat — the sharding pattern).
 [[nodiscard]] SnapshotResult snapshotAttack(rtl::Module& lockedTarget,
                                             const std::vector<lock::LockRecord>& targetRecords,
                                             const lock::PairTable& table,

@@ -1,0 +1,31 @@
+// rtlock — the end-to-end command-line tool over the library.
+//
+// One binary, five subcommands, covering the paper's whole workflow on
+// arbitrary user-supplied Verilog (docs/CLI.md is the reference manual):
+//
+//   rtlock lock input.v --algo=hra --budget=50%   # lock, emit netlist + key
+//   rtlock attack locked.v --key=key.json         # SnapShot attack + KPA
+//   rtlock eval input.v --algos=hra,era           # lock+attack seed grids
+//   rtlock report report.json                     # render any report JSON
+//   rtlock designs                                # the built-in registry
+//
+// The entry point is a function, not main(): tests drive the CLI in-process
+// through runCli with captured streams, and bin/main.cpp is a two-line shim.
+#pragma once
+
+#include <iosfwd>
+
+namespace rtlock::cli {
+
+/// Process exit codes, stable across releases (scripts depend on them).
+inline constexpr int kExitOk = 0;     // success
+inline constexpr int kExitError = 1;  // runtime failure: bad input file, parse error...
+inline constexpr int kExitUsage = 2;  // usage error: unknown subcommand/flag, bad flag value
+
+/// Runs one CLI invocation.  argv follows main() conventions (argv[0] is the
+/// program name, argv[1] the subcommand).  Normal output goes to `out`,
+/// diagnostics and progress to `err`; nothing is written to the global
+/// streams, and no exception escapes — failures map to the exit codes above.
+[[nodiscard]] int runCli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace rtlock::cli

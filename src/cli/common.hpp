@@ -1,0 +1,150 @@
+// Internal plumbing shared by the rtlock subcommands.
+//
+// Everything here is CLI-private: commands include this header, the library
+// proper never does.  The public surface is cli.hpp's runCli alone.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "core/report.hpp"
+#include "rtl/module.hpp"
+#include "support/cli.hpp"
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+namespace rtlock::cli {
+
+/// Usage-class failure (unknown flag, malformed flag value, missing
+/// positional).  Mapped to kExitUsage at the dispatch boundary, while plain
+/// support::Error (bad file, parse error) maps to kExitError.
+class UsageError : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+/// Output streams for one invocation.  `out` carries the requested artifact
+/// (tables, rendered reports); `err` carries diagnostics and progress.
+struct CommandIo {
+  std::ostream& out;
+  std::ostream& err;
+};
+
+/// A subcommand: entry point plus the usage text `rtlock help <name>` prints.
+struct Command {
+  const char* name;
+  const char* oneLiner;
+  const char* usage;  // full flag reference, man-page style
+  int (*run)(const std::vector<std::string>& args, CommandIo& io);
+};
+
+/// The dispatch table, in help order.
+[[nodiscard]] const std::vector<Command>& commandTable();
+
+// Subcommand entry points (one translation unit each).
+int runLockCommand(const std::vector<std::string>& args, CommandIo& io);
+int runAttackCommand(const std::vector<std::string>& args, CommandIo& io);
+int runEvalCommand(const std::vector<std::string>& args, CommandIo& io);
+int runReportCommand(const std::vector<std::string>& args, CommandIo& io);
+int runDesignsCommand(const std::vector<std::string>& args, CommandIo& io);
+
+// ---- flag parsing ---------------------------------------------------------
+
+/// Wraps CliArgs so flag-syntax failures classify as UsageError.
+[[nodiscard]] support::CliArgs parseFlags(const std::vector<std::string>& args,
+                                          std::vector<std::string> knownFlags);
+
+/// The one required positional argument (the input path); UsageError when
+/// missing or when extras are present.
+[[nodiscard]] std::string onePositional(const support::CliArgs& args, const char* what);
+
+/// Locking algorithm from its CLI spelling: serial|assure, random, hra,
+/// greedy, era (case-insensitive).  UsageError otherwise.
+[[nodiscard]] lock::Algorithm algorithmFromFlag(const std::string& name);
+
+/// CLI spelling of an algorithm (lower-case, stable in reports/key files).
+[[nodiscard]] std::string algorithmFlagName(lock::Algorithm algorithm);
+
+/// Key budget: "50%" or "0.5" = fraction of the module's lockable
+/// operations; a bare integer = absolute key bits.
+struct BudgetSpec {
+  bool isFraction = true;
+  double fraction = 0.75;
+  std::int64_t absolute = 0;
+
+  /// Key bits for a module with `lockableOps` operations (floor, min 1).
+  [[nodiscard]] int resolve(int lockableOps) const;
+  /// Canonical spelling for reports ("75%" / "12 bits").
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] BudgetSpec parseBudget(const std::string& text);
+
+// ---- file I/O -------------------------------------------------------------
+
+[[nodiscard]] std::string readTextFile(const std::string& path);
+void writeTextFile(const std::string& path, const std::string& text);
+
+// ---- report rows ----------------------------------------------------------
+
+/// One metric row; the schema BENCH_baseline.json established
+/// ({bench, config, metric, value, wall_ms}), reused verbatim so every
+/// rtlock report is consumable by the same tooling as the committed
+/// baseline.
+struct ReportRow {
+  std::string bench;
+  std::string config;
+  std::string metric;
+  double value = 0.0;
+  double wallMs = 0.0;
+};
+
+/// Rows as the JSON array for a report's "rows" member.
+[[nodiscard]] support::JsonValue rowsToJson(const std::vector<ReportRow>& rows);
+
+/// Renders rows as an aligned table or CSV on `out`.
+void emitRows(std::ostream& out, const std::vector<ReportRow>& rows, bool csv);
+
+// ---- key files (rtlock-key/v1) --------------------------------------------
+
+inline constexpr const char* kKeySchema = "rtlock-key/v1";
+
+/// Per-module locking ground truth + provenance.
+struct ModuleKey {
+  std::string module;
+  int keyWidth = 0;
+  std::string keyBits;  // LSB-first '0'/'1' string, length == keyWidth
+  std::vector<lock::LockRecord> records;
+  int bitsUsed = 0;
+  double globalMetric = 0.0;
+  double restrictedMetric = 0.0;
+};
+
+struct KeyFile {
+  std::string algorithm;  // CLI spelling
+  std::uint64_t seed = 0;
+  std::string budget;  // BudgetSpec::describe() text
+  std::string input;   // source netlist path
+  std::vector<ModuleKey> modules;
+};
+
+[[nodiscard]] support::JsonValue keyFileToJson(const KeyFile& keyFile);
+[[nodiscard]] KeyFile keyFileFromJson(const support::JsonValue& document);
+
+/// Entry for `moduleName`; throws support::Error naming the candidates when
+/// absent.
+[[nodiscard]] const ModuleKey& moduleKeyFor(const KeyFile& keyFile, const std::string& moduleName);
+
+// ---- module selection -----------------------------------------------------
+
+/// Picks the module a single-module command operates on: --module=NAME when
+/// given; otherwise the design's only module, or — when `requireKey` — its
+/// only keyed module.  Throws support::Error listing the candidates when the
+/// choice is ambiguous or impossible.
+[[nodiscard]] rtl::Module& selectModule(rtl::Design& design, const support::CliArgs& args,
+                                        bool requireKey);
+
+}  // namespace rtlock::cli

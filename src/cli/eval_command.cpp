@@ -1,0 +1,170 @@
+// `rtlock eval` — the paper's full lock→attack→report loop over a seed grid.
+//
+// For every (algorithm, seed) cell the experiment engine locks fresh samples
+// of the input module and attacks each one (attack::evaluateBenchmark).
+// Cells shard across the TaskPool; cell (a, s) draws only from
+// Rng{s}.substream(a), so the grid is bit-identical at every --threads
+// count — the same substream convention as the fig4/5/6 benches.
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "attack/pipeline.hpp"
+#include "cli/common.hpp"
+#include "support/strings.hpp"
+#include "support/task_pool.hpp"
+#include "verilog/parser.hpp"
+
+namespace rtlock::cli {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double elapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// --seeds accepts "1,2,7" and ranges "1..5" (inclusive).
+[[nodiscard]] std::vector<std::uint64_t> parseSeeds(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  for (const std::string& piece : support::split(text, ',')) {
+    const std::string item{support::trim(piece)};
+    if (item.empty()) continue;
+    try {
+      const std::size_t dots = item.find("..");
+      if (dots == std::string::npos) {
+        seeds.push_back(std::stoull(item));
+        continue;
+      }
+      const std::uint64_t first = std::stoull(item.substr(0, dots));
+      const std::uint64_t last = std::stoull(item.substr(dots + 2));
+      if (last < first || last - first > 10'000) throw std::out_of_range{"range"};
+      for (std::uint64_t s = first; s <= last; ++s) seeds.push_back(s);
+    } catch (const std::exception&) {
+      throw UsageError{"malformed --seeds entry '" + item + "' (expected e.g. 1,2,7 or 1..5)"};
+    }
+  }
+  if (seeds.empty()) throw UsageError{"--seeds lists no seeds"};
+  return seeds;
+}
+
+struct Cell {
+  attack::EvaluationResult result;
+  double wallMs = 0.0;
+};
+
+}  // namespace
+
+int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
+  const support::CliArgs flags = parseFlags(
+      args, {"algos", "seeds", "samples", "rounds", "budget", "folds", "module", "key-port",
+             "threads", "extended-features", "report", "report-csv", "csv", "no-wall"});
+  const std::string inputPath = onePositional(flags, "input netlist (input.v)");
+  const int threads = support::requestedThreads(flags);
+  const bool noWall = flags.getBool("no-wall", false);
+
+  std::vector<lock::Algorithm> algorithms;
+  for (const std::string& name : support::split(flags.get("algos", "serial,hra,era"), ',')) {
+    if (!support::trim(name).empty()) {
+      algorithms.push_back(algorithmFromFlag(std::string{support::trim(name)}));
+    }
+  }
+  if (algorithms.empty()) throw UsageError{"--algos lists no algorithms"};
+  const std::vector<std::uint64_t> seeds = parseSeeds(flags.get("seeds", "1"));
+
+  attack::EvaluationConfig config;
+  config.testLocks = static_cast<int>(flags.getInt("samples", 10));
+  if (config.testLocks < 1) throw UsageError{"--samples must be at least 1"};
+  const BudgetSpec budget = parseBudget(flags.get("budget", "75%"));
+  if (!budget.isFraction) {
+    throw UsageError{"--budget takes a fraction of the module's operations here (e.g. 75%)"};
+  }
+  config.keyBudgetFraction = budget.fraction;
+  config.snapshot.relockRounds = static_cast<int>(flags.getInt("rounds", 1000));
+  config.snapshot.relockBudgetFraction = budget.fraction;
+  config.snapshot.automl.folds = static_cast<int>(flags.getInt("folds", 3));
+  if (config.snapshot.automl.folds < 2) throw UsageError{"--folds must be at least 2"};
+  config.snapshot.locality.extendedFeatures = flags.getBool("extended-features", false);
+  config.threads = 1;  // grid cells are the outer parallelism level
+
+  verilog::ParserOptions parserOptions;
+  parserOptions.keyPortName = flags.get("key-port", parserOptions.keyPortName);
+  rtl::Design design = verilog::parseDesign(readTextFile(inputPath), parserOptions);
+  const rtl::Module& original = selectModule(design, flags, /*requireKey=*/false);
+  {
+    rtl::Module probe = original.clone();
+    const lock::LockEngine probeEngine{probe, lock::PairTable::fixed()};
+    if (probeEngine.initialLockableOps() == 0) {
+      throw support::Error{"module " + original.name() + " has no lockable operations"};
+    }
+  }
+
+  const std::size_t cellCount = algorithms.size() * seeds.size();
+  io.err << "evaluating " << original.name() << ": " << algorithms.size() << " algorithm(s) x "
+         << seeds.size() << " seed(s), " << config.testLocks << " locked sample(s) per cell\n";
+
+  support::TaskPool pool{support::threadsForTasks(threads, cellCount)};
+  const auto started = Clock::now();
+  const std::vector<Cell> cells = pool.map(cellCount, [&](std::size_t index) {
+    const std::size_t algoIndex = index / seeds.size();
+    const std::size_t seedIndex = index % seeds.size();
+    const auto cellStart = Clock::now();
+    support::Rng cellRng = support::Rng{seeds[seedIndex]}.substream(algoIndex);
+    Cell cell;
+    cell.result = attack::evaluateBenchmark(original, original.name(), algorithms[algoIndex],
+                                            lock::PairTable::fixed(), config, cellRng);
+    cell.wallMs = elapsedMs(cellStart);
+    return cell;
+  });
+  const double totalWallMs = elapsedMs(started);
+
+  const std::string setup = "samples=" + std::to_string(config.testLocks) +
+                            " rounds=" + std::to_string(config.snapshot.relockRounds) +
+                            " budget=" + budget.describe();
+  std::vector<ReportRow> rows;
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const std::string algoName = algorithmFlagName(algorithms[a]);
+    double kpaSum = 0.0;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const Cell& cell = cells[a * seeds.size() + s];
+      const std::string cellConfig =
+          algoName + " / seed " + std::to_string(seeds[s]) + " / " + setup;
+      const double wall = noWall ? 0.0 : cell.wallMs;
+      rows.push_back({original.name(), cellConfig, "mean_kpa_percent", cell.result.meanKpa, wall});
+      rows.push_back({original.name(), cellConfig, "min_kpa_percent", cell.result.minKpa, 0.0});
+      rows.push_back({original.name(), cellConfig, "max_kpa_percent", cell.result.maxKpa, 0.0});
+      rows.push_back(
+          {original.name(), cellConfig, "mean_key_bits", cell.result.meanKeyBits, 0.0});
+      rows.push_back(
+          {original.name(), cellConfig, "mean_global_metric", cell.result.meanGlobalMetric, 0.0});
+      rows.push_back({original.name(), cellConfig, "mean_restricted_metric",
+                      cell.result.meanRestrictedMetric, 0.0});
+      kpaSum += cell.result.meanKpa;
+    }
+    rows.push_back({original.name(), algoName + " / all seeds / " + setup, "mean_kpa_percent",
+                    kpaSum / static_cast<double>(seeds.size()), 0.0});
+  }
+
+  if (flags.has("report")) {
+    support::JsonValue document;
+    document.set("schema", "rtlock-eval-report/v1");
+    document.set("input", inputPath);
+    document.set("module", original.name());
+    document.set("rows", rowsToJson(rows));
+    writeTextFile(flags.get("report", ""), document.dump());
+    io.err << "report: " << flags.get("report", "") << "\n";
+  }
+  if (flags.has("report-csv")) {
+    std::ofstream csv{flags.get("report-csv", "")};
+    if (!csv) throw support::Error{"cannot open " + flags.get("report-csv", "") + " for writing"};
+    emitRows(csv, rows, /*csv=*/true);
+    io.err << "CSV report: " << flags.get("report-csv", "") << "\n";
+  }
+
+  emitRows(io.out, rows, flags.getBool("csv", false));
+  io.err << cellCount << " grid cell(s) in " << support::formatDouble(totalWallMs, 0) << " ms\n";
+  return kExitOk;
+}
+
+}  // namespace rtlock::cli

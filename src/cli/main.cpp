@@ -1,0 +1,7 @@
+// The rtlock binary: a shim over cli::runCli so tests can drive the exact
+// same code path in-process with captured streams.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return rtlock::cli::runCli(argc, argv, std::cout, std::cerr); }

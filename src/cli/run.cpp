@@ -1,0 +1,180 @@
+// Subcommand dispatch: usage text, help/version handling, error-to-exit-code
+// mapping.  docs/CLI.md mirrors the usage strings here — update both.
+#include "cli/cli.hpp"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/common.hpp"
+
+namespace rtlock::cli {
+
+namespace {
+
+constexpr const char* kLockUsage = R"(usage: rtlock lock <input.v> [flags]
+
+Lock every module of a Verilog netlist and emit the locked netlist plus a
+JSON key/provenance file (rtlock-key/v1).
+
+flags:
+  --algo=NAME       locking algorithm: serial|random|hra|greedy|era (default era)
+  --budget=SPEC     key budget: 50% / 0.5 (fraction of lockable ops) or 40
+                    (absolute key bits); default 75%
+  --seed=N          RNG seed; module i draws from substream(i) (default 1)
+  --out=PATH        locked netlist path (default <input>.locked.v)
+  --key-out=PATH    key/provenance path (default <input>.key.json)
+  --key-port=NAME   key input port name (default lock_key)
+  --no-banner       omit the locking-statistics banner comment
+  --csv             print the summary table as CSV
+)";
+
+constexpr const char* kAttackUsage = R"(usage: rtlock attack <locked.v> [flags]
+
+Run the oracle-less SnapShot-RTL attack against a locked netlist and report
+the Key Prediction Accuracy.  Needs nothing but the netlist; --key scores
+the predictions against the lock-time ground truth.
+
+flags:
+  --key=PATH             key file from `rtlock lock` (enables KPA scoring)
+  --module=NAME          attack this module (default: the only keyed module)
+  --key-port=NAME        key input port name (default lock_key)
+  --rounds=N             training relock rounds (default 1000, paper setup)
+  --relock-budget=SPEC   training budget fraction, e.g. 75% (default 75%)
+  --folds=N              auto-ml cross-validation folds (default 3)
+  --extended-features    locality encoding with structural context
+  --repeats=N            independent attack repeats, sharded over workers
+  --seed=N               RNG root; repeat r draws from substream(r) (default 1)
+  --threads=N            workers (default: RTLOCK_THREADS env, else hardware)
+  --report=PATH          write JSON report (rows follow BENCH_baseline.json)
+  --report-csv=PATH      write the rows as CSV
+  --no-wall              zero wall_ms in rows (byte-stable output)
+  --csv                  print the rows as CSV
+)";
+
+constexpr const char* kEvalUsage = R"(usage: rtlock eval <input.v> [flags]
+
+Chain lock -> attack over an (algorithm x seed) grid: each cell locks fresh
+samples of the input module and attacks every one.  Cells shard across the
+worker pool with substream determinism — results are bit-identical at every
+--threads count.
+
+flags:
+  --algos=LIST           comma-separated algorithms (default serial,hra,era)
+  --seeds=LIST           seeds: 1,2,7 or ranges 1..5 (default 1)
+  --samples=N            locked samples per cell (default 10, paper setup)
+  --rounds=N             training relock rounds (default 1000)
+  --budget=SPEC          key budget fraction, e.g. 75% (default 75%)
+  --folds=N              auto-ml cross-validation folds (default 3)
+  --extended-features    locality encoding with structural context
+  --module=NAME          evaluate this module (default: the only module)
+  --key-port=NAME        key input port name (default lock_key)
+  --threads=N            workers (default: RTLOCK_THREADS env, else hardware)
+  --report=PATH          write JSON report (rows follow BENCH_baseline.json)
+  --report-csv=PATH      write the rows as CSV
+  --no-wall              zero wall_ms in rows (byte-stable output)
+  --csv                  print the rows as CSV
+)";
+
+constexpr const char* kReportUsage = R"(usage: rtlock report <report.json> [flags]
+
+Render any rows-schema report (attack/eval reports, BENCH_baseline.json) as
+an aligned table or CSV.
+
+flags:
+  --bench=NAME      keep rows with this bench (exact match)
+  --metric=NAME     keep rows with this metric (exact match)
+  --config=TEXT     keep rows whose config contains TEXT
+  --csv             CSV instead of the aligned table
+)";
+
+constexpr const char* kDesignsUsage = R"(usage: rtlock designs [flags]
+
+List the built-in benchmark registry (the paper's 14 evaluation designs)
+with lockability numbers, or dump one design as Verilog.
+
+flags:
+  --emit=NAME       print design NAME as Verilog on stdout
+  --csv             CSV instead of the aligned table
+)";
+
+void printGlobalHelp(std::ostream& out) {
+  out << "rtlock — ML-resilient RTL locking: lock, attack and evaluate Verilog designs\n\n"
+         "usage: rtlock <command> [args]\n\ncommands:\n";
+  for (const Command& command : commandTable()) {
+    out << "  " << command.name << std::string(10 - std::string{command.name}.size(), ' ')
+        << command.oneLiner << "\n";
+  }
+  out << "\nRun 'rtlock help <command>' (or rtlock <command> --help) for the flag reference;\n"
+         "docs/CLI.md is the full manual.\n";
+}
+
+}  // namespace
+
+const std::vector<Command>& commandTable() {
+  static const std::vector<Command> table{
+      {"lock", "lock a Verilog netlist, emit locked netlist + key JSON", kLockUsage,
+       runLockCommand},
+      {"attack", "SnapShot-RTL attack against a locked netlist (KPA report)", kAttackUsage,
+       runAttackCommand},
+      {"eval", "lock->attack seed grids over one design (experiment engine)", kEvalUsage,
+       runEvalCommand},
+      {"report", "render a rows-schema report JSON as table/CSV", kReportUsage,
+       runReportCommand},
+      {"designs", "list the built-in benchmark registry / dump a design", kDesignsUsage,
+       runDesignsCommand},
+  };
+  return table;
+}
+
+int runCli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  if (args.empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    if (args.size() >= 2 && args[0] == "help") {
+      for (const Command& command : commandTable()) {
+        if (args[1] == command.name) {
+          out << command.usage;
+          return kExitOk;
+        }
+      }
+      err << "rtlock: unknown command '" << args[1] << "'\n";
+      printGlobalHelp(err);
+      return kExitUsage;
+    }
+    printGlobalHelp(out);
+    return args.empty() ? kExitUsage : kExitOk;
+  }
+  if (args[0] == "--version") {
+    out << "rtlock " << RTLOCK_CLI_VERSION << "\n";
+    return kExitOk;
+  }
+
+  for (const Command& command : commandTable()) {
+    if (args[0] != command.name) continue;
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    for (const std::string& arg : rest) {
+      if (arg == "--help" || arg == "-h") {
+        out << command.usage;
+        return kExitOk;
+      }
+    }
+    CommandIo io{out, err};
+    try {
+      return command.run(rest, io);
+    } catch (const UsageError& error) {
+      err << "rtlock " << command.name << ": " << error.what() << "\n\n" << command.usage;
+      return kExitUsage;
+    } catch (const std::exception& error) {
+      err << "rtlock " << command.name << ": " << error.what() << "\n";
+      return kExitError;
+    }
+  }
+
+  err << "rtlock: unknown command '" << args[0] << "'\n";
+  printGlobalHelp(err);
+  return kExitUsage;
+}
+
+}  // namespace rtlock::cli

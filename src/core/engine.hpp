@@ -22,6 +22,20 @@
 // bit adds exactly one dummy operation — the paper's cost model.  For nested
 // expressions the cloned operand operations are also counted and indexed,
 // keeping the ODT truthful to what an attacker sees.
+//
+// Contract --------------------------------------------------------------------
+// Ownership: the engine borrows the module (which must outlive it) and takes
+//   exclusive mutation rights for its whole lifetime; the PairTable is
+//   borrowed const and is immutable by construction.  Locks the engine
+//   applied must be undone through the same engine — external edits to the
+//   module invalidate the index.
+// Determinism: every stochastic choice draws from the caller-passed Rng and
+//   nothing else; a (module, table, call sequence, rng seed) tuple fully
+//   determines the locked design, records() and all metrics, across
+//   platforms and thread counts.
+// Thread-safety: an engine is single-threaded (one engine per worker is the
+//   sharding pattern — see attack::evaluateBenchmark); distinct engines over
+//   distinct modules never share mutable state and may run concurrently.
 #pragma once
 
 #include <array>

@@ -51,6 +51,18 @@ struct AutoMlResult {
 [[nodiscard]] std::vector<std::unique_ptr<Classifier>> defaultPortfolio();
 
 /// Cross-validated model selection + final refit.
+///
+/// Contract -------------------------------------------------------------------
+/// Ownership: `data` is borrowed const (aggregated/subsampled views are
+///   private copies); the returned classifier is owned by the caller via
+///   unique_ptr and keeps no reference into `data`.
+/// Determinism: the winner and its fit are a pure function of (data, config,
+///   rng state).  The search budget is counted in rows, not seconds
+///   (fitRowBudget), so machine speed can never change which model wins;
+///   LeaderboardEntry::seconds is informational only.
+/// Thread-safety: safe to call concurrently with distinct Rngs; the returned
+///   Classifier's predict/probaOf may race on internal scratch — clone or
+///   guard per thread (see src/ml/README.md).
 [[nodiscard]] AutoMlResult autoSelect(const Dataset& data, const AutoMlConfig& config,
                                       support::Rng& rng);
 

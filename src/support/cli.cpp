@@ -1,7 +1,9 @@
 #include "support/cli.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <cstdlib>
 
 #include "support/diagnostics.hpp"
 #include "support/strings.hpp"
@@ -65,6 +67,22 @@ double CliArgs::getDouble(std::string_view name, double fallback) const {
   } catch (const std::exception&) {
     throw Error{"flag --" + it->first + " expects a number, got '" + it->second + "'"};
   }
+}
+
+int requestedThreads(const CliArgs& args) {
+  if (args.has("threads")) return static_cast<int>(args.getInt("threads", 0));
+  if (const char* env = std::getenv("RTLOCK_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(env, &end, 10);
+    constexpr long kMaxThreads = 4096;  // sanity bound, not a real target
+    if (end == env || *end != '\0' || errno == ERANGE || value < 0 || value > kMaxThreads) {
+      throw Error("RTLOCK_THREADS expects an integer in [0, 4096], got \"" + std::string{env} +
+                  "\"");
+    }
+    return static_cast<int>(value);
+  }
+  return 0;
 }
 
 bool CliArgs::getBool(std::string_view name, bool fallback) const {

@@ -33,4 +33,12 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Requested worker count for a tool invocation: the --threads flag wins,
+/// then the RTLOCK_THREADS environment override, then 0 ("hardware
+/// concurrency").  Feed the result to TaskPool / EvaluationConfig::threads,
+/// which resolve 0 via resolveThreadCount.  A malformed RTLOCK_THREADS fails
+/// loudly (same policy as CliArgs: typos must not silently run a default
+/// configuration).  Shared by the benches and the rtlock CLI.
+[[nodiscard]] int requestedThreads(const CliArgs& args);
+
 }  // namespace rtlock::support

@@ -1,0 +1,385 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::support {
+
+namespace {
+
+[[nodiscard]] std::string_view kindName(const JsonValue& value) noexcept {
+  if (value.isNull()) return "null";
+  if (value.isBool()) return "bool";
+  if (value.isNumber()) return "number";
+  if (value.isString()) return "string";
+  if (value.isArray()) return "array";
+  return "object";
+}
+
+[[noreturn]] void wrongKind(const JsonValue& value, std::string_view wanted) {
+  throw Error{"JSON value is " + std::string{kindName(value)} + ", expected " +
+              std::string{wanted}};
+}
+
+/// Formats a double the way the baseline writer does: integral values print
+/// without an exponent or trailing zeros, everything else via shortest
+/// round-trip %.17g trimmed.  Keeps emitted reports diffable and re-parsable.
+[[nodiscard]] std::string formatNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+    return buffer;
+  }
+  if (!std::isfinite(value)) throw Error{"JSON cannot represent a non-finite number"};
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  // Prefer the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buffer;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[nodiscard]] char peek() const noexcept { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error{"JSON parse error at line " + std::to_string(line_) + ", column " +
+                std::to_string(column_) + ": " + message};
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return;
+      advance();
+    }
+  }
+
+  void expect(char wanted, const char* context) {
+    if (peek() != wanted) {
+      fail(std::string{"expected '"} + wanted + "' " + context);
+    }
+    advance();
+  }
+
+  bool acceptLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    for (std::size_t i = 0; i < literal.size(); ++i) advance();
+    return true;
+  }
+
+  JsonValue parseValue() {
+    skipWhitespace();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return JsonValue{parseString()};
+      case 't':
+        if (acceptLiteral("true")) return JsonValue{true};
+        fail("malformed literal");
+      case 'f':
+        if (acceptLiteral("false")) return JsonValue{false};
+        fail("malformed literal");
+      case 'n':
+        if (acceptLiteral("null")) return JsonValue{nullptr};
+        fail("malformed literal");
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{', "to open object");
+    JsonObject members;
+    skipWhitespace();
+    if (peek() == '}') {
+      advance();
+      return JsonValue{std::move(members)};
+    }
+    for (;;) {
+      skipWhitespace();
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':', "after object key");
+      members.emplace_back(std::move(key), parseValue());
+      skipWhitespace();
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "to close object");
+      return JsonValue{std::move(members)};
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[', "to open array");
+    JsonArray items;
+    skipWhitespace();
+    if (peek() == ']') {
+      advance();
+      return JsonValue{std::move(items)};
+    }
+    for (;;) {
+      items.push_back(parseValue());
+      skipWhitespace();
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "to close array");
+      return JsonValue{std::move(items)};
+    }
+  }
+
+  std::string parseString() {
+    expect('"', "to open string");
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = advance();
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': appendCodepoint(out); break;
+        default: fail(std::string{"unknown escape '\\"} + escape + "'");
+      }
+    }
+  }
+
+  void appendCodepoint(std::string& out) {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = advance();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code += static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code += static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code += static_cast<unsigned>(c - 'A' + 10);
+      else fail("malformed \\u escape");
+    }
+    // Basic-plane UTF-8 encoding; surrogate pairs are outside what the tools
+    // ever emit and are rejected rather than silently mangled.
+    if (code >= 0xd800 && code <= 0xdfff) fail("surrogate pairs are not supported");
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    if (peek() == '.') {
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) fail("malformed number");
+    return JsonValue{value};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (!isBool()) wrongKind(*this, "bool");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::asDouble() const {
+  if (!isNumber()) wrongKind(*this, "number");
+  return std::get<double>(value_);
+}
+
+std::int64_t JsonValue::asInt() const {
+  const double value = asDouble();
+  // Range-check before the cast: double→int64 outside the representable
+  // range is undefined behavior, and corrupt documents must fail cleanly.
+  if (!(value >= -9223372036854775808.0 && value < 9223372036854775808.0)) {
+    throw Error{"JSON number is outside the 64-bit integer range"};
+  }
+  const auto integral = static_cast<std::int64_t>(value);
+  if (static_cast<double>(integral) != value) {
+    throw Error{"JSON number " + formatNumber(value) + " is not an integer"};
+  }
+  return integral;
+}
+
+const std::string& JsonValue::asString() const {
+  if (!isString()) wrongKind(*this, "string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::asArray() const {
+  if (!isArray()) wrongKind(*this, "array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::asObject() const {
+  if (!isObject()) wrongKind(*this, "object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& JsonValue::asArray() {
+  if (!isArray()) wrongKind(*this, "array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& JsonValue::asObject() {
+  if (!isObject()) wrongKind(*this, "object");
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!isObject()) return nullptr;
+  for (const auto& [name, value] : std::get<JsonObject>(value_)) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* value = find(key)) return *value;
+  throw Error{"JSON object has no member \"" + std::string{key} + "\""};
+}
+
+void JsonValue::set(std::string_view key, JsonValue value) {
+  if (isNull()) value_ = JsonObject{};
+  asObject().emplace_back(std::string{key}, std::move(value));
+}
+
+void JsonValue::writeIndented(std::ostream& out, int depth) const {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  if (isNull()) {
+    out << "null";
+  } else if (isBool()) {
+    out << (std::get<bool>(value_) ? "true" : "false");
+  } else if (isNumber()) {
+    out << formatNumber(std::get<double>(value_));
+  } else if (isString()) {
+    out << '"' << jsonEscape(std::get<std::string>(value_)) << '"';
+  } else if (isArray()) {
+    const JsonArray& items = std::get<JsonArray>(value_);
+    if (items.empty()) {
+      out << "[]";
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out << inner;
+      items[i].writeIndented(out, depth + 1);
+      out << (i + 1 < items.size() ? ",\n" : "\n");
+    }
+    out << indent << ']';
+  } else {
+    const JsonObject& members = std::get<JsonObject>(value_);
+    if (members.empty()) {
+      out << "{}";
+      return;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      out << inner << '"' << jsonEscape(members[i].first) << "\": ";
+      members[i].second.writeIndented(out, depth + 1);
+      out << (i + 1 < members.size() ? ",\n" : "\n");
+    }
+    out << indent << '}';
+  }
+}
+
+void JsonValue::write(std::ostream& out) const {
+  writeIndented(out, 0);
+  out << '\n';
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+JsonValue parseJson(std::string_view text) { return JsonParser{text}.parse(); }
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x", static_cast<unsigned>(c));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace rtlock::support

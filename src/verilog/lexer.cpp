@@ -19,6 +19,8 @@ const std::map<std::string_view, TokenKind>& keywordTable() {
       {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
       {"case", TokenKind::KwCase},       {"endcase", TokenKind::KwEndcase},
       {"default", TokenKind::KwDefault}, {"posedge", TokenKind::KwPosedge},
+      {"negedge", TokenKind::KwNegedge}, {"parameter", TokenKind::KwParameter},
+      {"localparam", TokenKind::KwLocalparam}, {"signed", TokenKind::KwSigned},
   };
   return table;
 }
@@ -217,6 +219,7 @@ Token Lexer::lexOperator() {
     case ',': return makeToken(TokenKind::Comma, ",");
     case '?': return makeToken(TokenKind::Question, "?");
     case '@': return makeToken(TokenKind::At, "@");
+    case '#': return makeToken(TokenKind::Hash, "#");
     case '+': return makeToken(TokenKind::Plus, "+");
     case '-': return makeToken(TokenKind::Minus, "-");
     case '*':

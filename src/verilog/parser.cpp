@@ -69,8 +69,10 @@ class Parser {
     module_.emplace(name);
     module_->setKeyPortName(options_.keyPortName);
     pendingPorts_.clear();
+    params_.clear();
     keyWidth_ = 0;
 
+    if (accept(TokenKind::Hash)) parseParameterPorts();
     parsePortHeader();
     expect(TokenKind::Semicolon, "expected ';' after module header");
 
@@ -135,12 +137,44 @@ class Parser {
 
   // ---- module structure ----
 
+  /// Parameter-port header: '#' already consumed; parses
+  /// `( parameter [range]? NAME = const {, [parameter] [range]? NAME = const} )`.
+  void parseParameterPorts() {
+    expect(TokenKind::LParen, "expected '(' after '#'");
+    do {
+      accept(TokenKind::KwParameter);  // optional on every item after the first
+      parseParameterAssignment();
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::RParen, "expected ')' after parameter ports");
+  }
+
+  /// One `[range]? NAME = constexpr` parameter declarator.
+  void parseParameterAssignment() {
+    rejectSigned();
+    const Range range = check(TokenKind::LBracket) ? parseOptionalRange() : Range{-1, 0};
+    const std::string name = expect(TokenKind::Identifier, "expected parameter name").text;
+    if (params_.count(name) != 0) fail("parameter '" + name + "' declared twice");
+    if (name == options_.keyPortName) fail("the key port name cannot be used as a parameter");
+    expect(TokenKind::Assign, "expected '=' in parameter declaration");
+    const std::int64_t value = parseConstExpr();
+    if (value < 0) fail("negative parameter values are outside the supported subset");
+    // Width -1 marks an unsized parameter: references take the unsized
+    // literal width, exactly like a bare decimal literal would.
+    params_.emplace(name, Parameter{value, range.msb >= 0 ? range.width() : -1});
+  }
+
   void parsePortHeader() {
     if (!accept(TokenKind::LParen)) return;  // portless module
     if (accept(TokenKind::RParen)) return;
+    // ANSI direction carry-over (Verilog-2001 §12.3.3): after an ANSI port,
+    // bare names inherit the previous direction/range — `input [7:0] a, b`.
+    std::optional<AnsiHead> carried;
     do {
       if (check(TokenKind::KwInput) || check(TokenKind::KwOutput)) {
-        parseAnsiPort();
+        carried = parseAnsiHead();
+        declareAnsiPort(*carried);
+      } else if (carried) {
+        declareAnsiPort(*carried);
       } else {
         const std::string name = expect(TokenKind::Identifier, "expected port name").text;
         pendingPorts_.emplace_back(name, false);
@@ -149,16 +183,34 @@ class Parser {
     expect(TokenKind::RParen, "expected ')' after port list");
   }
 
-  void parseAnsiPort() {
-    const bool isInput = check(TokenKind::KwInput);
+  struct AnsiHead {
+    bool isInput = true;
+    bool isReg = false;
+    Range range{0, 0};
+  };
+
+  AnsiHead parseAnsiHead() {
+    AnsiHead head;
+    head.isInput = check(TokenKind::KwInput);
     advance();
-    const bool isReg = accept(TokenKind::KwReg);
-    if (isInput && isReg) fail("inputs cannot be declared 'reg'");
+    head.isReg = accept(TokenKind::KwReg);
+    if (head.isInput && head.isReg) fail("inputs cannot be declared 'reg'");
     accept(TokenKind::KwWire);
-    const Range range = parseOptionalRange();
+    rejectSigned();
+    head.range = parseOptionalRange();
+    return head;
+  }
+
+  void declareAnsiPort(const AnsiHead& head) {
     const std::string name = expect(TokenKind::Identifier, "expected port name").text;
-    declareSignal(name, range.width(), isInput,
-                  isReg ? rtl::NetKind::Reg : rtl::NetKind::Wire, /*isPort=*/true);
+    declareSignal(name, head.range.width(), head.isInput,
+                  head.isReg ? rtl::NetKind::Reg : rtl::NetKind::Wire, /*isPort=*/true);
+  }
+
+  void rejectSigned() {
+    if (check(TokenKind::KwSigned)) {
+      fail("signed declarations are outside the supported subset (all arithmetic is unsigned)");
+    }
   }
 
   Range parseOptionalRange() {
@@ -172,16 +224,22 @@ class Parser {
     return Range{static_cast<int>(msb), 0};
   }
 
-  /// Constant expression in declarations: literals and +-* of literals.
+  /// Constant expression in declarations/ranges: + - * over literals,
+  /// parameters and parenthesized subexpressions, with * binding tighter
+  /// than + and - (standard precedence — `1 + 2 * 8` is 17).
   std::int64_t parseConstExpr() {
-    std::int64_t value = parseConstPrimary();
-    while (check(TokenKind::Plus) || check(TokenKind::Minus) || check(TokenKind::Star)) {
+    std::int64_t value = parseConstTerm();
+    while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
       const TokenKind op = advance().kind;
-      const std::int64_t rhs = parseConstPrimary();
-      if (op == TokenKind::Plus) value += rhs;
-      else if (op == TokenKind::Minus) value -= rhs;
-      else value *= rhs;
+      const std::int64_t rhs = parseConstTerm();
+      value = op == TokenKind::Plus ? value + rhs : value - rhs;
     }
+    return value;
+  }
+
+  std::int64_t parseConstTerm() {
+    std::int64_t value = parseConstPrimary();
+    while (accept(TokenKind::Star)) value *= parseConstPrimary();
     return value;
   }
 
@@ -190,6 +248,15 @@ class Parser {
       const std::int64_t value = parseConstExpr();
       expect(TokenKind::RParen, "expected ')'");
       return value;
+    }
+    if (check(TokenKind::Identifier)) {
+      const Token& token = advance();
+      const auto it = params_.find(token.text);
+      if (it == params_.end()) {
+        fail("'" + token.text + "' is not a declared parameter (only literals and parameters "
+             "may appear in constant expressions)");
+      }
+      return it->second.value;
     }
     const Token& token = expect(TokenKind::Number, "expected a constant");
     return static_cast<std::int64_t>(token.value);
@@ -201,10 +268,21 @@ class Parser {
       case TokenKind::KwOutput:
       case TokenKind::KwWire:
       case TokenKind::KwReg: parseDeclaration(); break;
+      case TokenKind::KwParameter:
+      case TokenKind::KwLocalparam: parseParameterDecl(); break;
       case TokenKind::KwAssign: parseContAssign(); break;
       case TokenKind::KwAlways: parseAlways(); break;
       default: fail("unsupported module item");
     }
+  }
+
+  /// `parameter`/`localparam` module item (both behave as constants here).
+  void parseParameterDecl() {
+    advance();  // 'parameter' or 'localparam'
+    do {
+      parseParameterAssignment();
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::Semicolon, "expected ';' after parameter declaration");
   }
 
   void parseDeclaration() {
@@ -217,13 +295,23 @@ class Parser {
       isReg = true;
     }
     if (isPortDecl) accept(TokenKind::KwWire);
+    rejectSigned();
     const Range range = parseOptionalRange();
     do {
       const std::string name = expect(TokenKind::Identifier, "expected signal name").text;
       if (isPortDecl) {
         declarePendingPort(name, range.width(), isInput, isReg);
       } else {
-        applyNetDeclaration(name, range.width(), isReg);
+        const rtl::SignalId id = applyNetDeclaration(name, range.width(), isReg);
+        // Net declaration assignment: `wire [7:0] s = expr;` desugars to a
+        // declaration plus a continuous assignment (IEEE 1364-2001 §6.1.1).
+        if (check(TokenKind::Assign)) {
+          if (isReg) fail("reg initializers are not supported (use an always block)");
+          advance();
+          rtl::LValue lvalue;
+          lvalue.signal = id;
+          module_->addContAssign(lvalue, parseExpression());
+        }
       }
     } while (accept(TokenKind::Comma));
     expect(TokenKind::Semicolon, "expected ';' after declaration");
@@ -241,21 +329,19 @@ class Parser {
                   /*isPort=*/true);
   }
 
-  void applyNetDeclaration(const std::string& name, int width, bool isReg) {
+  rtl::SignalId applyNetDeclaration(const std::string& name, int width, bool isReg) {
     // `input a; wire a;` style redeclaration upgrades/confirms an existing
     // port; otherwise this declares a fresh internal net.
     if (const auto existing = module_->findSignal(name)) {
       if (module_->signal(*existing).width != width) {
         fail("conflicting width in redeclaration of '" + name + "'");
       }
-      return;
+      return *existing;
     }
     if (name == options_.keyPortName) fail("key port must be declared as an input");
-    if (isReg) {
-      module_->addReg(name, width);
-    } else {
-      module_->addWire(name, width);
-    }
+    if (params_.count(name) != 0) fail("'" + name + "' is already declared as a parameter");
+    if (width > 64) fail("signal '" + name + "' wider than the 64-bit subset limit");
+    return isReg ? module_->addReg(name, width) : module_->addWire(name, width);
   }
 
   void declareSignal(const std::string& name, int width, bool isInput, rtl::NetKind net,
@@ -266,6 +352,7 @@ class Parser {
       return;  // modelled as the module's implicit key vector
     }
     if (width > 64) fail("signal '" + name + "' wider than the 64-bit subset limit");
+    if (params_.count(name) != 0) fail("port '" + name + "' is already declared as a parameter");
     rtl::Signal signal;
     signal.name = name;
     signal.width = width;
@@ -324,7 +411,14 @@ class Parser {
         if (!id) fail("undeclared clock '" + clockName + "'");
         clock = *id;
         sequential = true;
+        if (check(TokenKind::Identifier) && peek().text == "or") {
+          fail("multi-event sensitivity lists (async resets) are not supported — model the "
+               "reset synchronously");
+        }
         expect(TokenKind::RParen, "expected ')'");
+      } else if (check(TokenKind::KwNegedge)) {
+        fail("@(negedge ...) sensitivity lists are not supported — the subset models "
+             "single-clock posedge logic");
       } else {
         fail("only @(*) and @(posedge clk) sensitivity lists are supported");
       }
@@ -477,9 +571,17 @@ class Parser {
 
   ExprPtr parseReference() {
     const std::string name = expect(TokenKind::Identifier, "expected identifier").text;
+    if (const auto param = params_.find(name); param != params_.end()) {
+      if (check(TokenKind::LBracket)) fail("bit-selects on parameters are not supported");
+      const int width =
+          param->second.width > 0 ? param->second.width : options_.unsizedLiteralWidth;
+      return rtl::makeConstant(static_cast<std::uint64_t>(param->second.value), width);
+    }
     std::optional<std::pair<int, int>> range;
     if (accept(TokenKind::LBracket)) {
-      if (!check(TokenKind::Number)) {
+      const bool paramIndex =
+          check(TokenKind::Identifier) && params_.count(peek().text) != 0;
+      if (!check(TokenKind::Number) && !check(TokenKind::LParen) && !paramIndex) {
         fail("only constant bit/part-selects are supported in this subset");
       }
       const int hi = static_cast<int>(parseConstExpr());
@@ -517,8 +619,14 @@ class Parser {
   std::vector<Token> tokens_;
   std::size_t cursor_ = 0;
 
+  struct Parameter {
+    std::int64_t value = 0;
+    int width = -1;  // -1 = unsized (references use the unsized literal width)
+  };
+
   std::optional<rtl::Module> module_;
   std::vector<std::pair<std::string, bool>> pendingPorts_;  // name, direction-seen
+  std::map<std::string, Parameter> params_;
   int keyWidth_ = 0;
 };
 

@@ -1,9 +1,14 @@
 // Recursive-descent parser for the Verilog-2001 subset.
 //
-// Supported constructs (documented in README/DESIGN):
-//   * module header with classic name lists or ANSI port declarations;
+// Supported constructs (see docs/CLI.md for the user-facing list):
+//   * module header with classic name lists or ANSI port declarations,
+//     including direction carry-over (`input [7:0] a, b`) and `#(parameter
+//     ...)` parameter ports;
 //   * input/output/wire/reg declarations with [msb:lsb] ranges (lsb 0),
-//     comma-separated declarator lists, `output reg` combinations;
+//     comma-separated declarator lists, `output reg` combinations, wire
+//     declaration initializers (`wire [7:0] s = expr;`);
+//   * parameter/localparam integer constants, usable in ranges, constant
+//     expressions and data-path expressions;
 //   * continuous assignments to whole signals or constant part-selects;
 //   * always @(*) with blocking assignments and always @(posedge clk) with
 //     non-blocking assignments; begin/end, if/else, case/endcase (constant
@@ -11,6 +16,10 @@
 //   * full expression grammar: ternary, all binary/unary operators, concat,
 //     replication {n{...}}, constant bit/part-selects, sized and unsized
 //     literals (<= 64 bits).
+//
+// Out-of-subset constructs fail loudly with a targeted message (signed
+// declarations, negedge/multi-event sensitivity lists, module instances),
+// never by silently mis-parsing.
 //
 // The key input is first-class: an input whose name equals
 // ParserOptions::keyPortName is mapped to the module's key vector, and
@@ -32,8 +41,17 @@ struct ParserOptions {
   int unsizedLiteralWidth = 32;
 };
 
-/// Parses one or more modules.  Throws support::Error with line/column info
-/// on malformed or unsupported input.
+// Contract ------------------------------------------------------------------
+// Ownership: the returned Design/Module owns every IR node; `source` is not
+//   retained past the call.
+// Determinism: output is a pure function of (source, options) — no global
+//   state, no iteration-order dependence; the same text always produces a
+//   structurally identical IR (key bits included).
+// Thread-safety: safe to call concurrently from any number of threads; each
+//   call parses into private state.  Failure is support::Error with
+//   line/column info, for malformed and for out-of-subset input alike.
+
+/// Parses one or more modules.
 [[nodiscard]] rtl::Design parseDesign(std::string_view source, const ParserOptions& options = {});
 
 /// Parses a source containing exactly one module.

@@ -22,6 +22,11 @@ std::string_view tokenKindName(TokenKind kind) noexcept {
     case TokenKind::KwEndcase: return "endcase";
     case TokenKind::KwDefault: return "default";
     case TokenKind::KwPosedge: return "posedge";
+    case TokenKind::KwNegedge: return "negedge";
+    case TokenKind::KwParameter: return "parameter";
+    case TokenKind::KwLocalparam: return "localparam";
+    case TokenKind::KwSigned: return "signed";
+    case TokenKind::Hash: return "#";
     case TokenKind::LParen: return "(";
     case TokenKind::RParen: return ")";
     case TokenKind::LBracket: return "[";

@@ -29,8 +29,13 @@ enum class TokenKind : std::uint8_t {
   KwEndcase,
   KwDefault,
   KwPosedge,
+  KwNegedge,    // recognized so @(negedge ...) fails with a targeted message
+  KwParameter,  // module-scoped integer constants
+  KwLocalparam,
+  KwSigned,  // recognized so signed declarations fail with a targeted message
 
   // punctuation
+  Hash,  // # (parameter-port header '#(...)')
   LParen,
   RParen,
   LBracket,

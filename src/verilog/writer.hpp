@@ -17,6 +17,16 @@ struct WriterOptions {
   bool emitHeaderComment = true;
 };
 
+// Contract ------------------------------------------------------------------
+// Ownership: the module/design is borrowed const; the returned string is an
+//   independent copy with no IR references.
+// Determinism: output text is a pure function of (IR, options) — stable
+//   iteration orders, locale-independent number formatting — and re-parsing
+//   it yields a structurally identical module (writer/parser fixed point,
+//   pinned by tests/verilog/roundtrip_test.cpp).
+// Thread-safety: safe concurrently on distinct or shared (const) modules;
+//   no global state.
+
 /// Renders one module.
 [[nodiscard]] std::string writeModule(const rtl::Module& module, const WriterOptions& options = {});
 

@@ -1,0 +1,44 @@
+// Shared harness for the CLI suites: runs cli::runCli in-process with
+// captured streams — the exact code path of the rtlock binary, minus the
+// two-line main() shim.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+namespace rtlock::testutil {
+
+struct CliResult {
+  int exitCode = 0;
+  std::string out;
+  std::string err;
+};
+
+/// Runs `rtlock <args...>` in-process.
+inline CliResult runCli(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back("rtlock");
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.exitCode =
+      cli::runCli(static_cast<int>(argv.size()), argv.data(), out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+inline std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace rtlock::testutil

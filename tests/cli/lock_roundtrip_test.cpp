@@ -1,0 +1,136 @@
+// CLI lock round-trips on the external (non-registry) fixtures:
+// lock -> parse the emitted netlist back -> prove RTL equivalence against
+// the original under the correct key, and corruption under a wrong key.
+//
+// This is the tool-level counterpart of the library's functional
+// preservation suite: it additionally covers file I/O, the key/provenance
+// JSON, and the parser constructs only external Verilog exercises
+// (parameters, ANSI carry-over, wire initializers).
+#include "cli_test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cli/common.hpp"
+#include "sim/harness.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/writer.hpp"
+
+namespace rtlock {
+namespace {
+
+using testutil::runCli;
+using testutil::slurp;
+
+constexpr const char* kAlu8 = RTLOCK_EXAMPLES_DIR "/external/alu8.v";
+constexpr const char* kConv3 = RTLOCK_EXAMPLES_DIR "/external/conv3.v";
+
+struct LockedFixture {
+  rtl::Module original;
+  rtl::Module locked;
+  cli::KeyFile keyFile;
+};
+
+LockedFixture lockFixture(const std::string& inputPath, const std::string& tag,
+                          const std::string& algo, const std::string& budget) {
+  const std::string lockedPath = ::testing::TempDir() + tag + ".locked.v";
+  const std::string keyPath = ::testing::TempDir() + tag + ".key.json";
+  const auto result = runCli({"lock", inputPath, "--algo=" + algo, "--budget=" + budget,
+                              "--seed=7", "--out=" + lockedPath, "--key-out=" + keyPath});
+  EXPECT_EQ(result.exitCode, cli::kExitOk) << result.err;
+
+  rtl::Design originalDesign = verilog::parseDesign(slurp(inputPath));
+  rtl::Design lockedDesign = verilog::parseDesign(slurp(lockedPath));
+  EXPECT_EQ(lockedDesign.moduleCount(), originalDesign.moduleCount());
+  return LockedFixture{originalDesign.module(0).clone(), lockedDesign.module(0).clone(),
+                       cli::keyFileFromJson(support::parseJson(slurp(keyPath)))};
+}
+
+sim::BitVector keyFromFile(const cli::ModuleKey& moduleKey) {
+  sim::BitVector key{moduleKey.keyWidth};
+  for (int i = 0; i < moduleKey.keyWidth; ++i) {
+    key.setBit(i, moduleKey.keyBits[static_cast<std::size_t>(i)] == '1');
+  }
+  return key;
+}
+
+TEST(CliLockRoundTripTest, Alu8EquivalentUnderCorrectKeyCorruptUnderWrongKey) {
+  const LockedFixture fixture = lockFixture(kAlu8, "rt_alu8", "hra", "50%");
+  ASSERT_EQ(fixture.keyFile.modules.size(), 1u);
+  const cli::ModuleKey& moduleKey = fixture.keyFile.modules.front();
+  EXPECT_EQ(moduleKey.module, "alu8");
+  EXPECT_EQ(fixture.locked.keyWidth(), moduleKey.keyWidth);
+  EXPECT_GT(moduleKey.keyWidth, 0);
+  EXPECT_EQ(moduleKey.records.size(), static_cast<std::size_t>(moduleKey.bitsUsed));
+
+  const sim::BitVector key = keyFromFile(moduleKey);
+  support::Rng rng{11};
+  EXPECT_TRUE(sim::functionallyEquivalent(fixture.original, fixture.locked, key, {}, rng));
+
+  // Key bit 0 guards an eq/ne pair feeding an output: flipping it must
+  // corrupt behaviour under any stimulus.
+  sim::BitVector wrong = key;
+  wrong.setBit(0, !wrong.bit(0));
+  support::Rng rng2{12};
+  EXPECT_FALSE(sim::functionallyEquivalent(fixture.original, fixture.locked, wrong, {}, rng2));
+}
+
+TEST(CliLockRoundTripTest, SequentialConv3EquivalentUnderCorrectKey) {
+  const LockedFixture fixture = lockFixture(kConv3, "rt_conv3", "era", "75%");
+  ASSERT_EQ(fixture.keyFile.modules.size(), 1u);
+  const sim::BitVector key = keyFromFile(fixture.keyFile.modules.front());
+  support::Rng rng{13};
+  sim::EquivalenceOptions options;
+  options.cyclesPerVector = 6;  // drive the delay line through full depth
+  EXPECT_TRUE(sim::functionallyEquivalent(fixture.original, fixture.locked, key, options, rng));
+}
+
+TEST(CliLockRoundTripTest, LockedNetlistReparsesToIdenticalText) {
+  const LockedFixture fixture = lockFixture(kAlu8, "rt_alu8_idem", "era", "75%");
+  const std::string once = verilog::writeModule(fixture.locked);
+  const std::string twice = verilog::writeModule(verilog::parseModule(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(CliLockRoundTripTest, SameSeedIsBitIdenticalAcrossRuns) {
+  const std::string a = ::testing::TempDir() + "det_a.locked.v";
+  const std::string b = ::testing::TempDir() + "det_b.locked.v";
+  const std::string keyA = ::testing::TempDir() + "det_a.key.json";
+  const std::string keyB = ::testing::TempDir() + "det_b.key.json";
+  ASSERT_EQ(runCli({"lock", kAlu8, "--algo=hra", "--seed=42", "--out=" + a, "--key-out=" + keyA})
+                .exitCode,
+            cli::kExitOk);
+  ASSERT_EQ(runCli({"lock", kAlu8, "--algo=hra", "--seed=42", "--out=" + b, "--key-out=" + keyB})
+                .exitCode,
+            cli::kExitOk);
+  EXPECT_EQ(slurp(a), slurp(b));
+  EXPECT_EQ(slurp(keyA), slurp(keyB));
+  EXPECT_FALSE(slurp(a).empty());
+}
+
+TEST(CliLockRoundTripTest, RefusesToRelockAnAlreadyLockedNetlist) {
+  // A relock's key file could not state the pre-existing key bits — an
+  // unusable, silently-corrupting key string — so the tool refuses.
+  const std::string lockedPath = ::testing::TempDir() + "relock.locked.v";
+  const std::string keyPath = ::testing::TempDir() + "relock.key.json";
+  ASSERT_EQ(runCli({"lock", kAlu8, "--out=" + lockedPath, "--key-out=" + keyPath}).exitCode,
+            cli::kExitOk);
+  const auto relock = runCli({"lock", lockedPath, "--out=" + lockedPath + "2",
+                              "--key-out=" + keyPath + "2"});
+  EXPECT_EQ(relock.exitCode, cli::kExitError);
+  EXPECT_NE(relock.err.find("already carries"), std::string::npos);
+}
+
+TEST(CliLockRoundTripTest, AbsoluteBudgetLocksExactly) {
+  const std::string lockedPath = ::testing::TempDir() + "abs.locked.v";
+  const std::string keyPath = ::testing::TempDir() + "abs.key.json";
+  ASSERT_EQ(runCli({"lock", kAlu8, "--algo=random", "--budget=3", "--out=" + lockedPath,
+                    "--key-out=" + keyPath})
+                .exitCode,
+            cli::kExitOk);
+  const cli::KeyFile keyFile = cli::keyFileFromJson(support::parseJson(slurp(keyPath)));
+  ASSERT_EQ(keyFile.modules.size(), 1u);
+  EXPECT_EQ(keyFile.modules.front().bitsUsed, 3);
+}
+
+}  // namespace
+}  // namespace rtlock

@@ -1,0 +1,149 @@
+// Attack/eval report schema goldens and thread-count invariance at the tool
+// boundary.
+//
+// The row schema ({bench, config, metric, value, wall_ms}) is shared with
+// BENCH_baseline.json — external tooling parses both — so its shape is
+// pinned here key-by-key.  With --no-wall the whole report file must be
+// byte-identical across --threads values: that is the CLI-level restatement
+// of the experiment engine's determinism contract.
+#include "cli_test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cli/common.hpp"
+#include "support/json.hpp"
+
+namespace rtlock {
+namespace {
+
+using testutil::runCli;
+using testutil::slurp;
+
+constexpr const char* kConv3 = RTLOCK_EXAMPLES_DIR "/external/conv3.v";
+
+/// Locks conv3 once per suite run; returns (locked path, key path).
+std::pair<std::string, std::string> lockedConv3() {
+  const std::string lockedPath = ::testing::TempDir() + "schema_conv3.locked.v";
+  const std::string keyPath = ::testing::TempDir() + "schema_conv3.key.json";
+  const auto result = runCli({"lock", kConv3, "--algo=era", "--seed=5", "--out=" + lockedPath,
+                              "--key-out=" + keyPath});
+  EXPECT_EQ(result.exitCode, cli::kExitOk) << result.err;
+  return {lockedPath, keyPath};
+}
+
+std::string runAttackReport(const std::string& lockedPath, const std::string& keyPath,
+                            const std::string& tag, const std::string& threads) {
+  const std::string reportPath = ::testing::TempDir() + "attack_" + tag + ".json";
+  const auto result =
+      runCli({"attack", lockedPath, "--key=" + keyPath, "--rounds=60", "--repeats=2",
+              "--seed=3", "--threads=" + threads, "--no-wall", "--report=" + reportPath});
+  EXPECT_EQ(result.exitCode, cli::kExitOk) << result.err;
+  return reportPath;
+}
+
+TEST(CliReportSchemaTest, AttackReportMatchesGoldenShape) {
+  const auto [lockedPath, keyPath] = lockedConv3();
+  const std::string reportPath = runAttackReport(lockedPath, keyPath, "golden", "1");
+  const support::JsonValue report = support::parseJson(slurp(reportPath));
+
+  EXPECT_EQ(report.at("schema").asString(), "rtlock-attack-report/v1");
+  EXPECT_EQ(report.at("module").asString(), "conv3");
+  EXPECT_EQ(report.at("seed").asInt(), 3);
+  EXPECT_TRUE(report.at("scored").asBool());
+
+  const support::JsonArray& attacks = report.at("attacks").asArray();
+  ASSERT_EQ(attacks.size(), 2u);
+  for (const support::JsonValue& attack : attacks) {
+    EXPECT_TRUE(attack.find("repeat") != nullptr);
+    EXPECT_FALSE(attack.at("model").asString().empty());
+    EXPECT_GE(attack.at("cv_accuracy").asDouble(), 0.0);
+    EXPECT_GE(attack.at("kpa_percent").asDouble(), 0.0);
+    // One '0'/'1' prediction per attacked key bit.
+    const std::string& predictions = attack.at("predictions").asString();
+    EXPECT_FALSE(predictions.empty());
+    for (const char c : predictions) EXPECT_TRUE(c == '0' || c == '1');
+  }
+
+  // Row objects carry exactly the baseline schema keys, in its order.
+  const support::JsonArray& rows = report.at("rows").asArray();
+  ASSERT_FALSE(rows.empty());
+  std::vector<std::string> metrics;
+  for (const support::JsonValue& row : rows) {
+    const support::JsonObject& object = row.asObject();
+    ASSERT_EQ(object.size(), 5u);
+    EXPECT_EQ(object[0].first, "bench");
+    EXPECT_EQ(object[1].first, "config");
+    EXPECT_EQ(object[2].first, "metric");
+    EXPECT_EQ(object[3].first, "value");
+    EXPECT_EQ(object[4].first, "wall_ms");
+    EXPECT_EQ(row.at("bench").asString(), "conv3");
+    EXPECT_EQ(row.at("wall_ms").asDouble(), 0.0);  // --no-wall
+    metrics.push_back(row.at("metric").asString());
+  }
+  for (const std::string wanted : {"kpa_percent", "mean_kpa_percent", "key_bits",
+                                   "mean_training_rows", "mean_cv_accuracy_percent"}) {
+    EXPECT_NE(std::find(metrics.begin(), metrics.end(), wanted), metrics.end()) << wanted;
+  }
+}
+
+TEST(CliReportSchemaTest, AttackReportBitIdenticalAcrossThreadCounts) {
+  const auto [lockedPath, keyPath] = lockedConv3();
+  const std::string serial = runAttackReport(lockedPath, keyPath, "t1", "1");
+  const std::string fourWay = runAttackReport(lockedPath, keyPath, "t4", "4");
+  const std::string hardware = runAttackReport(lockedPath, keyPath, "thw", "0");
+  EXPECT_EQ(slurp(serial), slurp(fourWay));
+  EXPECT_EQ(slurp(serial), slurp(hardware));
+  EXPECT_FALSE(slurp(serial).empty());
+}
+
+TEST(CliReportSchemaTest, EvalReportBitIdenticalAcrossThreadCounts) {
+  auto evalReport = [&](const std::string& tag, const std::string& threads) {
+    const std::string reportPath = ::testing::TempDir() + "eval_" + tag + ".json";
+    const auto result =
+        runCli({"eval", kConv3, "--algos=hra,era", "--seeds=1..2", "--samples=1", "--rounds=30",
+                "--threads=" + threads, "--no-wall", "--report=" + reportPath});
+    EXPECT_EQ(result.exitCode, cli::kExitOk) << result.err;
+    return reportPath;
+  };
+  const std::string serial = evalReport("t1", "1");
+  const std::string fourWay = evalReport("t4", "4");
+  const std::string hardware = evalReport("thw", "0");
+  EXPECT_EQ(slurp(serial), slurp(fourWay));
+  EXPECT_EQ(slurp(serial), slurp(hardware));
+
+  const support::JsonValue report = support::parseJson(slurp(serial));
+  EXPECT_EQ(report.at("schema").asString(), "rtlock-eval-report/v1");
+  // 2 algos x 2 seeds x 6 per-cell rows + 2 per-algo aggregates.
+  EXPECT_EQ(report.at("rows").asArray().size(), 26u);
+}
+
+TEST(CliReportSchemaTest, ReportCommandRendersAttackReportCsv) {
+  const auto [lockedPath, keyPath] = lockedConv3();
+  const std::string reportPath = runAttackReport(lockedPath, keyPath, "csv", "1");
+  const auto result = runCli({"report", reportPath, "--csv", "--metric=mean_kpa_percent"});
+  ASSERT_EQ(result.exitCode, cli::kExitOk) << result.err;
+  EXPECT_NE(result.out.find("bench,config,metric,value,wall_ms"), std::string::npos);
+  EXPECT_NE(result.out.find("mean_kpa_percent"), std::string::npos);
+}
+
+TEST(CliReportSchemaTest, UnscoredAttackOmitsKpaRows) {
+  const auto [lockedPath, keyPath] = lockedConv3();
+  (void)keyPath;
+  const std::string reportPath = ::testing::TempDir() + "attack_unscored.json";
+  const auto result = runCli({"attack", lockedPath, "--rounds=40", "--no-wall",
+                              "--report=" + reportPath});
+  ASSERT_EQ(result.exitCode, cli::kExitOk) << result.err;
+  const support::JsonValue report = support::parseJson(slurp(reportPath));
+  EXPECT_FALSE(report.at("scored").asBool());
+  for (const support::JsonValue& row : report.at("rows").asArray()) {
+    EXPECT_EQ(row.at("metric").asString().find("kpa"), std::string::npos);
+  }
+  for (const support::JsonValue& attack : report.at("attacks").asArray()) {
+    EXPECT_EQ(attack.find("kpa_percent"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace rtlock

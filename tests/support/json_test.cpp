@@ -1,0 +1,121 @@
+// support::JsonValue parse/serialize contract.
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::support {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_EQ(parseJson("true").asBool(), true);
+  EXPECT_EQ(parseJson("false").asBool(), false);
+  EXPECT_DOUBLE_EQ(parseJson("-12.5e2").asDouble(), -1250.0);
+  EXPECT_EQ(parseJson("42").asInt(), 42);
+  EXPECT_EQ(parseJson("\"hi\\n\\\"there\\\"\"").asString(), "hi\n\"there\"");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const JsonValue value = parseJson(R"({"rows": [{"a": 1, "b": [true, null]}], "n": 2})");
+  EXPECT_EQ(value.at("n").asInt(), 2);
+  const JsonArray& rows = value.at("rows").asArray();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("a").asInt(), 1);
+  EXPECT_TRUE(rows[0].at("b").asArray()[1].isNull());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue value;
+  value.set("zebra", 1);
+  value.set("apple", 2);
+  value.set("mango", 3);
+  const JsonObject& object = value.asObject();
+  ASSERT_EQ(object.size(), 3u);
+  EXPECT_EQ(object[0].first, "zebra");
+  EXPECT_EQ(object[1].first, "apple");
+  EXPECT_EQ(object[2].first, "mango");
+}
+
+TEST(JsonTest, DumpParseRoundTripsStructureAndValues) {
+  JsonValue document;
+  document.set("schema", "test/v1");
+  document.set("pi", 3.14159);
+  document.set("count", 7);
+  document.set("flag", true);
+  JsonArray rows;
+  JsonValue row;
+  row.set("name", "a \"quoted\" name\twith tab");
+  row.set("value", -0.25);
+  rows.push_back(std::move(row));
+  document.set("rows", JsonValue{std::move(rows)});
+
+  const JsonValue reparsed = parseJson(document.dump());
+  EXPECT_EQ(reparsed.at("schema").asString(), "test/v1");
+  EXPECT_DOUBLE_EQ(reparsed.at("pi").asDouble(), 3.14159);
+  EXPECT_EQ(reparsed.at("count").asInt(), 7);
+  EXPECT_TRUE(reparsed.at("flag").asBool());
+  EXPECT_EQ(reparsed.at("rows").asArray()[0].at("name").asString(),
+            "a \"quoted\" name\twith tab");
+  EXPECT_DOUBLE_EQ(reparsed.at("rows").asArray()[0].at("value").asDouble(), -0.25);
+  // Serialization is canonical: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(reparsed.dump(), document.dump());
+}
+
+TEST(JsonTest, ParsesCommittedBaselineSchema) {
+  const JsonValue baseline = parseJson(R"({
+  "schema": "rtlock-bench-baseline/v1",
+  "seed": 1,
+  "rows": [
+    {"bench": "fig4", "config": "serial+serial", "metric": "worst_locality_bias",
+     "value": 0.0028, "wall_ms": 1.94}
+  ]
+})");
+  EXPECT_EQ(baseline.at("schema").asString(), "rtlock-bench-baseline/v1");
+  const JsonValue& row = baseline.at("rows").asArray().front();
+  EXPECT_DOUBLE_EQ(row.at("value").asDouble(), 0.0028);
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(parseJson("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(parseJson("\"\\u00e9\"").asString(), "\xc3\xa9");    // é
+  EXPECT_EQ(parseJson("\"\\u20ac\"").asString(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonTest, MalformedInputThrowsWithLocation) {
+  EXPECT_THROW((void)parseJson(""), Error);
+  EXPECT_THROW((void)parseJson("{\"a\": }"), Error);
+  EXPECT_THROW((void)parseJson("[1, 2"), Error);
+  EXPECT_THROW((void)parseJson("{\"a\": 1} trailing"), Error);
+  EXPECT_THROW((void)parseJson("\"unterminated"), Error);
+  EXPECT_THROW((void)parseJson("truthy"), Error);
+  try {
+    (void)parseJson("{\n  \"a\": @\n}");
+    FAIL() << "expected Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonTest, TypeMismatchesThrow) {
+  const JsonValue value = parseJson(R"({"n": 1.5, "s": "x"})");
+  EXPECT_THROW((void)value.at("s").asDouble(), Error);
+  EXPECT_THROW((void)value.at("n").asInt(), Error);  // non-integral
+  EXPECT_THROW((void)value.at("missing"), Error);
+  EXPECT_EQ(value.find("missing"), nullptr);
+  // Out-of-int64-range numbers fail cleanly (no UB cast).
+  EXPECT_THROW((void)parseJson("1e300").asInt(), Error);
+  EXPECT_THROW((void)parseJson("-1e300").asInt(), Error);
+}
+
+TEST(JsonTest, EscapesControlCharactersOnOutput) {
+  const std::string raw{"a\x01"
+                        "b"};
+  JsonValue value{raw};
+  EXPECT_EQ(value.dump(), "\"a\\u0001b\"\n");
+  EXPECT_EQ(parseJson(value.dump()).asString(), raw);
+}
+
+}  // namespace
+}  // namespace rtlock::support
