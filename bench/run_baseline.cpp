@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/lint.hpp"
+#include "analysis/verifier.hpp"
 #include "attack/locality.hpp"
 #include "attack/pipeline.hpp"
 #include "common.hpp"
@@ -291,6 +293,28 @@ void runPerf(std::vector<Row>& rows, std::uint64_t seed) {
                                        options, stimulusRng);
       }
       return elapsedMs(start) / kKeys;
+    });
+  }
+  {
+    // Static analysis cost: full verifier + security lint (key-influence
+    // fixpoint included) over a locked SHA256 — the `rtlock lint` hot path
+    // and the price debug builds pay per RTLOCK_DEBUG_VERIFY_IR call site.
+    const rtl::Module original = designs::makeBenchmark("SHA256");
+    rtl::Module locked = original.clone();
+    lock::LockEngine engine{locked, lock::PairTable::fixed()};
+    support::Rng lockRng{seed + 4};
+    lock::assureRandomLock(engine, engine.initialLockableOps() / 2, lockRng);
+    constexpr int kRepeats = 10;
+    timedRow(rows, "perf", "SHA256 locked@50%", "lint_ms", [&] {
+      const auto start = Clock::now();
+      for (int i = 0; i < kRepeats; ++i) {
+        const auto findings = analysis::verify(locked);
+        const auto report = analysis::lintLocked(locked);
+        if (!findings.empty() || report.summary.keyWidth != locked.keyWidth()) {
+          throw support::Error{"lint bench: unexpected analysis result"};
+        }
+      }
+      return elapsedMs(start) / kRepeats;
     });
   }
   {

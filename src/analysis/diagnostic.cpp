@@ -1,0 +1,96 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::analysis {
+
+namespace {
+
+struct CheckInfo {
+  Check check;
+  std::string_view code;
+  std::string_view name;
+};
+
+constexpr CheckInfo kCheckTable[] = {
+    {Check::SignalOutOfRange, "V101", "signal-out-of-range"},
+    {Check::SignalWidthMismatch, "V102", "signal-width-mismatch"},
+    {Check::ExprWidthMismatch, "V103", "expr-width-mismatch"},
+    {Check::SliceOutOfRange, "V104", "slice-out-of-range"},
+    {Check::KeyRefOutOfRange, "V105", "key-ref-out-of-range"},
+    {Check::DanglingKeyBit, "V106", "dangling-key-bit"},
+    {Check::DrivenInput, "V107", "driven-input"},
+    {Check::AssignOutOfRange, "V108", "assign-out-of-range"},
+    {Check::AssignWidthMismatch, "V109", "assign-width-mismatch"},
+    {Check::NameCollision, "V110", "name-collision"},
+    {Check::CombinationalLoop, "V111", "combinational-loop"},
+    {Check::MultipleDrivers, "V112", "multiple-drivers"},
+    {Check::UndrivenSignal, "V113", "undriven-signal"},
+    {Check::UseBeforeDef, "V114", "use-before-def"},
+    {Check::ProcessDiscipline, "V115", "process-discipline"},
+    {Check::CaseLabelOverflow, "V116", "case-label-overflow"},
+    {Check::BadClock, "V117", "bad-clock"},
+    {Check::FreeKeyBit, "L201", "free-key-bit"},
+    {Check::ConstantSelectMux, "L202", "constant-select-mux"},
+    {Check::IdenticalArmsMux, "L203", "identical-arms-mux"},
+};
+
+const CheckInfo& infoFor(Check check) noexcept {
+  for (const CheckInfo& info : kCheckTable) {
+    if (info.check == check) return info;
+  }
+  return kCheckTable[0];
+}
+
+}  // namespace
+
+std::string_view checkCode(Check check) noexcept { return infoFor(check).code; }
+
+std::string_view checkName(Check check) noexcept { return infoFor(check).name; }
+
+std::string_view severityName(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  RTLOCK_UNREACHABLE("severity");
+}
+
+std::string describe(const Diagnostic& diagnostic) {
+  std::string text{severityName(diagnostic.severity)};
+  text += ' ';
+  text += checkCode(diagnostic.check);
+  text += " [";
+  text += diagnostic.module;
+  text += "] ";
+  if (!diagnostic.context.empty()) {
+    text += diagnostic.context;
+    text += ": ";
+  }
+  text += diagnostic.message;
+  return text;
+}
+
+std::string describeAll(const std::vector<Diagnostic>& diagnostics) {
+  std::string text;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    text += describe(diagnostic);
+    text += '\n';
+  }
+  return text;
+}
+
+int countWithSeverity(const std::vector<Diagnostic>& diagnostics, Severity severity) noexcept {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+bool hasErrors(const std::vector<Diagnostic>& diagnostics) noexcept {
+  return countWithSeverity(diagnostics, Severity::Error) > 0;
+}
+
+}  // namespace rtlock::analysis

@@ -1,0 +1,77 @@
+// Structured diagnostics for the static-analysis passes.
+//
+// Every finding a pass produces is a Diagnostic: a stable check code
+// (documented in docs/ANALYSIS.md), a severity, and location context inside
+// the module.  Passes return plain vectors so callers decide policy — the
+// debug-build IR assertions abort on Error-severity findings, `rtlock lint`
+// renders every severity, and tests assert on codes.
+//
+// This is the structured counterpart of support/diagnostics.hpp: exceptions
+// carry single fatal failures across tool boundaries, Diagnostic carries the
+// many-findings-per-run shape of an analysis pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtlock::analysis {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+/// Every check the analysis passes implement.  Codes are stable identifiers
+/// (V1xx = Tier A verifier, L2xx = Tier B security lint); new checks append.
+enum class Check : std::uint8_t {
+  // Tier A — IR verifier.
+  SignalOutOfRange,     // V101: expression references a signal id outside the table
+  SignalWidthMismatch,  // V102: signal reference width != declared width
+  ExprWidthMismatch,    // V103: node width != width implied by its operands
+  SliceOutOfRange,      // V104: slice bounds outside the base expression
+  KeyRefOutOfRange,     // V105: key reference beyond the module's key width
+  DanglingKeyBit,       // V106: allocated key bit never referenced
+  DrivenInput,          // V107: assignment targets an input port
+  AssignOutOfRange,     // V108: assignment target bounds outside the signal
+  AssignWidthMismatch,  // V109: value width != assignment target width
+  NameCollision,        // V110: duplicate signal name / key-port collision
+  CombinationalLoop,    // V111: cyclic combinational dependency
+  MultipleDrivers,      // V112: signal driven from more than one place
+  UndrivenSignal,       // V113: signal read (or output) but never driven
+  UseBeforeDef,         // V114: comb process reads its own output before writing
+  ProcessDiscipline,    // V115: wrong assign kind / net kind for the context
+  CaseLabelOverflow,    // V116: case label wider than the subject
+  BadClock,             // V117: sequential clock missing or not 1 bit wide
+  // Tier B — security lint over a locked netlist.
+  FreeKeyBit,           // L201: key bit whose cone of influence misses every output
+  ConstantSelectMux,    // L202: mux select constant-folds — removable by constprop
+  IdenticalArmsMux,     // L203: key mux with syntactically identical arms
+};
+
+struct Diagnostic {
+  Check check = Check::SignalOutOfRange;
+  Severity severity = Severity::Error;
+  std::string module;   // module name
+  std::string context;  // location inside the module ("assign #3", "key bit 7")
+  std::string message;
+};
+
+/// Stable code of a check ("V101", "L203").
+[[nodiscard]] std::string_view checkCode(Check check) noexcept;
+
+/// Kebab-case name of a check ("signal-out-of-range").
+[[nodiscard]] std::string_view checkName(Check check) noexcept;
+
+[[nodiscard]] std::string_view severityName(Severity severity) noexcept;
+
+/// One-line rendering: "error V101 [mod] assign #3: message".
+[[nodiscard]] std::string describe(const Diagnostic& diagnostic);
+
+/// Multi-line rendering of a whole finding list (one describe() per line).
+[[nodiscard]] std::string describeAll(const std::vector<Diagnostic>& diagnostics);
+
+[[nodiscard]] int countWithSeverity(const std::vector<Diagnostic>& diagnostics,
+                                    Severity severity) noexcept;
+
+[[nodiscard]] bool hasErrors(const std::vector<Diagnostic>& diagnostics) noexcept;
+
+}  // namespace rtlock::analysis

@@ -1,0 +1,160 @@
+#include "analysis/key_influence.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "rtl/traverse.hpp"
+#include "sim/schedule.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::analysis {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+using rtl::SignalId;
+
+/// One taint-propagation unit: targets |= keyMask | taint(reads).
+struct TaintUnit {
+  std::vector<SignalId> reads;
+  std::vector<SignalId> writes;
+  std::vector<std::uint64_t> keyMask;  // key bits read directly
+};
+
+void orKeyBitsOf(const Expr& expr, std::vector<std::uint64_t>& mask, int keyWidth) {
+  rtl::forEachExpr(expr, [&](const Expr& node) {
+    if (node.kind() != ExprKind::KeyRef) return;
+    const auto& ref = static_cast<const rtl::KeyRefExpr&>(node);
+    const int end = std::min(ref.firstBit() + ref.width(), keyWidth);
+    for (int bit = ref.firstBit(); bit < end && bit >= 0; ++bit) {
+      mask[static_cast<std::size_t>(bit) / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+  });
+}
+
+}  // namespace
+
+KeyInfluence::KeyInfluence(const rtl::Module& module) : keyWidth_(module.keyWidth()) {
+  refCounts_.assign(static_cast<std::size_t>(keyWidth_), 0);
+  muxCounts_.assign(static_cast<std::size_t>(keyWidth_), 0);
+  outputTaint_.assign(words(), 0);
+  if (keyWidth_ <= 0) return;
+
+  // Gate statistics: raw key-reference coverage and key-mux selects.
+  rtl::forEachExpr(module, [&](const Expr& node) {
+    if (node.kind() == ExprKind::KeyRef) {
+      const auto& ref = static_cast<const rtl::KeyRefExpr&>(node);
+      const int end = std::min(ref.firstBit() + ref.width(), keyWidth_);
+      for (int bit = std::max(ref.firstBit(), 0); bit < end; ++bit) {
+        ++refCounts_[static_cast<std::size_t>(bit)];
+      }
+    } else if (node.kind() == ExprKind::Ternary) {
+      const auto& ternary = static_cast<const rtl::TernaryExpr&>(node);
+      if (ternary.isKeyMux()) {
+        const auto& ref = static_cast<const rtl::KeyRefExpr&>(ternary.cond());
+        if (ref.firstBit() >= 0 && ref.firstBit() < keyWidth_) {
+          ++muxCounts_[static_cast<std::size_t>(ref.firstBit())];
+        }
+      }
+    }
+  });
+
+  // Taint units: one per continuous assignment, one per process (a process
+  // taints every signal it writes with everything it reads — conditions
+  // included, which is exactly the control-dependence over-approximation).
+  std::vector<TaintUnit> units;
+  for (const auto& assign : module.contAssigns()) {
+    TaintUnit unit;
+    std::set<SignalId> reads;
+    sim::collectExprReads(assign->value(), reads);
+    unit.reads.assign(reads.begin(), reads.end());
+    unit.writes.push_back(assign->target().signal);
+    unit.keyMask.assign(words(), 0);
+    orKeyBitsOf(assign->value(), unit.keyMask, keyWidth_);
+    units.push_back(std::move(unit));
+  }
+  for (const auto& process : module.processes()) {
+    TaintUnit unit;
+    std::set<SignalId> reads;
+    std::set<SignalId> writes;
+    sim::collectStmtReadsWrites(*process->body, reads, writes);
+    unit.reads.assign(reads.begin(), reads.end());
+    unit.writes.assign(writes.begin(), writes.end());
+    unit.keyMask.assign(words(), 0);
+    rtl::forEachExprInStmt(*process->body, [&](const Expr& expr) {
+      if (expr.kind() == ExprKind::KeyRef) {
+        const auto& ref = static_cast<const rtl::KeyRefExpr&>(expr);
+        const int end = std::min(ref.firstBit() + ref.width(), keyWidth_);
+        for (int bit = std::max(ref.firstBit(), 0); bit < end; ++bit) {
+          unit.keyMask[static_cast<std::size_t>(bit) / 64] |= std::uint64_t{1} << (bit % 64);
+        }
+      }
+    });
+    units.push_back(std::move(unit));
+  }
+
+  // Fixpoint taint propagation (registers feed back, so iterate until no
+  // signal's taint grows; bounded by the longest dependency chain).
+  std::vector<std::uint64_t> taint(module.signalCount() * words(), 0);
+  const auto rowOf = [&](SignalId id) { return static_cast<std::size_t>(id) * words(); };
+  bool changed = true;
+  std::vector<std::uint64_t> acc(words());
+  while (changed) {
+    changed = false;
+    for (const TaintUnit& unit : units) {
+      acc = unit.keyMask;
+      for (const SignalId read : unit.reads) {
+        if (read >= module.signalCount()) continue;
+        const std::size_t row = rowOf(read);
+        for (std::size_t w = 0; w < words(); ++w) acc[w] |= taint[row + w];
+      }
+      for (const SignalId write : unit.writes) {
+        if (write >= module.signalCount()) continue;
+        const std::size_t row = rowOf(write);
+        for (std::size_t w = 0; w < words(); ++w) {
+          const std::uint64_t merged = taint[row + w] | acc[w];
+          if (merged != taint[row + w]) {
+            taint[row + w] = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t id = 0; id < module.signalCount(); ++id) {
+    const rtl::Signal& signal = module.signal(static_cast<SignalId>(id));
+    if (!signal.isPort || signal.dir != rtl::PortDir::Output) continue;
+    const std::size_t row = rowOf(static_cast<SignalId>(id));
+    for (std::size_t w = 0; w < words(); ++w) outputTaint_[w] |= taint[row + w];
+  }
+}
+
+bool KeyInfluence::reachesOutput(int bit) const {
+  RTLOCK_REQUIRE(bit >= 0 && bit < keyWidth_, "key bit index outside the key");
+  return (outputTaint_[static_cast<std::size_t>(bit) / 64] >>
+          (static_cast<std::size_t>(bit) % 64)) &
+         1U;
+}
+
+std::vector<int> KeyInfluence::freeBits() const {
+  std::vector<int> bits;
+  for (int bit = 0; bit < keyWidth_; ++bit) {
+    if (!reachesOutput(bit)) bits.push_back(bit);
+  }
+  return bits;
+}
+
+int KeyInfluence::refCount(int bit) const {
+  RTLOCK_REQUIRE(bit >= 0 && bit < keyWidth_, "key bit index outside the key");
+  return refCounts_[static_cast<std::size_t>(bit)];
+}
+
+int KeyInfluence::muxCount(int bit) const {
+  RTLOCK_REQUIRE(bit >= 0 && bit < keyWidth_, "key bit index outside the key");
+  return muxCounts_[static_cast<std::size_t>(bit)];
+}
+
+}  // namespace rtlock::analysis

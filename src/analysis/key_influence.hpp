@@ -1,0 +1,61 @@
+// Per-key-bit cone-of-influence analysis over one module.
+//
+// The attacker's-eye question behind Tier B of the lint: which outputs can a
+// given key bit possibly affect?  The analysis propagates key-bit taint
+// through the signal dependency graph — a driver taints its targets with
+// every key bit its expressions read plus the taint of every signal they
+// read; process writes additionally inherit the taint of every signal the
+// process reads (control dependence through if/case conditions).  Sequential
+// feedback is covered by iterating to a fixpoint, so influence that only
+// reaches an output after several clock cycles still counts.
+//
+// The propagation over-approximates influence, which makes the *absence* of
+// influence a proof: a key bit whose taint reaches no output port can never
+// change any output value under any stimulus — the provably-free-key-bit
+// flag `rtlock lint` reports and the differential test holds against
+// simulation.
+//
+// Contract --------------------------------------------------------------------
+// Ownership: the constructor reads the module and keeps no reference to it.
+// Determinism: results are a pure function of the module.
+// Thread-safety: const after construction; concurrent use is safe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace rtlock::analysis {
+
+class KeyInfluence {
+ public:
+  explicit KeyInfluence(const rtl::Module& module);
+
+  [[nodiscard]] int keyWidth() const noexcept { return keyWidth_; }
+
+  /// True when `bit`'s cone of influence contains at least one output port.
+  [[nodiscard]] bool reachesOutput(int bit) const;
+
+  /// Key bits (ascending) that provably never influence any output.
+  [[nodiscard]] std::vector<int> freeBits() const;
+
+  /// Number of key-reference leaves covering `bit` anywhere in the module.
+  [[nodiscard]] int refCount(int bit) const;
+
+  /// Number of key multiplexers (ternaries with a 1-bit key select, the
+  /// locking shells of Fig. 3) whose select reads `bit`.
+  [[nodiscard]] int muxCount(int bit) const;
+
+ private:
+  [[nodiscard]] std::size_t words() const noexcept {
+    return (static_cast<std::size_t>(keyWidth_) + 63) / 64;
+  }
+
+  int keyWidth_ = 0;
+  std::vector<std::uint64_t> outputTaint_;  // bitset over key bits
+  std::vector<int> refCounts_;
+  std::vector<int> muxCounts_;
+};
+
+}  // namespace rtlock::analysis

@@ -1,0 +1,137 @@
+#include "analysis/lint.hpp"
+
+#include <optional>
+#include <string>
+
+#include "analysis/key_influence.hpp"
+#include "rtl/traverse.hpp"
+#include "sim/op_eval.hpp"
+
+namespace rtlock::analysis {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+
+/// Folds an expression to its constant value when it contains no signal or
+/// key leaves.  Restricted to widths <= 64 (the ConstantExpr subset); wider
+/// or non-constant trees return nullopt.  Semantics come from the simulator's
+/// shared operator kernels, so the fold can never disagree with execution.
+std::optional<std::uint64_t> tryFoldConstant(const Expr& expr) {
+  if (expr.width() > 64) return std::nullopt;
+  switch (expr.kind()) {
+    case ExprKind::Constant:
+      return static_cast<const rtl::ConstantExpr&>(expr).value();
+    case ExprKind::SignalRef:
+    case ExprKind::KeyRef:
+      return std::nullopt;
+    case ExprKind::Unary: {
+      const auto& unary = static_cast<const rtl::UnaryExpr&>(expr);
+      const auto operand = tryFoldConstant(unary.operand());
+      if (!operand) return std::nullopt;
+      return sim::evalUnaryOp(unary.op(), sim::BitVector{*operand, unary.operand().width()},
+                              expr.width())
+          .toUint64();
+    }
+    case ExprKind::Binary: {
+      const auto& binary = static_cast<const rtl::BinaryExpr&>(expr);
+      const auto lhs = tryFoldConstant(binary.lhs());
+      const auto rhs = tryFoldConstant(binary.rhs());
+      if (!lhs || !rhs) return std::nullopt;
+      return sim::evalBinaryOp(binary.op(), sim::BitVector{*lhs, binary.lhs().width()},
+                               sim::BitVector{*rhs, binary.rhs().width()}, expr.width())
+          .toUint64();
+    }
+    case ExprKind::Ternary: {
+      const auto& ternary = static_cast<const rtl::TernaryExpr&>(expr);
+      const auto cond = tryFoldConstant(ternary.cond());
+      if (!cond) return std::nullopt;
+      const auto chosen = tryFoldConstant(*cond != 0 ? ternary.thenExpr() : ternary.elseExpr());
+      if (!chosen) return std::nullopt;
+      return rtl::ConstantExpr::maskToWidth(*chosen, expr.width());
+    }
+    case ExprKind::Concat: {
+      std::uint64_t value = 0;
+      for (int i = 0; i < expr.exprSlotCount(); ++i) {
+        const Expr& part = expr.exprAt(i);
+        const auto folded = tryFoldConstant(part);
+        if (!folded) return std::nullopt;
+        value = (value << part.width()) | *folded;
+      }
+      return rtl::ConstantExpr::maskToWidth(value, expr.width());
+    }
+    case ExprKind::Slice: {
+      const auto& slice = static_cast<const rtl::SliceExpr&>(expr);
+      const auto base = tryFoldConstant(slice.value());
+      if (!base) return std::nullopt;
+      return rtl::ConstantExpr::maskToWidth(*base >> slice.lo(), expr.width());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+LintReport lintLocked(const rtl::Module& module) {
+  LintReport report;
+  const KeyInfluence influence{module};
+  report.summary.keyWidth = influence.keyWidth();
+
+  const auto emit = [&](Check check, std::string context, std::string message) {
+    report.findings.push_back(
+        {check, Severity::Warning, module.name(), std::move(context), std::move(message)});
+  };
+
+  // Mux-shape findings, in module traversal order.
+  int muxIndex = 0;
+  rtl::forEachExpr(module, [&](const Expr& node) {
+    if (node.kind() != ExprKind::Ternary) return;
+    const auto& ternary = static_cast<const rtl::TernaryExpr&>(node);
+    const int index = muxIndex++;
+    if (ternary.isKeyMux()) ++report.summary.keyMuxes;
+    const std::string context = "mux #" + std::to_string(index);
+    if (const auto select = tryFoldConstant(ternary.cond())) {
+      ++report.summary.constantSelectMuxes;
+      emit(Check::ConstantSelectMux, context,
+           "select constant-folds to " + std::to_string(*select) +
+               " — constant propagation deletes the " + (*select != 0 ? "else" : "then") +
+               " arm");
+    }
+    if (ternary.isKeyMux() && structurallyEqual(ternary.thenExpr(), ternary.elseExpr())) {
+      ++report.summary.identicalArmMuxes;
+      const auto& select = static_cast<const rtl::KeyRefExpr&>(ternary.cond());
+      emit(Check::IdenticalArmsMux, context,
+           "key bit " + std::to_string(select.firstBit()) +
+               " selects between syntactically identical arms — the mux is removable");
+    }
+  });
+
+  // Per-bit influence facts and L201 findings.
+  report.bits.reserve(static_cast<std::size_t>(influence.keyWidth()));
+  for (int bit = 0; bit < influence.keyWidth(); ++bit) {
+    KeyBitLint info;
+    info.bit = bit;
+    info.reachesOutput = influence.reachesOutput(bit);
+    info.refCount = influence.refCount(bit);
+    info.muxCount = influence.muxCount(bit);
+    report.bits.push_back(info);
+    if (!info.reachesOutput) {
+      ++report.summary.freeKeyBits;
+      emit(Check::FreeKeyBit, "key bit " + std::to_string(bit),
+           info.refCount == 0
+               ? "never referenced — any guess is correct"
+               : "cone of influence reaches no output — any guess is correct");
+    }
+  }
+
+  report.summary.staticResiliencePercent =
+      report.summary.keyWidth == 0
+          ? 0.0
+          : 100.0 *
+                static_cast<double>(report.summary.keyWidth - report.summary.freeKeyBits) /
+                static_cast<double>(report.summary.keyWidth);
+  return report;
+}
+
+}  // namespace rtlock::analysis

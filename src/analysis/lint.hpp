@@ -1,0 +1,61 @@
+// Tier B of the static-analysis subsystem: the security lint.
+//
+// lintLocked() looks at a locked netlist the way an oracle-less attacker
+// with a parser would — purely structurally — and reports every weakness a
+// lock should not exhibit:
+//
+//  * L201 free key bit: the bit's cone of influence (analysis/key_influence)
+//    contains no output port, so any key guess for it is correct — the bit
+//    adds zero resilience.  The flag is a proof: the differential test suite
+//    holds it against exhaustive per-bit corruption sweeps.
+//  * L202 constant-select mux: a multiplexer whose select constant-folds, so
+//    constant propagation deletes the dead arm (and any key logic in it).
+//  * L203 identical-arms mux: a key multiplexer whose two arms are
+//    syntactically identical — constant propagation removes the mux and the
+//    key bit with it, and a D-MUX-style deceptive clone/dummy pair must
+//    never degenerate into this shape.
+//
+// The summary condenses the findings into the "static resilience" row the
+// CLI reports next to the dynamic KPA metrics.
+//
+// Contract: same as analysis/verifier.hpp — pure function of the module,
+// stable finding order, safe concurrently on distinct modules.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "rtl/module.hpp"
+
+namespace rtlock::analysis {
+
+/// Static attacker's-eye facts about one key bit.
+struct KeyBitLint {
+  int bit = 0;
+  bool reachesOutput = false;  // false = provably free (L201)
+  int refCount = 0;            // key-reference leaves covering the bit
+  int muxCount = 0;            // key-mux selects reading the bit
+};
+
+struct LintSummary {
+  int keyWidth = 0;
+  int keyMuxes = 0;             // locking multiplexers in the netlist
+  int freeKeyBits = 0;          // L201 findings
+  int constantSelectMuxes = 0;  // L202 findings
+  int identicalArmMuxes = 0;    // L203 findings
+  /// Share of key bits that static analysis cannot discharge:
+  /// 100 * (keyWidth - freeKeyBits) / keyWidth; 0 for an unlocked module.
+  double staticResiliencePercent = 0.0;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> findings;  // L2xx, stable order
+  std::vector<KeyBitLint> bits;      // one entry per key bit, ascending
+  LintSummary summary;
+};
+
+/// Lints a locked netlist (an unlocked module yields an empty report with
+/// keyWidth 0 — nothing to defend, nothing to flag).
+[[nodiscard]] LintReport lintLocked(const rtl::Module& module);
+
+}  // namespace rtlock::analysis

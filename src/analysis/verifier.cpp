@@ -1,0 +1,541 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "rtl/traverse.hpp"
+#include "sim/schedule.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::analysis {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprKind;
+using rtl::Module;
+using rtl::Process;
+using rtl::ProcessKind;
+using rtl::SignalId;
+using rtl::Stmt;
+using rtl::StmtKind;
+
+/// One write site of a signal, for the multiple-driver check.
+struct DriverSite {
+  const Process* process = nullptr;  // nullptr = continuous assignment
+  int contIndex = -1;                // index into contAssigns() when process == nullptr
+  int hi = 0;                        // driven range (whole signal when no slice)
+  int lo = 0;
+};
+
+class Verifier {
+ public:
+  Verifier(const Module& module, const VerifyOptions& options)
+      : module_(module), options_(options) {}
+
+  std::vector<Diagnostic> run() {
+    checkSignalTable();
+    checkDrivers();
+    checkProcesses();
+    checkMultipleDrivers();
+    checkUndrivenSignals();
+    checkKeyCoverage();
+    checkSchedule();
+    return std::move(diags_);
+  }
+
+ private:
+  void emit(Check check, Severity severity, std::string context, std::string message) {
+    diags_.push_back(
+        {check, severity, module_.name(), std::move(context), std::move(message)});
+  }
+
+  [[nodiscard]] bool validSignal(SignalId id) const noexcept {
+    return id < module_.signalCount();
+  }
+
+  [[nodiscard]] std::string signalName(SignalId id) const {
+    return validSignal(id) ? module_.signal(id).name : "<signal " + std::to_string(id) + ">";
+  }
+
+  // ---- signal table ---------------------------------------------------------
+
+  void checkSignalTable() {
+    std::unordered_set<std::string> seen;
+    for (std::size_t id = 0; id < module_.signalCount(); ++id) {
+      const rtl::Signal& signal = module_.signal(static_cast<SignalId>(id));
+      if (signal.width < 1) {
+        emit(Check::SignalWidthMismatch, Severity::Error, signal.name,
+             "declared width " + std::to_string(signal.width) + " is below 1");
+      }
+      if (!seen.insert(signal.name).second) {
+        emit(Check::NameCollision, Severity::Error, signal.name, "duplicate signal name");
+      }
+      if (module_.keyWidth() > 0 && signal.name == module_.keyPortName()) {
+        emit(Check::NameCollision, Severity::Error, signal.name,
+             "signal name collides with the implicit key port '" + module_.keyPortName() + "'");
+      }
+    }
+  }
+
+  // ---- expressions ----------------------------------------------------------
+
+  [[nodiscard]] static int expectedWidth(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::Constant:
+      case ExprKind::SignalRef:
+      case ExprKind::KeyRef:
+        return expr.width();  // leaves carry their own width; checked separately
+      case ExprKind::Unary:
+      case ExprKind::Binary:
+      case ExprKind::Ternary:
+        // Operator nodes may carry any explicit width: the simulator masks or
+        // zero-extends every result to the node's width, so narrowing and
+        // widening are both well-defined IR.  The lock engine relies on this —
+        // a key mux carries the real operation's width while its dummy branch
+        // keeps the natural width of its own operator kind (e.g. a Mul dummy
+        // standing in for an Add).  Only structurally determined widths
+        // (concat, slice) are invariants worth enforcing.
+        return expr.width();
+      case ExprKind::Concat: {
+        int total = 0;
+        for (int i = 0; i < expr.exprSlotCount(); ++i) total += expr.exprAt(i).width();
+        return total;
+      }
+      case ExprKind::Slice: {
+        const auto& slice = static_cast<const rtl::SliceExpr&>(expr);
+        return slice.hi() - slice.lo() + 1;
+      }
+    }
+    RTLOCK_UNREACHABLE("expr kind");
+  }
+
+  void checkExprTree(const Expr& root, const std::string& context) {
+    rtl::forEachExpr(root, [&](const Expr& node) {
+      switch (node.kind()) {
+        case ExprKind::SignalRef: {
+          const auto& ref = static_cast<const rtl::SignalRefExpr&>(node);
+          if (!validSignal(ref.signal())) {
+            emit(Check::SignalOutOfRange, Severity::Error, context,
+                 "reference to signal id " + std::to_string(ref.signal()) + " outside a table of " +
+                     std::to_string(module_.signalCount()) + " signals");
+          } else if (ref.width() != module_.signal(ref.signal()).width) {
+            emit(Check::SignalWidthMismatch, Severity::Error, context,
+                 "reference to '" + signalName(ref.signal()) + "' is " +
+                     std::to_string(ref.width()) + " bits wide, declaration says " +
+                     std::to_string(module_.signal(ref.signal()).width));
+          }
+          break;
+        }
+        case ExprKind::KeyRef: {
+          const auto& ref = static_cast<const rtl::KeyRefExpr&>(node);
+          if (ref.firstBit() + ref.width() > module_.keyWidth()) {
+            emit(Check::KeyRefOutOfRange, Severity::Error, context,
+                 "key reference K[" + std::to_string(ref.firstBit()) + " +: " +
+                     std::to_string(ref.width()) + "] exceeds key width " +
+                     std::to_string(module_.keyWidth()));
+          }
+          break;
+        }
+        case ExprKind::Slice: {
+          const auto& slice = static_cast<const rtl::SliceExpr&>(node);
+          if (slice.lo() < 0 || slice.hi() < slice.lo() ||
+              slice.hi() >= slice.value().width()) {
+            emit(Check::SliceOutOfRange, Severity::Error, context,
+                 "slice [" + std::to_string(slice.hi()) + ":" + std::to_string(slice.lo()) +
+                     "] outside a " + std::to_string(slice.value().width()) + "-bit base");
+            break;  // width recomputation would be meaningless
+          }
+          checkNodeWidth(node, context);
+          break;
+        }
+        default: checkNodeWidth(node, context); break;
+      }
+    });
+  }
+
+  void checkNodeWidth(const Expr& node, const std::string& context) {
+    const int expected = expectedWidth(node);
+    if (node.width() != expected) {
+      emit(Check::ExprWidthMismatch, Severity::Error, context,
+           "node carries width " + std::to_string(node.width()) + ", operands imply " +
+               std::to_string(expected));
+    }
+  }
+
+  // ---- drivers --------------------------------------------------------------
+
+  void checkDrivers() {
+    int contIndex = 0;
+    rtl::forEachDriver(module_, [&](const rtl::LValue& target, const Expr& value,
+                                    rtl::DriverKind kind, const Process* process) {
+      const std::string context =
+          process == nullptr
+              ? "assign #" + std::to_string(contIndex) + " to " + signalName(target.signal)
+              : "process #" + std::to_string(processIndex(process)) + " assign to " +
+                    signalName(target.signal);
+      checkExprTree(value, context);
+      checkAssignTarget(target, value, kind, context);
+      recordDriver(target, process, contIndex);
+      if (process == nullptr) ++contIndex;
+    });
+  }
+
+  [[nodiscard]] int processIndex(const Process* process) const {
+    const auto& processes = module_.processes();
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      if (processes[i].get() == process) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void checkAssignTarget(const rtl::LValue& target, const Expr& value, rtl::DriverKind kind,
+                         const std::string& context) {
+    if (!validSignal(target.signal)) {
+      emit(Check::AssignOutOfRange, Severity::Error, context,
+           "assignment target id " + std::to_string(target.signal) + " outside the signal table");
+      return;
+    }
+    const rtl::Signal& signal = module_.signal(target.signal);
+    int targetWidth = signal.width;
+    if (target.range.has_value()) {
+      const auto [hi, lo] = *target.range;
+      if (lo < 0 || hi < lo || hi >= signal.width) {
+        emit(Check::AssignOutOfRange, Severity::Error, context,
+             "target slice [" + std::to_string(hi) + ":" + std::to_string(lo) + "] outside the " +
+                 std::to_string(signal.width) + "-bit declaration");
+        return;
+      }
+      targetWidth = hi - lo + 1;
+    }
+    if (signal.isPort && signal.dir == rtl::PortDir::Input) {
+      emit(Check::DrivenInput, Severity::Error, context, "assignment drives an input port");
+    }
+    if (kind == rtl::DriverKind::ContAssign && signal.net != rtl::NetKind::Wire) {
+      emit(Check::ProcessDiscipline, Severity::Error, context,
+           "continuous assignment drives a reg");
+    }
+    if (kind != rtl::DriverKind::ContAssign && signal.net != rtl::NetKind::Reg) {
+      emit(Check::ProcessDiscipline, Severity::Error, context,
+           "procedural assignment drives a wire");
+    }
+    if (value.width() != targetWidth) {
+      emit(Check::AssignWidthMismatch, Severity::Warning, context,
+           "a " + std::to_string(value.width()) + "-bit value drives a " +
+               std::to_string(targetWidth) + "-bit target (implicit resize)");
+    }
+  }
+
+  void recordDriver(const rtl::LValue& target, const Process* process, int contIndex) {
+    if (!validSignal(target.signal)) return;
+    DriverSite site;
+    site.process = process;
+    site.contIndex = process == nullptr ? contIndex : -1;
+    site.hi = module_.signal(target.signal).width - 1;
+    site.lo = 0;
+    if (target.range.has_value()) {
+      site.hi = target.range->first;
+      site.lo = target.range->second;
+    }
+    driversOf_[target.signal].push_back(site);
+  }
+
+  void checkMultipleDrivers() {
+    for (std::size_t id = 0; id < module_.signalCount(); ++id) {
+      const auto it = driversOf_.find(static_cast<SignalId>(id));
+      if (it == driversOf_.end()) continue;
+      const std::vector<DriverSite>& sites = it->second;
+      const std::string name = signalName(static_cast<SignalId>(id));
+      // Continuous assignments must not overlap each other.
+      for (std::size_t a = 0; a < sites.size(); ++a) {
+        if (sites[a].process != nullptr) continue;
+        for (std::size_t b = a + 1; b < sites.size(); ++b) {
+          if (sites[b].process != nullptr) continue;
+          if (sites[a].lo <= sites[b].hi && sites[b].lo <= sites[a].hi) {
+            emit(Check::MultipleDrivers, Severity::Error, name,
+                 "driven by overlapping continuous assignments #" +
+                     std::to_string(sites[a].contIndex) + " and #" +
+                     std::to_string(sites[b].contIndex));
+          }
+        }
+      }
+      // A signal is owned by continuous logic or by exactly one process.
+      const Process* owner = nullptr;
+      bool hasCont = false;
+      bool mixed = false;
+      std::unordered_set<const Process*> processes;
+      for (const DriverSite& site : sites) {
+        if (site.process == nullptr) {
+          hasCont = true;
+        } else {
+          processes.insert(site.process);
+          owner = site.process;
+        }
+      }
+      mixed = hasCont && owner != nullptr;
+      if (mixed) {
+        emit(Check::MultipleDrivers, Severity::Error, name,
+             "driven by both a continuous assignment and a process");
+      }
+      if (processes.size() > 1) {
+        emit(Check::MultipleDrivers, Severity::Error, name,
+             "driven by " + std::to_string(processes.size()) + " distinct processes");
+      }
+    }
+  }
+
+  void checkUndrivenSignals() {
+    std::vector<bool> read(module_.signalCount(), false);
+    rtl::forEachExpr(module_, [&](const Expr& node) {
+      if (node.kind() != ExprKind::SignalRef) return;
+      const auto& ref = static_cast<const rtl::SignalRefExpr&>(node);
+      if (validSignal(ref.signal())) read[ref.signal()] = true;
+    });
+    for (const auto& process : module_.processes()) {
+      if (process->kind == ProcessKind::Sequential && validSignal(process->clock)) {
+        read[process->clock] = true;
+      }
+    }
+    for (std::size_t id = 0; id < module_.signalCount(); ++id) {
+      const rtl::Signal& signal = module_.signal(static_cast<SignalId>(id));
+      if (signal.isPort && signal.dir == rtl::PortDir::Input) continue;
+      const bool driven = driversOf_.contains(static_cast<SignalId>(id));
+      const bool isOutput = signal.isPort && signal.dir == rtl::PortDir::Output;
+      if (!driven && (read[id] || isOutput)) {
+        emit(Check::UndrivenSignal, Severity::Warning, signal.name,
+             isOutput ? "output port is never driven" : "signal is read but never driven");
+      }
+    }
+  }
+
+  // ---- processes ------------------------------------------------------------
+
+  void checkProcesses() {
+    const auto& processes = module_.processes();
+    for (std::size_t index = 0; index < processes.size(); ++index) {
+      const Process& process = *processes[index];
+      const std::string context = "process #" + std::to_string(index);
+      if (process.kind == ProcessKind::Sequential) {
+        if (!validSignal(process.clock)) {
+          emit(Check::BadClock, Severity::Error, context,
+               "clock id " + std::to_string(process.clock) + " outside the signal table");
+        } else if (module_.signal(process.clock).width != 1) {
+          emit(Check::BadClock, Severity::Error, context,
+               "clock '" + signalName(process.clock) + "' is " +
+                   std::to_string(module_.signal(process.clock).width) + " bits wide");
+        }
+      }
+      checkDiscipline(process, context);
+      checkCaseLabels(*process.body, context);
+      if (process.kind == ProcessKind::Combinational) {
+        checkUseBeforeDef(process, context);
+      }
+    }
+  }
+
+  void checkDiscipline(const Process& process, const std::string& context) {
+    rtl::forEachStmt(*process.body, [&](const Stmt& node) {
+      if (node.kind() != StmtKind::Assign) return;
+      const auto& assign = static_cast<const rtl::AssignStmt&>(node);
+      if (process.kind == ProcessKind::Combinational && assign.nonBlocking()) {
+        emit(Check::ProcessDiscipline, Severity::Error, context,
+             "non-blocking assignment inside always @(*)");
+      }
+      if (process.kind == ProcessKind::Sequential && !assign.nonBlocking()) {
+        emit(Check::ProcessDiscipline, Severity::Error, context,
+             "blocking assignment inside a clocked process");
+      }
+    });
+  }
+
+  void checkCaseLabels(const Stmt& stmt, const std::string& context) {
+    rtl::forEachStmt(stmt, [&](const Stmt& node) {
+      if (node.kind() != StmtKind::Case) return;
+      const auto& caseStmt = static_cast<const rtl::CaseStmt&>(node);
+      const int width = caseStmt.subject().width();
+      if (width >= 64) return;
+      const std::uint64_t bound = std::uint64_t{1} << width;
+      for (const rtl::CaseItem& item : caseStmt.items()) {
+        for (const std::uint64_t label : item.labels) {
+          if (label >= bound) {
+            emit(Check::CaseLabelOverflow, Severity::Warning, context,
+                 "case label " + std::to_string(label) + " never matches a " +
+                     std::to_string(width) + "-bit subject");
+          }
+        }
+      }
+    });
+  }
+
+  /// Definite-assignment analysis inside one combinational process: a read
+  /// of a signal this process itself drives must come after an assignment on
+  /// every path, otherwise the read sees the previous settle iteration.
+  void checkUseBeforeDef(const Process& process, const std::string& context) {
+    std::set<SignalId> readsIgnored;
+    std::set<SignalId> writes;
+    sim::collectStmtReadsWrites(*process.body, readsIgnored, writes);
+    std::vector<bool> defined(module_.signalCount(), false);
+    std::unordered_set<SignalId> reported;
+    walkDefiniteAssignment(*process.body, writes, defined, reported, context);
+  }
+
+  void reportReads(const Expr& expr, const std::set<SignalId>& writes,
+                   const std::vector<bool>& defined, std::unordered_set<SignalId>& reported,
+                   const std::string& context) {
+    rtl::forEachExpr(expr, [&](const Expr& node) {
+      if (node.kind() != ExprKind::SignalRef) return;
+      const SignalId id = static_cast<const rtl::SignalRefExpr&>(node).signal();
+      if (!validSignal(id) || !writes.contains(id) || defined[id] || reported.contains(id)) {
+        return;
+      }
+      reported.insert(id);
+      emit(Check::UseBeforeDef, Severity::Warning, context,
+           "'" + signalName(id) + "' is read before the process assigns it");
+    });
+  }
+
+  void walkDefiniteAssignment(const Stmt& stmt, const std::set<SignalId>& writes,
+                              std::vector<bool>& defined, std::unordered_set<SignalId>& reported,
+                              const std::string& context) {
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+          walkDefiniteAssignment(stmt.stmtAt(i), writes, defined, reported, context);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& assign = static_cast<const rtl::AssignStmt&>(stmt);
+        reportReads(assign.value(), writes, defined, reported, context);
+        if (validSignal(assign.target().signal)) defined[assign.target().signal] = true;
+        return;
+      }
+      case StmtKind::If: {
+        const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
+        reportReads(ifStmt.cond(), writes, defined, reported, context);
+        std::vector<bool> thenDefined = defined;
+        walkDefiniteAssignment(ifStmt.stmtAt(0), writes, thenDefined, reported, context);
+        if (ifStmt.hasElse()) {
+          std::vector<bool> elseDefined = defined;
+          walkDefiniteAssignment(ifStmt.stmtAt(1), writes, elseDefined, reported, context);
+          for (std::size_t i = 0; i < defined.size(); ++i) {
+            defined[i] = defined[i] || (thenDefined[i] && elseDefined[i]);
+          }
+        }
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& caseStmt = static_cast<const rtl::CaseStmt&>(stmt);
+        reportReads(caseStmt.subject(), writes, defined, reported, context);
+        std::vector<bool> merged;
+        bool first = true;
+        for (int i = 0; i < stmt.stmtSlotCount(); ++i) {
+          std::vector<bool> armDefined = defined;
+          walkDefiniteAssignment(stmt.stmtAt(i), writes, armDefined, reported, context);
+          if (first) {
+            merged = std::move(armDefined);
+            first = false;
+          } else {
+            for (std::size_t b = 0; b < merged.size(); ++b) {
+              merged[b] = merged[b] && armDefined[b];
+            }
+          }
+        }
+        // Only a case with a default arm guarantees one arm ran.
+        if (caseStmt.hasDefault() && !first) defined = std::move(merged);
+        return;
+      }
+    }
+    RTLOCK_UNREACHABLE("stmt kind");
+  }
+
+  // ---- key coverage ---------------------------------------------------------
+
+  void checkKeyCoverage() {
+    if (module_.keyWidth() <= 0) return;
+    std::vector<bool> referenced(static_cast<std::size_t>(module_.keyWidth()), false);
+    rtl::forEachExpr(module_, [&](const Expr& node) {
+      if (node.kind() != ExprKind::KeyRef) return;
+      const auto& ref = static_cast<const rtl::KeyRefExpr&>(node);
+      const int end = std::min(ref.firstBit() + ref.width(), module_.keyWidth());
+      for (int bit = ref.firstBit(); bit < end; ++bit) {
+        referenced[static_cast<std::size_t>(bit)] = true;
+      }
+    });
+    int runStart = -1;
+    for (int bit = 0; bit <= module_.keyWidth(); ++bit) {
+      const bool covered = bit == module_.keyWidth() || referenced[static_cast<std::size_t>(bit)];
+      if (!covered && runStart < 0) runStart = bit;
+      if (covered && runStart >= 0) {
+        const int runEnd = bit - 1;
+        const std::string range = runStart == runEnd
+                                      ? "key bit " + std::to_string(runStart)
+                                      : "key bits " + std::to_string(runStart) + ".." +
+                                            std::to_string(runEnd);
+        emit(Check::DanglingKeyBit, Severity::Warning, range,
+             "allocated but never referenced by the netlist");
+        runStart = -1;
+      }
+    }
+  }
+
+  // ---- schedule -------------------------------------------------------------
+
+  void checkSchedule() {
+    if (!options_.checkSchedule || hasErrors(diags_)) return;
+    try {
+      (void)sim::buildSchedule(module_);
+    } catch (const support::Error& error) {
+      emit(Check::CombinationalLoop, Severity::Error, "", error.what());
+    }
+  }
+
+  const Module& module_;
+  const VerifyOptions& options_;
+  std::vector<Diagnostic> diags_;
+  std::map<SignalId, std::vector<DriverSite>> driversOf_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> verify(const Module& module, const VerifyOptions& options) {
+  return Verifier{module, options}.run();
+}
+
+std::vector<Diagnostic> verify(const rtl::Design& design, const VerifyOptions& options) {
+  std::vector<Diagnostic> all;
+  for (std::size_t i = 0; i < design.moduleCount(); ++i) {
+    std::vector<Diagnostic> found = verify(design.module(i), options);
+    all.insert(all.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return all;
+}
+
+void verifyOrThrow(const Module& module, std::string_view when) {
+  const std::vector<Diagnostic> diags = verify(module);
+  if (!hasErrors(diags)) return;
+  support::raiseContractViolation(
+      "analysis::verify(module) is clean",
+      "IR verification failed " + std::string{when} + " for module '" + module.name() + "':\n" +
+          describeAll(diags),
+      __FILE__, __LINE__);
+}
+
+void requireVerified(const Module& module, std::string_view origin) {
+  const std::vector<Diagnostic> diags = verify(module);
+  if (!hasErrors(diags)) return;
+  std::string message{origin};
+  message += ": module '" + module.name() + "' fails IR verification:\n";
+  for (const Diagnostic& diagnostic : diags) {
+    if (diagnostic.severity == Severity::Error) message += describe(diagnostic) + "\n";
+  }
+  throw support::Error{message};
+}
+
+}  // namespace rtlock::analysis

@@ -1,0 +1,71 @@
+// Tier A of the static-analysis subsystem: the IR verifier.
+//
+// verify() machine-checks the invariants every well-formed module satisfies
+// after parse, generation, locking and undo — width consistency across the
+// expression tree, signal/key reference validity, driver uniqueness,
+// combinational acyclicity (via the simulator's levelization), process
+// discipline and definite-assignment order inside combinational processes.
+// The full check catalog with codes and severities lives in
+// docs/ANALYSIS.md.
+//
+// Policy lives with the caller:
+//  * Debug builds assert the IR through RTLOCK_DEBUG_VERIFY_IR after every
+//    parse, engine construction and completed lock/undo cycle — an
+//    Error-severity finding there is a bug in rtlock and raises
+//    ContractViolation.
+//  * The Verilog front end rejects structurally broken *input* (multiple
+//    drivers, driven inputs, comb loops) through requireVerified, which
+//    raises the user-facing support::Error instead.
+//  * `rtlock lint` renders every severity.
+//
+// Contract --------------------------------------------------------------------
+// Ownership: verify borrows the module for the duration of the call and
+//   allocates only its result.
+// Determinism: findings are a pure function of the module, emitted in a
+//   stable order (signal table, then drivers in module order, then schedule).
+// Thread-safety: safe concurrently on distinct modules; concurrent verify of
+//   one module is safe with any other const reader.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "rtl/module.hpp"
+
+namespace rtlock::analysis {
+
+struct VerifyOptions {
+  /// Levelize the combinational logic to detect dependency cycles (V111).
+  /// Skipped automatically while structural errors are present.
+  bool checkSchedule = true;
+};
+
+/// Verifies one module; findings in stable order, empty = clean.
+[[nodiscard]] std::vector<Diagnostic> verify(const rtl::Module& module,
+                                             const VerifyOptions& options = {});
+
+/// Verifies every module of a design (module order).
+[[nodiscard]] std::vector<Diagnostic> verify(const rtl::Design& design,
+                                             const VerifyOptions& options = {});
+
+/// Raises support::ContractViolation listing every finding when `module` has
+/// an Error-severity finding.  `when` names the call site ("after parse").
+void verifyOrThrow(const rtl::Module& module, std::string_view when);
+
+/// Raises the user-facing support::Error listing every Error-severity
+/// finding — the front end's rejection path for structurally broken input.
+void requireVerified(const rtl::Module& module, std::string_view origin);
+
+}  // namespace rtlock::analysis
+
+/// Debug-build IR assertion: full verify, ContractViolation on errors.
+/// Compiled out in NDEBUG builds — call sites sit on paths (lock/undo
+/// cycles) that release experiments traverse millions of times.
+#ifndef NDEBUG
+#define RTLOCK_DEBUG_VERIFY_IR(module, when) ::rtlock::analysis::verifyOrThrow((module), (when))
+#else
+#define RTLOCK_DEBUG_VERIFY_IR(module, when) \
+  do {                                       \
+  } while (false)
+#endif

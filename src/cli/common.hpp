@@ -50,6 +50,7 @@ int runAttackCommand(const std::vector<std::string>& args, CommandIo& io);
 int runEvalCommand(const std::vector<std::string>& args, CommandIo& io);
 int runReportCommand(const std::vector<std::string>& args, CommandIo& io);
 int runDesignsCommand(const std::vector<std::string>& args, CommandIo& io);
+int runLintCommand(const std::vector<std::string>& args, CommandIo& io);
 
 // ---- flag parsing ---------------------------------------------------------
 

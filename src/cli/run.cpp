@@ -76,6 +76,24 @@ flags:
   --csv                  print the rows as CSV
 )";
 
+constexpr const char* kLintUsage = R"(usage: rtlock lint <locked.v> [flags]
+
+Static security analysis of a netlist: run the IR verifier (V1xx checks) and
+the security lint (L2xx checks) over every module, then print the findings
+and the static-resilience summary.  L201 "free key bit" findings are proofs:
+the flagged bit's cone of influence reaches no output, so any guess for it
+is correct.  Exits 1 when the verifier finds Error-severity problems.
+
+flags:
+  --module=NAME     lint this module only (default: every module)
+  --key-port=NAME   key input port name (default lock_key)
+  --report=PATH     write JSON report (rtlock-lint-report/v1: findings + rows)
+  --report-csv=PATH write the rows as CSV
+  --json            print the JSON report on stdout instead of text
+  --no-wall         zero wall_ms in rows (byte-stable output)
+  --csv             print the rows as CSV
+)";
+
 constexpr const char* kReportUsage = R"(usage: rtlock report <report.json> [flags]
 
 Render any rows-schema report (attack/eval reports, BENCH_baseline.json) as
@@ -119,6 +137,8 @@ const std::vector<Command>& commandTable() {
        runAttackCommand},
       {"eval", "lock->attack seed grids over one design (experiment engine)", kEvalUsage,
        runEvalCommand},
+      {"lint", "static IR verification + key-influence security lint", kLintUsage,
+       runLintCommand},
       {"report", "render a rows-schema report JSON as table/CSV", kReportUsage,
        runReportCommand},
       {"designs", "list the built-in benchmark registry / dump a design", kDesignsUsage,

@@ -1,6 +1,7 @@
 // Unified entry point over all locking algorithms.
 #pragma once
 
+#include "analysis/verifier.hpp"
 #include "core/assure.hpp"
 #include "core/era.hpp"
 #include "core/hra.hpp"
@@ -13,14 +14,18 @@ namespace rtlock::lock {
 inline AlgorithmReport lockWithAlgorithm(LockEngine& engine, Algorithm algorithm, int keyBudget,
                                          support::Rng& rng,
                                          ReportDetail detail = ReportDetail::Full) {
-  switch (algorithm) {
-    case Algorithm::AssureSerial: return assureSerialLock(engine, keyBudget, rng, detail);
-    case Algorithm::AssureRandom: return assureRandomLock(engine, keyBudget, rng, detail);
-    case Algorithm::Hra: return hraLock(engine, keyBudget, rng, detail);
-    case Algorithm::Greedy: return greedyLock(engine, keyBudget, rng, detail);
-    case Algorithm::Era: return eraLock(engine, keyBudget, rng, detail);
-  }
-  RTLOCK_UNREACHABLE("algorithm");
+  const auto report = [&] {
+    switch (algorithm) {
+      case Algorithm::AssureSerial: return assureSerialLock(engine, keyBudget, rng, detail);
+      case Algorithm::AssureRandom: return assureRandomLock(engine, keyBudget, rng, detail);
+      case Algorithm::Hra: return hraLock(engine, keyBudget, rng, detail);
+      case Algorithm::Greedy: return greedyLock(engine, keyBudget, rng, detail);
+      case Algorithm::Era: return eraLock(engine, keyBudget, rng, detail);
+    }
+    RTLOCK_UNREACHABLE("algorithm");
+  }();
+  RTLOCK_DEBUG_VERIFY_IR(engine.module(), "after a lock algorithm run");
+  return report;
 }
 
 }  // namespace rtlock::lock

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/verifier.hpp"
 #include "core/metric.hpp"
 #include "rtl/traverse.hpp"
 
@@ -65,6 +66,7 @@ LockEngine::LockEngine(rtl::Module& module, const PairTable& table)
     touched_.assign(table_.pairCount(), false);
   }
   initialLockableOps_ = totalLockableOps();
+  RTLOCK_DEBUG_VERIFY_IR(module_, "at LockEngine construction");
 }
 
 void LockEngine::buildIndex() {
@@ -320,6 +322,11 @@ void LockEngine::undoTo(std::size_t checkpoint) {
     undoStack_.pop_back();
     records_.pop_back();
     if (observer_ != nullptr) observer_->onUndo(undone);
+  }
+  // A fully unwound stack means one complete lock/undo cycle: the module must
+  // be bit-identical in structure to the pre-lock netlist, so re-verify it.
+  if (undoStack_.empty()) {
+    RTLOCK_DEBUG_VERIFY_IR(module_, "after a completed lock/undo cycle");
   }
 }
 

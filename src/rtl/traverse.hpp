@@ -91,4 +91,35 @@ void forEachStmt(const Module& module, Visitor&& visit) {
   }
 }
 
+/// How a driver writes its target — the traversal-level view the static
+/// analyses (analysis/verifier, analysis/key_influence) consume.
+enum class DriverKind : std::uint8_t { ContAssign, Blocking, NonBlocking };
+
+/// Walks every assignment inside one process body, in statement order.
+template <typename Visitor>
+void forEachDriverInStmt(const Stmt& stmt, const Process& process, Visitor&& visit) {
+  forEachStmt(stmt, [&](const Stmt& node) {
+    if (node.kind() != StmtKind::Assign) return;
+    const auto& assign = static_cast<const AssignStmt&>(node);
+    visit(assign.target(), assign.value(),
+          assign.nonBlocking() ? DriverKind::NonBlocking : DriverKind::Blocking, &process);
+  });
+}
+
+/// Walks every assignment in the module — continuous assignments first, then
+/// process-body assignments in statement order.  The visitor receives
+/// (const LValue&, const Expr& value, DriverKind, const Process*); the
+/// process pointer is nullptr for continuous assignments.  Const counterpart
+/// of the slot walkers above, for read-only analysis passes.
+template <typename Visitor>
+void forEachDriver(const Module& module, Visitor&& visit) {
+  for (const auto& assign : module.contAssigns()) {
+    visit(assign->target(), assign->value(), DriverKind::ContAssign,
+          static_cast<const Process*>(nullptr));
+  }
+  for (const auto& process : module.processes()) {
+    forEachDriverInStmt(*process->body, *process, visit);
+  }
+}
+
 }  // namespace rtlock::rtl

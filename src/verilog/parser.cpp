@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/verifier.hpp"
 #include "support/diagnostics.hpp"
 #include "verilog/lexer.hpp"
 
@@ -634,12 +635,21 @@ class Parser {
 
 rtl::Design parseDesign(std::string_view source, const ParserOptions& options) {
   Parser parser{source, options};
-  return parser.parseDesign();
+  rtl::Design design = parser.parseDesign();
+  // The grammar above rejects out-of-subset syntax; the IR verifier rejects
+  // structurally broken semantics the grammar cannot see (multiple drivers,
+  // driven inputs, combinational loops) with the same loud support::Error
+  // policy.  Accepted modules are verified clean in every build type.
+  for (std::size_t i = 0; i < design.moduleCount(); ++i) {
+    analysis::requireVerified(design.module(i), "verilog");
+  }
+  return design;
 }
 
 rtl::Module parseModule(std::string_view source, const ParserOptions& options) {
   Parser parser{source, options};
   rtl::Module module = parser.parseModule();
+  analysis::requireVerified(module, "verilog");
   return module;
 }
 

@@ -1,0 +1,134 @@
+// Tier B unit suite: the security lint on hand-built shapes with known
+// weaknesses, plus key-influence facts the differential suite leans on.
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/key_influence.hpp"
+#include "core/algorithms.hpp"
+#include "designs/registry.hpp"
+#include "rtl/builder.hpp"
+#include "support/rng.hpp"
+
+namespace rtlock::analysis {
+namespace {
+
+[[nodiscard]] int countCheck(const LintReport& report, Check check) {
+  return static_cast<int>(std::count_if(report.findings.begin(), report.findings.end(),
+                                        [&](const Diagnostic& d) { return d.check == check; }));
+}
+
+/// Two key muxes: bit 0 guards the output path, bit 1 guards a wire nothing
+/// reads — the canonical artificially-dead key bit.
+[[nodiscard]] rtl::Module moduleWithDeadKeyBit() {
+  rtl::ModuleBuilder b{"deadbit"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto y = b.output("y", 8);
+  const auto dead = b.wire("dead", 8);
+  b.assign(y, b.mux(rtl::makeKeyRef(0), b.add(b.ref(a), b.ref(c)), b.sub(b.ref(a), b.ref(c))));
+  b.assign(dead, b.mux(rtl::makeKeyRef(1), b.xorE(b.ref(a), b.ref(c)), b.andE(b.ref(a), b.ref(c))));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(2);
+  return m;
+}
+
+TEST(KeyInfluenceTest, DeadConeBitDoesNotReachOutput) {
+  const rtl::Module m = moduleWithDeadKeyBit();
+  const KeyInfluence influence{m};
+  ASSERT_EQ(influence.keyWidth(), 2);
+  EXPECT_TRUE(influence.reachesOutput(0));
+  EXPECT_FALSE(influence.reachesOutput(1));
+  EXPECT_EQ(influence.freeBits(), std::vector<int>{1});
+  EXPECT_EQ(influence.refCount(0), 1);
+  EXPECT_EQ(influence.muxCount(1), 1);
+}
+
+TEST(KeyInfluenceTest, InfluenceFlowsThroughRegisters) {
+  // key -> comb wire -> register -> output: the fixpoint must cross the
+  // sequential boundary, not just the combinational fan-in.
+  rtl::ModuleBuilder b{"pipe"};
+  const auto clk = b.input("clk", 1);
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  const auto w = b.wire("w", 8);
+  const auto q = b.reg("q", 8);
+  b.assign(w, b.mux(rtl::makeKeyRef(0), b.ref(a), b.notE(b.ref(a))));
+  b.regAssign(clk, q, b.ref(w));
+  b.assign(y, b.ref(q));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(1);
+  EXPECT_TRUE(KeyInfluence{m}.reachesOutput(0));
+}
+
+TEST(LintTest, FlagsFreeKeyBitAsL201) {
+  const LintReport report = lintLocked(moduleWithDeadKeyBit());
+  EXPECT_EQ(report.summary.keyWidth, 2);
+  EXPECT_EQ(report.summary.keyMuxes, 2);
+  EXPECT_EQ(report.summary.freeKeyBits, 1);
+  EXPECT_EQ(countCheck(report, Check::FreeKeyBit), 1);
+  ASSERT_EQ(report.bits.size(), 2u);
+  EXPECT_TRUE(report.bits[0].reachesOutput);
+  EXPECT_FALSE(report.bits[1].reachesOutput);
+  EXPECT_DOUBLE_EQ(report.summary.staticResiliencePercent, 50.0);
+}
+
+TEST(LintTest, FlagsConstantSelectMuxAsL202) {
+  rtl::ModuleBuilder b{"constsel"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  // Select folds through ops: (1 ^ 0) = 1 — then-arm always wins.
+  b.assign(y, b.mux(b.xorE(b.lit(1, 1), b.lit(0, 1)), b.ref(a), b.notE(b.ref(a))));
+  const LintReport report = lintLocked(b.take());
+  EXPECT_EQ(report.summary.constantSelectMuxes, 1);
+  EXPECT_EQ(countCheck(report, Check::ConstantSelectMux), 1);
+}
+
+TEST(LintTest, FlagsIdenticalArmKeyMuxAsL203) {
+  rtl::ModuleBuilder b{"samearms"};
+  const auto a = b.input("a", 8);
+  const auto c = b.input("b", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.mux(rtl::makeKeyRef(0), b.add(b.ref(a), b.ref(c)), b.add(b.ref(a), b.ref(c))));
+  rtl::Module m = b.take();
+  m.allocateKeyBits(1);
+  const LintReport report = lintLocked(m);
+  EXPECT_EQ(report.summary.identicalArmMuxes, 1);
+  EXPECT_EQ(countCheck(report, Check::IdenticalArmsMux), 1);
+}
+
+TEST(LintTest, UnlockedModuleYieldsEmptyReport) {
+  rtl::ModuleBuilder b{"plain"};
+  const auto a = b.input("a", 8);
+  const auto y = b.output("y", 8);
+  b.assign(y, b.notE(b.ref(a)));
+  const LintReport report = lintLocked(b.take());
+  EXPECT_EQ(report.summary.keyWidth, 0);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.bits.empty());
+  EXPECT_DOUBLE_EQ(report.summary.staticResiliencePercent, 0.0);
+}
+
+TEST(LintTest, ProperlyLockedModuleHasNoRemovableMuxes) {
+  // The engine's dummy construction must never degenerate into an L202/L203
+  // shape — a removable mux would hand the attacker the key bit for free.
+  for (const auto& info : designs::allBenchmarks()) {
+    rtl::Module m = info.make();
+    lock::LockEngine engine{m, lock::PairTable::fixed()};
+    support::Rng rng{3};
+    const int budget = std::max(1, engine.initialLockableOps() / 2);
+    (void)lock::lockWithAlgorithm(engine, lock::Algorithm::Era, budget, rng);
+    const LintReport report = lintLocked(m);
+    EXPECT_EQ(report.summary.keyWidth, engine.module().keyWidth());
+    EXPECT_EQ(report.summary.constantSelectMuxes, 0) << info.name;
+    EXPECT_EQ(report.summary.identicalArmMuxes, 0) << info.name;
+    // Pair-based ERA locks can guard both operations of an ODT pair with one
+    // shared key bit, so muxes can exceed key bits — never the reverse.
+    EXPECT_GE(report.summary.keyMuxes, report.summary.keyWidth) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace rtlock::analysis
