@@ -23,6 +23,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -33,6 +34,7 @@
 #include "analysis/verifier.hpp"
 #include "attack/locality.hpp"
 #include "attack/pipeline.hpp"
+#include "campaign/journal.hpp"
 #include "common.hpp"
 #include "fig4_scenarios.hpp"
 #include "core/algorithms.hpp"
@@ -43,6 +45,7 @@
 #include "sim/evaluator.hpp"
 #include "sim/harness.hpp"
 #include "support/json.hpp"
+#include "support/strings.hpp"
 #include "verilog/parser.hpp"
 #include "verilog/writer.hpp"
 
@@ -189,6 +192,41 @@ void runFig6(std::vector<Row>& rows, std::uint64_t seed, bool full, int threads)
                     "mean_kpa_percent", sum / static_cast<double>(benchmarks.size()), 0.0});
   }
   rows.push_back({"perf", full ? "fig6_full" : "fig6_quick", "wall_ms", gridWallMs, gridWallMs});
+
+  // Journal overhead: append one representative checkpoint row per grid
+  // cell to a real journal (serialize + single write + flush, the campaign
+  // engine's per-cell cost) and record the total.  Compare against the
+  // wall_ms row above to verify journaling stays <5% of campaign wall.
+  const std::string journalPath =
+      (std::filesystem::temp_directory_path() / "rtlock_bench_journal.jsonl").string();
+  std::filesystem::remove(journalPath);
+  {
+    campaign::CampaignIdentity identity;
+    identity.designHash = support::fnv1a64Hex(benchConfig);
+    identity.configHash = support::fnv1a64Hex(benchConfig + "/config");
+    identity.design = "fig6";
+    identity.config = benchConfig;
+    campaign::Journal journal{journalPath, identity};
+    const auto journalStart = Clock::now();
+    for (std::size_t index = 0; index < cells.size(); ++index) {
+      campaign::JournalRow row;
+      row.id = {identity.designHash, "algo", index, identity.configHash};
+      row.status = "ok";
+      row.attempts = 1;
+      row.wallMs = gridWallMs / static_cast<double>(cells.size());
+      row.payload.set("mean_kpa_percent", cells[index]);
+      row.payload.set("min_kpa_percent", cells[index]);
+      row.payload.set("max_kpa_percent", cells[index]);
+      row.payload.set("mean_key_bits", 48.0);
+      row.payload.set("mean_global_metric", 29.289321881345245);
+      row.payload.set("mean_restricted_metric", 100.0);
+      journal.append(row);
+    }
+    const double journalWallMs = elapsedMs(journalStart);
+    rows.push_back({"perf", full ? "fig6_full" : "fig6_quick", "journal_overhead_ms",
+                    journalWallMs, journalWallMs});
+  }
+  std::filesystem::remove(journalPath);
 }
 
 // --- perf: chrono timings of the hot paths perf_microbench covers ----------

@@ -1,0 +1,54 @@
+#include "campaign/fault.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace rtlock::campaign {
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  for (const std::string& piece : support::split(text, ',')) {
+    const std::string item{support::trim(piece)};
+    if (item.empty()) continue;
+    const std::vector<std::string> parts = support::split(item, ':');
+    if (parts.size() != 3 || parts[0] != "cell") {
+      throw support::Error{"malformed fault spec '" + item +
+                           "' (expected cell:<index>:throw|hang|crash)"};
+    }
+    FaultPoint point;
+    try {
+      point.cell = std::stoull(parts[1]);
+    } catch (const std::exception&) {
+      throw support::Error{"malformed fault cell index in '" + item + "'"};
+    }
+    if (parts[2] == "throw") {
+      point.kind = FaultKind::Throw;
+    } else if (parts[2] == "hang") {
+      point.kind = FaultKind::Hang;
+    } else if (parts[2] == "crash") {
+      point.kind = FaultKind::Crash;
+    } else {
+      throw support::Error{"unknown fault kind '" + parts[2] +
+                           "' in '" + item + "' (expected throw|hang|crash)"};
+    }
+    plan.points_.push_back(point);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::fromEnv() {
+  const char* spec = std::getenv("RTLOCK_FAULT_INJECT");
+  return spec == nullptr ? FaultPlan{} : parse(spec);
+}
+
+std::optional<FaultKind> FaultPlan::at(std::size_t cell) const noexcept {
+  for (const FaultPoint& point : points_) {
+    if (point.cell == cell) return point.kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtlock::campaign

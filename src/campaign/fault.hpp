@@ -1,0 +1,62 @@
+// Deterministic fault injection for campaign robustness testing.
+//
+// A FaultPlan maps grid-cell indices to faults; the runner consults it just
+// before (crash) and inside (throw/hang) a cell's execution.  Because the
+// trigger is the cell's *grid index* — stable across resumes and thread
+// counts — a fault plan makes crash-kill-resume scenarios reproducible:
+// tests and CI prove that a campaign killed at cell N and resumed produces
+// a report byte-identical to an uninterrupted run.
+//
+// Syntax (the RTLOCK_FAULT_INJECT environment variable):
+//   cell:<index>:<kind>[,cell:<index>:<kind>...]
+// with <kind> one of:
+//   throw  — the cell throws support::Error on every attempt (exercises the
+//            error-row path and retry accounting);
+//   hang   — the cell spins cooperatively until its deadline expires, then
+//            raises CellTimeout (exercises the timeout-row path; with no
+//            deadline it waits for a stop request);
+//   crash  — the process exits immediately via _Exit(kCrashExitCode), no
+//            unwinding, no flushes — the closest portable stand-in for
+//            kill -9 (exercises journal reload + torn-tail recovery).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace rtlock::campaign {
+
+/// Exit code of an injected crash; distinct from every CLI exit code so the
+/// subprocess harness can tell an injected kill from a real failure.
+inline constexpr int kCrashExitCode = 86;
+
+enum class FaultKind { Throw, Hang, Crash };
+
+struct FaultPoint {
+  std::size_t cell = 0;
+  FaultKind kind = FaultKind::Throw;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses "cell:N:throw|hang|crash[,...]"; empty text gives an empty plan.
+  /// Malformed specs throw support::Error naming the offending piece.
+  [[nodiscard]] static FaultPlan parse(std::string_view text);
+
+  /// Plan from the RTLOCK_FAULT_INJECT environment variable (empty plan
+  /// when unset).
+  [[nodiscard]] static FaultPlan fromEnv();
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  /// The fault armed for grid cell `cell`, if any.
+  [[nodiscard]] std::optional<FaultKind> at(std::size_t cell) const noexcept;
+
+ private:
+  std::vector<FaultPoint> points_;
+};
+
+}  // namespace rtlock::campaign

@@ -1,0 +1,210 @@
+#include "campaign/journal.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace rtlock::campaign {
+
+namespace {
+
+/// Splits `text` into lines, remembering whether the final line was
+/// newline-terminated — an unterminated final line is the signature of a
+/// torn append.
+struct LineSplit {
+  std::vector<std::string> lines;
+  bool lastTerminated = true;
+};
+
+[[nodiscard]] LineSplit splitLines(const std::string& text) {
+  LineSplit split;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      split.lines.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    split.lines.emplace_back(text.substr(start));
+    split.lastTerminated = false;
+  }
+  return split;
+}
+
+[[nodiscard]] support::JsonValue headerToJson(const CampaignIdentity& identity) {
+  support::JsonValue header;
+  header.set("schema", kJournalSchema);
+  header.set("design", identity.design);
+  header.set("design_hash", identity.designHash);
+  header.set("config", identity.config);
+  header.set("config_hash", identity.configHash);
+  return header;
+}
+
+void writeLine(const std::string& path, const std::string& line, bool truncate) {
+  std::ofstream out{path, truncate ? (std::ios::binary | std::ios::trunc)
+                                   : (std::ios::binary | std::ios::app)};
+  if (!out) throw support::Error{"cannot open journal " + path + " for writing"};
+  out << line << '\n';
+  out.flush();
+  if (!out) throw support::Error{"failed writing journal " + path};
+}
+
+}  // namespace
+
+std::string CellId::key() const {
+  return designHash + ":" + algorithm + ":" + std::to_string(seed) + ":" + configHash;
+}
+
+support::JsonValue journalRowToJson(const JournalRow& row) {
+  support::JsonValue value;
+  value.set("cell", row.id.key());
+  value.set("algorithm", row.id.algorithm);
+  value.set("seed", row.id.seed);
+  value.set("status", row.status);
+  value.set("attempts", row.attempts);
+  value.set("wall_ms", row.wallMs);
+  if (row.ok()) {
+    value.set("result", row.payload);
+  } else {
+    support::JsonValue error;
+    error.set("code", row.errorCode);
+    error.set("what", row.errorWhat);
+    value.set("error", std::move(error));
+  }
+  return value;
+}
+
+JournalRow journalRowFromJson(const support::JsonValue& value) {
+  JournalRow row;
+  const std::string key = value.at("cell").asString();
+  const std::vector<std::string> parts = support::split(key, ':');
+  if (parts.size() != 4) throw support::Error{"journal row has malformed cell key \"" + key + "\""};
+  row.id.designHash = parts[0];
+  row.id.algorithm = parts[1];
+  try {
+    row.id.seed = std::stoull(parts[2]);
+  } catch (const std::exception&) {
+    throw support::Error{"journal row has malformed seed in cell key \"" + key + "\""};
+  }
+  row.id.configHash = parts[3];
+  row.status = value.at("status").asString();
+  if (row.status != "ok" && row.status != "error" && row.status != "timeout") {
+    throw support::Error{"journal row has unknown status \"" + row.status + "\""};
+  }
+  row.attempts = static_cast<int>(value.at("attempts").asInt());
+  row.wallMs = value.at("wall_ms").asDouble();
+  if (row.ok()) {
+    row.payload = value.at("result");
+  } else {
+    const support::JsonValue& error = value.at("error");
+    row.errorCode = error.at("code").asString();
+    row.errorWhat = error.at("what").asString();
+  }
+  return row;
+}
+
+Journal::Journal(std::string path, CampaignIdentity identity)
+    : path_(std::move(path)), identity_(std::move(identity)) {
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path_, ec);
+  if (!exists) {
+    writeLine(path_, headerToJson(identity_).dumpLine(), /*truncate=*/true);
+    return;
+  }
+
+  std::string text;
+  {
+    std::ifstream in{path_, std::ios::binary};
+    if (!in) throw support::Error{"cannot open journal " + path_};
+    text.assign(std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{});
+  }
+  const LineSplit split = splitLines(text);
+  if (split.lines.empty()) {
+    // Zero-byte file (crash before the header flush): start fresh.
+    writeLine(path_, headerToJson(identity_).dumpLine(), /*truncate=*/true);
+    return;
+  }
+
+  // Byte offset just past the last intact line; everything beyond it is a
+  // torn tail to truncate away so new appends start on a clean line.  Each
+  // row is written as one line + '\n' in a single call, so a partial append
+  // can never end in a newline: an unterminated final line is always torn
+  // (discarded — determinism makes recomputing it bit-identical), and a
+  // final line that fails to parse is torn too.  Damage anywhere else is
+  // not something a crash can produce and fails loudly.
+  std::size_t goodEnd = 0;
+  for (std::size_t i = 0; i < split.lines.size(); ++i) {
+    const std::string& line = split.lines[i];
+    const bool last = i + 1 == split.lines.size();
+    if (last && !split.lastTerminated) {
+      tornTail_ = true;
+      break;
+    }
+    if (support::trim(line).empty()) {
+      goodEnd += line.size() + 1;
+      continue;
+    }
+    support::JsonValue value;
+    JournalRow row;
+    bool parsed = false;
+    try {
+      value = support::parseJson(line);
+      if (i != 0) row = journalRowFromJson(value);
+      parsed = true;
+    } catch (const support::Error&) {
+      if (last) {
+        tornTail_ = true;
+        break;
+      }
+      // Interior damage cannot come from a torn append — refuse to guess.
+      throw support::Error{"journal " + path_ + " is corrupt at line " + std::to_string(i + 1) +
+                           " (only the final line may be torn)"};
+    }
+    if (parsed && i == 0) {
+      const std::string schema = value.at("schema").asString();
+      if (schema != kJournalSchema) {
+        throw support::Error{"journal " + path_ + " has unsupported schema \"" + schema +
+                             "\" (expected " + std::string{kJournalSchema} + ")"};
+      }
+      if (value.at("design_hash").asString() != identity_.designHash ||
+          value.at("config_hash").asString() != identity_.configHash) {
+        throw support::Error{"journal " + path_ +
+                             " belongs to a different campaign (design_hash/config_hash "
+                             "mismatch) — delete it or pass a fresh --journal path"};
+      }
+    } else if (parsed) {
+      rows_[row.id.key()] = row;
+      ++reloadedRows_;
+    }
+    goodEnd += line.size() + 1;
+  }
+
+  if (goodEnd < text.size()) {
+    if (goodEnd == 0) {
+      // Header itself was torn: rewrite a fresh header, keep nothing.
+      rows_.clear();
+      reloadedRows_ = 0;
+      writeLine(path_, headerToJson(identity_).dumpLine(), /*truncate=*/true);
+      return;
+    }
+    std::filesystem::resize_file(path_, goodEnd, ec);
+    if (ec) throw support::Error{"cannot truncate torn journal tail in " + path_};
+  }
+}
+
+void Journal::append(const JournalRow& row) {
+  // Serialize outside the lock; the single locked write + flush is what
+  // makes a concurrent crash leave at most one torn final line.
+  const std::string line = journalRowToJson(row).dumpLine();
+  const std::lock_guard<std::mutex> lock{writeMutex_};
+  writeLine(path_, line, /*truncate=*/false);
+  rows_[row.id.key()] = row;
+}
+
+}  // namespace rtlock::campaign

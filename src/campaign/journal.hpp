@@ -1,0 +1,112 @@
+// Crash-safe campaign checkpointing (rtlock-journal/v1).
+//
+// A campaign is a grid of pure cells: thanks to the substream convention
+// (support/rng.hpp), the result of cell (design, algorithm, seed, config) is
+// a machine-independent function of its identity alone.  The journal makes
+// that purity pay: every completed cell is appended as one self-contained
+// JSON line keyed by its row identity, so a campaign killed at any point —
+// crash, OOM, SIGINT — resumes by simply skipping the cells already on
+// disk.  docs/CAMPAIGNS.md is the format reference.
+//
+// Crash-safety model:
+//  * every row is serialized to one complete line in memory first, then
+//    written with a single append + flush — a torn write can only ever
+//    damage the tail of the file;
+//  * reload tolerates exactly that: a final line that does not parse is
+//    discarded (and truncated away so new appends start clean), while a
+//    corrupt *interior* line is a hard support::Error — interior damage is
+//    not something a crash can produce, so it must never be papered over;
+//  * the header line pins the campaign identity (design_hash, config_hash).
+//    Resuming against a journal written by a different campaign fails
+//    loudly instead of silently merging unrelated rows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace rtlock::campaign {
+
+inline constexpr const char* kJournalSchema = "rtlock-journal/v1";
+
+/// Row identity: the four coordinates that make a cell a pure function.
+/// Two campaigns agree on a cell's key iff they would compute the same row.
+struct CellId {
+  std::string designHash;  // fnv1a64Hex of the design source (+ module name)
+  std::string algorithm;   // CLI spelling, e.g. "hra"
+  std::uint64_t seed = 0;
+  std::string configHash;  // fnv1a64Hex of the canonical config description
+
+  /// "designHash:algorithm:seed:configHash" — the journal's "cell" member.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Campaign identity as pinned by the journal header.
+struct CampaignIdentity {
+  std::string designHash;
+  std::string configHash;
+  std::string design;  // human-readable (module name); informational only
+  std::string config;  // human-readable config text; informational only
+};
+
+/// One journaled row.  `status` is "ok", "error" or "timeout"; ok rows carry
+/// the result payload, error rows the structured failure.
+struct JournalRow {
+  CellId id;
+  std::string status;  // "ok" | "error" | "timeout"
+  int attempts = 1;
+  double wallMs = 0.0;
+  support::JsonValue payload;    // ok rows: the cell's result object
+  std::string errorCode;         // error/timeout rows
+  std::string errorWhat;
+
+  [[nodiscard]] bool ok() const noexcept { return status == "ok"; }
+};
+
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path` for `identity`.
+  /// Existing files are reloaded: completed rows become visible through
+  /// rows(), a torn tail is discarded and truncated away, a header that
+  /// belongs to a different campaign throws support::Error.
+  Journal(std::string path, CampaignIdentity identity);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Rows reloaded from disk plus rows appended this session, keyed by
+  /// CellId::key().  Later rows for the same cell supersede earlier ones
+  /// (a resume that re-runs an error cell appends a fresh row).
+  [[nodiscard]] const std::map<std::string, JournalRow>& rows() const noexcept { return rows_; }
+
+  /// True when reload discarded a torn final line (diagnostic only).
+  [[nodiscard]] bool recoveredTornTail() const noexcept { return tornTail_; }
+
+  /// Number of rows reloaded from disk at open time.
+  [[nodiscard]] std::size_t reloadedRows() const noexcept { return reloadedRows_; }
+
+  /// Appends one row: serialize to a single line, one write, flush.  Safe
+  /// to call concurrently from pool workers.  Throws support::Error when
+  /// the filesystem rejects the write.
+  void append(const JournalRow& row);
+
+ private:
+  std::string path_;
+  CampaignIdentity identity_;
+  std::map<std::string, JournalRow> rows_;
+  std::mutex writeMutex_;
+  bool tornTail_ = false;
+  std::size_t reloadedRows_ = 0;
+};
+
+/// Serialization, exposed for tests and the --check differ.
+[[nodiscard]] support::JsonValue journalRowToJson(const JournalRow& row);
+[[nodiscard]] JournalRow journalRowFromJson(const support::JsonValue& value);
+
+}  // namespace rtlock::campaign

@@ -21,6 +21,11 @@ namespace rtlock::cli {
 inline constexpr int kExitOk = 0;     // success
 inline constexpr int kExitError = 1;  // runtime failure: bad input file, parse error...
 inline constexpr int kExitUsage = 2;  // usage error: unknown subcommand/flag, bad flag value
+// Campaign outcomes (`rtlock eval`): the grid ran to completion but some
+// cells failed (3), or a SIGINT/SIGTERM drain stopped the campaign early
+// with the journal flushed for resume (4).
+inline constexpr int kExitPartial = 3;      // campaign finished with error/timeout cells
+inline constexpr int kExitInterrupted = 4;  // campaign drained after a shutdown request
 
 /// Runs one CLI invocation.  argv follows main() conventions (argv[0] is the
 /// program name, argv[1] the subcommand).  Normal output goes to `out`,

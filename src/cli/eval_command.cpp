@@ -2,28 +2,28 @@
 //
 // For every (algorithm, seed) cell the experiment engine locks fresh samples
 // of the input module and attacks each one (attack::evaluateBenchmark).
-// Cells shard across the TaskPool; cell (a, s) draws only from
-// Rng{s}.substream(a), so the grid is bit-identical at every --threads
-// count — the same substream convention as the fig4/5/6 benches.
-#include <chrono>
+// Cells run through the campaign runner (src/campaign/): each cell draws
+// only from Rng{s}.substream(a), so the grid is bit-identical at every
+// --threads count, and — with --journal — a campaign killed at any point
+// resumes to the same report.  A cell that throws becomes a structured
+// error row instead of aborting the grid; campaigns with failed cells exit
+// with kExitPartial, an interrupted (SIGINT/SIGTERM) drain with
+// kExitInterrupted.  docs/CAMPAIGNS.md covers the journal format and the
+// fault-injection harness.
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "attack/pipeline.hpp"
+#include "campaign/runner.hpp"
 #include "cli/common.hpp"
 #include "support/strings.hpp"
-#include "support/task_pool.hpp"
 #include "verilog/parser.hpp"
 
 namespace rtlock::cli {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] double elapsedMs(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
 
 /// --seeds accepts "1,2,7" and ranges "1..5" (inclusive).
 [[nodiscard]] std::vector<std::uint64_t> parseSeeds(const std::string& text) {
@@ -49,17 +49,29 @@ using Clock = std::chrono::steady_clock;
   return seeds;
 }
 
-struct Cell {
-  attack::EvaluationResult result;
-  double wallMs = 0.0;
-};
+/// Metrics a cell journals, in payload order (also the report-row order).
+constexpr const char* kCellMetrics[] = {"mean_kpa_percent",   "min_kpa_percent",
+                                        "max_kpa_percent",    "mean_key_bits",
+                                        "mean_global_metric", "mean_restricted_metric"};
+
+[[nodiscard]] support::JsonValue payloadFromResult(const attack::EvaluationResult& result) {
+  support::JsonValue payload;
+  payload.set("mean_kpa_percent", result.meanKpa);
+  payload.set("min_kpa_percent", result.minKpa);
+  payload.set("max_kpa_percent", result.maxKpa);
+  payload.set("mean_key_bits", result.meanKeyBits);
+  payload.set("mean_global_metric", result.meanGlobalMetric);
+  payload.set("mean_restricted_metric", result.meanRestrictedMetric);
+  return payload;
+}
 
 }  // namespace
 
 int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   const support::CliArgs flags = parseFlags(
       args, {"algos", "seeds", "samples", "rounds", "budget", "folds", "module", "key-port",
-             "threads", "extended-features", "report", "report-csv", "csv", "no-wall"});
+             "threads", "extended-features", "report", "report-csv", "csv", "no-wall", "journal",
+             "keep-errors", "check", "check-cells", "retries", "deadline-ms"});
   const std::string inputPath = onePositional(flags, "input netlist (input.v)");
   const int threads = support::requestedThreads(flags);
   const bool noWall = flags.getBool("no-wall", false);
@@ -88,9 +100,26 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   config.snapshot.locality.extendedFeatures = flags.getBool("extended-features", false);
   config.threads = 1;  // grid cells are the outer parallelism level
 
+  campaign::CampaignOptions campaignOptions;
+  campaignOptions.threads = threads;
+  campaignOptions.retry.maxAttempts = 1 + static_cast<int>(flags.getInt("retries", 1));
+  if (campaignOptions.retry.maxAttempts < 1) throw UsageError{"--retries must be >= 0"};
+  campaignOptions.cellDeadlineMs = flags.getDouble("deadline-ms", 0.0);
+  if (campaignOptions.cellDeadlineMs < 0.0) throw UsageError{"--deadline-ms must be >= 0"};
+  campaignOptions.keepErrors = flags.getBool("keep-errors", false);
+  try {
+    campaignOptions.faults = campaign::FaultPlan::fromEnv();
+  } catch (const support::Error& error) {
+    throw UsageError{std::string{"RTLOCK_FAULT_INJECT: "} + error.what()};
+  }
+  const bool check = flags.getBool("check", false);
+  const std::size_t checkCells = static_cast<std::size_t>(flags.getInt("check-cells", 3));
+  if (check && !flags.has("journal")) throw UsageError{"--check requires --journal"};
+
   verilog::ParserOptions parserOptions;
   parserOptions.keyPortName = flags.get("key-port", parserOptions.keyPortName);
-  rtl::Design design = verilog::parseDesign(readTextFile(inputPath), parserOptions);
+  const std::string source = readTextFile(inputPath);
+  rtl::Design design = verilog::parseDesign(source, parserOptions);
   const rtl::Module& original = selectModule(design, flags, /*requireKey=*/false);
   {
     rtl::Module probe = original.clone();
@@ -100,50 +129,112 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
     }
   }
 
-  const std::size_t cellCount = algorithms.size() * seeds.size();
-  io.err << "evaluating " << original.name() << ": " << algorithms.size() << " algorithm(s) x "
-         << seeds.size() << " seed(s), " << config.testLocks << " locked sample(s) per cell\n";
-
-  support::TaskPool pool{support::threadsForTasks(threads, cellCount)};
-  const auto started = Clock::now();
-  const std::vector<Cell> cells = pool.map(cellCount, [&](std::size_t index) {
-    const std::size_t algoIndex = index / seeds.size();
-    const std::size_t seedIndex = index % seeds.size();
-    const auto cellStart = Clock::now();
-    support::Rng cellRng = support::Rng{seeds[seedIndex]}.substream(algoIndex);
-    Cell cell;
-    cell.result = attack::evaluateBenchmark(original, original.name(), algorithms[algoIndex],
-                                            lock::PairTable::fixed(), config, cellRng);
-    cell.wallMs = elapsedMs(cellStart);
-    return cell;
-  });
-  const double totalWallMs = elapsedMs(started);
-
+  // Row identity.  The design hash covers everything that shapes the parsed
+  // module (source text, selected module, key port); the config hash covers
+  // every knob that changes a cell's numbers.  --threads is deliberately
+  // absent from both: results are thread-invariant by construction.
   const std::string setup = "samples=" + std::to_string(config.testLocks) +
                             " rounds=" + std::to_string(config.snapshot.relockRounds) +
                             " budget=" + budget.describe();
+  const std::string configText =
+      setup + " folds=" + std::to_string(config.snapshot.automl.folds) + " extended-features=" +
+      (config.snapshot.locality.extendedFeatures ? "1" : "0");
+  campaign::CampaignIdentity identity;
+  identity.designHash =
+      support::fnv1a64Hex(source + '\0' + original.name() + '\0' + parserOptions.keyPortName);
+  identity.configHash = support::fnv1a64Hex(configText);
+  identity.design = original.name();
+  identity.config = configText;
+
+  std::vector<campaign::Cell> cells;
+  cells.reserve(algorithms.size() * seeds.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const std::string algoName = algorithmFlagName(algorithms[a]);
+    for (const std::uint64_t seed : seeds) {
+      campaign::Cell cell;
+      cell.id = {identity.designHash, algoName, seed, identity.configHash};
+      cell.label = algoName + " / seed " + std::to_string(seed);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  io.err << "evaluating " << original.name() << ": " << algorithms.size() << " algorithm(s) x "
+         << seeds.size() << " seed(s), " << config.testLocks << " locked sample(s) per cell\n";
+
+  std::unique_ptr<campaign::Journal> journal;
+  if (flags.has("journal")) {
+    journal = std::make_unique<campaign::Journal>(flags.get("journal", ""), identity);
+    io.err << "journal: " << journal->path() << " (" << journal->reloadedRows()
+           << " row(s) reloaded";
+    if (journal->recoveredTornTail()) io.err << ", torn tail discarded";
+    io.err << ")\n";
+  }
+
+  // The cell body: pure in the cell identity (algorithm index recovered from
+  // the grid position, rng derived from seed substream), so resumed and
+  // re-ordered runs journal byte-identical payloads.
+  const campaign::CellFn compute = [&](const campaign::Cell& cell,
+                                       const campaign::CellContext& context) {
+    const std::size_t algoIndex = context.index / seeds.size();
+    support::Rng cellRng = support::Rng{cell.id.seed}.substream(algoIndex);
+    const attack::EvaluationResult result = attack::evaluateBenchmark(
+        original, original.name(), algorithms[algoIndex], lock::PairTable::fixed(), config,
+        cellRng);
+    return payloadFromResult(result);
+  };
+
+  // From here on SIGINT/SIGTERM request a graceful drain (finish in-flight
+  // cells, flush the journal, exit kExitInterrupted) instead of killing the
+  // process mid-write; a second signal still exits immediately.
+  const campaign::ScopedSignalHandlers signalGuard;
+  const campaign::CampaignResult campaignResult =
+      campaign::runCampaign(cells, campaignOptions, journal.get(), compute);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const campaign::CellOutcome& outcome = campaignResult.outcomes[i];
+    if (outcome.status == campaign::CellStatus::Error ||
+        outcome.status == campaign::CellStatus::Timeout) {
+      io.err << "cell " << cells[i].label << ": " << outcome.errorCode << " after "
+             << outcome.attempts << " attempt(s)"
+             << (outcome.fromJournal ? " [journaled]" : "") << ": " << outcome.errorWhat << "\n";
+    }
+  }
+
+  if (campaignResult.interrupted) {
+    io.err << "interrupted: " << campaignResult.okCells << " cell(s) done, "
+           << campaignResult.skippedCells << " not started";
+    if (journal != nullptr) {
+      io.err << "; resume with --journal " << journal->path();
+    }
+    io.err << "\n";
+    return kExitInterrupted;
+  }
+
+  // Report rows come only from ok cells; the per-algorithm aggregate averages
+  // the seeds that completed.  A fully successful campaign therefore emits
+  // rows byte-identical to the pre-campaign serial loop.
   std::vector<ReportRow> rows;
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
     const std::string algoName = algorithmFlagName(algorithms[a]);
     double kpaSum = 0.0;
+    std::size_t okSeeds = 0;
     for (std::size_t s = 0; s < seeds.size(); ++s) {
-      const Cell& cell = cells[a * seeds.size() + s];
+      const campaign::CellOutcome& outcome = campaignResult.outcomes[a * seeds.size() + s];
+      if (outcome.status != campaign::CellStatus::Ok) continue;
       const std::string cellConfig =
           algoName + " / seed " + std::to_string(seeds[s]) + " / " + setup;
-      const double wall = noWall ? 0.0 : cell.wallMs;
-      rows.push_back({original.name(), cellConfig, "mean_kpa_percent", cell.result.meanKpa, wall});
-      rows.push_back({original.name(), cellConfig, "min_kpa_percent", cell.result.minKpa, 0.0});
-      rows.push_back({original.name(), cellConfig, "max_kpa_percent", cell.result.maxKpa, 0.0});
-      rows.push_back(
-          {original.name(), cellConfig, "mean_key_bits", cell.result.meanKeyBits, 0.0});
-      rows.push_back(
-          {original.name(), cellConfig, "mean_global_metric", cell.result.meanGlobalMetric, 0.0});
-      rows.push_back({original.name(), cellConfig, "mean_restricted_metric",
-                      cell.result.meanRestrictedMetric, 0.0});
-      kpaSum += cell.result.meanKpa;
+      for (const char* metric : kCellMetrics) {
+        const bool wallRow = std::string_view{metric} == "mean_kpa_percent";
+        rows.push_back({original.name(), cellConfig, metric, outcome.payload.at(metric).asDouble(),
+                        wallRow && !noWall ? outcome.wallMs : 0.0});
+      }
+      kpaSum += outcome.payload.at("mean_kpa_percent").asDouble();
+      ++okSeeds;
     }
-    rows.push_back({original.name(), algoName + " / all seeds / " + setup, "mean_kpa_percent",
-                    kpaSum / static_cast<double>(seeds.size()), 0.0});
+    if (okSeeds > 0) {
+      rows.push_back({original.name(), algoName + " / all seeds / " + setup, "mean_kpa_percent",
+                      kpaSum / static_cast<double>(okSeeds), 0.0});
+    }
   }
 
   if (flags.has("report")) {
@@ -163,7 +254,28 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   }
 
   emitRows(io.out, rows, flags.getBool("csv", false));
-  io.err << cellCount << " grid cell(s) in " << support::formatDouble(totalWallMs, 0) << " ms\n";
+  io.err << cells.size() << " grid cell(s) (" << campaignResult.journaledCells
+         << " from journal) in " << support::formatDouble(campaignResult.wallMs, 0) << " ms\n";
+
+  if (check && journal != nullptr) {
+    const campaign::CheckResult checked =
+        campaign::checkJournal(cells, *journal, checkCells, compute);
+    for (const std::string& mismatch : checked.mismatches) {
+      io.err << "check mismatch: " << mismatch << "\n";
+    }
+    if (!checked.mismatches.empty()) {
+      io.err << "check: " << checked.mismatches.size() << " of " << checked.checkedCells
+             << " recomputed cell(s) diverged from the journal\n";
+      return kExitError;
+    }
+    io.err << "check: " << checked.checkedCells << " cell(s) recomputed, all byte-identical\n";
+  }
+
+  if (campaignResult.errorCells > 0 || campaignResult.timeoutCells > 0) {
+    io.err << "partial campaign: " << campaignResult.errorCells << " error cell(s), "
+           << campaignResult.timeoutCells << " timeout cell(s)\n";
+    return kExitPartial;
+  }
   return kExitOk;
 }
 

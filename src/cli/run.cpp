@@ -55,9 +55,14 @@ flags:
 constexpr const char* kEvalUsage = R"(usage: rtlock eval <input.v> [flags]
 
 Chain lock -> attack over an (algorithm x seed) grid: each cell locks fresh
-samples of the input module and attacks every one.  Cells shard across the
-worker pool with substream determinism — results are bit-identical at every
---threads count.
+samples of the input module and attacks every one.  Cells run through the
+fault-isolated campaign runner with substream determinism — results are
+bit-identical at every --threads count, a throwing cell becomes a
+structured error row instead of aborting the grid, and --journal makes the
+campaign crash-safe and resumable (docs/CAMPAIGNS.md).
+
+exit codes: 0 all cells ok, 3 some cells failed/timed out, 4 interrupted
+(SIGINT/SIGTERM drain; resume with the same --journal).
 
 flags:
   --algos=LIST           comma-separated algorithms (default serial,hra,era)
@@ -70,6 +75,12 @@ flags:
   --module=NAME          evaluate this module (default: the only module)
   --key-port=NAME        key input port name (default lock_key)
   --threads=N            workers (default: RTLOCK_THREADS env, else hardware)
+  --journal=PATH         checkpoint each cell to PATH; resume skips done cells
+  --keep-errors          on resume, keep journaled error/timeout rows as-is
+  --retries=N            extra attempts per failing cell (default 1)
+  --deadline-ms=N        per-cell wall budget; overruns become timeout rows
+  --check                re-run sampled journaled cells, byte-compare results
+  --check-cells=N        sample size for --check (default 3)
   --report=PATH          write JSON report (rows follow BENCH_baseline.json)
   --report-csv=PATH      write the rows as CSV
   --no-wall              zero wall_ms in rows (byte-stable output)

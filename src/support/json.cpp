@@ -162,6 +162,37 @@ class JsonParser {
     }
   }
 
+  /// Consumes the continuation bytes of a UTF-8 sequence whose lead byte is
+  /// `lead`, appending them to `out`.  Rejects truncated sequences, stray
+  /// continuation bytes, overlong encodings, surrogates and > U+10FFFF —
+  /// corrupt journal tails and binary garbage must fail loudly, never be
+  /// accepted as a string payload.
+  void consumeUtf8Tail(std::string& out, unsigned char lead) {
+    int tail = 0;
+    unsigned min = 0x80;
+    if (lead >= 0xc2 && lead <= 0xdf) {
+      tail = 1;
+    } else if (lead >= 0xe0 && lead <= 0xef) {
+      tail = 2;
+      min = lead == 0xe0 ? 0xa0 : 0x80;          // no overlong 3-byte forms
+    } else if (lead >= 0xf0 && lead <= 0xf4) {
+      tail = 3;
+      min = lead == 0xf0 ? 0x90 : 0x80;          // no overlong 4-byte forms
+    } else {
+      fail("invalid UTF-8 byte in string");      // 0x80..0xc1, 0xf5..0xff
+    }
+    for (int i = 0; i < tail; ++i) {
+      if (pos_ >= text_.size()) fail("truncated UTF-8 sequence in string");
+      const auto byte = static_cast<unsigned char>(advance());
+      const unsigned low = i == 0 ? min : 0x80u;
+      unsigned high = 0xbf;
+      if (i == 0 && lead == 0xed) high = 0x9f;   // reject UTF-16 surrogates
+      if (i == 0 && lead == 0xf4) high = 0x8f;   // reject > U+10FFFF
+      if (byte < low || byte > high) fail("malformed UTF-8 sequence in string");
+      out.push_back(static_cast<char>(byte));
+    }
+  }
+
   std::string parseString() {
     expect('"', "to open string");
     std::string out;
@@ -169,6 +200,14 @@ class JsonParser {
       if (pos_ >= text_.size()) fail("unterminated string");
       const char c = advance();
       if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        out.push_back(c);
+        consumeUtf8Tail(out, static_cast<unsigned char>(c));
+        continue;
+      }
       if (c != '\\') {
         out.push_back(c);
         continue;
@@ -222,11 +261,16 @@ class JsonParser {
     while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
     if (peek() == '.') {
       advance();
+      // strtod would happily accept a bare "1." — enforce the JSON grammar
+      // (at least one fraction digit) so a number truncated mid-token by a
+      // torn write is rejected instead of silently shortened.
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) fail("malformed number");
       while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
     }
     if (peek() == 'e' || peek() == 'E') {
       advance();
       if (peek() == '+' || peek() == '-') advance();
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) fail("malformed number");
       while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
     }
     const std::string token{text_.substr(start, pos_ - start)};
@@ -308,6 +352,14 @@ const JsonValue& JsonValue::at(std::string_view key) const {
 
 void JsonValue::set(std::string_view key, JsonValue value) {
   if (isNull()) value_ = JsonObject{};
+  // Overwrite in place (keeping the member's position) rather than append a
+  // duplicate key at() would never see.
+  for (auto& member : asObject()) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
   asObject().emplace_back(std::string{key}, std::move(value));
 }
 
@@ -351,9 +403,44 @@ void JsonValue::writeIndented(std::ostream& out, int depth) const {
   }
 }
 
+void JsonValue::writeCompact(std::ostream& out) const {
+  if (isNull()) {
+    out << "null";
+  } else if (isBool()) {
+    out << (std::get<bool>(value_) ? "true" : "false");
+  } else if (isNumber()) {
+    out << formatNumber(std::get<double>(value_));
+  } else if (isString()) {
+    out << '"' << jsonEscape(std::get<std::string>(value_)) << '"';
+  } else if (isArray()) {
+    const JsonArray& items = std::get<JsonArray>(value_);
+    out << '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i != 0) out << ", ";
+      items[i].writeCompact(out);
+    }
+    out << ']';
+  } else {
+    const JsonObject& members = std::get<JsonObject>(value_);
+    out << '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << '"' << jsonEscape(members[i].first) << "\": ";
+      members[i].second.writeCompact(out);
+    }
+    out << '}';
+  }
+}
+
 void JsonValue::write(std::ostream& out) const {
   writeIndented(out, 0);
   out << '\n';
+}
+
+std::string JsonValue::dumpLine() const {
+  std::ostringstream out;
+  writeCompact(out);
+  return out.str();
 }
 
 std::string JsonValue::dump() const {

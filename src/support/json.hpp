@@ -78,8 +78,15 @@ class JsonValue {
   void write(std::ostream& out) const;
   [[nodiscard]] std::string dump() const;
 
+  /// Compact single-line serialization (no newline, no indentation).  This
+  /// is the journal's row encoding: one complete document per line, so a
+  /// torn write can only ever damage the final line of the file.  Stable for
+  /// byte-comparison — re-serializing a parsed document reproduces it.
+  [[nodiscard]] std::string dumpLine() const;
+
  private:
   void writeIndented(std::ostream& out, int depth) const;
+  void writeCompact(std::ostream& out) const;
 
   std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
 };

@@ -51,4 +51,20 @@ std::string formatDouble(double value, int decimals) {
   return buffer;
 }
 
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string fnv1a64Hex(std::string_view text) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(text)));
+  return buffer;
+}
+
 }  // namespace rtlock::support

@@ -1,6 +1,7 @@
 // Small string helpers shared across modules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +25,14 @@ namespace rtlock::support {
 
 /// Render a double with fixed precision (locale-independent).
 [[nodiscard]] std::string formatDouble(double value, int decimals);
+
+/// FNV-1a 64-bit hash of a byte string.  Used for content identity keys
+/// (campaign row identity hashes design text and config descriptions) —
+/// stable across platforms and releases, not cryptographic.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// `fnv1a64` rendered as the 16-digit lower-case hex string the journal
+/// stores (fixed width so keys align and compare lexicographically).
+[[nodiscard]] std::string fnv1a64Hex(std::string_view text);
 
 }  // namespace rtlock::support

@@ -46,10 +46,12 @@ std::size_t TaskPool::submitWithWorker(std::function<void(int)> task) {
   RTLOCK_REQUIRE(task != nullptr, "TaskPool::submitWithWorker requires a callable task");
   if (workers_.empty()) {
     // Serial reference path: run inline (as worker 0), capture failures for
-    // wait() so the error contract matches the threaded pool exactly.
+    // wait() so the error contract matches the threaded pool exactly.  A
+    // stopped pool skips the task — the same drain semantics a worker
+    // applies when it dequeues after requestStop().
     const std::size_t index = nextIndex_++;
     errors_.emplace_back();
-    runTask(index, task, 0);
+    if (!stopRequested_.load(std::memory_order_acquire)) runTask(index, task, 0);
     return index;
   }
   std::size_t index = 0;
@@ -90,6 +92,18 @@ void TaskPool::wait() {
   if (first) std::rethrow_exception(first);
 }
 
+void TaskPool::requestStop() noexcept {
+  stopRequested_.store(true, std::memory_order_release);
+}
+
+bool TaskPool::stopRequested() const noexcept {
+  return stopRequested_.load(std::memory_order_acquire);
+}
+
+void TaskPool::clearStop() noexcept {
+  stopRequested_.store(false, std::memory_order_release);
+}
+
 void TaskPool::workerLoop(int workerId) {
   for (;;) {
     std::pair<std::size_t, std::function<void(int)>> job;
@@ -100,7 +114,12 @@ void TaskPool::workerLoop(int workerId) {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    runTask(job.first, job.second, workerId);
+    // A stop request skips tasks that have not started yet; the inFlight_
+    // bookkeeping below still runs so wait() unblocks once running tasks
+    // drain.
+    if (!stopRequested_.load(std::memory_order_acquire)) {
+      runTask(job.first, job.second, workerId);
+    }
     {
       const std::lock_guard<std::mutex> lock{mutex_};
       --inFlight_;

@@ -21,6 +21,7 @@
 // Rng::substream for the seeding convention).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -73,6 +74,28 @@ class TaskPool {
   /// then rethrows the earliest failure by *submission* order (if any) and
   /// resets the batch so the pool can be reused.
   void wait();
+
+  // ---- cooperative cancellation ------------------------------------------
+  //
+  // requestStop() turns the pool into a drain: tasks already *running*
+  // finish normally (long-running tasks should poll stopRequested() and cut
+  // themselves short), tasks still queued are skipped entirely — their
+  // map()/mapWithWorker() result slots keep their default-constructed value
+  // and submit/wait bookkeeping stays consistent, so wait() still unblocks
+  // and the completed prefix of results is exactly what a serial loop that
+  // stopped at the same point would have produced.  The flag is sticky
+  // across batches (a SIGINT drain must not resume on the next batch);
+  // clearStop() re-arms the pool.  Both calls are safe from any thread,
+  // including from inside a running task.
+
+  /// Stop claiming queued tasks; running tasks drain.  Idempotent.
+  void requestStop() noexcept;
+
+  /// True once requestStop() was called (and clearStop() was not).
+  [[nodiscard]] bool stopRequested() const noexcept;
+
+  /// Re-arms a stopped pool for the next batch.
+  void clearStop() noexcept;
 
   /// Deterministic fan-out: runs `fn(index)` for every index in [0, count)
   /// and returns the results in index order regardless of completion order.
@@ -145,6 +168,7 @@ class TaskPool {
   std::size_t nextIndex_ = 0;               // submissions in the current batch
   std::size_t inFlight_ = 0;                // queued + running tasks
   bool stopping_ = false;
+  std::atomic<bool> stopRequested_{false};  // cooperative cancellation flag
 };
 
 }  // namespace rtlock::support

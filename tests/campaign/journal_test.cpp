@@ -1,0 +1,240 @@
+// Crash-safety contract of the campaign journal: single-line appends, torn
+// tails discarded and truncated, interior corruption fatal, identity pinned.
+#include "campaign/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::campaign {
+namespace {
+
+CampaignIdentity testIdentity() {
+  CampaignIdentity identity;
+  identity.designHash = "00000000deadbeef";
+  identity.configHash = "00000000cafef00d";
+  identity.design = "alu8";
+  identity.config = "samples=1 rounds=30";
+  return identity;
+}
+
+JournalRow okRow(const std::string& algorithm, std::uint64_t seed) {
+  JournalRow row;
+  row.id = {"00000000deadbeef", algorithm, seed, "00000000cafef00d"};
+  row.status = "ok";
+  row.attempts = 1;
+  row.wallMs = 12.5;
+  row.payload.set("mean_kpa_percent", 42.25);
+  return row;
+}
+
+JournalRow errorRow(const std::string& algorithm, std::uint64_t seed) {
+  JournalRow row;
+  row.id = {"00000000deadbeef", algorithm, seed, "00000000cafef00d"};
+  row.status = "error";
+  row.attempts = 3;
+  row.wallMs = 4.0;
+  row.errorCode = "error";
+  row.errorWhat = "injected fault";
+  return row;
+}
+
+std::string freshPath(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "journal_" + tag + ".jsonl";
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void appendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::app};
+  out << bytes;
+}
+
+TEST(Journal, FreshFileStartsWithHeaderLine) {
+  const std::string path = freshPath("fresh");
+  const Journal journal{path, testIdentity()};
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("rtlock-journal/v1"), std::string::npos);
+  EXPECT_NE(text.find("00000000deadbeef"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(journal.reloadedRows(), 0u);
+  EXPECT_FALSE(journal.recoveredTornTail());
+}
+
+TEST(Journal, AppendThenReloadRoundTrips) {
+  const std::string path = freshPath("roundtrip");
+  {
+    Journal journal{path, testIdentity()};
+    journal.append(okRow("hra", 1));
+    journal.append(errorRow("era", 2));
+  }
+  Journal reloaded{path, testIdentity()};
+  EXPECT_EQ(reloaded.reloadedRows(), 2u);
+  const JournalRow& ok = reloaded.rows().at(okRow("hra", 1).id.key());
+  EXPECT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.payload.at("mean_kpa_percent").asDouble(), 42.25);
+  EXPECT_DOUBLE_EQ(ok.wallMs, 12.5);
+  const JournalRow& error = reloaded.rows().at(errorRow("era", 2).id.key());
+  EXPECT_EQ(error.status, "error");
+  EXPECT_EQ(error.attempts, 3);
+  EXPECT_EQ(error.errorCode, "error");
+  EXPECT_EQ(error.errorWhat, "injected fault");
+}
+
+TEST(Journal, LaterRowForSameCellWins) {
+  const std::string path = freshPath("lastwins");
+  {
+    Journal journal{path, testIdentity()};
+    journal.append(errorRow("hra", 1));
+    JournalRow retry = okRow("hra", 1);
+    retry.attempts = 2;
+    journal.append(retry);
+  }
+  const Journal reloaded{path, testIdentity()};
+  const JournalRow& row = reloaded.rows().at(okRow("hra", 1).id.key());
+  EXPECT_TRUE(row.ok());
+  EXPECT_EQ(row.attempts, 2);
+}
+
+TEST(Journal, TornUnterminatedTailIsDiscardedAndTruncated) {
+  const std::string path = freshPath("torn");
+  {
+    Journal journal{path, testIdentity()};
+    journal.append(okRow("hra", 1));
+  }
+  const std::string intact = slurp(path);
+  // Simulate a crash mid-append on every proper prefix of the next row: the
+  // reload must keep the intact rows, drop the torn bytes, and truncate the
+  // file back to the last good line.
+  const std::string nextLine = journalRowToJson(okRow("hra", 2)).dumpLine();
+  for (std::size_t cut = 1; cut < nextLine.size(); ++cut) {
+    std::ofstream reset{path, std::ios::binary | std::ios::trunc};
+    reset << intact;
+    reset.close();
+    appendRaw(path, nextLine.substr(0, cut));
+    Journal recovered{path, testIdentity()};
+    EXPECT_TRUE(recovered.recoveredTornTail()) << "cut=" << cut;
+    EXPECT_EQ(recovered.reloadedRows(), 1u) << "cut=" << cut;
+    EXPECT_EQ(slurp(path), intact) << "cut=" << cut;
+  }
+}
+
+TEST(Journal, AppendAfterTornRecoveryStartsOnCleanLine) {
+  const std::string path = freshPath("torn_append");
+  {
+    Journal journal{path, testIdentity()};
+    journal.append(okRow("hra", 1));
+  }
+  appendRaw(path, "{\"cell\": \"half");
+  {
+    Journal recovered{path, testIdentity()};
+    ASSERT_TRUE(recovered.recoveredTornTail());
+    recovered.append(okRow("hra", 2));
+  }
+  const Journal reloaded{path, testIdentity()};
+  EXPECT_FALSE(reloaded.recoveredTornTail());
+  EXPECT_EQ(reloaded.reloadedRows(), 2u);
+}
+
+TEST(Journal, TerminatedButUnparseableFinalLineCountsAsTorn) {
+  const std::string path = freshPath("torn_terminated");
+  {
+    Journal journal{path, testIdentity()};
+    journal.append(okRow("hra", 1));
+  }
+  appendRaw(path, "{\"cell\": \"truncated mid token\n");
+  const Journal recovered{path, testIdentity()};
+  EXPECT_TRUE(recovered.recoveredTornTail());
+  EXPECT_EQ(recovered.reloadedRows(), 1u);
+}
+
+TEST(Journal, InteriorCorruptionIsFatal) {
+  const std::string path = freshPath("interior");
+  {
+    Journal journal{path, testIdentity()};
+    journal.append(okRow("hra", 1));
+  }
+  appendRaw(path, "not json at all\n");
+  appendRaw(path, journalRowToJson(okRow("hra", 2)).dumpLine() + "\n");
+  EXPECT_THROW((Journal{path, testIdentity()}), support::Error);
+}
+
+TEST(Journal, IdentityMismatchIsFatal) {
+  const std::string path = freshPath("identity");
+  { const Journal journal{path, testIdentity()}; }
+  CampaignIdentity other = testIdentity();
+  other.configHash = "1111111111111111";
+  EXPECT_THROW((Journal{path, other}), support::Error);
+}
+
+TEST(Journal, UnsupportedSchemaIsFatal) {
+  const std::string path = freshPath("schema");
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << "{\"schema\": \"rtlock-journal/v999\", \"design\": \"alu8\", \"design_hash\": "
+           "\"00000000deadbeef\", \"config\": \"x\", \"config_hash\": \"00000000cafef00d\"}\n";
+  }
+  EXPECT_THROW((Journal{path, testIdentity()}), support::Error);
+}
+
+TEST(Journal, EmptyFileGetsFreshHeader) {
+  const std::string path = freshPath("empty");
+  { std::ofstream out{path, std::ios::binary | std::ios::trunc}; }
+  const Journal journal{path, testIdentity()};
+  EXPECT_EQ(journal.reloadedRows(), 0u);
+  EXPECT_NE(slurp(path).find("rtlock-journal/v1"), std::string::npos);
+}
+
+TEST(Journal, TornHeaderRestartsFresh) {
+  const std::string path = freshPath("torn_header");
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << "{\"schema\": \"rtlock-jour";  // no newline: torn first append
+  }
+  const Journal journal{path, testIdentity()};
+  EXPECT_EQ(journal.reloadedRows(), 0u);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("rtlock-journal/v1"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Journal, RowSerializationRoundTrips) {
+  const JournalRow ok = okRow("hra", 7);
+  const JournalRow okBack = journalRowFromJson(journalRowToJson(ok));
+  EXPECT_EQ(okBack.id.key(), ok.id.key());
+  EXPECT_TRUE(okBack.ok());
+  EXPECT_EQ(okBack.payload.dumpLine(), ok.payload.dumpLine());
+
+  const JournalRow error = errorRow("era", 9);
+  const JournalRow errorBack = journalRowFromJson(journalRowToJson(error));
+  EXPECT_EQ(errorBack.status, "error");
+  EXPECT_EQ(errorBack.errorWhat, "injected fault");
+  EXPECT_EQ(errorBack.attempts, 3);
+}
+
+TEST(Journal, RowWithUnknownStatusRejected) {
+  support::JsonValue value = journalRowToJson(okRow("hra", 1));
+  value.set("status", "weird");
+  EXPECT_THROW(journalRowFromJson(value), support::Error);
+}
+
+TEST(Journal, CellKeyFormat) {
+  const CellId id{"aaaa", "hra", 42, "bbbb"};
+  EXPECT_EQ(id.key(), "aaaa:hra:42:bbbb");
+}
+
+}  // namespace
+}  // namespace rtlock::campaign

@@ -1,0 +1,131 @@
+// Crash–resume determinism, end to end through the real binary.
+//
+// A fig6-sized eval grid (3 algorithms x 3 seeds on the alu8 fixture) is
+// killed mid-campaign at three injected crash points (RTLOCK_FAULT_INJECT
+// cell crashes — _Exit, no unwinding, no flushes: the portable kill -9),
+// resumed from the journal after each kill, and the merged report is
+// byte-compared against an uninterrupted serial run.  The whole exercise
+// repeats at --threads 1, 4 and hardware: substream determinism plus the
+// journal's row identity must make every path converge to the same bytes.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/fault.hpp"
+#include "support/json.hpp"
+
+namespace rtlock {
+namespace {
+
+const std::string kBinary = RTLOCK_CLI_BINARY;
+const std::string kAlu8 = std::string{RTLOCK_EXAMPLES_DIR} + "/external/alu8.v";
+
+struct RunResult {
+  int exitCode = -1;
+  std::string out;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs the rtlock binary via the shell; `fault` (may be empty) becomes
+/// RTLOCK_FAULT_INJECT for just that invocation.
+RunResult runBinary(const std::string& args, const std::string& fault, const std::string& tag) {
+  const std::string outPath = ::testing::TempDir() + "campaign_resume_" + tag + ".out";
+  std::string command;
+  if (!fault.empty()) command += "RTLOCK_FAULT_INJECT='" + fault + "' ";
+  command += "'" + kBinary + "' " + args + " > '" + outPath + "' 2>/dev/null";
+  const int status = std::system(command.c_str());
+  RunResult result;
+  if (WIFEXITED(status)) result.exitCode = WEXITSTATUS(status);
+  result.out = slurp(outPath);
+  return result;
+}
+
+std::string gridArgs(const std::string& journal, int threads) {
+  std::string args = "eval '" + kAlu8 +
+                     "' --algos=serial,hra,era --seeds=1,2,3 --samples=1 --rounds=30 --no-wall";
+  if (!journal.empty()) args += " --journal='" + journal + "'";
+  if (threads > 0) args += " --threads=" + std::to_string(threads);
+  return args;
+}
+
+/// Unique ok cells in the journal (header excluded); hard-fails on rows
+/// that do not parse, since after a clean convergence none may be torn.
+std::set<std::string> journaledOkCells(const std::string& path) {
+  std::set<std::string> cells;
+  std::ifstream in{path, std::ios::binary};
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const support::JsonValue row = support::parseJson(line);
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (row.at("status").asString() == "ok") cells.insert(row.at("cell").asString());
+  }
+  return cells;
+}
+
+TEST(CampaignResumeTest, KilledCampaignConvergesToSerialReferenceAtEveryThreadCount) {
+  ASSERT_TRUE(std::filesystem::exists(kBinary)) << kBinary;
+  ASSERT_TRUE(std::filesystem::exists(kAlu8)) << kAlu8;
+
+  // The uninterrupted serial reference every resumed run must reproduce.
+  const RunResult reference = runBinary(gridArgs("", 1), "", "reference");
+  ASSERT_EQ(reference.exitCode, 0);
+  ASSERT_FALSE(reference.out.empty());
+
+  const std::vector<std::size_t> crashCells{2, 5, 8};
+  for (const int threads : {1, 4, 0}) {
+    const std::string tag = "t" + std::to_string(threads);
+    const std::string journal = ::testing::TempDir() + "campaign_resume_" + tag + ".jsonl";
+    std::filesystem::remove(journal);
+
+    // Kill the campaign at each crash point in turn, resuming in between.
+    // Serially (threads=1) every kill must actually fire; with workers a
+    // crash cell can already be journaled by the time its fault would
+    // trigger, in which case that run simply completes.
+    for (std::size_t k = 0; k < crashCells.size(); ++k) {
+      const std::string fault = "cell:" + std::to_string(crashCells[k]) + ":crash";
+      const RunResult killed =
+          runBinary(gridArgs(journal, threads), fault, tag + "_kill" + std::to_string(k));
+      if (threads == 1) {
+        ASSERT_EQ(killed.exitCode, campaign::kCrashExitCode) << "kill " << k;
+      } else {
+        ASSERT_TRUE(killed.exitCode == campaign::kCrashExitCode || killed.exitCode == 0)
+            << "kill " << k << " exited " << killed.exitCode;
+      }
+    }
+
+    // Final resume with no faults: completes, and the merged report is
+    // byte-identical to the uninterrupted serial run.
+    const RunResult resumed = runBinary(gridArgs(journal, threads), "", tag + "_final");
+    ASSERT_EQ(resumed.exitCode, 0) << "threads=" << threads;
+    EXPECT_EQ(resumed.out, reference.out) << "threads=" << threads;
+    EXPECT_EQ(journaledOkCells(journal).size(), 9u) << "threads=" << threads;
+
+    // And a re-run over the complete journal recomputes nothing yet still
+    // emits the same bytes.
+    const RunResult replay = runBinary(gridArgs(journal, threads), "", tag + "_replay");
+    ASSERT_EQ(replay.exitCode, 0);
+    EXPECT_EQ(replay.out, reference.out);
+  }
+}
+
+}  // namespace
+}  // namespace rtlock

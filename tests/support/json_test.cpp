@@ -117,5 +117,111 @@ TEST(JsonTest, EscapesControlCharactersOnOutput) {
   EXPECT_EQ(parseJson(value.dump()).asString(), raw);
 }
 
+TEST(JsonTest, DumpLineIsCompactAndReparsable) {
+  const JsonValue value = parseJson(R"({"rows": [{"a": 1, "b": [true, null]}], "n": 2.5})");
+  const std::string line = value.dumpLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line, R"({"rows": [{"a": 1, "b": [true, null]}], "n": 2.5})");
+  EXPECT_EQ(parseJson(line).dumpLine(), line);
+}
+
+// Every proper prefix of a valid document is a torn write (the campaign
+// journal's crash model): all of them must raise Error — no partial
+// accept, no crash, no silent empty value.
+TEST(JsonTest, EveryTruncationOfAValidDocumentIsRejected) {
+  const std::string full =
+      R"({"cell": "a:hra:1:b", "status": "ok", "wall_ms": 12.5, )"
+      R"("result": {"kpa": [50, 33.3], "flags": [true, false, null], "tag": "x€\n"}})";
+  ASSERT_NO_THROW((void)parseJson(full));
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_THROW((void)parseJson(full.substr(0, cut)), Error) << "prefix length " << cut;
+  }
+}
+
+TEST(JsonTest, MidTokenTruncationsAreRejected) {
+  // EOF inside every token class.
+  EXPECT_THROW((void)parseJson("tru"), Error);
+  EXPECT_THROW((void)parseJson("nul"), Error);
+  EXPECT_THROW((void)parseJson("fals"), Error);
+  EXPECT_THROW((void)parseJson("-"), Error);
+  EXPECT_THROW((void)parseJson("1e"), Error);
+  EXPECT_THROW((void)parseJson("1."), Error);
+  EXPECT_THROW((void)parseJson("\"abc\\"), Error);
+  EXPECT_THROW((void)parseJson("\"abc\\u00"), Error);
+  EXPECT_THROW((void)parseJson("{\"a\""), Error);
+  EXPECT_THROW((void)parseJson("{\"a\":"), Error);
+  EXPECT_THROW((void)parseJson("[1,"), Error);
+}
+
+TEST(JsonTest, UnescapedControlCharactersInStringsRejected) {
+  EXPECT_THROW((void)parseJson("\"a\nb\""), Error);
+  EXPECT_THROW((void)parseJson("\"a\tb\""), Error);
+  std::string withNul = "\"a";
+  withNul.push_back('\0');
+  withNul += "b\"";
+  EXPECT_THROW((void)parseJson(withNul), Error);
+}
+
+TEST(JsonTest, InvalidUtf8InStringsRejected) {
+  // Lone continuation byte.
+  EXPECT_THROW((void)parseJson("\"\x80\""), Error);
+  // Truncated 2-byte sequence (lead with no continuation).
+  EXPECT_THROW((void)parseJson("\"\xc3\""), Error);
+  // Invalid lead bytes 0xC0/0xC1 (overlong 2-byte encodings by construction).
+  EXPECT_THROW((void)parseJson("\"\xc0\xaf\""), Error);
+  EXPECT_THROW((void)parseJson("\"\xc1\xbf\""), Error);
+  // Overlong 3-byte encoding of '/' (0xE0 requires 0xA0..).
+  EXPECT_THROW((void)parseJson("\"\xe0\x80\xaf\""), Error);
+  // Overlong 4-byte encoding (0xF0 requires 0x90..).
+  EXPECT_THROW((void)parseJson("\"\xf0\x80\x80\xaf\""), Error);
+  // UTF-16 surrogate half encoded directly (U+D800).
+  EXPECT_THROW((void)parseJson("\"\xed\xa0\x80\""), Error);
+  // Beyond U+10FFFF.
+  EXPECT_THROW((void)parseJson("\"\xf4\x90\x80\x80\""), Error);
+  EXPECT_THROW((void)parseJson("\"\xf5\x80\x80\x80\""), Error);
+  // Continuation byte out of range.
+  EXPECT_THROW((void)parseJson("\"\xc3\x29\""), Error);
+  // Truncated multi-byte sequence at end of input.
+  EXPECT_THROW((void)parseJson("\"\xe2\x82\""), Error);
+}
+
+TEST(JsonTest, ValidUtf8PassesThroughByteExact) {
+  const std::string text = "\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x94\x92\"";  // café € 🔒
+  EXPECT_EQ(parseJson(text).asString(), text.substr(1, text.size() - 2));
+  // Boundary code points: U+07FF, U+FFFD, U+10FFFF.
+  EXPECT_EQ(parseJson("\"\xdf\xbf\"").asString(), "\xdf\xbf");
+  EXPECT_EQ(parseJson("\"\xef\xbf\xbd\"").asString(), "\xef\xbf\xbd");
+  EXPECT_EQ(parseJson("\"\xf4\x8f\xbf\xbf\"").asString(), "\xf4\x8f\xbf\xbf");
+}
+
+// Deterministic fuzz sweep: random byte mutations of a valid document must
+// either parse (the mutation kept it valid) or throw Error — never crash
+// and never return a value that fails to re-serialize.
+TEST(JsonTest, ByteMutationFuzzNeverCrashesOrPartiallyAccepts) {
+  const std::string base =
+      R"({"schema": "rtlock-journal/v1", "rows": [1, 2.5, -3e2, true, null, "séq"]})";
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // fixed-seed xorshift
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const std::size_t edits = 1 + next() % 3;
+    for (std::size_t e = 0; e < edits; ++e) {
+      mutated[next() % mutated.size()] = static_cast<char>(next() & 0xff);
+    }
+    try {
+      const JsonValue value = parseJson(mutated);
+      const std::string reserialized = value.dumpLine();  // must not throw
+      EXPECT_EQ(parseJson(reserialized).dumpLine(), reserialized);
+    } catch (const Error&) {
+      // Rejected cleanly: exactly what a torn/corrupt journal line needs.
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rtlock::support

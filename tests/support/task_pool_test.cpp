@@ -232,5 +232,61 @@ TEST(TaskPoolTest, PerWorkerSlotsAreNeverShared) {
   EXPECT_EQ(results.size(), 300u);
 }
 
+TEST(TaskPoolTest, RequestStopSkipsQueuedTasksKeepsCompletedResults) {
+  // Cancel mid-map: a task flips the stop flag partway through the batch.
+  // Tasks that already ran keep their results; skipped tasks keep the
+  // default-constructed slot value — the completed prefix a serial loop
+  // stopping at the same point would produce.
+  TaskPool pool{1};  // serial: deterministic stop point
+  const std::size_t stopAt = 10;
+  const auto results = pool.map(100, [&](std::size_t index) {
+    if (index == stopAt) pool.requestStop();
+    return static_cast<int>(index) + 1;
+  });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i <= stopAt; ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1) << i;
+  }
+  for (std::size_t i = stopAt + 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], 0) << i;  // skipped: default value
+  }
+  EXPECT_TRUE(pool.stopRequested());
+
+  // The flag is sticky across batches until cleared.
+  const auto drained = pool.map(5, [](std::size_t) { return 7; });
+  for (const int value : drained) EXPECT_EQ(value, 0);
+  pool.clearStop();
+  EXPECT_FALSE(pool.stopRequested());
+  const auto fresh = pool.map(5, [](std::size_t) { return 7; });
+  for (const int value : fresh) EXPECT_EQ(value, 7);
+}
+
+TEST(TaskPoolTest, RequestStopDrainsThreadedPool) {
+  // Threaded variant: the stop lands at a nondeterministic point, so only
+  // the invariants are asserted — every result is either computed or left
+  // at the default, wait() unblocks, and the batch after clearStop() runs
+  // in full.
+  TaskPool pool{4};
+  std::atomic<int> ran{0};
+  const auto results = pool.map(200, [&](std::size_t index) {
+    if (index == 50) pool.requestStop();
+    ran.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+    return 1;
+  });
+  int computed = 0;
+  for (const int value : results) {
+    ASSERT_TRUE(value == 0 || value == 1);
+    computed += value;
+  }
+  EXPECT_EQ(computed, ran.load());
+  EXPECT_LT(computed, 200);  // something was actually skipped
+  pool.clearStop();
+  const auto fresh = pool.map(32, [](std::size_t) { return 1; });
+  int freshComputed = 0;
+  for (const int value : fresh) freshComputed += value;
+  EXPECT_EQ(freshComputed, 32);
+}
+
 }  // namespace
 }  // namespace rtlock::support
