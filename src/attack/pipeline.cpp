@@ -18,6 +18,7 @@ struct SampleOutcome {
   double bitsUsed = 0.0;
   double globalMetric = 0.0;
   double restrictedMetric = 0.0;
+  bool functionalFailure = false;
 };
 
 /// Per-worker reusable module + engine.  Cloning the benchmark and
@@ -47,9 +48,25 @@ SampleOutcome evaluateSample(WorkerSlot& slot, const rtl::Module& original,
 
   // Copy the ground truth before the attack relocks the module.
   const std::vector<lock::LockRecord> truth = engine.records();
-  const SnapshotResult attack = snapshotAttack(*slot.module, truth, table, config.snapshot, rng);
 
   SampleOutcome outcome;
+  if (config.verifyFunctional) {
+    // Check the freshly locked sample behaves like the original under its
+    // correct key, BEFORE the attack relocks the module.  The stimulus
+    // stream is an independent fixed seed: enabling the check perturbs no
+    // rng draw the attack or metrics see, so every KPA/metric output bit is
+    // unchanged.
+    sim::BitVector correctKey{slot.module->keyWidth()};
+    for (const lock::LockRecord& record : truth) {
+      correctKey.setBit(record.keyIndex, record.keyValue);
+    }
+    sim::Harness harness{original, *slot.module, config.simBackend};
+    support::Rng verifyRng{0x76657269'66790001ULL};
+    outcome.functionalFailure =
+        harness.findMismatch(correctKey, {}, verifyRng).has_value();
+  }
+
+  const SnapshotResult attack = snapshotAttack(*slot.module, truth, table, config.snapshot, rng);
   outcome.kpa = attack.kpa;
   outcome.keyBits = static_cast<double>(attack.keyBits);
   outcome.bitsUsed = static_cast<double>(lockReport.bitsUsed);
@@ -100,6 +117,7 @@ EvaluationResult evaluateBenchmark(const rtl::Module& original, const std::strin
     result.meanBitsUsed += outcome.bitsUsed;
     result.meanGlobalMetric += outcome.globalMetric;
     result.meanRestrictedMetric += outcome.restrictedMetric;
+    if (outcome.functionalFailure) ++result.functionalFailures;
     ++result.samples;
   }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "attack/snapshot.hpp"
+#include "sim/harness.hpp"
 
 namespace rtlock::attack {
 
@@ -17,6 +18,14 @@ struct EvaluationConfig {
   int testLocks = 10;               // locked samples per benchmark (paper: 10)
   double keyBudgetFraction = 0.75;  // of the original design's lockable ops
   SnapshotConfig snapshot;
+  /// Off-by-default safety net: simulate each locked sample against the
+  /// original under its correct key and count mismatching samples in
+  /// EvaluationResult::functionalFailures.  Uses an independent fixed-seed
+  /// stimulus stream, so enabling it changes no KPA/metric output bit.
+  bool verifyFunctional = false;
+  /// Simulator backing the verifyFunctional equivalence checks.  The
+  /// SnapShot attack itself is structural/ML and never simulates.
+  sim::SimBackend simBackend = sim::SimBackend::Sliced;
   /// Worker threads for the sample loop: 0 = hardware concurrency,
   /// 1 = serial reference path (no worker threads).  Results are
   /// bit-identical at every thread count: sample i always draws from
@@ -36,6 +45,9 @@ struct EvaluationResult {
   double meanBitsUsed = 0.0;       // key bits consumed by locking (ERA may exceed budget)
   double meanGlobalMetric = 0.0;   // M^g_sec of the locked samples
   double meanRestrictedMetric = 0.0;
+  /// Samples whose locked module misbehaved under the correct key; always 0
+  /// unless config.verifyFunctional found a locking bug.
+  int functionalFailures = 0;
 };
 
 /// Evaluates `algorithm` on per-worker clones of `original`.  The sample

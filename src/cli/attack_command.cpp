@@ -44,22 +44,29 @@ int runAttackCommand(const std::vector<std::string>& args, CommandIo& io) {
       args, {"key", "module", "key-port", "rounds", "relock-budget", "folds", "repeats", "seed",
              "threads", "extended-features", "report", "report-csv", "csv", "no-wall"});
   const std::string inputPath = onePositional(flags, "locked netlist (locked.v)");
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
-  const int repeats = static_cast<int>(flags.getInt("repeats", 1));
-  if (repeats < 1) throw UsageError{"--repeats must be at least 1"};
+  const std::uint64_t seed = u64Flag(flags, "seed", 1);
+  const std::uint64_t repeatsRaw = u64Flag(flags, "repeats", 1);
+  if (repeatsRaw < 1 || repeatsRaw > 1'000'000) {
+    throw UsageError{"--repeats must be in [1, 1000000]"};
+  }
+  const int repeats = static_cast<int>(repeatsRaw);
   const int threads = support::requestedThreads(flags);
   const bool noWall = flags.getBool("no-wall", false);
 
   attack::SnapshotConfig config;
-  config.relockRounds = static_cast<int>(flags.getInt("rounds", 1000));
-  if (config.relockRounds < 1) throw UsageError{"--rounds must be at least 1"};
+  const std::uint64_t rounds = u64Flag(flags, "rounds", 1000);
+  if (rounds < 1 || rounds > 1'000'000'000) {
+    throw UsageError{"--rounds must be in [1, 1000000000]"};
+  }
+  config.relockRounds = static_cast<int>(rounds);
   const BudgetSpec relockBudget = parseBudget(flags.get("relock-budget", "75%"));
   if (!relockBudget.isFraction) {
     throw UsageError{"--relock-budget takes a fraction of the target's operations (e.g. 75%)"};
   }
   config.relockBudgetFraction = relockBudget.fraction;
-  config.automl.folds = static_cast<int>(flags.getInt("folds", 3));
-  if (config.automl.folds < 2) throw UsageError{"--folds must be at least 2"};
+  const std::uint64_t folds = u64Flag(flags, "folds", 3);
+  if (folds < 2 || folds > 1000) throw UsageError{"--folds must be in [2, 1000]"};
+  config.automl.folds = static_cast<int>(folds);
   config.locality.extendedFeatures = flags.getBool("extended-features", false);
 
   verilog::ParserOptions parserOptions;

@@ -61,6 +61,22 @@ std::string BudgetSpec::describe() const {
   return std::to_string(absolute) + " bits";
 }
 
+std::uint64_t u64Flag(const support::CliArgs& args, std::string_view name,
+                      std::uint64_t fallback) {
+  try {
+    return args.getU64(name, fallback);
+  } catch (const support::Error& error) {
+    throw UsageError{error.what()};
+  }
+}
+
+sim::SimBackend simBackendFromFlag(const std::string& name) {
+  const std::string lowered = support::toLower(name);
+  if (lowered == "sliced") return sim::SimBackend::Sliced;
+  if (lowered == "compiled" || lowered == "scalar") return sim::SimBackend::Compiled;
+  throw UsageError{"unknown sim backend '" + name + "' (expected sliced|compiled)"};
+}
+
 BudgetSpec parseBudget(const std::string& text) {
   BudgetSpec spec;
   try {

@@ -7,11 +7,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cli/cli.hpp"
 #include "core/report.hpp"
 #include "rtl/module.hpp"
+#include "sim/harness.hpp"
 #include "support/cli.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
@@ -83,6 +85,19 @@ struct BudgetSpec {
 };
 
 [[nodiscard]] BudgetSpec parseBudget(const std::string& text);
+
+/// Strict non-negative integer flag (support::parseU64 semantics: the whole
+/// token, no sign, no trailing junk, no wraparound).  Malformed values
+/// classify as UsageError so they exit with kExitUsage like any other flag
+/// typo — "--seed -1" and "--samples 3x" must never silently run with a
+/// wrapped or truncated value.
+[[nodiscard]] std::uint64_t u64Flag(const support::CliArgs& args, std::string_view name,
+                                    std::uint64_t fallback);
+
+/// Simulation backend from its CLI spelling: "sliced" (64-lane bit-parallel,
+/// the default everywhere) or "compiled" (the scalar differential oracle).
+/// UsageError otherwise.
+[[nodiscard]] sim::SimBackend simBackendFromFlag(const std::string& name);
 
 // ---- file I/O -------------------------------------------------------------
 

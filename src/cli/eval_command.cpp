@@ -25,25 +25,32 @@ namespace rtlock::cli {
 
 namespace {
 
-/// --seeds accepts "1,2,7" and ranges "1..5" (inclusive).
+/// --seeds accepts "1,2,7" and ranges "1..5" (inclusive).  Every token goes
+/// through support::parseU64, which consumes the whole text: the stoull
+/// parser this replaces accepted "--seeds 3x" as seed 3 and wrapped
+/// "--seeds -1" to 2^64-1, silently running the wrong campaign.
 [[nodiscard]] std::vector<std::uint64_t> parseSeeds(const std::string& text) {
   std::vector<std::uint64_t> seeds;
   for (const std::string& piece : support::split(text, ',')) {
     const std::string item{support::trim(piece)};
     if (item.empty()) continue;
-    try {
-      const std::size_t dots = item.find("..");
-      if (dots == std::string::npos) {
-        seeds.push_back(std::stoull(item));
-        continue;
-      }
-      const std::uint64_t first = std::stoull(item.substr(0, dots));
-      const std::uint64_t last = std::stoull(item.substr(dots + 2));
-      if (last < first || last - first > 10'000) throw std::out_of_range{"range"};
-      for (std::uint64_t s = first; s <= last; ++s) seeds.push_back(s);
-    } catch (const std::exception&) {
-      throw UsageError{"malformed --seeds entry '" + item + "' (expected e.g. 1,2,7 or 1..5)"};
+    const auto malformed = [&item]() {
+      return UsageError{"malformed --seeds entry '" + item + "' (expected e.g. 1,2,7 or 1..5)"};
+    };
+    const std::size_t dots = item.find("..");
+    if (dots == std::string::npos) {
+      const std::optional<std::uint64_t> seed = support::parseU64(item);
+      if (!seed.has_value()) throw malformed();
+      seeds.push_back(*seed);
+      continue;
     }
+    const std::optional<std::uint64_t> first = support::parseU64(item.substr(0, dots));
+    const std::optional<std::uint64_t> last = support::parseU64(item.substr(dots + 2));
+    if (!first.has_value() || !last.has_value()) throw malformed();
+    if (*last < *first || *last - *first > 10'000) {
+      throw UsageError{"--seeds range '" + item + "' must ascend and span at most 10000 seeds"};
+    }
+    for (std::uint64_t s = *first; s <= *last; ++s) seeds.push_back(s);
   }
   if (seeds.empty()) throw UsageError{"--seeds lists no seeds"};
   return seeds;
@@ -71,7 +78,8 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   const support::CliArgs flags = parseFlags(
       args, {"algos", "seeds", "samples", "rounds", "budget", "folds", "module", "key-port",
              "threads", "extended-features", "report", "report-csv", "csv", "no-wall", "journal",
-             "keep-errors", "check", "check-cells", "retries", "deadline-ms"});
+             "keep-errors", "check", "check-cells", "retries", "deadline-ms", "sim-backend",
+             "verify-functional"});
   const std::string inputPath = onePositional(flags, "input netlist (input.v)");
   const int threads = support::requestedThreads(flags);
   const bool noWall = flags.getBool("no-wall", false);
@@ -86,24 +94,31 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   const std::vector<std::uint64_t> seeds = parseSeeds(flags.get("seeds", "1"));
 
   attack::EvaluationConfig config;
-  config.testLocks = static_cast<int>(flags.getInt("samples", 10));
-  if (config.testLocks < 1) throw UsageError{"--samples must be at least 1"};
+  const std::uint64_t samples = u64Flag(flags, "samples", 10);
+  if (samples < 1 || samples > 1'000'000) throw UsageError{"--samples must be in [1, 1000000]"};
+  config.testLocks = static_cast<int>(samples);
   const BudgetSpec budget = parseBudget(flags.get("budget", "75%"));
   if (!budget.isFraction) {
     throw UsageError{"--budget takes a fraction of the module's operations here (e.g. 75%)"};
   }
   config.keyBudgetFraction = budget.fraction;
-  config.snapshot.relockRounds = static_cast<int>(flags.getInt("rounds", 1000));
+  const std::uint64_t rounds = u64Flag(flags, "rounds", 1000);
+  if (rounds > 1'000'000'000) throw UsageError{"--rounds must be at most 1000000000"};
+  config.snapshot.relockRounds = static_cast<int>(rounds);
   config.snapshot.relockBudgetFraction = budget.fraction;
-  config.snapshot.automl.folds = static_cast<int>(flags.getInt("folds", 3));
-  if (config.snapshot.automl.folds < 2) throw UsageError{"--folds must be at least 2"};
+  const std::uint64_t folds = u64Flag(flags, "folds", 3);
+  if (folds < 2 || folds > 1000) throw UsageError{"--folds must be in [2, 1000]"};
+  config.snapshot.automl.folds = static_cast<int>(folds);
   config.snapshot.locality.extendedFeatures = flags.getBool("extended-features", false);
+  config.verifyFunctional = flags.getBool("verify-functional", false);
+  config.simBackend = simBackendFromFlag(flags.get("sim-backend", "sliced"));
   config.threads = 1;  // grid cells are the outer parallelism level
 
   campaign::CampaignOptions campaignOptions;
   campaignOptions.threads = threads;
-  campaignOptions.retry.maxAttempts = 1 + static_cast<int>(flags.getInt("retries", 1));
-  if (campaignOptions.retry.maxAttempts < 1) throw UsageError{"--retries must be >= 0"};
+  const std::uint64_t retries = u64Flag(flags, "retries", 1);
+  if (retries > 100) throw UsageError{"--retries must be at most 100"};
+  campaignOptions.retry.maxAttempts = 1 + static_cast<int>(retries);
   campaignOptions.cellDeadlineMs = flags.getDouble("deadline-ms", 0.0);
   if (campaignOptions.cellDeadlineMs < 0.0) throw UsageError{"--deadline-ms must be >= 0"};
   campaignOptions.keepErrors = flags.getBool("keep-errors", false);
@@ -113,7 +128,7 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
     throw UsageError{std::string{"RTLOCK_FAULT_INJECT: "} + error.what()};
   }
   const bool check = flags.getBool("check", false);
-  const std::size_t checkCells = static_cast<std::size_t>(flags.getInt("check-cells", 3));
+  const std::size_t checkCells = static_cast<std::size_t>(u64Flag(flags, "check-cells", 3));
   if (check && !flags.has("journal")) throw UsageError{"--check requires --journal"};
 
   verilog::ParserOptions parserOptions;
@@ -132,7 +147,10 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   // Row identity.  The design hash covers everything that shapes the parsed
   // module (source text, selected module, key port); the config hash covers
   // every knob that changes a cell's numbers.  --threads is deliberately
-  // absent from both: results are thread-invariant by construction.
+  // absent from both: results are thread-invariant by construction.  So are
+  // --sim-backend (both backends are bit-identical, proved by
+  // HarnessBackendTest) and --verify-functional (an independent fixed-seed
+  // check that perturbs no payload byte — it can only fail a cell).
   const std::string setup = "samples=" + std::to_string(config.testLocks) +
                             " rounds=" + std::to_string(config.snapshot.relockRounds) +
                             " budget=" + budget.describe();
@@ -180,6 +198,15 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
     const attack::EvaluationResult result = attack::evaluateBenchmark(
         original, original.name(), algorithms[algoIndex], lock::PairTable::fixed(), config,
         cellRng);
+    if (result.functionalFailures > 0) {
+      // --verify-functional found locked samples that misbehave under their
+      // correct key: a locking bug, not a statistics question.  Surface it
+      // through the structured error-cell path (and kExitPartial) instead of
+      // reporting KPA numbers for broken hardware.
+      throw support::Error{std::to_string(result.functionalFailures) + " of " +
+                           std::to_string(result.samples) +
+                           " locked sample(s) misbehave under the correct key"};
+    }
     return payloadFromResult(result);
   };
 

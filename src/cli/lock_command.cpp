@@ -34,7 +34,7 @@ int runLockCommand(const std::vector<std::string>& args, CommandIo& io) {
   const std::string inputPath = onePositional(flags, "input netlist (input.v)");
   const lock::Algorithm algorithm = algorithmFromFlag(flags.get("algo", "era"));
   const BudgetSpec budget = parseBudget(flags.get("budget", "75%"));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  const std::uint64_t seed = u64Flag(flags, "seed", 1);
   const std::string outPath = flags.get("out", stemOf(inputPath) + ".locked.v");
   const std::string keyOutPath = flags.get("key-out", stemOf(inputPath) + ".key.json");
 

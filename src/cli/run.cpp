@@ -72,6 +72,12 @@ flags:
   --budget=SPEC          key budget fraction, e.g. 75% (default 75%)
   --folds=N              auto-ml cross-validation folds (default 3)
   --extended-features    locality encoding with structural context
+  --verify-functional    simulate each locked sample against the original
+                         under its correct key; a mismatching sample fails
+                         the cell (locking bug), KPA numbers are unchanged
+  --sim-backend=NAME     simulator for --verify-functional: sliced (64-lane
+                         bit-parallel, default) or compiled (scalar oracle);
+                         both are bit-identical
   --module=NAME          evaluate this module (default: the only module)
   --key-port=NAME        key input port name (default lock_key)
   --threads=N            workers (default: RTLOCK_THREADS env, else hardware)

@@ -149,6 +149,7 @@ void CompiledSim::exec(const std::vector<Instr>& tape) {
         w[in.dst] = (w[in.a] != 0 ? w[in.b] : w[in.c]) & narrowMask(in.width);
         break;
       case Opcode::SliceLow: w[in.dst] = (w[in.a] >> in.b) & narrowMask(in.width); break;
+      case Opcode::ShlConst: RTLOCK_UNREACHABLE("ShlConst only occurs in sliced tapes");
       case Opcode::ConcatPair:
         w[in.dst] = ((w[in.a] << in.c) | w[in.b]) & narrowMask(in.width);
         break;

@@ -1,5 +1,6 @@
 #include "sim/compiler.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -52,6 +53,10 @@ Opcode narrowBinaryOpcode(OpKind op) {
 
 struct CompilerImpl {
   const rtl::Module& module;
+  // Sliced mode: operands are slot ids, all widths use the narrow opcodes
+  // (the sliced executor reads widths from the slot table), and control flow
+  // is if-converted under a 1-bit predicate slot instead of jumps.
+  const bool sliced;
 
   // Program pieces, assembled by Compiler::compile at the end.
   std::vector<Slot> slots;
@@ -73,8 +78,11 @@ struct CompilerImpl {
   std::vector<Instr>* tape = nullptr;
   bool nonBlocking = false;
   std::set<SignalId>* seqWrites = nullptr;
+  // Sliced mode: 1-bit slot guarding the statements being lowered, or -1 at
+  // top level (store unconditionally).
+  std::int32_t pred = -1;
 
-  explicit CompilerImpl(const rtl::Module& m) : module(m) {}
+  CompilerImpl(const rtl::Module& m, bool slicedMode) : module(m), sliced(slicedMode) {}
 
   [[nodiscard]] std::int32_t addSlot(int width) {
     const auto id = static_cast<std::int32_t>(slots.size());
@@ -141,6 +149,36 @@ struct CompilerImpl {
     return offset(reduced);
   }
 
+  /// Operand encoding: word offset for the scalar tape, slot id for sliced.
+  [[nodiscard]] std::int32_t ref(std::int32_t slotId) const {
+    return sliced ? slotId : offset(slotId);
+  }
+
+  /// Sliced mode: reduces a slot to a 1-bit "is non-zero" slot, the only
+  /// condition shape Select/predication accept (lane masks live in plane 0).
+  [[nodiscard]] std::int32_t boolSlot(std::int32_t slotId) {
+    if (slot(slotId).width == 1) return slotId;
+    const std::int32_t reduced = addSlot(1);
+    emit(Opcode::RedOr, 0, reduced, slotId);
+    return reduced;
+  }
+
+  /// Sliced mode: 1-bit slot holding `a & b`, where either may be -1 (true).
+  [[nodiscard]] std::int32_t andPred(std::int32_t a, std::int32_t b) {
+    if (a < 0) return b;
+    if (b < 0) return a;
+    const std::int32_t both = addSlot(1);
+    emit(Opcode::And, 0, both, a, b);
+    return both;
+  }
+
+  /// Sliced mode: 1-bit slot holding `!a`.
+  [[nodiscard]] std::int32_t notPred(std::int32_t a) {
+    const std::int32_t inverted = addSlot(1);
+    emit(Opcode::LogNot, 0, inverted, a);
+    return inverted;
+  }
+
   // ---- expressions ------------------------------------------------------
 
   /// Lowers `expr`; returns the slot holding its value.
@@ -168,39 +206,60 @@ struct CompilerImpl {
     const std::int32_t operand = lowerExpr(expr.operand());
     const int width = expr.width();
     const std::int32_t dst = addSlot(width);
-    if (width > kNarrow || !narrow(operand)) {
+    if (!sliced && (width > kNarrow || !narrow(operand))) {
       emit(Opcode::WideUnary, 0, dst, operand, 0, static_cast<std::int32_t>(expr.op()));
       return dst;
     }
+    const int w = sliced ? 0 : width;  // sliced kernels read widths from slots
     const int operandWidth = slot(operand).width;
     switch (expr.op()) {
-      case rtl::UnaryOp::Neg: emit(Opcode::Neg, width, offset(dst), offset(operand)); break;
-      case rtl::UnaryOp::BitNot: emit(Opcode::Not, width, offset(dst), offset(operand)); break;
-      case rtl::UnaryOp::LogNot: emit(Opcode::LogNot, width, offset(dst), offset(operand)); break;
+      case rtl::UnaryOp::Neg: emit(Opcode::Neg, w, ref(dst), ref(operand)); break;
+      case rtl::UnaryOp::BitNot: emit(Opcode::Not, w, ref(dst), ref(operand)); break;
+      case rtl::UnaryOp::LogNot: emit(Opcode::LogNot, w, ref(dst), ref(operand)); break;
       case rtl::UnaryOp::RedAnd:
-        emit(Opcode::RedAnd, width, offset(dst), offset(operand), operandWidth);
+        emit(Opcode::RedAnd, w, ref(dst), ref(operand), sliced ? 0 : operandWidth);
         break;
-      case rtl::UnaryOp::RedOr: emit(Opcode::RedOr, width, offset(dst), offset(operand)); break;
-      case rtl::UnaryOp::RedXor: emit(Opcode::RedXor, width, offset(dst), offset(operand)); break;
+      case rtl::UnaryOp::RedOr: emit(Opcode::RedOr, w, ref(dst), ref(operand)); break;
+      case rtl::UnaryOp::RedXor: emit(Opcode::RedXor, w, ref(dst), ref(operand)); break;
     }
     return dst;
   }
 
   [[nodiscard]] std::int32_t lowerBinary(const rtl::BinaryExpr& expr) {
+    const OpKind op = expr.op();
+    // Sliced mode: shifts by a constant amount are pure plane relabelings —
+    // lower them to ShlConst / SliceLow so the executor never has to leave
+    // the bitwise domain for the (overwhelmingly common) fixed-shift case.
+    if (sliced && (op == OpKind::Shl || op == OpKind::Shr || op == OpKind::AShr) &&
+        expr.rhs().kind() == ExprKind::Constant) {
+      const std::uint64_t amount = static_cast<const rtl::ConstantExpr&>(expr.rhs()).value();
+      const std::int32_t operand = lowerExpr(expr.lhs());
+      const int width = expr.width();
+      const std::int32_t dst = addSlot(width);
+      // Clamp to the width that already zeroes everything; keeps int32 safe.
+      const auto clamped = static_cast<std::int32_t>(
+          std::min<std::uint64_t>(amount, static_cast<std::uint64_t>(slot(operand).width)));
+      if (op == OpKind::Shl) {
+        emit(Opcode::ShlConst, 0, dst, operand, clamped);
+      } else {
+        emit(Opcode::SliceLow, 0, dst, operand, clamped);
+      }
+      return dst;
+    }
     std::int32_t lhs = lowerExpr(expr.lhs());
     std::int32_t rhs = lowerExpr(expr.rhs());
     const int width = expr.width();
     const std::int32_t dst = addSlot(width);
-    if (width > kNarrow || !narrow(lhs) || !narrow(rhs)) {
+    if (!sliced && (width > kNarrow || !narrow(lhs) || !narrow(rhs))) {
       emit(Opcode::WideBinary, 0, dst, lhs, rhs, static_cast<std::int32_t>(expr.op()));
       return dst;
     }
-    const OpKind op = expr.op();
     // Gt/Ge are Lt/Le with the operands swapped.
     if (op == OpKind::Gt || op == OpKind::Ge) std::swap(lhs, rhs);
     // Shr zeroes the result when the amount reaches the *operand* width.
-    const std::int32_t aux = op == OpKind::Shr || op == OpKind::AShr ? slot(lhs).width : 0;
-    emit(narrowBinaryOpcode(op), width, offset(dst), offset(lhs), offset(rhs), aux);
+    const std::int32_t aux =
+        !sliced && (op == OpKind::Shr || op == OpKind::AShr) ? slot(lhs).width : 0;
+    emit(narrowBinaryOpcode(op), sliced ? 0 : width, ref(dst), ref(lhs), ref(rhs), aux);
     return dst;
   }
 
@@ -210,6 +269,10 @@ struct CompilerImpl {
     const std::int32_t elseSlot = lowerExpr(expr.elseExpr());
     const int width = expr.width();
     const std::int32_t dst = addSlot(width);
+    if (sliced) {
+      emit(Opcode::Select, 0, dst, boolSlot(cond), thenSlot, elseSlot);
+      return dst;
+    }
     if (width > kNarrow || !narrow(thenSlot) || !narrow(elseSlot)) {
       emit(Opcode::WideSelect, 0, dst, cond, thenSlot, elseSlot);
       return dst;
@@ -226,7 +289,7 @@ struct CompilerImpl {
     if (parts.size() == 1) return parts.front();
 
     const int width = expr.width();
-    if (width > kNarrow) {
+    if (!sliced && width > kNarrow) {
       const std::int32_t dst = addSlot(width);
       const auto start = static_cast<std::int32_t>(argPool.size());
       argPool.insert(argPool.end(), parts.begin(), parts.end());
@@ -240,7 +303,7 @@ struct CompilerImpl {
       const int partWidth = slot(parts[i]).width;
       accWidth += partWidth;
       const std::int32_t next = addSlot(accWidth);
-      emit(Opcode::ConcatPair, accWidth, offset(next), offset(acc), offset(parts[i]),
+      emit(Opcode::ConcatPair, sliced ? 0 : accWidth, ref(next), ref(acc), ref(parts[i]),
            partWidth);
       acc = next;
     }
@@ -253,7 +316,9 @@ struct CompilerImpl {
                    "slice bounds out of range");
     const int width = expr.width();
     const std::int32_t dst = addSlot(width);
-    if (!narrow(value)) {
+    if (sliced) {
+      emit(Opcode::SliceLow, 0, dst, value, expr.lo());
+    } else if (!narrow(value)) {
       emit(Opcode::WideSlice, 0, dst, value, expr.lo());
     } else {
       emit(Opcode::SliceLow, width, offset(dst), offset(value), expr.lo());
@@ -268,6 +333,10 @@ struct CompilerImpl {
     if (nonBlocking) seqWrites->insert(lvalue.signal);
     const std::int32_t target =
         nonBlocking ? shadowSlot(lvalue.signal) : signalSlots[lvalue.signal];
+    if (sliced) {
+      emitStoreSliced(lvalue, target, value, signalWidth);
+      return;
+    }
     if (lvalue.wholeSignal()) {
       if (signalWidth <= kNarrow) {
         emit(Opcode::Copy, signalWidth, offset(target), offset(value));
@@ -286,6 +355,33 @@ struct CompilerImpl {
     }
   }
 
+  /// Sliced store: lanes where `pred` is 0 must keep the old target bits, so
+  /// a guarded store blends through Select (whose else operand may alias the
+  /// destination — the kernel reads each plane before writing it).
+  void emitStoreSliced(const rtl::LValue& lvalue, std::int32_t target, std::int32_t value,
+                       int signalWidth) {
+    if (lvalue.wholeSignal()) {
+      if (pred < 0) {
+        emit(Opcode::Copy, 0, target, value);
+      } else {
+        emit(Opcode::Select, 0, target, pred, value, target);
+      }
+      return;
+    }
+    const auto [hi, lo] = *lvalue.range;
+    RTLOCK_REQUIRE(lo >= 0 && hi >= lo && hi < signalWidth, "lvalue slice out of range");
+    const int sliceWidth = hi - lo + 1;
+    std::int32_t inserted = value;
+    if (pred >= 0) {
+      const std::int32_t oldBits = addSlot(sliceWidth);
+      emit(Opcode::SliceLow, 0, oldBits, target, lo);
+      const std::int32_t blended = addSlot(sliceWidth);
+      emit(Opcode::Select, 0, blended, pred, value, oldBits);
+      inserted = blended;
+    }
+    emit(Opcode::Insert, 0, target, inserted, lo, sliceWidth);
+  }
+
   void lowerStmt(const Stmt& stmt) {
     switch (stmt.kind()) {
       case StmtKind::Block: {
@@ -294,6 +390,20 @@ struct CompilerImpl {
       }
       case StmtKind::If: {
         const auto& ifStmt = static_cast<const rtl::IfStmt&>(stmt);
+        if (sliced) {
+          // If-conversion: both arms always execute, their stores guarded by
+          // pred & cond (then) and pred & !cond (else).
+          const std::int32_t cond = boolSlot(lowerExpr(ifStmt.cond()));
+          const std::int32_t saved = pred;
+          pred = andPred(saved, cond);
+          lowerStmt(ifStmt.stmtAt(0));
+          if (ifStmt.hasElse()) {
+            pred = andPred(saved, notPred(cond));
+            lowerStmt(ifStmt.stmtAt(1));
+          }
+          pred = saved;
+          break;
+        }
         const std::int32_t cond = condWord(lowerExpr(ifStmt.cond()));
         const std::size_t skipThen = emitJump(Opcode::JumpIfZero, cond);
         lowerStmt(ifStmt.stmtAt(0));
@@ -320,6 +430,10 @@ struct CompilerImpl {
   }
 
   void lowerCase(const rtl::CaseStmt& caseStmt) {
+    if (sliced) {
+      lowerCaseSliced(caseStmt);
+      return;
+    }
     // subject == label dispatches on the low word, matching the
     // interpreter's toUint64() comparison (labels are raw 64-bit values).
     const std::int32_t subjectWord = offset(lowerExpr(caseStmt.subject()));
@@ -348,6 +462,55 @@ struct CompilerImpl {
       exits.push_back(emitJump(Opcode::Jump));
     }
     for (const std::size_t exit : exits) patchJump(exit, here());
+  }
+
+  /// Sliced case: every body executes under the predicate
+  /// `pred & match_i & !anyEarlierMatch` — the same low-64-bit, first-match-
+  /// wins dispatch as the interpreter and the jump lowering, just expressed
+  /// as lane masks.  The per-item predicates are pairwise disjoint, so body
+  /// order does not matter for the masked stores.
+  void lowerCaseSliced(const rtl::CaseStmt& caseStmt) {
+    std::int32_t subject = lowerExpr(caseStmt.subject());
+    if (slot(subject).width > 64) {
+      // Labels are raw 64-bit values; match the interpreter's toUint64().
+      const std::int32_t low = addSlot(64);
+      emit(Opcode::SliceLow, 0, low, subject, 0);
+      subject = low;
+    }
+    const std::int32_t saved = pred;
+    std::int32_t anyMatch = -1;  // 1-bit slot, -1 = no item lowered yet
+    const std::size_t itemCount = caseStmt.items().size();
+    for (std::size_t i = 0; i < itemCount; ++i) {
+      std::int32_t match = -1;
+      for (const std::uint64_t label : caseStmt.items()[i].labels) {
+        const std::int32_t equal = addSlot(1);
+        emit(Opcode::Eq, 0, equal, subject, constSlot(label, 64));
+        if (match < 0) {
+          match = equal;
+        } else {
+          const std::int32_t either = addSlot(1);
+          emit(Opcode::Or, 0, either, match, equal);
+          match = either;
+        }
+      }
+      if (match < 0) continue;  // no labels: body can never run
+      std::int32_t taken = match;
+      if (anyMatch >= 0) taken = andPred(taken, notPred(anyMatch));
+      pred = andPred(saved, taken);
+      lowerStmt(caseStmt.stmtAt(static_cast<int>(i)));
+      if (anyMatch < 0) {
+        anyMatch = match;
+      } else {
+        const std::int32_t either = addSlot(1);
+        emit(Opcode::Or, 0, either, anyMatch, match);
+        anyMatch = either;
+      }
+    }
+    if (caseStmt.hasDefault()) {
+      pred = anyMatch < 0 ? saved : andPred(saved, notPred(anyMatch));
+      lowerStmt(caseStmt.stmtAt(static_cast<int>(itemCount)));
+    }
+    pred = saved;
   }
 
   // ---- top level --------------------------------------------------------
@@ -380,9 +543,11 @@ struct CompilerImpl {
       nonBlocking = false;
       seqWrites = nullptr;
       for (const SignalId signal : writes) {
-        const Slot& live = slot(signalSlots[signal]);
-        const Slot& shadow = slot(shadowSlot(signal));
-        seq.shadows.push_back({live.offset, shadow.offset, live.wordCount()});
+        const std::int32_t liveId = signalSlots[signal];
+        const std::int32_t shadowId = shadowSlot(signal);
+        const Slot& live = slot(liveId);
+        const Slot& shadow = slot(shadowId);
+        seq.shadows.push_back({live.offset, shadow.offset, live.wordCount(), liveId, shadowId});
       }
       seqTapes.push_back(std::move(seq));
     }
@@ -392,9 +557,11 @@ struct CompilerImpl {
 
 }  // namespace
 
-Program Compiler::compile(const rtl::Module& module) {
+/// Shared back half of compile/compileSliced: runs the lowering and packs
+/// the CompilerImpl pieces into an immutable Program.
+Program Compiler::assemble(const rtl::Module& module, bool sliced) {
   const Schedule schedule = buildSchedule(module);
-  CompilerImpl impl{module};
+  CompilerImpl impl{module, sliced};
   impl.run(schedule);
 
   Program program;
@@ -406,11 +573,16 @@ Program Compiler::compile(const rtl::Module& module) {
   program.argPool_ = std::move(impl.argPool);
   program.clocks_ = std::move(impl.clocks);
   program.keyWidth_ = module.keyWidth();
+  program.sliced_ = sliced;
   program.initialWords_.assign(static_cast<std::size_t>(impl.nextOffset), 0);
   for (const auto& [offset, word] : impl.constInits) {
     program.initialWords_[static_cast<std::size_t>(offset)] = word;
   }
   return program;
 }
+
+Program Compiler::compile(const rtl::Module& module) { return assemble(module, false); }
+
+Program Compiler::compileSliced(const rtl::Module& module) { return assemble(module, true); }
 
 }  // namespace rtlock::sim

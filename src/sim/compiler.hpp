@@ -8,6 +8,14 @@
 //    re-inspects the IR;
 //  * constants are baked into the arena image and key slices bound to slots
 //    refreshed on setKey — neither costs anything per cycle.
+//
+// compileSliced produces the same tape vocabulary in the *sliced* encoding
+// consumed by sim/sliced_sim.hpp: operands are slot ids, every width runs
+// through the narrow opcodes (the executor reads widths from the slot table,
+// so there are no Wide* fallbacks), and control flow is if-converted —
+// if/case bodies execute unconditionally under a 1-bit predicate slot whose
+// lanes mask each store via Select.  Jump-free tapes are what lets 64
+// stimulus lanes share one tape pass even when they diverge on branches.
 #pragma once
 
 #include "sim/program.hpp"
@@ -21,6 +29,13 @@ class Compiler {
   /// recompile).  Throws support::Error on combinational loops, like the
   /// interpreter.
   [[nodiscard]] static Program compile(const rtl::Module& module);
+
+  /// Compiles `module` in the sliced (slot-id, jump-free, predicated)
+  /// encoding for sim::SlicedSim.  Same error behaviour as compile().
+  [[nodiscard]] static Program compileSliced(const rtl::Module& module);
+
+ private:
+  [[nodiscard]] static Program assemble(const rtl::Module& module, bool sliced);
 };
 
 }  // namespace rtlock::sim

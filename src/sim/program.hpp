@@ -60,6 +60,7 @@ enum class Opcode : std::uint8_t {
   RedXor,      // dst = popcount(a) & 1
   Select,      // dst = (a != 0 ? b : c) & mask
   SliceLow,    // b = lo; dst = (a >> lo) & mask
+  ShlConst,    // b = amount (sliced lowering only); dst = (a << b) & mask
   ConcatPair,  // c = width of b; dst = ((a << c) | b) & mask
   Insert,      // b = lo, c = slice width m; dst = dst with bits [lo, lo+m) := a
   // ---- control flow: dst is a tape index ----
@@ -105,10 +106,14 @@ struct KeyBinding {
 
 /// Copy directive committing a shadow slot back into its live signal slot
 /// (and seeding the shadow from the live value before a sequential tape).
+/// The offsets drive the scalar word arena; the slot ids drive the bit-sliced
+/// plane arena, whose layout is derived per executor.
 struct ShadowCopy {
   std::int32_t liveOffset = 0;
   std::int32_t shadowOffset = 0;
   std::int32_t words = 0;
+  std::int32_t liveSlot = 0;
+  std::int32_t shadowSlot = 0;
 };
 
 /// Sequential tape for one clock.
@@ -127,6 +132,9 @@ class Program {
   [[nodiscard]] const Slot& signalSlot(rtl::SignalId signal) const {
     return slots_[static_cast<std::size_t>(signalSlots_.at(signal))];
   }
+  [[nodiscard]] std::int32_t signalSlotId(rtl::SignalId signal) const {
+    return signalSlots_.at(signal);
+  }
   [[nodiscard]] const std::vector<Instr>& combTape() const noexcept { return combTape_; }
   [[nodiscard]] const std::vector<SequentialTape>& sequentialTapes() const noexcept {
     return seqTapes_;
@@ -137,6 +145,13 @@ class Program {
   [[nodiscard]] const std::vector<std::int32_t>& argPool() const noexcept { return argPool_; }
   [[nodiscard]] int keyWidth() const noexcept { return keyWidth_; }
   [[nodiscard]] const std::vector<rtl::SignalId>& clocks() const noexcept { return clocks_; }
+
+  /// True for programs produced by Compiler::compileSliced: operands are slot
+  /// ids (not word offsets), tapes are jump-free (if/case are lowered to
+  /// predicated masked selects) and there are no Wide* opcodes.  Such
+  /// programs run on sim::SlicedSim; offset-encoded programs run on
+  /// sim::CompiledSim.  The two encodings are never mixed.
+  [[nodiscard]] bool slicedLowering() const noexcept { return sliced_; }
 
   /// Total tape length across the combinational and sequential tapes.
   [[nodiscard]] std::size_t instructionCount() const noexcept;
@@ -153,6 +168,7 @@ class Program {
   std::vector<std::int32_t> argPool_;  // slot-id lists for WideConcat
   std::vector<rtl::SignalId> clocks_;
   int keyWidth_ = 0;
+  bool sliced_ = false;
 };
 
 /// Mask keeping the low `width` bits of a word; `width` must be in [1, 64].

@@ -56,6 +56,28 @@ std::int64_t CliArgs::getInt(std::string_view name, std::int64_t fallback) const
   return value;
 }
 
+std::uint64_t CliArgs::getU64(std::string_view name, std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto value = parseU64(it->second);
+  if (!value.has_value()) {
+    throw Error{"flag --" + it->first + " expects a non-negative integer, got '" + it->second +
+                "'"};
+  }
+  return *value;
+}
+
+std::optional<std::uint64_t> parseU64(std::string_view text) {
+  // from_chars<unsigned> already rejects signs and leading whitespace; the
+  // end-pointer check rejects trailing junk ("3x"), and errc catches
+  // overflow — exactly the failure modes stoull-based parsing let through.
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
 double CliArgs::getDouble(std::string_view name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;

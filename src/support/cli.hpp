@@ -22,6 +22,10 @@ class CliArgs {
   [[nodiscard]] bool has(std::string_view name) const;
   [[nodiscard]] std::string get(std::string_view name, std::string_view fallback) const;
   [[nodiscard]] std::int64_t getInt(std::string_view name, std::int64_t fallback) const;
+  /// Strict non-negative integer flag via parseU64: unlike std::stoull-style
+  /// parsing, "3x" and "-1" both fail loudly instead of truncating to 3 or
+  /// wrapping to 2^64-1.  Throws Error on any malformed value.
+  [[nodiscard]] std::uint64_t getU64(std::string_view name, std::uint64_t fallback) const;
   [[nodiscard]] double getDouble(std::string_view name, double fallback) const;
   [[nodiscard]] bool getBool(std::string_view name, bool fallback) const;
 
@@ -40,5 +44,11 @@ class CliArgs {
 /// loudly (same policy as CliArgs: typos must not silently run a default
 /// configuration).  Shared by the benches and the rtlock CLI.
 [[nodiscard]] int requestedThreads(const CliArgs& args);
+
+/// Strict base-10 parse of the ENTIRE text as an unsigned 64-bit integer:
+/// no sign, no whitespace, no trailing junk, no overflow — nullopt on any
+/// violation.  The one parser behind every non-negative CLI integer, so a
+/// typo like "3x" or a negative seed can never silently truncate or wrap.
+[[nodiscard]] std::optional<std::uint64_t> parseU64(std::string_view text);
 
 }  // namespace rtlock::support

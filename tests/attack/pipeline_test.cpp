@@ -40,6 +40,29 @@ TEST(PipelineTest, EraShowsResilienceAndExceedsBudget) {
   EXPECT_DOUBLE_EQ(result.meanRestrictedMetric, 100.0);
 }
 
+TEST(PipelineTest, VerifyFunctionalPassesAndChangesNoOutputBit) {
+  // Locked samples must behave like the original under their correct key on
+  // both simulator backends; enabling the check must not perturb any KPA or
+  // metric bit (it draws from an independent fixed-seed stimulus stream).
+  const auto original = designs::makePlusNetwork(40);
+  support::Rng plainRng{7};
+  const auto plain = evaluateBenchmark(original, "plus40", lock::Algorithm::AssureSerial,
+                                       lock::PairTable::fixed(), fastEvaluation(), plainRng);
+  for (const sim::SimBackend backend : {sim::SimBackend::Sliced, sim::SimBackend::Compiled}) {
+    EvaluationConfig config = fastEvaluation();
+    config.verifyFunctional = true;
+    config.simBackend = backend;
+    support::Rng rng{7};
+    const auto verified = evaluateBenchmark(original, "plus40", lock::Algorithm::AssureSerial,
+                                            lock::PairTable::fixed(), config, rng);
+    EXPECT_EQ(verified.functionalFailures, 0);
+    EXPECT_DOUBLE_EQ(verified.meanKpa, plain.meanKpa);
+    EXPECT_DOUBLE_EQ(verified.meanGlobalMetric, plain.meanGlobalMetric);
+    EXPECT_DOUBLE_EQ(verified.meanRestrictedMetric, plain.meanRestrictedMetric);
+  }
+  EXPECT_EQ(plain.functionalFailures, 0);  // off by default: counter stays 0
+}
+
 TEST(PipelineTest, OriginalModuleLeftUntouched) {
   support::Rng rng{3};
   const auto original = designs::makePlusNetwork(30);

@@ -73,6 +73,34 @@ TEST(CliDispatchTest, MalformedFlagValuesFailUsage) {
   EXPECT_EQ(runCli({"attack", "in.v", "--folds=1"}).exitCode, cli::kExitUsage);
   EXPECT_EQ(runCli({"eval", "in.v", "--folds=1"}).exitCode, cli::kExitUsage);
   EXPECT_EQ(runCli({"eval", "in.v", "--seeds=bogus"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"eval", "in.v", "--sim-backend=quantum"}).exitCode, cli::kExitUsage);
+}
+
+TEST(CliDispatchTest, SeedsRejectTrailingJunkAndNegatives) {
+  // Regression: stoull-based parsing accepted "--seeds 3x" as seed 3 and
+  // wrapped "--seeds -1" to 2^64-1, silently running the wrong campaign.
+  // Both must be usage errors (exit 2) naming the offending entry.
+  const auto junk = runCli({"eval", "in.v", "--seeds", "3x"});
+  EXPECT_EQ(junk.exitCode, cli::kExitUsage);
+  EXPECT_NE(junk.err.find("'3x'"), std::string::npos);
+
+  const auto negative = runCli({"eval", "in.v", "--seeds", "-1"});
+  EXPECT_EQ(negative.exitCode, cli::kExitUsage);
+  EXPECT_NE(negative.err.find("'-1'"), std::string::npos);
+
+  // Same strictness inside lists and ranges.
+  EXPECT_EQ(runCli({"eval", "in.v", "--seeds=1,2x,3"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"eval", "in.v", "--seeds=5..1x"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"eval", "in.v", "--seeds=9..1"}).exitCode, cli::kExitUsage);
+}
+
+TEST(CliDispatchTest, IntegerFlagsRejectMalformedValues) {
+  EXPECT_EQ(runCli({"lock", "in.v", "--seed=1x"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"attack", "in.v", "--seed=-2"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"attack", "in.v", "--repeats=2x"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"eval", "in.v", "--samples=1x"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"eval", "in.v", "--samples=0"}).exitCode, cli::kExitUsage);
+  EXPECT_EQ(runCli({"eval", "in.v", "--retries=-1"}).exitCode, cli::kExitUsage);
 }
 
 TEST(CliDispatchTest, MissingInputFileIsRuntimeError) {

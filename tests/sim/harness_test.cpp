@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/assure.hpp"
+#include "designs/registry.hpp"
 #include "rtl/builder.hpp"
 
 namespace rtlock::sim {
@@ -97,6 +101,129 @@ TEST(HarnessTest, SequentialDesignsCompared) {
       functionallyEquivalent(makeCounter("c1", 1), makeCounter("c2", 1), BitVector{1}, {}, rng));
   EXPECT_FALSE(
       functionallyEquivalent(makeCounter("c1", 1), makeCounter("c3", 2), BitVector{1}, {}, rng));
+}
+
+// ---- backend parity ------------------------------------------------------
+//
+// The compiled (scalar) backend is the oracle for the sliced default: with
+// the same rng seed both backends must report identical corruption values
+// and the identical first mismatch.
+
+struct LockedFir {
+  rtl::Module module;
+  BitVector correctKey;
+};
+
+LockedFir makeLockedFir() {
+  rtl::Module module = designs::makeBenchmark("FIR");
+  lock::LockEngine engine{module, lock::PairTable::fixed()};
+  support::Rng lockRng{41};
+  lock::assureRandomLock(engine, std::max(1, engine.initialLockableOps() / 2), lockRng);
+  BitVector key{module.keyWidth()};
+  for (const lock::LockRecord& record : engine.records()) {
+    key.setBit(record.keyIndex, record.keyValue);
+  }
+  return {std::move(module), std::move(key)};
+}
+
+TEST(HarnessBackendTest, CorruptionIdenticalAcrossBackends) {
+  const rtl::Module golden = designs::makeBenchmark("FIR");
+  const rtl::Module locked = makeLockedFir().module;
+  Harness scalar{golden, locked, SimBackend::Compiled};
+  Harness sliced{golden, locked, SimBackend::Sliced};
+  EquivalenceOptions options;
+  options.vectors = 70;  // spills into a second 64-lane chunk
+  options.cyclesPerVector = 3;
+  support::Rng keyRng{42};
+  for (int trial = 0; trial < 4; ++trial) {
+    const BitVector key = BitVector::random(locked.keyWidth(), keyRng);
+    support::Rng scalarRng{100 + static_cast<std::uint64_t>(trial)};
+    support::Rng slicedRng{100 + static_cast<std::uint64_t>(trial)};
+    EXPECT_DOUBLE_EQ(scalar.outputCorruption(key, options, scalarRng),
+                     sliced.outputCorruption(key, options, slicedRng));
+  }
+}
+
+TEST(HarnessBackendTest, FirstMismatchIdenticalAcrossBackends) {
+  const rtl::Module golden = designs::makeBenchmark("FIR");
+  const LockedFir fir = makeLockedFir();
+  const rtl::Module& locked = fir.module;
+  Harness scalar{golden, locked, SimBackend::Compiled};
+  Harness sliced{golden, locked, SimBackend::Sliced};
+  EquivalenceOptions options;
+  options.vectors = 70;
+  options.cyclesPerVector = 3;
+  support::Rng keyRng{43};
+  const BitVector& correct = fir.correctKey;  // trial 0: the no-mismatch case
+  for (int trial = 0; trial < 4; ++trial) {
+    const BitVector key =
+        trial == 0 ? correct : BitVector::random(locked.keyWidth(), keyRng);
+    support::Rng scalarRng{200 + static_cast<std::uint64_t>(trial)};
+    support::Rng slicedRng{200 + static_cast<std::uint64_t>(trial)};
+    const auto expected = scalar.findMismatch(key, options, scalarRng);
+    const auto actual = sliced.findMismatch(key, options, slicedRng);
+    ASSERT_EQ(expected.has_value(), actual.has_value()) << "trial " << trial;
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->output, actual->output);
+      EXPECT_EQ(expected->vector, actual->vector);
+      EXPECT_EQ(expected->cycle, actual->cycle);
+    }
+  }
+}
+
+TEST(HarnessBackendTest, CorruptionBatchMatchesPerKeyCalls) {
+  const rtl::Module golden = designs::makeBenchmark("FIR");
+  const rtl::Module locked = makeLockedFir().module;
+  EquivalenceOptions options;
+  options.vectors = 5;  // 20 keys x 5 vectors = 100 lanes across two chunks
+  options.cyclesPerVector = 3;
+  support::Rng keyRng{44};
+  std::vector<BitVector> keys;
+  for (int k = 0; k < 20; ++k) keys.push_back(BitVector::random(locked.keyWidth(), keyRng));
+
+  // Per-key oracle values: the scalar backend over identical stimuli.
+  Harness scalar{golden, locked, SimBackend::Compiled};
+  std::vector<double> expected;
+  for (const BitVector& key : keys) {
+    support::Rng rng{300};
+    expected.push_back(scalar.outputCorruption(key, options, rng));
+  }
+
+  for (const SimBackend backend : {SimBackend::Compiled, SimBackend::Sliced}) {
+    Harness harness{golden, locked, backend};
+    support::Rng rng{300};
+    const auto batch = harness.outputCorruptionBatch(keys, options, rng);
+    ASSERT_EQ(batch.size(), keys.size());
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      EXPECT_DOUBLE_EQ(batch[k], expected[k]) << "backend "
+                                              << (backend == SimBackend::Sliced ? "sliced"
+                                                                                : "compiled")
+                                              << " key " << k;
+    }
+  }
+}
+
+TEST(HarnessBackendTest, StaleKeysNeverLeakAcrossCalls) {
+  // Regression pin: after measuring under a wrong key, a fresh call on the
+  // same harness with the correct key must see zero corruption — no key
+  // planes or arena words may survive from the previous sweep.
+  const rtl::Module golden = designs::makeBenchmark("FIR");
+  const LockedFir fir = makeLockedFir();
+  const rtl::Module& locked = fir.module;
+  for (const SimBackend backend : {SimBackend::Compiled, SimBackend::Sliced}) {
+    Harness harness{golden, locked, backend};
+    const BitVector& correct = fir.correctKey;
+    BitVector wrong = fir.correctKey;
+    for (int bit = 0; bit < locked.keyWidth(); ++bit) wrong.setBit(bit, !wrong.bit(bit));
+    EquivalenceOptions options;
+    options.cyclesPerVector = 16;  // past the FIR pipeline depth
+    support::Rng rng1{400};
+    ASSERT_GT(harness.outputCorruption(wrong, options, rng1), 0.0);
+    support::Rng rng2{401};
+    EXPECT_DOUBLE_EQ(harness.outputCorruption(correct, options, rng2), 0.0);
+    support::Rng rng3{402};
+    EXPECT_FALSE(harness.findMismatch(correct, options, rng3).has_value());
+  }
 }
 
 TEST(HarnessTest, MissingPortIsContractViolation) {

@@ -45,6 +45,33 @@ TEST(CliTest, BadIntegerThrows) {
   EXPECT_THROW((void)args.getInt("seed", 0), Error);
 }
 
+TEST(CliTest, ParseU64AcceptsPlainDecimal) {
+  EXPECT_EQ(parseU64("0"), 0u);
+  EXPECT_EQ(parseU64("42"), 42u);
+  EXPECT_EQ(parseU64("18446744073709551615"), 18446744073709551615ULL);  // UINT64_MAX
+}
+
+TEST(CliTest, ParseU64RejectsEverythingElse) {
+  // Trailing junk: the stoull behaviour this replaces parsed "3x" as 3.
+  EXPECT_EQ(parseU64("3x"), std::nullopt);
+  // Signs: stoull wrapped "-1" to 2^64-1 instead of failing.
+  EXPECT_EQ(parseU64("-1"), std::nullopt);
+  EXPECT_EQ(parseU64("+1"), std::nullopt);
+  EXPECT_EQ(parseU64(""), std::nullopt);
+  EXPECT_EQ(parseU64(" 1"), std::nullopt);
+  EXPECT_EQ(parseU64("1 "), std::nullopt);
+  EXPECT_EQ(parseU64("0x10"), std::nullopt);
+  EXPECT_EQ(parseU64("1e3"), std::nullopt);
+  EXPECT_EQ(parseU64("18446744073709551616"), std::nullopt);  // UINT64_MAX + 1
+}
+
+TEST(CliTest, GetU64StrictParsing) {
+  EXPECT_EQ(parse({"--seed=7"}, {"seed"}).getU64("seed", 0), 7u);
+  EXPECT_EQ(parse({}, {"seed"}).getU64("seed", 99), 99u);
+  EXPECT_THROW((void)parse({"--seed=3x"}, {"seed"}).getU64("seed", 0), Error);
+  EXPECT_THROW((void)parse({"--seed=-1"}, {"seed"}).getU64("seed", 0), Error);
+}
+
 TEST(CliTest, DoubleParsing) {
   const auto args = parse({"--budget=0.75"}, {"budget"});
   EXPECT_DOUBLE_EQ(args.getDouble("budget", 0.0), 0.75);
