@@ -18,6 +18,11 @@
 //
 // JSON schema: {"schema": "...", "seed": N, "rows": [{bench, config, metric,
 // value, wall_ms}, ...]}.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -27,6 +32,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -41,6 +47,8 @@
 #include "core/metric.hpp"
 #include "designs/networks.hpp"
 #include "designs/registry.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
 #include "sim/compiled_sim.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/harness.hpp"
@@ -485,6 +493,93 @@ void runPerf(std::vector<Row>& rows, std::uint64_t seed) {
   }
 }
 
+// --- service: session-cache amortisation and serve throughput --------------
+//
+// The serve PR's headline: a warm SessionCache fetch skips the parse +
+// verify + two-backend compile + lint pipeline entirely, so repeated work
+// on the same design (CLI re-runs, service traffic) pays it once.  The
+// speedup row is the cold build cost over the warm fetch cost; the serve
+// smoke row drives the real daemon over loopback TCP end to end.
+
+/// One GET /healthz round-trip against a local rtlock serve daemon.
+bool healthzRoundTrip(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buffer[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    reply.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply.find(" 200 OK") != std::string::npos;
+}
+
+void runService(std::vector<Row>& rows) {
+  {
+    const rtl::Module module = designs::makeBenchmark("SHA256");
+    const std::string source = verilog::writeModule(module);
+    const service::SessionOptions options;
+    // Cold: a fresh cache pays the full build pipeline once.
+    const auto coldStart = Clock::now();
+    service::SessionCache coldCache;
+    (void)coldCache.fetch(source, options);
+    const double coldMs = elapsedMs(coldStart);
+    // Warm: hash the source, touch the LRU entry, hand back the pin.
+    service::SessionCache cache;
+    (void)cache.fetch(source, options);
+    constexpr int kIterations = 500;
+    const auto warmStart = Clock::now();
+    for (int i = 0; i < kIterations; ++i) {
+      if (!cache.fetch(source, options).hit) {
+        throw support::Error{"session bench: warm fetch missed"};
+      }
+    }
+    const double warmMs = elapsedMs(warmStart) / kIterations;
+    rows.push_back({"perf", "SHA256", "session_cold_build_ms", coldMs, coldMs});
+    rows.push_back(
+        {"perf", "SHA256", "session_warm_speedup", coldMs / std::max(warmMs, 1e-6), 0.0});
+  }
+  {
+    // Serve smoke: a self-draining daemon on an ephemeral loopback port,
+    // hammered with sequential /healthz round-trips.
+    constexpr int kRequests = 32;
+    service::ServeOptions options;
+    options.threads = 1;
+    options.maxRequests = kRequests;
+    service::Server server{options};
+    const int port = server.port();
+    std::thread runner{[&server] { (void)server.run(); }};
+    const auto start = Clock::now();
+    int ok = 0;
+    for (int i = 0; i < kRequests; ++i) ok += healthzRoundTrip(port) ? 1 : 0;
+    runner.join();
+    const double wallMs = elapsedMs(start);
+    if (ok != kRequests) {
+      throw support::Error{"serve smoke: " + std::to_string(kRequests - ok) +
+                           " request(s) failed"};
+    }
+    rows.push_back({"perf", "serve /healthz x" + std::to_string(kRequests), "requests_per_s",
+                    kRequests * 1000.0 / wallMs, wallMs});
+  }
+}
+
 // --- output ----------------------------------------------------------------
 //
 // String escaping comes from support::jsonEscape — the one implementation
@@ -618,6 +713,7 @@ int main(int argc, char** argv) {
     runFig5(rows, seed, threads);
     runFig6(rows, seed, full, threads);
     runPerf(rows, seed);
+    runService(rows);
 
     support::Table table{{"bench", "config", "metric", "value", "wall_ms"}};
     for (const Row& row : rows) {

@@ -2,8 +2,9 @@
 // auto-ml model selection, per-bit key prediction) against a locked netlist
 // and write a report whose rows follow the BENCH_baseline.json schema.
 //
-// With --key=key.json (the `rtlock lock` provenance file) predictions are
-// scored into a Key Prediction Accuracy; without it the attack still runs —
+// Thin wrapper over service::runAttack (shared with `rtlock serve`).  With
+// --key=key.json (the `rtlock lock` provenance file) predictions are scored
+// into a Key Prediction Accuracy; without it the attack still runs —
 // SnapShot is oracle-less and needs nothing but the locked netlist — and the
 // report carries the per-bit predictions unscored.
 //
@@ -11,187 +12,77 @@
 // --seed root and repeats shard across --threads workers, so the quality
 // rows (and with --no-wall the whole report file) are bit-identical at every
 // thread count.
-#include <chrono>
 #include <fstream>
-#include <utility>
 
-#include "attack/snapshot.hpp"
 #include "cli/common.hpp"
+#include "service/api.hpp"
 #include "support/strings.hpp"
-#include "support/table.hpp"
-#include "support/task_pool.hpp"
-#include "verilog/parser.hpp"
 
 namespace rtlock::cli {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] double elapsedMs(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
-struct RepeatOutcome {
-  attack::SnapshotResult result;
-  double wallMs = 0.0;
-};
-
-}  // namespace
 
 int runAttackCommand(const std::vector<std::string>& args, CommandIo& io) {
   const support::CliArgs flags = parseFlags(
       args, {"key", "module", "key-port", "rounds", "relock-budget", "folds", "repeats", "seed",
              "threads", "extended-features", "report", "report-csv", "csv", "no-wall"});
   const std::string inputPath = onePositional(flags, "locked netlist (locked.v)");
-  const std::uint64_t seed = u64Flag(flags, "seed", 1);
+
+  service::AttackRequest request;
+  request.seed = u64Flag(flags, "seed", 1);
   const std::uint64_t repeatsRaw = u64Flag(flags, "repeats", 1);
   if (repeatsRaw < 1 || repeatsRaw > 1'000'000) {
     throw UsageError{"--repeats must be in [1, 1000000]"};
   }
-  const int repeats = static_cast<int>(repeatsRaw);
-  const int threads = support::requestedThreads(flags);
-  const bool noWall = flags.getBool("no-wall", false);
-
-  attack::SnapshotConfig config;
+  request.repeats = static_cast<int>(repeatsRaw);
+  request.threads = support::requestedThreads(flags);
+  request.includeWall = !flags.getBool("no-wall", false);
   const std::uint64_t rounds = u64Flag(flags, "rounds", 1000);
   if (rounds < 1 || rounds > 1'000'000'000) {
     throw UsageError{"--rounds must be in [1, 1000000000]"};
   }
-  config.relockRounds = static_cast<int>(rounds);
-  const BudgetSpec relockBudget = parseBudget(flags.get("relock-budget", "75%"));
-  if (!relockBudget.isFraction) {
+  request.rounds = static_cast<int>(rounds);
+  request.relockBudget = parseBudget(flags.get("relock-budget", "75%"));
+  if (!request.relockBudget.isFraction) {
     throw UsageError{"--relock-budget takes a fraction of the target's operations (e.g. 75%)"};
   }
-  config.relockBudgetFraction = relockBudget.fraction;
   const std::uint64_t folds = u64Flag(flags, "folds", 3);
   if (folds < 2 || folds > 1000) throw UsageError{"--folds must be in [2, 1000]"};
-  config.automl.folds = static_cast<int>(folds);
-  config.locality.extendedFeatures = flags.getBool("extended-features", false);
+  request.folds = static_cast<int>(folds);
+  request.extendedFeatures = flags.getBool("extended-features", false);
 
-  verilog::ParserOptions parserOptions;
-  parserOptions.keyPortName = flags.get("key-port", parserOptions.keyPortName);
-  rtl::Design design = verilog::parseDesign(readTextFile(inputPath), parserOptions);
-  rtl::Module& target = selectModule(design, flags, /*requireKey=*/true);
-
-  // Ground truth: the lock-time records when a key file is given, else
-  // unscored pseudo-records derived from the netlist's own key muxes.
-  bool scored = false;
-  std::vector<lock::LockRecord> truth;
+  request.source = readTextFile(inputPath);
+  request.session.keyPortName = flags.get("key-port", request.session.keyPortName);
+  request.moduleName = flags.get("module", "");
   if (flags.has("key")) {
-    const KeyFile keyFile = keyFileFromJson(support::parseJson(readTextFile(flags.get("key", ""))));
-    const ModuleKey& moduleKey = moduleKeyFor(keyFile, target.name());
-    if (moduleKey.keyWidth != target.keyWidth()) {
-      throw support::Error{"key file was made for a " + std::to_string(moduleKey.keyWidth) +
-                           "-bit key but " + target.name() + " has " +
-                           std::to_string(target.keyWidth()) + " key bits"};
-    }
-    truth = moduleKey.records;
-    scored = true;
+    request.key = keyFileFromJson(support::parseJson(readTextFile(flags.get("key", ""))));
   } else {
-    for (const attack::Locality& locality : extractLocalities(target, config.locality)) {
-      lock::LockRecord record;
-      record.keyIndex = locality.keyIndex;
-      truth.push_back(record);
-    }
     io.err << "note: no --key file — KPA cannot be scored, reporting raw predictions\n";
   }
-  if (truth.empty()) throw support::Error{"module " + target.name() + " has no key muxes"};
 
-  // Repeats shard across the pool; each owns a clone and a substream.
-  const support::Rng root{seed};
-  support::TaskPool pool{
-      support::threadsForTasks(threads, static_cast<std::size_t>(repeats))};
-  const auto started = Clock::now();
-  const std::vector<RepeatOutcome> outcomes =
-      pool.map(static_cast<std::size_t>(repeats), [&](std::size_t index) {
-        const auto repeatStart = Clock::now();
-        rtl::Module clone = target.clone();
-        support::Rng repeatRng = root.substream(index);
-        RepeatOutcome outcome;
-        outcome.result =
-            attack::snapshotAttack(clone, truth, lock::PairTable::fixed(), config, repeatRng);
-        outcome.wallMs = elapsedMs(repeatStart);
-        return outcome;
-      });
-  const double totalWallMs = elapsedMs(started);
-
-  const std::string setup = "snapshot rounds=" + std::to_string(config.relockRounds) +
-                            " budget=" + relockBudget.describe() +
-                            " folds=" + std::to_string(config.automl.folds) +
-                            (config.locality.extendedFeatures ? " features=extended" : "");
-  std::vector<ReportRow> rows;
-  double kpaSum = 0.0;
-  double kpaMin = 100.0;
-  double kpaMax = 0.0;
-  double cvSum = 0.0;
-  double rowsSum = 0.0;
-  for (std::size_t r = 0; r < outcomes.size(); ++r) {
-    const attack::SnapshotResult& result = outcomes[r].result;
-    const double wall = noWall ? 0.0 : outcomes[r].wallMs;
-    if (scored) {
-      rows.push_back({target.name(), setup + " repeat=" + std::to_string(r), "kpa_percent",
-                      result.kpa, wall});
-      kpaSum += result.kpa;
-      kpaMin = std::min(kpaMin, result.kpa);
-      kpaMax = std::max(kpaMax, result.kpa);
-    }
-    cvSum += result.cvAccuracy;
-    rowsSum += static_cast<double>(result.trainingRows);
-  }
-  const auto count = static_cast<double>(outcomes.size());
-  if (scored) {
-    rows.push_back({target.name(), setup, "mean_kpa_percent", kpaSum / count,
-                    noWall ? 0.0 : totalWallMs});
-    if (repeats > 1) {
-      rows.push_back({target.name(), setup, "min_kpa_percent", kpaMin, 0.0});
-      rows.push_back({target.name(), setup, "max_kpa_percent", kpaMax, 0.0});
-    }
-  }
-  rows.push_back({target.name(), setup, "key_bits",
-                  static_cast<double>(outcomes.front().result.keyBits), 0.0});
-  rows.push_back({target.name(), setup, "mean_training_rows", rowsSum / count, 0.0});
-  rows.push_back({target.name(), setup, "mean_cv_accuracy_percent", 100.0 * cvSum / count, 0.0});
+  service::SessionCache cache;
+  const service::AttackResponse response = service::runAttack(cache, request);
 
   if (flags.has("report")) {
-    support::JsonValue document;
-    document.set("schema", "rtlock-attack-report/v1");
-    document.set("input", inputPath);
-    document.set("module", target.name());
-    document.set("seed", seed);
-    document.set("scored", scored);
-    support::JsonArray attacks;
-    for (std::size_t r = 0; r < outcomes.size(); ++r) {
-      const attack::SnapshotResult& result = outcomes[r].result;
-      support::JsonValue entry;
-      entry.set("repeat", static_cast<std::int64_t>(r));
-      entry.set("model", result.modelName);
-      entry.set("cv_accuracy", result.cvAccuracy);
-      std::string predictions;
-      predictions.reserve(result.predictions.size());
-      for (const int bit : result.predictions) predictions.push_back(bit != 0 ? '1' : '0');
-      entry.set("predictions", predictions);
-      if (scored) entry.set("kpa_percent", result.kpa);
-      attacks.push_back(std::move(entry));
-    }
-    document.set("attacks", support::JsonValue{std::move(attacks)});
-    document.set("rows", rowsToJson(rows));
-    writeTextFile(flags.get("report", ""), document.dump());
+    writeTextFile(flags.get("report", ""),
+                  service::attackReportDocument(request, response, inputPath).dump());
     io.err << "report: " << flags.get("report", "") << "\n";
   }
   if (flags.has("report-csv")) {
     std::ofstream csv{flags.get("report-csv", "")};
     if (!csv) throw support::Error{"cannot open " + flags.get("report-csv", "") + " for writing"};
-    emitRows(csv, rows, /*csv=*/true);
+    emitRows(csv, response.rows, /*csv=*/true);
     io.err << "CSV report: " << flags.get("report-csv", "") << "\n";
   }
 
-  emitRows(io.out, rows, flags.getBool("csv", false));
-  io.err << "model: " << outcomes.front().result.modelName << " (cv "
-         << support::formatDouble(100.0 * outcomes.front().result.cvAccuracy, 1) << "%)";
-  if (scored) {
-    io.err << ", mean KPA " << support::formatDouble(kpaSum / count, 1) << "% over " << repeats
-           << " repeat(s)";
+  emitRows(io.out, response.rows, flags.getBool("csv", false));
+  const attack::SnapshotResult& first = response.repeats.front().result;
+  io.err << "model: " << first.modelName << " (cv "
+         << support::formatDouble(100.0 * first.cvAccuracy, 1) << "%)";
+  if (response.scored) {
+    double kpaSum = 0.0;
+    for (const service::AttackRepeat& repeat : response.repeats) kpaSum += repeat.result.kpa;
+    io.err << ", mean KPA "
+           << support::formatDouble(kpaSum / static_cast<double>(response.repeats.size()), 1)
+           << "% over " << request.repeats << " repeat(s)";
   }
   io.err << "\n";
   return kExitOk;

@@ -2,6 +2,10 @@
 //
 // Everything here is CLI-private: commands include this header, the library
 // proper never does.  The public surface is cli.hpp's runCli alone.
+//
+// The request/response vocabulary (budgets, algorithm spellings, report
+// rows, key files) lives in src/service/types.hpp since the serve front end
+// shares it; the aliases below keep the subcommands reading unchanged.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include "cli/cli.hpp"
 #include "core/report.hpp"
 #include "rtl/module.hpp"
+#include "service/types.hpp"
 #include "sim/harness.hpp"
 #include "support/cli.hpp"
 #include "support/diagnostics.hpp"
@@ -21,7 +26,8 @@
 namespace rtlock::cli {
 
 /// Usage-class failure (unknown flag, malformed flag value, missing
-/// positional).  Mapped to kExitUsage at the dispatch boundary, while plain
+/// positional).  Mapped to kExitUsage at the dispatch boundary — alongside
+/// service::BadRequest, its library-level sibling — while plain
 /// support::Error (bad file, parse error) maps to kExitError.
 class UsageError : public support::Error {
  public:
@@ -53,6 +59,7 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io);
 int runReportCommand(const std::vector<std::string>& args, CommandIo& io);
 int runDesignsCommand(const std::vector<std::string>& args, CommandIo& io);
 int runLintCommand(const std::vector<std::string>& args, CommandIo& io);
+int runServeCommand(const std::vector<std::string>& args, CommandIo& io);
 
 // ---- flag parsing ---------------------------------------------------------
 
@@ -65,26 +72,21 @@ int runLintCommand(const std::vector<std::string>& args, CommandIo& io);
 [[nodiscard]] std::string onePositional(const support::CliArgs& args, const char* what);
 
 /// Locking algorithm from its CLI spelling: serial|assure, random, hra,
-/// greedy, era (case-insensitive).  UsageError otherwise.
-[[nodiscard]] lock::Algorithm algorithmFromFlag(const std::string& name);
+/// greedy, era (case-insensitive).  service::BadRequest otherwise
+/// (kExitUsage, like any flag typo).
+[[nodiscard]] inline lock::Algorithm algorithmFromFlag(const std::string& name) {
+  return service::algorithmFromName(name);
+}
 
 /// CLI spelling of an algorithm (lower-case, stable in reports/key files).
-[[nodiscard]] std::string algorithmFlagName(lock::Algorithm algorithm);
+[[nodiscard]] inline std::string algorithmFlagName(lock::Algorithm algorithm) {
+  return service::algorithmName(algorithm);
+}
 
-/// Key budget: "50%" or "0.5" = fraction of the module's lockable
-/// operations; a bare integer = absolute key bits.
-struct BudgetSpec {
-  bool isFraction = true;
-  double fraction = 0.75;
-  std::int64_t absolute = 0;
-
-  /// Key bits for a module with `lockableOps` operations (floor, min 1).
-  [[nodiscard]] int resolve(int lockableOps) const;
-  /// Canonical spelling for reports ("75%" / "12 bits").
-  [[nodiscard]] std::string describe() const;
-};
-
-[[nodiscard]] BudgetSpec parseBudget(const std::string& text);
+// Key budgets: "50%" / "0.5" = fraction of lockable operations, bare
+// integer = absolute key bits (service::BadRequest on malformed text).
+using service::BudgetSpec;
+using service::parseBudget;
 
 /// Strict non-negative integer flag (support::parseU64 semantics: the whole
 /// token, no sign, no trailing junk, no wraparound).  Malformed values
@@ -96,8 +98,10 @@ struct BudgetSpec {
 
 /// Simulation backend from its CLI spelling: "sliced" (64-lane bit-parallel,
 /// the default everywhere) or "compiled" (the scalar differential oracle).
-/// UsageError otherwise.
-[[nodiscard]] sim::SimBackend simBackendFromFlag(const std::string& name);
+/// service::BadRequest otherwise.
+[[nodiscard]] inline sim::SimBackend simBackendFromFlag(const std::string& name) {
+  return service::simBackendFromName(name);
+}
 
 // ---- file I/O -------------------------------------------------------------
 
@@ -106,53 +110,22 @@ void writeTextFile(const std::string& path, const std::string& text);
 
 // ---- report rows ----------------------------------------------------------
 
-/// One metric row; the schema BENCH_baseline.json established
-/// ({bench, config, metric, value, wall_ms}), reused verbatim so every
-/// rtlock report is consumable by the same tooling as the committed
-/// baseline.
-struct ReportRow {
-  std::string bench;
-  std::string config;
-  std::string metric;
-  double value = 0.0;
-  double wallMs = 0.0;
-};
-
-/// Rows as the JSON array for a report's "rows" member.
-[[nodiscard]] support::JsonValue rowsToJson(const std::vector<ReportRow>& rows);
+// One metric row ({bench, config, metric, value, wall_ms}) and its JSON
+// spelling — the BENCH_baseline.json schema, shared with the service layer.
+using service::ReportRow;
+using service::rowsToJson;
 
 /// Renders rows as an aligned table or CSV on `out`.
 void emitRows(std::ostream& out, const std::vector<ReportRow>& rows, bool csv);
 
 // ---- key files (rtlock-key/v1) --------------------------------------------
 
-inline constexpr const char* kKeySchema = "rtlock-key/v1";
-
-/// Per-module locking ground truth + provenance.
-struct ModuleKey {
-  std::string module;
-  int keyWidth = 0;
-  std::string keyBits;  // LSB-first '0'/'1' string, length == keyWidth
-  std::vector<lock::LockRecord> records;
-  int bitsUsed = 0;
-  double globalMetric = 0.0;
-  double restrictedMetric = 0.0;
-};
-
-struct KeyFile {
-  std::string algorithm;  // CLI spelling
-  std::uint64_t seed = 0;
-  std::string budget;  // BudgetSpec::describe() text
-  std::string input;   // source netlist path
-  std::vector<ModuleKey> modules;
-};
-
-[[nodiscard]] support::JsonValue keyFileToJson(const KeyFile& keyFile);
-[[nodiscard]] KeyFile keyFileFromJson(const support::JsonValue& document);
-
-/// Entry for `moduleName`; throws support::Error naming the candidates when
-/// absent.
-[[nodiscard]] const ModuleKey& moduleKeyFor(const KeyFile& keyFile, const std::string& moduleName);
+using service::kKeySchema;
+using service::KeyFile;
+using service::keyFileFromJson;
+using service::keyFileToJson;
+using service::ModuleKey;
+using service::moduleKeyFor;
 
 // ---- module selection -----------------------------------------------------
 

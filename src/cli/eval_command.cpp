@@ -1,78 +1,24 @@
 // `rtlock eval` — the paper's full lock→attack→report loop over a seed grid.
 //
-// For every (algorithm, seed) cell the experiment engine locks fresh samples
-// of the input module and attacks each one (attack::evaluateBenchmark).
-// Cells run through the campaign runner (src/campaign/): each cell draws
-// only from Rng{s}.substream(a), so the grid is bit-identical at every
-// --threads count, and — with --journal — a campaign killed at any point
-// resumes to the same report.  A cell that throws becomes a structured
-// error row instead of aborting the grid; campaigns with failed cells exit
-// with kExitPartial, an interrupted (SIGINT/SIGTERM) drain with
+// Thin wrapper over service::runEval (shared with `rtlock serve`).  For
+// every (algorithm, seed) cell the experiment engine locks fresh samples of
+// the input module and attacks each one (attack::evaluateBenchmark).  Cells
+// run through the campaign runner (src/campaign/): each cell draws only
+// from Rng{s}.substream(a), so the grid is bit-identical at every --threads
+// count, and — with --journal — a campaign killed at any point resumes to
+// the same report.  A cell that throws becomes a structured error row
+// instead of aborting the grid; campaigns with failed cells exit with
+// kExitPartial, an interrupted (SIGINT/SIGTERM) drain with
 // kExitInterrupted.  docs/CAMPAIGNS.md covers the journal format and the
 // fault-injection harness.
 #include <fstream>
-#include <memory>
-#include <optional>
-#include <utility>
 
-#include "attack/pipeline.hpp"
 #include "campaign/runner.hpp"
 #include "cli/common.hpp"
+#include "service/api.hpp"
 #include "support/strings.hpp"
-#include "verilog/parser.hpp"
 
 namespace rtlock::cli {
-
-namespace {
-
-/// --seeds accepts "1,2,7" and ranges "1..5" (inclusive).  Every token goes
-/// through support::parseU64, which consumes the whole text: the stoull
-/// parser this replaces accepted "--seeds 3x" as seed 3 and wrapped
-/// "--seeds -1" to 2^64-1, silently running the wrong campaign.
-[[nodiscard]] std::vector<std::uint64_t> parseSeeds(const std::string& text) {
-  std::vector<std::uint64_t> seeds;
-  for (const std::string& piece : support::split(text, ',')) {
-    const std::string item{support::trim(piece)};
-    if (item.empty()) continue;
-    const auto malformed = [&item]() {
-      return UsageError{"malformed --seeds entry '" + item + "' (expected e.g. 1,2,7 or 1..5)"};
-    };
-    const std::size_t dots = item.find("..");
-    if (dots == std::string::npos) {
-      const std::optional<std::uint64_t> seed = support::parseU64(item);
-      if (!seed.has_value()) throw malformed();
-      seeds.push_back(*seed);
-      continue;
-    }
-    const std::optional<std::uint64_t> first = support::parseU64(item.substr(0, dots));
-    const std::optional<std::uint64_t> last = support::parseU64(item.substr(dots + 2));
-    if (!first.has_value() || !last.has_value()) throw malformed();
-    if (*last < *first || *last - *first > 10'000) {
-      throw UsageError{"--seeds range '" + item + "' must ascend and span at most 10000 seeds"};
-    }
-    for (std::uint64_t s = *first; s <= *last; ++s) seeds.push_back(s);
-  }
-  if (seeds.empty()) throw UsageError{"--seeds lists no seeds"};
-  return seeds;
-}
-
-/// Metrics a cell journals, in payload order (also the report-row order).
-constexpr const char* kCellMetrics[] = {"mean_kpa_percent",   "min_kpa_percent",
-                                        "max_kpa_percent",    "mean_key_bits",
-                                        "mean_global_metric", "mean_restricted_metric"};
-
-[[nodiscard]] support::JsonValue payloadFromResult(const attack::EvaluationResult& result) {
-  support::JsonValue payload;
-  payload.set("mean_kpa_percent", result.meanKpa);
-  payload.set("min_kpa_percent", result.minKpa);
-  payload.set("max_kpa_percent", result.maxKpa);
-  payload.set("mean_key_bits", result.meanKeyBits);
-  payload.set("mean_global_metric", result.meanGlobalMetric);
-  payload.set("mean_restricted_metric", result.meanRestrictedMetric);
-  return payload;
-}
-
-}  // namespace
 
 int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
   const support::CliArgs flags = parseFlags(
@@ -81,226 +27,111 @@ int runEvalCommand(const std::vector<std::string>& args, CommandIo& io) {
              "keep-errors", "check", "check-cells", "retries", "deadline-ms", "sim-backend",
              "verify-functional"});
   const std::string inputPath = onePositional(flags, "input netlist (input.v)");
-  const int threads = support::requestedThreads(flags);
   const bool noWall = flags.getBool("no-wall", false);
 
-  std::vector<lock::Algorithm> algorithms;
-  for (const std::string& name : support::split(flags.get("algos", "serial,hra,era"), ',')) {
-    if (!support::trim(name).empty()) {
-      algorithms.push_back(algorithmFromFlag(std::string{support::trim(name)}));
-    }
-  }
-  if (algorithms.empty()) throw UsageError{"--algos lists no algorithms"};
-  const std::vector<std::uint64_t> seeds = parseSeeds(flags.get("seeds", "1"));
+  service::EvalRequest request;
+  request.algorithms = service::algorithmListFromNames(flags.get("algos", "serial,hra,era"));
+  request.seeds = service::parseSeedList(flags.get("seeds", "1"));
 
-  attack::EvaluationConfig config;
   const std::uint64_t samples = u64Flag(flags, "samples", 10);
   if (samples < 1 || samples > 1'000'000) throw UsageError{"--samples must be in [1, 1000000]"};
-  config.testLocks = static_cast<int>(samples);
-  const BudgetSpec budget = parseBudget(flags.get("budget", "75%"));
-  if (!budget.isFraction) {
+  request.samples = static_cast<int>(samples);
+  request.budget = parseBudget(flags.get("budget", "75%"));
+  if (!request.budget.isFraction) {
     throw UsageError{"--budget takes a fraction of the module's operations here (e.g. 75%)"};
   }
-  config.keyBudgetFraction = budget.fraction;
   const std::uint64_t rounds = u64Flag(flags, "rounds", 1000);
   if (rounds > 1'000'000'000) throw UsageError{"--rounds must be at most 1000000000"};
-  config.snapshot.relockRounds = static_cast<int>(rounds);
-  config.snapshot.relockBudgetFraction = budget.fraction;
+  request.rounds = static_cast<int>(rounds);
   const std::uint64_t folds = u64Flag(flags, "folds", 3);
   if (folds < 2 || folds > 1000) throw UsageError{"--folds must be in [2, 1000]"};
-  config.snapshot.automl.folds = static_cast<int>(folds);
-  config.snapshot.locality.extendedFeatures = flags.getBool("extended-features", false);
-  config.verifyFunctional = flags.getBool("verify-functional", false);
-  config.simBackend = simBackendFromFlag(flags.get("sim-backend", "sliced"));
-  config.threads = 1;  // grid cells are the outer parallelism level
+  request.folds = static_cast<int>(folds);
+  request.extendedFeatures = flags.getBool("extended-features", false);
+  request.verifyFunctional = flags.getBool("verify-functional", false);
+  request.simBackend = simBackendFromFlag(flags.get("sim-backend", "sliced"));
+  request.includeWall = !noWall;
 
-  campaign::CampaignOptions campaignOptions;
-  campaignOptions.threads = threads;
+  request.campaign.threads = support::requestedThreads(flags);
   const std::uint64_t retries = u64Flag(flags, "retries", 1);
   if (retries > 100) throw UsageError{"--retries must be at most 100"};
-  campaignOptions.retry.maxAttempts = 1 + static_cast<int>(retries);
-  campaignOptions.cellDeadlineMs = flags.getDouble("deadline-ms", 0.0);
-  if (campaignOptions.cellDeadlineMs < 0.0) throw UsageError{"--deadline-ms must be >= 0"};
-  campaignOptions.keepErrors = flags.getBool("keep-errors", false);
+  request.campaign.retry.maxAttempts = 1 + static_cast<int>(retries);
+  request.campaign.cellDeadlineMs = flags.getDouble("deadline-ms", 0.0);
+  if (request.campaign.cellDeadlineMs < 0.0) throw UsageError{"--deadline-ms must be >= 0"};
+  request.campaign.keepErrors = flags.getBool("keep-errors", false);
   try {
-    campaignOptions.faults = campaign::FaultPlan::fromEnv();
+    request.campaign.faults = campaign::FaultPlan::fromEnv();
   } catch (const support::Error& error) {
     throw UsageError{std::string{"RTLOCK_FAULT_INJECT: "} + error.what()};
   }
   const bool check = flags.getBool("check", false);
   const std::size_t checkCells = static_cast<std::size_t>(u64Flag(flags, "check-cells", 3));
   if (check && !flags.has("journal")) throw UsageError{"--check requires --journal"};
+  request.journalPath = flags.get("journal", "");
+  request.checkCells = check ? checkCells : 0;
 
-  verilog::ParserOptions parserOptions;
-  parserOptions.keyPortName = flags.get("key-port", parserOptions.keyPortName);
-  const std::string source = readTextFile(inputPath);
-  rtl::Design design = verilog::parseDesign(source, parserOptions);
-  const rtl::Module& original = selectModule(design, flags, /*requireKey=*/false);
-  {
-    rtl::Module probe = original.clone();
-    const lock::LockEngine probeEngine{probe, lock::PairTable::fixed()};
-    if (probeEngine.initialLockableOps() == 0) {
-      throw support::Error{"module " + original.name() + " has no lockable operations"};
-    }
-  }
-
-  // Row identity.  The design hash covers everything that shapes the parsed
-  // module (source text, selected module, key port); the config hash covers
-  // every knob that changes a cell's numbers.  --threads is deliberately
-  // absent from both: results are thread-invariant by construction.  So are
-  // --sim-backend (both backends are bit-identical, proved by
-  // HarnessBackendTest) and --verify-functional (an independent fixed-seed
-  // check that perturbs no payload byte — it can only fail a cell).
-  const std::string setup = "samples=" + std::to_string(config.testLocks) +
-                            " rounds=" + std::to_string(config.snapshot.relockRounds) +
-                            " budget=" + budget.describe();
-  const std::string configText =
-      setup + " folds=" + std::to_string(config.snapshot.automl.folds) + " extended-features=" +
-      (config.snapshot.locality.extendedFeatures ? "1" : "0");
-  campaign::CampaignIdentity identity;
-  identity.designHash =
-      support::fnv1a64Hex(source + '\0' + original.name() + '\0' + parserOptions.keyPortName);
-  identity.configHash = support::fnv1a64Hex(configText);
-  identity.design = original.name();
-  identity.config = configText;
-
-  std::vector<campaign::Cell> cells;
-  cells.reserve(algorithms.size() * seeds.size());
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    const std::string algoName = algorithmFlagName(algorithms[a]);
-    for (const std::uint64_t seed : seeds) {
-      campaign::Cell cell;
-      cell.id = {identity.designHash, algoName, seed, identity.configHash};
-      cell.label = algoName + " / seed " + std::to_string(seed);
-      cells.push_back(std::move(cell));
-    }
-  }
-
-  io.err << "evaluating " << original.name() << ": " << algorithms.size() << " algorithm(s) x "
-         << seeds.size() << " seed(s), " << config.testLocks << " locked sample(s) per cell\n";
-
-  std::unique_ptr<campaign::Journal> journal;
-  if (flags.has("journal")) {
-    journal = std::make_unique<campaign::Journal>(flags.get("journal", ""), identity);
-    io.err << "journal: " << journal->path() << " (" << journal->reloadedRows()
-           << " row(s) reloaded";
-    if (journal->recoveredTornTail()) io.err << ", torn tail discarded";
-    io.err << ")\n";
-  }
-
-  // The cell body: pure in the cell identity (algorithm index recovered from
-  // the grid position, rng derived from seed substream), so resumed and
-  // re-ordered runs journal byte-identical payloads.
-  const campaign::CellFn compute = [&](const campaign::Cell& cell,
-                                       const campaign::CellContext& context) {
-    const std::size_t algoIndex = context.index / seeds.size();
-    support::Rng cellRng = support::Rng{cell.id.seed}.substream(algoIndex);
-    const attack::EvaluationResult result = attack::evaluateBenchmark(
-        original, original.name(), algorithms[algoIndex], lock::PairTable::fixed(), config,
-        cellRng);
-    if (result.functionalFailures > 0) {
-      // --verify-functional found locked samples that misbehave under their
-      // correct key: a locking bug, not a statistics question.  Surface it
-      // through the structured error-cell path (and kExitPartial) instead of
-      // reporting KPA numbers for broken hardware.
-      throw support::Error{std::to_string(result.functionalFailures) + " of " +
-                           std::to_string(result.samples) +
-                           " locked sample(s) misbehave under the correct key"};
-    }
-    return payloadFromResult(result);
-  };
+  request.source = readTextFile(inputPath);
+  request.session.keyPortName = flags.get("key-port", request.session.keyPortName);
+  request.moduleName = flags.get("module", "");
 
   // From here on SIGINT/SIGTERM request a graceful drain (finish in-flight
   // cells, flush the journal, exit kExitInterrupted) instead of killing the
   // process mid-write; a second signal still exits immediately.
   const campaign::ScopedSignalHandlers signalGuard;
-  const campaign::CampaignResult campaignResult =
-      campaign::runCampaign(cells, campaignOptions, journal.get(), compute);
+  service::SessionCache cache;
+  const service::EvalResponse response = service::runEval(cache, request);
 
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const campaign::CellOutcome& outcome = campaignResult.outcomes[i];
-    if (outcome.status == campaign::CellStatus::Error ||
-        outcome.status == campaign::CellStatus::Timeout) {
-      io.err << "cell " << cells[i].label << ": " << outcome.errorCode << " after "
-             << outcome.attempts << " attempt(s)"
-             << (outcome.fromJournal ? " [journaled]" : "") << ": " << outcome.errorWhat << "\n";
-    }
+  io.err << "evaluating " << response.moduleName << ": " << request.algorithms.size()
+         << " algorithm(s) x " << request.seeds.size() << " seed(s), " << request.samples
+         << " locked sample(s) per cell\n";
+  if (response.journaled) {
+    io.err << "journal: " << request.journalPath << " (" << response.journalReloadedRows
+           << " row(s) reloaded";
+    if (response.journalTornTail) io.err << ", torn tail discarded";
+    io.err << ")\n";
   }
+  for (const std::string& line : response.cellErrors) io.err << line << "\n";
 
-  if (campaignResult.interrupted) {
-    io.err << "interrupted: " << campaignResult.okCells << " cell(s) done, "
-           << campaignResult.skippedCells << " not started";
-    if (journal != nullptr) {
-      io.err << "; resume with --journal " << journal->path();
+  if (response.campaign.interrupted) {
+    io.err << "interrupted: " << response.campaign.okCells << " cell(s) done, "
+           << response.campaign.skippedCells << " not started";
+    if (response.journaled) {
+      io.err << "; resume with --journal " << request.journalPath;
     }
     io.err << "\n";
     return kExitInterrupted;
   }
 
-  // Report rows come only from ok cells; the per-algorithm aggregate averages
-  // the seeds that completed.  A fully successful campaign therefore emits
-  // rows byte-identical to the pre-campaign serial loop.
-  std::vector<ReportRow> rows;
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    const std::string algoName = algorithmFlagName(algorithms[a]);
-    double kpaSum = 0.0;
-    std::size_t okSeeds = 0;
-    for (std::size_t s = 0; s < seeds.size(); ++s) {
-      const campaign::CellOutcome& outcome = campaignResult.outcomes[a * seeds.size() + s];
-      if (outcome.status != campaign::CellStatus::Ok) continue;
-      const std::string cellConfig =
-          algoName + " / seed " + std::to_string(seeds[s]) + " / " + setup;
-      for (const char* metric : kCellMetrics) {
-        const bool wallRow = std::string_view{metric} == "mean_kpa_percent";
-        rows.push_back({original.name(), cellConfig, metric, outcome.payload.at(metric).asDouble(),
-                        wallRow && !noWall ? outcome.wallMs : 0.0});
-      }
-      kpaSum += outcome.payload.at("mean_kpa_percent").asDouble();
-      ++okSeeds;
-    }
-    if (okSeeds > 0) {
-      rows.push_back({original.name(), algoName + " / all seeds / " + setup, "mean_kpa_percent",
-                      kpaSum / static_cast<double>(okSeeds), 0.0});
-    }
-  }
-
   if (flags.has("report")) {
-    support::JsonValue document;
-    document.set("schema", "rtlock-eval-report/v1");
-    document.set("input", inputPath);
-    document.set("module", original.name());
-    document.set("rows", rowsToJson(rows));
-    writeTextFile(flags.get("report", ""), document.dump());
+    writeTextFile(flags.get("report", ""),
+                  service::evalReportDocument(response, inputPath).dump());
     io.err << "report: " << flags.get("report", "") << "\n";
   }
   if (flags.has("report-csv")) {
     std::ofstream csv{flags.get("report-csv", "")};
     if (!csv) throw support::Error{"cannot open " + flags.get("report-csv", "") + " for writing"};
-    emitRows(csv, rows, /*csv=*/true);
+    emitRows(csv, response.rows, /*csv=*/true);
     io.err << "CSV report: " << flags.get("report-csv", "") << "\n";
   }
 
-  emitRows(io.out, rows, flags.getBool("csv", false));
-  io.err << cells.size() << " grid cell(s) (" << campaignResult.journaledCells
-         << " from journal) in " << support::formatDouble(campaignResult.wallMs, 0) << " ms\n";
+  emitRows(io.out, response.rows, flags.getBool("csv", false));
+  io.err << response.cells.size() << " grid cell(s) (" << response.campaign.journaledCells
+         << " from journal) in " << support::formatDouble(response.campaign.wallMs, 0) << " ms\n";
 
-  if (check && journal != nullptr) {
-    const campaign::CheckResult checked =
-        campaign::checkJournal(cells, *journal, checkCells, compute);
-    for (const std::string& mismatch : checked.mismatches) {
+  if (check && response.journaled) {
+    for (const std::string& mismatch : response.checkMismatches) {
       io.err << "check mismatch: " << mismatch << "\n";
     }
-    if (!checked.mismatches.empty()) {
-      io.err << "check: " << checked.mismatches.size() << " of " << checked.checkedCells
+    if (!response.checkMismatches.empty()) {
+      io.err << "check: " << response.checkMismatches.size() << " of " << response.checkedCells
              << " recomputed cell(s) diverged from the journal\n";
       return kExitError;
     }
-    io.err << "check: " << checked.checkedCells << " cell(s) recomputed, all byte-identical\n";
+    io.err << "check: " << response.checkedCells << " cell(s) recomputed, all byte-identical\n";
   }
 
-  if (campaignResult.errorCells > 0 || campaignResult.timeoutCells > 0) {
-    io.err << "partial campaign: " << campaignResult.errorCells << " error cell(s), "
-           << campaignResult.timeoutCells << " timeout cell(s)\n";
+  if (response.campaign.errorCells > 0 || response.campaign.timeoutCells > 0) {
+    io.err << "partial campaign: " << response.campaign.errorCells << " error cell(s), "
+           << response.campaign.timeoutCells << " timeout cell(s)\n";
     return kExitPartial;
   }
   return kExitOk;

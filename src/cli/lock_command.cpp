@@ -1,17 +1,15 @@
 // `rtlock lock` — lock an arbitrary Verilog netlist and emit the locked
 // netlist plus a JSON key/provenance file (rtlock-key/v1).
 //
-// Every module of the design with at least one lockable operation is locked;
-// module i draws from substream(i) of the seed's root stream, so adding or
-// reordering modules never perturbs sibling keys.
-#include <utility>
-
+// Thin wrapper: flag parsing and file I/O here, the locking itself in
+// service::runLock (shared with `rtlock serve`).  Every module of the design
+// with at least one lockable operation is locked; module i draws from
+// substream(i) of the seed's root stream, so adding or reordering modules
+// never perturbs sibling keys.
 #include "cli/common.hpp"
-#include "core/algorithms.hpp"
+#include "service/api.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
-#include "verilog/parser.hpp"
-#include "verilog/writer.hpp"
 
 namespace rtlock::cli {
 
@@ -32,75 +30,32 @@ int runLockCommand(const std::vector<std::string>& args, CommandIo& io) {
   const support::CliArgs flags = parseFlags(
       args, {"algo", "budget", "seed", "out", "key-out", "key-port", "csv", "no-banner"});
   const std::string inputPath = onePositional(flags, "input netlist (input.v)");
-  const lock::Algorithm algorithm = algorithmFromFlag(flags.get("algo", "era"));
-  const BudgetSpec budget = parseBudget(flags.get("budget", "75%"));
-  const std::uint64_t seed = u64Flag(flags, "seed", 1);
   const std::string outPath = flags.get("out", stemOf(inputPath) + ".locked.v");
   const std::string keyOutPath = flags.get("key-out", stemOf(inputPath) + ".key.json");
 
-  verilog::ParserOptions parserOptions;
-  parserOptions.keyPortName = flags.get("key-port", parserOptions.keyPortName);
-  rtl::Design design = verilog::parseDesign(readTextFile(inputPath), parserOptions);
+  service::LockRequest request;
+  request.algorithm = algorithmFromFlag(flags.get("algo", "era"));
+  request.budget = parseBudget(flags.get("budget", "75%"));
+  request.seed = u64Flag(flags, "seed", 1);
+  request.emitBanner = !flags.getBool("no-banner", false);
+  request.session.keyPortName = flags.get("key-port", request.session.keyPortName);
+  request.source = readTextFile(inputPath);
+  request.inputLabel = inputPath;
 
-  KeyFile keyFile;
-  keyFile.algorithm = algorithmFlagName(algorithm);
-  keyFile.seed = seed;
-  keyFile.budget = budget.describe();
-  keyFile.input = inputPath;
+  service::SessionCache cache;
+  const service::LockResponse response = service::runLock(cache, request);
+  for (const std::string& note : response.notes) io.err << "note: " << note << "\n";
 
-  const support::Rng root{seed};
+  writeTextFile(outPath, response.lockedVerilog);
+  writeTextFile(keyOutPath, keyFileToJson(response.key).dump());
+
   support::Table table{{"module", "lockable_ops", "key_bits", "key_width", "M^g_sec", "M^r_sec"}};
-  int lockedModules = 0;
-  for (std::size_t i = 0; i < design.moduleCount(); ++i) {
-    rtl::Module& module = design.module(i);
-    lock::LockEngine engine{module, lock::PairTable::fixed()};
-    if (engine.initialLockableOps() == 0) {
-      io.err << "note: module " << module.name() << " has no lockable operations — skipped\n";
-      continue;
-    }
-    if (module.keyWidth() != 0) {
-      // Relocking would emit a key file whose pre-existing bits are unknown
-      // to this invocation — an unusable (silently corrupting) key string.
-      // The attack relocks internally; the lock tool refuses.
-      throw support::Error{"module " + module.name() + " already carries " +
-                           std::to_string(module.keyWidth()) +
-                           " key bits — locking on top would make the emitted key file "
-                           "incomplete; lock the original (unlocked) netlist instead"};
-    }
-    support::Rng moduleRng = root.substream(i);
-    const int keyBudget = budget.resolve(engine.initialLockableOps());
-    const lock::AlgorithmReport report =
-        lock::lockWithAlgorithm(engine, algorithm, keyBudget, moduleRng, lock::ReportDetail::Summary);
-
-    ModuleKey moduleKey;
-    moduleKey.module = module.name();
-    moduleKey.keyWidth = module.keyWidth();
-    moduleKey.records = engine.records();
-    moduleKey.bitsUsed = report.bitsUsed;
-    moduleKey.globalMetric = report.finalGlobalMetric;
-    moduleKey.restrictedMetric = report.finalRestrictedMetric;
-    moduleKey.keyBits.assign(static_cast<std::size_t>(module.keyWidth()), '0');
-    for (const lock::LockRecord& record : moduleKey.records) {
-      moduleKey.keyBits[static_cast<std::size_t>(record.keyIndex)] = record.keyValue ? '1' : '0';
-    }
-    keyFile.modules.push_back(std::move(moduleKey));
-    ++lockedModules;
-
-    table.addRow({module.name(), std::to_string(engine.initialLockableOps()),
-                  std::to_string(report.bitsUsed), std::to_string(module.keyWidth()),
-                  support::formatDouble(report.finalGlobalMetric, 1),
-                  support::formatDouble(report.finalRestrictedMetric, 1)});
+  for (const service::LockModuleSummary& summary : response.modules) {
+    table.addRow({summary.module, std::to_string(summary.lockableOps),
+                  std::to_string(summary.bitsUsed), std::to_string(summary.keyWidth),
+                  support::formatDouble(summary.globalMetric, 1),
+                  support::formatDouble(summary.restrictedMetric, 1)});
   }
-  if (lockedModules == 0) {
-    throw support::Error{"nothing to lock: no module in " + inputPath +
-                         " has lockable operations"};
-  }
-
-  verilog::WriterOptions writerOptions;
-  writerOptions.emitHeaderComment = !flags.getBool("no-banner", false);
-  writeTextFile(outPath, verilog::writeDesign(design, writerOptions));
-  writeTextFile(keyOutPath, keyFileToJson(keyFile).dump());
-
   if (flags.getBool("csv", false)) {
     table.renderCsv(io.out);
   } else {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cli/common.hpp"
+#include "service/build_info.hpp"
 
 namespace rtlock::cli {
 
@@ -111,6 +112,35 @@ flags:
   --csv             print the rows as CSV
 )";
 
+constexpr const char* kServeUsage = R"(usage: rtlock serve [flags]
+
+Run the lock/attack/eval HTTP service.  One daemon holds a content-hash
+session cache of parsed+verified+compiled designs, so repeated requests
+against the same netlist skip the whole front half of the pipeline; response
+bodies are bit-identical to the CLI's reports for the same inputs, warm or
+cold (docs/SERVING.md).
+
+endpoints:
+  GET  /healthz    liveness + build identity
+  GET  /v1/stats   session-cache and request counters
+  POST /v1/lock    lock a netlist (JSON body with "source", "algo", ...)
+  POST /v1/attack  SnapShot-RTL attack (rtlock-attack-report/v1 body)
+  POST /v1/eval    (algorithm x seed) evaluation grid
+
+exit codes: 0 clean drain (SIGINT/SIGTERM or --max-requests), 1 setup error.
+
+flags:
+  --host=ADDR            numeric IPv4 listen address (default 127.0.0.1)
+  --port=N               TCP port; 0 picks an ephemeral port (default 0)
+  --threads=N            connection workers (default: RTLOCK_THREADS, else hardware)
+  --queue=N              pending-connection capacity; overflow answers 429 (default 64)
+  --deadline-ms=N        per-request wall budget; overruns answer 504 (default: none)
+  --cache-mb=N           session-cache byte budget (default 256)
+  --max-body-mb=N        largest accepted request body (default 8)
+  --max-requests=N       accept N connections then drain and exit (default: forever)
+  --socket-timeout-ms=N  per-socket recv/send timeout (default 10000)
+)";
+
 constexpr const char* kReportUsage = R"(usage: rtlock report <report.json> [flags]
 
 Render any rows-schema report (attack/eval reports, BENCH_baseline.json) as
@@ -156,6 +186,8 @@ const std::vector<Command>& commandTable() {
        runEvalCommand},
       {"lint", "static IR verification + key-influence security lint", kLintUsage,
        runLintCommand},
+      {"serve", "HTTP lock/attack/eval service with a warm session cache", kServeUsage,
+       runServeCommand},
       {"report", "render a rows-schema report JSON as table/CSV", kReportUsage,
        runReportCommand},
       {"designs", "list the built-in benchmark registry / dump a design", kDesignsUsage,
@@ -184,7 +216,9 @@ int runCli(int argc, const char* const* argv, std::ostream& out, std::ostream& e
     return args.empty() ? kExitUsage : kExitOk;
   }
   if (args[0] == "--version") {
-    out << "rtlock " << RTLOCK_CLI_VERSION << "\n";
+    // generatorTag() is the same build-identity string /healthz and the
+    // report documents' "generator" field carry.
+    out << service::generatorTag() << "\n";
     return kExitOk;
   }
 
@@ -201,6 +235,11 @@ int runCli(int argc, const char* const* argv, std::ostream& out, std::ostream& e
     try {
       return command.run(rest, io);
     } catch (const UsageError& error) {
+      err << "rtlock " << command.name << ": " << error.what() << "\n\n" << command.usage;
+      return kExitUsage;
+    } catch (const service::BadRequest& error) {
+      // The service layer's caller-fault class: same blame, same exit code
+      // as a flag typo.
       err << "rtlock " << command.name << ": " << error.what() << "\n\n" << command.usage;
       return kExitUsage;
     } catch (const std::exception& error) {

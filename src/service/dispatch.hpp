@@ -1,0 +1,69 @@
+// Route table + JSON (de)serialization between HTTP messages and the
+// service API — everything `rtlock serve` does with a request except the
+// socket work, so tests exercise the full endpoint surface in-process.
+//
+// Endpoints:
+//   GET  /healthz    liveness + build identity (version, sim backends)
+//   GET  /v1/stats   session-cache and request counters
+//   POST /v1/lock    LockRequest JSON  -> rtlock-lock-response/v1
+//   POST /v1/attack  AttackRequest JSON -> rtlock-attack-report/v1
+//   POST /v1/eval    EvalRequest JSON  -> rtlock-eval-report/v1
+//
+// Determinism: response *bodies* are a pure function of the request (with
+// no_wall=true, byte-for-byte); cache state is reported only through the
+// X-Rtlock-Cache response header, never in the body.  Error mapping:
+// BadRequest and support::Error -> 400 (all service input is in-body, so
+// unusable input is always the caller's fault), campaign::CellTimeout ->
+// 504, anything else -> 500.  handle() itself never throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "service/api.hpp"
+#include "service/http.hpp"
+#include "service/session.hpp"
+
+namespace rtlock::service {
+
+class Dispatcher {
+ public:
+  struct Options {
+    /// Per-request wall budget in ms (0 = none).  Lock/attack poll it
+    /// between modules/repeats (overrun -> 504); eval applies it per grid
+    /// cell (overrun -> structured timeout rows, like the CLI).
+    double requestDeadlineMs = 0.0;
+    /// Worker threads available *inside* one request (attack repeats, eval
+    /// cells).  Serve defaults to 1: concurrency comes from serving many
+    /// requests, not from fanning out inside each.
+    int requestThreads = 1;
+  };
+
+  explicit Dispatcher(SessionCache& cache);
+  Dispatcher(SessionCache& cache, Options options);
+
+  /// Routes one request; never throws.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;            // 2xx
+    std::uint64_t clientErrors = 0;  // 4xx
+    std::uint64_t serverErrors = 0;  // 5xx
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] SessionCache& cache() noexcept { return cache_; }
+
+ private:
+  [[nodiscard]] HttpResponse route(const HttpRequest& request);
+
+  SessionCache& cache_;
+  Options options_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> clientErrors_{0};
+  std::atomic<std::uint64_t> serverErrors_{0};
+};
+
+}  // namespace rtlock::service

@@ -1,0 +1,171 @@
+#include "service/http.hpp"
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "service/build_info.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+
+namespace rtlock::service {
+
+namespace {
+
+const std::string kEmpty;
+
+}  // namespace
+
+const std::string& HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return kEmpty;
+}
+
+const char* statusReason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string serializeResponse(const HttpResponse& response) {
+  std::string text = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     statusReason(response.status) + "\r\n";
+  text += "Server: " + generatorTag() + "\r\n";
+  text += "Content-Type: " + response.contentType + "\r\n";
+  text += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extraHeaders) {
+    text += name + ": " + value + "\r\n";
+  }
+  text += "Connection: close\r\n\r\n";
+  text += response.body;
+  return text;
+}
+
+RequestParser::State RequestParser::fail(int status, std::string reason) {
+  state_ = State::Error;
+  errorStatus_ = status;
+  errorReason_ = std::move(reason);
+  buffer_.clear();
+  return state_;
+}
+
+RequestParser::State RequestParser::feed(std::string_view chunk) {
+  if (state_ != State::NeedMore) return state_;
+  buffer_.append(chunk);
+
+  if (!headDone_) {
+    const std::size_t headEnd = buffer_.find("\r\n\r\n");
+    if (headEnd == std::string::npos) {
+      if (buffer_.size() > limits_.maxHeaderBytes) {
+        return fail(431, "request head exceeds " + std::to_string(limits_.maxHeaderBytes) +
+                             " bytes");
+      }
+      return state_;
+    }
+    if (headEnd > limits_.maxHeaderBytes) {
+      return fail(431,
+                  "request head exceeds " + std::to_string(limits_.maxHeaderBytes) + " bytes");
+    }
+    if (parseHead() == State::Error) return state_;
+    headDone_ = true;
+    buffer_.erase(0, headEnd + 4);
+  }
+
+  if (buffer_.size() >= bodyExpected_) {
+    // Anything past Content-Length is pipelining, which this server does not
+    // speak; the connection closes after one response anyway.
+    request_.body = buffer_.substr(0, bodyExpected_);
+    buffer_.clear();
+    state_ = State::Complete;
+  }
+  return state_;
+}
+
+RequestParser::State RequestParser::parseHead() {
+  const std::string_view head{buffer_.data(), buffer_.find("\r\n\r\n")};
+
+  // Request line: METHOD SP TARGET SP VERSION, single spaces, no bare LF.
+  const std::size_t lineEnd = head.find("\r\n");
+  const std::string_view requestLine = head.substr(0, lineEnd);
+  if (requestLine.find('\n') != std::string_view::npos) {
+    return fail(400, "bare LF in request line");
+  }
+  const std::size_t firstSpace = requestLine.find(' ');
+  const std::size_t lastSpace = requestLine.rfind(' ');
+  if (firstSpace == std::string_view::npos || lastSpace == firstSpace || firstSpace == 0) {
+    return fail(400, "malformed request line");
+  }
+  request_.method = std::string{requestLine.substr(0, firstSpace)};
+  request_.target = std::string{requestLine.substr(firstSpace + 1, lastSpace - firstSpace - 1)};
+  request_.version = std::string{requestLine.substr(lastSpace + 1)};
+  if (request_.target.empty() || request_.target.find(' ') != std::string::npos ||
+      request_.target[0] != '/') {
+    return fail(400, "malformed request target");
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version '" + request_.version + "'");
+  }
+
+  // Header fields.  Lower-cased names; no obs-fold, no empty names, no
+  // whitespace before the colon (request-smuggling hygiene).
+  std::string_view rest = lineEnd == std::string_view::npos ? std::string_view{}
+                                                            : head.substr(lineEnd + 2);
+  while (!rest.empty()) {
+    const std::size_t end = rest.find("\r\n");
+    const std::string_view line = rest.substr(0, end);
+    rest = end == std::string_view::npos ? std::string_view{} : rest.substr(end + 2);
+    if (line.empty()) continue;
+    if (line.find('\n') != std::string_view::npos) return fail(400, "bare LF in header field");
+    if (line.front() == ' ' || line.front() == '\t') {
+      return fail(400, "obsolete header folding");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header field");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos || name.find('\t') != std::string_view::npos) {
+      return fail(400, "whitespace in header name");
+    }
+    request_.headers.emplace_back(support::toLower(name),
+                                  std::string{support::trim(line.substr(colon + 1))});
+  }
+
+  if (!request_.header("transfer-encoding").empty()) {
+    return fail(501, "Transfer-Encoding is not supported");
+  }
+  bodyExpected_ = 0;
+  bool sawContentLength = false;
+  for (const auto& [name, value] : request_.headers) {
+    if (name != "content-length") continue;
+    // Strict full-token parse: "-1", "1e3", "10x" and 2^64 wraparound are
+    // all hard 400s, never a silently wrong body size.
+    const std::optional<std::uint64_t> length = support::parseU64(value);
+    if (!length.has_value()) return fail(400, "malformed Content-Length '" + value + "'");
+    if (sawContentLength && *length != bodyExpected_) {
+      return fail(400, "conflicting Content-Length values");
+    }
+    if (*length > limits_.maxBodyBytes) {
+      return fail(413, "body of " + value + " bytes exceeds the " +
+                           std::to_string(limits_.maxBodyBytes) + "-byte limit");
+    }
+    bodyExpected_ = static_cast<std::size_t>(*length);
+    sawContentLength = true;
+  }
+  return state_;
+}
+
+}  // namespace rtlock::service

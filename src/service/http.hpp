@@ -1,0 +1,89 @@
+// Minimal HTTP/1.1 message layer for `rtlock serve`.
+//
+// Deliberately tiny: one request per connection (`Connection: close`),
+// no chunked transfer (Transfer-Encoding -> 501), no keep-alive, no TLS.
+// What it is instead is *strict* — the parser is a pure incremental state
+// machine with hard limits on every dimension an untrusted peer controls
+// (request-line length, header bytes, body bytes), a strict
+// support::parseU64 Content-Length (no sign, no trailing junk, no
+// wraparound), and a definite 4xx verdict for every malformed input.  It
+// never throws on peer bytes and holds no socket: the server feeds it
+// recv() chunks, tests feed it torn/hostile byte strings directly
+// (tests/service/http_test.cpp, the ASan robustness corpus).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rtlock::service {
+
+struct HttpRequest {
+  std::string method;  // verbatim token (dispatch decides what is allowed)
+  std::string target;  // origin-form, e.g. "/v1/lock"
+  std::string version;                                     // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // names lower-cased
+  std::string body;
+
+  /// First value of `name` (lower-case), or "" when absent.
+  [[nodiscard]] const std::string& header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extraHeaders;
+};
+
+/// Reason phrase for the status codes the service emits.
+[[nodiscard]] const char* statusReason(int status) noexcept;
+
+/// Serializes a response (Connection: close, Content-Length, Server tag).
+[[nodiscard]] std::string serializeResponse(const HttpResponse& response);
+
+/// Incremental request parser.  Feed bytes as they arrive; the parser is in
+/// exactly one of three states.  All limits violations and syntax errors
+/// park it in Error with the HTTP status to answer with.
+class RequestParser {
+ public:
+  struct Limits {
+    std::size_t maxHeaderBytes = 16 * 1024;  // request line + headers
+    std::size_t maxBodyBytes = 8 * 1024 * 1024;
+  };
+
+  enum class State { NeedMore, Complete, Error };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  /// Consumes one chunk (possibly empty, possibly torn mid-token) and
+  /// returns the resulting state.  Feeding after Complete/Error is a no-op.
+  State feed(std::string_view chunk);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+
+  /// The parsed request; meaningful only in Complete.
+  [[nodiscard]] const HttpRequest& request() const noexcept { return request_; }
+
+  /// In Error: the status to answer with (400 syntax / bad Content-Length,
+  /// 413 body too large, 431 headers too large, 501 Transfer-Encoding).
+  [[nodiscard]] int errorStatus() const noexcept { return errorStatus_; }
+  [[nodiscard]] const std::string& errorReason() const noexcept { return errorReason_; }
+
+ private:
+  State fail(int status, std::string reason);
+  State parseHead();
+
+  Limits limits_;
+  State state_ = State::NeedMore;
+  std::string buffer_;
+  bool headDone_ = false;
+  std::size_t bodyExpected_ = 0;
+  HttpRequest request_;
+  int errorStatus_ = 400;
+  std::string errorReason_;
+};
+
+}  // namespace rtlock::service

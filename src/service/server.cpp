@@ -1,0 +1,167 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "campaign/runner.hpp"
+#include "service/http.hpp"
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+namespace rtlock::service {
+
+namespace {
+
+[[nodiscard]] std::string errnoText() { return std::strerror(errno); }
+
+void setSocketTimeout(int fd, double timeoutMs) {
+  if (timeoutMs <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeoutMs / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>((timeoutMs - static_cast<double>(tv.tv_sec) * 1000.0) *
+                                        1000.0);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+[[nodiscard]] std::string jsonError(int status, const std::string& message) {
+  support::JsonValue document;
+  document.set("error", message);
+  document.set("status", status);
+  HttpResponse response;
+  response.status = status;
+  response.body = document.dump();
+  return serializeResponse(response);
+}
+
+}  // namespace
+
+Server::Server(const ServeOptions& options)
+    : options_(options),
+      cache_(options.cacheBytes),
+      dispatcher_(cache_, Dispatcher::Options{options.requestDeadlineMs, 1}),
+      pool_(options.threads, options.queueCapacity) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) throw support::Error{"socket(): " + errnoText()};
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw support::Error{"unusable listen address '" + options_.host +
+                         "' (numeric IPv4 expected, e.g. 127.0.0.1)"};
+  }
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const std::string what = errnoText();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw support::Error{"cannot bind " + options_.host + ":" + std::to_string(options_.port) +
+                         ": " + what};
+  }
+  if (::listen(listenFd_, 128) != 0) {
+    const std::string what = errnoText();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw support::Error{"listen(): " + what};
+  }
+  sockaddr_in bound{};
+  socklen_t boundLen = sizeof(bound);
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &boundLen) == 0) {
+    boundPort_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+}
+
+Server::~Server() {
+  if (listenFd_ >= 0) ::close(listenFd_);
+}
+
+bool Server::stopRequested() const noexcept {
+  return stop_.load(std::memory_order_acquire) || campaign::shutdownRequested();
+}
+
+int Server::run() {
+  while (!stopRequested()) {
+    if (options_.maxRequests != 0 &&
+        accepted_.load(std::memory_order_relaxed) >= options_.maxRequests) {
+      break;
+    }
+    pollfd entry{listenFd_, POLLIN, 0};
+    // Short tick: the poll timeout bounds how long a SIGINT waits before
+    // the drain starts.
+    const int ready = ::poll(&entry, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flags
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    setSocketTimeout(fd, options_.socketTimeoutMs);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const bool queued = pool_.trySubmit([this, fd] { serveConnection(fd); });
+    if (!queued) {
+      // Backpressure: shed the connection from the accept thread instead of
+      // buffering unboundedly.  429 tells well-behaved clients to retry.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      sendAll(fd, jsonError(429, "request queue is full, retry later"));
+      ::close(fd);
+    }
+  }
+  // Graceful drain: stop accepting, finish every queued/in-flight request.
+  pool_.wait();
+  return 0;
+}
+
+void Server::serveConnection(int fd) noexcept {
+  try {
+    RequestParser::Limits limits;
+    limits.maxBodyBytes = options_.maxBodyBytes;
+    RequestParser parser{limits};
+    char buffer[16 * 1024];
+    for (;;) {
+      const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (got <= 0) {
+        // Early disconnect or socket timeout before a complete request:
+        // nothing to answer, close quietly (never a crash).
+        ::close(fd);
+        return;
+      }
+      const RequestParser::State state =
+          parser.feed(std::string_view{buffer, static_cast<std::size_t>(got)});
+      if (state == RequestParser::State::NeedMore) continue;
+      if (state == RequestParser::State::Error) {
+        sendAll(fd, jsonError(parser.errorStatus(), parser.errorReason()));
+        ::close(fd);
+        return;
+      }
+      break;
+    }
+    const HttpResponse response = dispatcher_.handle(parser.request());
+    sendAll(fd, serializeResponse(response));
+    ::close(fd);
+  } catch (...) {
+    // The dispatcher never throws; this guards the message plumbing itself
+    // (bad_alloc on a huge body, ...).  The worker must survive.
+    ::close(fd);
+  }
+}
+
+void Server::sendAll(int fd, const std::string& text) noexcept {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    // MSG_NOSIGNAL: a peer that already closed must yield EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ssize_t wrote = ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) return;
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+}  // namespace rtlock::service

@@ -1,0 +1,88 @@
+// `rtlock serve` — the lock/attack/eval service daemon.
+//
+// A deliberately small HTTP/1.1 server over POSIX sockets: one accept loop
+// (poll with a short tick so shutdown flags are honored promptly) feeding a
+// bounded TaskPool of connection workers.  Backpressure is fail-fast: when
+// the worker queue is at capacity the accept thread answers 429 inline and
+// closes — the server never buffers an unbounded connection backlog.
+// Graceful drain: on requestStop() (or SIGINT/SIGTERM via the campaign
+// shutdown flag) the listener stops accepting, in-flight requests finish,
+// and run() returns 0.
+//
+// Per-connection hygiene: recv/send timeouts, MSG_NOSIGNAL (a peer that
+// disconnects mid-response must not SIGPIPE the daemon), one request per
+// connection, strict RequestParser limits.  All engine state lives in the
+// owned SessionCache, shared across workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/dispatch.hpp"
+#include "service/session.hpp"
+#include "support/task_pool.hpp"
+
+namespace rtlock::service {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";  // numeric IPv4 listen address
+  int port = 0;                    // 0 = ephemeral (query with Server::port())
+  int threads = 0;                 // connection workers (0 = hardware)
+  std::size_t queueCapacity = 64;  // pending connections before 429
+  double requestDeadlineMs = 0.0;  // per-request wall budget (0 = none)
+  std::size_t cacheBytes = SessionCache::kDefaultByteBudget;
+  std::size_t maxBodyBytes = 8 * 1024 * 1024;
+  double socketTimeoutMs = 10'000.0;  // per-socket recv/send timeout
+  std::uint64_t maxRequests = 0;      // accept N connections then drain (0 = forever)
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid before run()).
+  /// Throws support::Error when the address is unusable.
+  explicit Server(const ServeOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves ephemeral port 0).
+  [[nodiscard]] int port() const noexcept { return boundPort_; }
+
+  /// Accept loop; blocks until requestStop(), the campaign shutdown flag
+  /// (SIGINT/SIGTERM under ScopedSignalHandlers), or maxRequests accepted
+  /// connections.  Drains in-flight requests before returning 0.
+  int run();
+
+  /// Thread-safe stop request; run() returns after its current poll tick.
+  void requestStop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] Dispatcher& dispatcher() noexcept { return dispatcher_; }
+  [[nodiscard]] SessionCache& sessionCache() noexcept { return cache_; }
+
+  /// Connections answered 429 because the worker queue was full.
+  [[nodiscard]] std::uint64_t rejectedConnections() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t acceptedConnections() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] bool stopRequested() const noexcept;
+  void serveConnection(int fd) noexcept;
+  void sendAll(int fd, const std::string& text) noexcept;
+
+  ServeOptions options_;
+  SessionCache cache_;
+  Dispatcher dispatcher_;
+  support::TaskPool pool_;
+  int listenFd_ = -1;
+  int boundPort_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace rtlock::service

@@ -16,7 +16,8 @@ int threadsForTasks(int requested, std::size_t tasks) noexcept {
   return tasks < static_cast<std::size_t>(resolved) ? static_cast<int>(tasks) : resolved;
 }
 
-TaskPool::TaskPool(int threads) : threadCount_(resolveThreadCount(threads)) {
+TaskPool::TaskPool(int threads, std::size_t queueCapacity)
+    : threadCount_(resolveThreadCount(threads)), queueCapacity_(queueCapacity) {
   // One thread means "the calling thread": submit() runs tasks inline, so
   // the serial reference path involves no worker, no queue hand-off, and no
   // scheduling at all.
@@ -50,7 +51,6 @@ std::size_t TaskPool::submitWithWorker(std::function<void(int)> task) {
     // stopped pool skips the task — the same drain semantics a worker
     // applies when it dequeues after requestStop().
     const std::size_t index = nextIndex_++;
-    errors_.emplace_back();
     if (!stopRequested_.load(std::memory_order_acquire)) runTask(index, task, 0);
     return index;
   }
@@ -58,7 +58,6 @@ std::size_t TaskPool::submitWithWorker(std::function<void(int)> task) {
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     index = nextIndex_++;
-    errors_.emplace_back();
     queue_.emplace_back(index, std::move(task));
     ++inFlight_;
   }
@@ -66,26 +65,53 @@ std::size_t TaskPool::submitWithWorker(std::function<void(int)> task) {
   return index;
 }
 
-void TaskPool::wait() {
-  std::exception_ptr first;
+bool TaskPool::trySubmit(std::function<void()> task) {
+  RTLOCK_REQUIRE(task != nullptr, "TaskPool::trySubmit requires a callable task");
   if (workers_.empty()) {
-    for (const std::exception_ptr& error : errors_) {
-      if (error) {
+    // Inline path: nothing ever queues, so capacity cannot be exceeded.
+    submit(std::move(task));
+    return true;
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (queueCapacity_ != 0 && queue_.size() >= queueCapacity_) return false;
+    queue_.emplace_back(nextIndex_++, [task = std::move(task)](int /*worker*/) { task(); });
+    ++inFlight_;
+  }
+  workAvailable_.notify_one();
+  return true;
+}
+
+std::size_t TaskPool::queueDepth() const {
+  if (workers_.empty()) return 0;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return queue_.size();
+}
+
+void TaskPool::wait() {
+  // The earliest failure by *submission* index wins, like a serial loop
+  // that stops at its first throw.  errors_ holds failures only (not a slot
+  // per submission), so the scan is over actual failures.
+  const auto firstError = [this]() {
+    std::exception_ptr first;
+    std::size_t firstIndex = 0;
+    for (const auto& [index, error] : errors_) {
+      if (!first || index < firstIndex) {
         first = error;
-        break;
+        firstIndex = index;
       }
     }
+    return first;
+  };
+  std::exception_ptr first;
+  if (workers_.empty()) {
+    first = firstError();
     errors_.clear();
     nextIndex_ = 0;
   } else {
     std::unique_lock<std::mutex> lock{mutex_};
     batchDone_.wait(lock, [this] { return inFlight_ == 0; });
-    for (const std::exception_ptr& error : errors_) {
-      if (error) {
-        first = error;
-        break;
-      }
-    }
+    first = firstError();
     errors_.clear();
     nextIndex_ = 0;
   }
@@ -134,10 +160,10 @@ void TaskPool::runTask(std::size_t index, const std::function<void(int)>& task,
     task(workerId);
   } catch (...) {
     if (workers_.empty()) {
-      errors_[index] = std::current_exception();
+      errors_.emplace_back(index, std::current_exception());
     } else {
       const std::lock_guard<std::mutex> lock{mutex_};
-      errors_[index] = std::current_exception();
+      errors_.emplace_back(index, std::current_exception());
     }
   }
 }

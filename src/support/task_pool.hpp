@@ -49,7 +49,11 @@ class TaskPool {
  public:
   /// Creates the pool.  `threads` follows resolveThreadCount; a pool of one
   /// thread spawns no workers and runs every task inline in submit().
-  explicit TaskPool(int threads = 0);
+  /// `queueCapacity` bounds trySubmit() (0 = unbounded): it is the
+  /// backpressure limit for open-ended producers like `rtlock serve`, and
+  /// deliberately does NOT apply to submit()/map(), whose batch producers
+  /// rely on unconditional enqueueing.
+  explicit TaskPool(int threads = 0, std::size_t queueCapacity = 0);
 
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
@@ -69,6 +73,22 @@ class TaskPool {
   /// let tasks index per-worker reusable state — the ids are stable for the
   /// pool's lifetime and never shared between concurrently running tasks.
   std::size_t submitWithWorker(std::function<void(int)> task);
+
+  /// Bounded-queue submit: enqueues like submit() unless the pool was built
+  /// with a queueCapacity and that many tasks are already *queued* (running
+  /// tasks don't count), in which case it returns false without touching any
+  /// batch bookkeeping — the caller sheds load (HTTP 429) instead of
+  /// buffering unboundedly.  On the serial (inline) path the queue never
+  /// holds tasks, so trySubmit always accepts.  After requestStop() the task
+  /// is accepted-and-skipped exactly like submit(): backpressure reports
+  /// *fullness*, not shutdown — the drain still owns shutdown semantics.
+  [[nodiscard]] bool trySubmit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t queueCapacity() const noexcept { return queueCapacity_; }
+
+  /// Tasks currently queued (excluding running ones).  A snapshot for stats
+  /// surfaces; stale the moment it returns.
+  [[nodiscard]] std::size_t queueDepth() const;
 
   /// Blocks until every task submitted since the last wait() has finished,
   /// then rethrows the earliest failure by *submission* order (if any) and
@@ -158,15 +178,18 @@ class TaskPool {
   void runTask(std::size_t index, const std::function<void(int)>& task, int workerId) noexcept;
 
   int threadCount_ = 1;
+  std::size_t queueCapacity_ = 0;  // trySubmit() bound; 0 = unbounded
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable workAvailable_;
   std::condition_variable batchDone_;
   std::deque<std::pair<std::size_t, std::function<void(int)>>> queue_;
-  std::vector<std::exception_ptr> errors_;  // slot per submission index
-  std::size_t nextIndex_ = 0;               // submissions in the current batch
-  std::size_t inFlight_ = 0;                // queued + running tasks
+  // Failures only, unordered: a long-running pool that never fails (the
+  // serve worker pool) must not grow a slot per submission between wait()s.
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  std::size_t nextIndex_ = 0;  // submissions in the current batch
+  std::size_t inFlight_ = 0;   // queued + running tasks
   bool stopping_ = false;
   std::atomic<bool> stopRequested_{false};  // cooperative cancellation flag
 };

@@ -1,0 +1,175 @@
+// Dispatcher: the whole `rtlock serve` endpoint surface without sockets —
+// routing, JSON validation, error mapping, cache headers, and the
+// miss-then-hit byte-identical body contract.
+#include "service/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "service/api.hpp"
+#include "support/json.hpp"
+
+namespace rtlock::service {
+namespace {
+
+constexpr const char* kMixer = R"(
+module mixer (input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = (a + b) ^ (a & b);
+endmodule
+)";
+
+[[nodiscard]] HttpRequest makeRequest(std::string method, std::string target,
+                                      std::string body = {}) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.target = std::move(target);
+  request.version = "HTTP/1.1";
+  request.body = std::move(body);
+  return request;
+}
+
+[[nodiscard]] std::string headerOf(const HttpResponse& response, const std::string& name) {
+  for (const auto& [key, value] : response.extraHeaders) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  SessionCache cache_;
+  Dispatcher dispatcher_{cache_};
+};
+
+TEST_F(DispatchTest, HealthzReportsBuildIdentity) {
+  const HttpResponse response = dispatcher_.handle(makeRequest("GET", "/healthz"));
+  ASSERT_EQ(response.status, 200);
+  const support::JsonValue document = support::parseJson(response.body);
+  EXPECT_EQ(document.find("status")->asString(), "ok");
+  EXPECT_FALSE(document.find("version")->asString().empty());
+  EXPECT_FALSE(document.find("engine")->asString().empty());
+  EXPECT_FALSE(document.find("sim_backends")->asArray().empty());
+}
+
+TEST_F(DispatchTest, StatsCountersTrackOutcomes) {
+  (void)dispatcher_.handle(makeRequest("GET", "/healthz"));              // ok
+  (void)dispatcher_.handle(makeRequest("GET", "/nope"));                 // 404
+  (void)dispatcher_.handle(makeRequest("POST", "/v1/lock", "not json")); // 400
+  const HttpResponse response = dispatcher_.handle(makeRequest("GET", "/v1/stats"));
+  ASSERT_EQ(response.status, 200);
+  const support::JsonValue document = support::parseJson(response.body);
+  const support::JsonValue* requests = document.find("requests");
+  ASSERT_NE(requests, nullptr);
+  // The stats request itself is the 4th; it snapshots counters mid-flight,
+  // so `total` covers all four but `ok` has not yet counted the response.
+  EXPECT_EQ(requests->find("total")->asInt(), 4);
+  EXPECT_EQ(requests->find("client_errors")->asInt(), 2);
+  EXPECT_EQ(requests->find("server_errors")->asInt(), 0);
+  const support::JsonValue* cacheDoc = document.find("cache");
+  ASSERT_NE(cacheDoc, nullptr);
+  EXPECT_EQ(cacheDoc->find("entries")->asInt(), 0);
+  EXPECT_GT(cacheDoc->find("byte_budget")->asInt(), 0);
+}
+
+TEST_F(DispatchTest, UnknownEndpointIs404) {
+  const HttpResponse response = dispatcher_.handle(makeRequest("GET", "/v2/lock"));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("no such endpoint"), std::string::npos);
+}
+
+TEST_F(DispatchTest, WrongMethodIs405) {
+  EXPECT_EQ(dispatcher_.handle(makeRequest("POST", "/healthz")).status, 405);
+  EXPECT_EQ(dispatcher_.handle(makeRequest("GET", "/v1/lock")).status, 405);
+  EXPECT_EQ(dispatcher_.handle(makeRequest("DELETE", "/v1/lock")).status, 405);
+}
+
+TEST_F(DispatchTest, MalformedBodiesAre400) {
+  // Syntax error, non-object root, invalid UTF-8, missing source, and a
+  // wrongly-typed field: all client errors, all structured JSON answers.
+  for (const char* body : {"{not json", "[1,2]", "{\"source\": \"\xFF\xFE\"}", "{}",
+                           "{\"source\": 42}",
+                           "{\"source\": \"module m; endmodule\", \"seed\": -1}"}) {
+    const HttpResponse response = dispatcher_.handle(makeRequest("POST", "/v1/lock", body));
+    EXPECT_EQ(response.status, 400) << body;
+    const support::JsonValue document = support::parseJson(response.body);
+    EXPECT_NE(document.find("error"), nullptr) << body;
+  }
+}
+
+TEST_F(DispatchTest, UnparsableVerilogIs400) {
+  support::JsonValue body;
+  body.set("source", "module broken (");
+  const HttpResponse response = dispatcher_.handle(makeRequest("POST", "/v1/lock", body.dump()));
+  EXPECT_EQ(response.status, 400);
+}
+
+TEST_F(DispatchTest, LockMissThenHitBodiesAreByteIdentical) {
+  support::JsonValue body;
+  body.set("source", kMixer);
+  body.set("seed", std::uint64_t{7});
+  const HttpResponse cold = dispatcher_.handle(makeRequest("POST", "/v1/lock", body.dump()));
+  const HttpResponse warm = dispatcher_.handle(makeRequest("POST", "/v1/lock", body.dump()));
+  ASSERT_EQ(cold.status, 200);
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(headerOf(cold, "X-Rtlock-Cache"), "miss");
+  EXPECT_EQ(headerOf(warm, "X-Rtlock-Cache"), "hit");
+  EXPECT_EQ(headerOf(cold, "X-Rtlock-Design-Hash"), headerOf(warm, "X-Rtlock-Design-Hash"));
+  // Cache state lives in headers only: the bodies match byte for byte.
+  EXPECT_EQ(cold.body, warm.body);
+}
+
+TEST_F(DispatchTest, AttackEndpointScoresAgainstSuppliedKey) {
+  // Lock through the service API, then attack the result over HTTP JSON.
+  LockRequest lockReq;
+  lockReq.source = kMixer;
+  lockReq.seed = 7;
+  const LockResponse locked = runLock(cache_, lockReq);
+
+  support::JsonValue body;
+  body.set("source", locked.lockedVerilog);
+  body.set("key", keyFileToJson(locked.key));
+  body.set("rounds", std::uint64_t{2});
+  body.set("folds", std::uint64_t{2});
+  body.set("repeats", std::uint64_t{1});
+  body.set("no_wall", true);
+  const HttpResponse first = dispatcher_.handle(makeRequest("POST", "/v1/attack", body.dump()));
+  ASSERT_EQ(first.status, 200) << first.body;
+  const HttpResponse second = dispatcher_.handle(makeRequest("POST", "/v1/attack", body.dump()));
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(headerOf(second, "X-Rtlock-Cache"), "hit");
+  EXPECT_EQ(first.body, second.body);
+  const support::JsonValue document = support::parseJson(first.body);
+  EXPECT_NE(document.find("schema"), nullptr);
+}
+
+TEST_F(DispatchTest, EvalEndpointRunsTheGrid) {
+  support::JsonValue body;
+  body.set("source", kMixer);
+  body.set("algos", "era");
+  body.set("seeds", "1,2");
+  body.set("samples", std::uint64_t{1});
+  body.set("rounds", std::uint64_t{2});
+  body.set("folds", std::uint64_t{2});
+  body.set("no_wall", true);
+  const HttpResponse first = dispatcher_.handle(makeRequest("POST", "/v1/eval", body.dump()));
+  ASSERT_EQ(first.status, 200) << first.body;
+  const HttpResponse second = dispatcher_.handle(makeRequest("POST", "/v1/eval", body.dump()));
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(headerOf(first, "X-Rtlock-Cache"), "miss");
+  EXPECT_EQ(headerOf(second, "X-Rtlock-Cache"), "hit");
+  EXPECT_EQ(first.body, second.body);
+}
+
+TEST_F(DispatchTest, EvalRejectsEmptyAxes) {
+  support::JsonValue body;
+  body.set("source", kMixer);
+  body.set("seeds", support::JsonValue{support::JsonArray{}});
+  const HttpResponse response = dispatcher_.handle(makeRequest("POST", "/v1/eval", body.dump()));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("seeds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlock::service

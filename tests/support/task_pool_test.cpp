@@ -288,5 +288,107 @@ TEST(TaskPoolTest, RequestStopDrainsThreadedPool) {
   EXPECT_EQ(freshComputed, 32);
 }
 
+TEST(TaskPoolTrySubmitTest, InlinePoolAlwaysAcceptsAndRunsImmediately) {
+  TaskPool pool{1, /*queueCapacity=*/1};
+  EXPECT_EQ(pool.queueCapacity(), 1u);
+  int ran = 0;
+  // The serial path never queues, so capacity can never be exceeded: every
+  // trySubmit accepts and the task has already run by the time it returns.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }));
+    EXPECT_EQ(ran, i + 1);
+  }
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  pool.wait();
+}
+
+TEST(TaskPoolTrySubmitTest, UnboundedPoolNeverRejects) {
+  TaskPool pool{4};  // queueCapacity 0 = unbounded
+  EXPECT_EQ(pool.queueCapacity(), 0u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }));
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 256);
+}
+
+TEST(TaskPoolTrySubmitTest, RejectsExactlyAtQueueCapacity) {
+  TaskPool pool{2, /*queueCapacity=*/2};
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  std::atomic<int> ran{0};
+  const auto blocker = [&] {
+    ++started;
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    ++ran;
+  };
+  // Occupy both workers, then wait until both blockers are *running* (off
+  // the queue) so the capacity math below sees an empty queue.
+  ASSERT_TRUE(pool.trySubmit(blocker));
+  ASSERT_TRUE(pool.trySubmit(blocker));
+  while (started.load() < 2) std::this_thread::sleep_for(std::chrono::microseconds(50));
+
+  // Running tasks don't count toward capacity: two more fit in the queue...
+  EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }));
+  EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }));
+  EXPECT_EQ(pool.queueDepth(), 2u);
+  // ...and the next one is shed, repeatably, with no bookkeeping damage.
+  EXPECT_FALSE(pool.trySubmit([&ran] { ++ran; }));
+  EXPECT_FALSE(pool.trySubmit([&ran] { ++ran; }));
+
+  release.store(true);
+  pool.wait();
+  EXPECT_EQ(ran.load(), 4);  // the two blockers + the two queued, none extra
+  EXPECT_EQ(pool.queueDepth(), 0u);
+
+  // After the drain the queue has room again.
+  EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; }));
+  pool.wait();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(TaskPoolTrySubmitTest, SubmitAndMapIgnoreQueueCapacity) {
+  TaskPool pool{2, /*queueCapacity=*/1};
+  // Batch producers rely on unconditional enqueueing: submit()/map() must
+  // accept far more tasks than the trySubmit bound.
+  const auto results = pool.map(64, [](std::size_t index) { return index; });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i);
+}
+
+TEST(TaskPoolTrySubmitTest, AfterRequestStopAcceptsAndSkips) {
+  for (const int threads : {1, 4}) {
+    TaskPool pool{threads, /*queueCapacity=*/4};
+    pool.requestStop();
+    std::atomic<int> ran{0};
+    // Backpressure reports *fullness*, not shutdown: a stopped pool still
+    // accepts (true) and then skips the task, exactly like submit().
+    EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; })) << "threads=" << threads;
+    pool.wait();
+    EXPECT_EQ(ran.load(), 0) << "threads=" << threads;
+    pool.clearStop();
+    EXPECT_TRUE(pool.trySubmit([&ran] { ++ran; })) << "threads=" << threads;
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(TaskPoolTrySubmitTest, NullTaskIsRejected) {
+  TaskPool pool{2, 4};
+  EXPECT_THROW((void)pool.trySubmit(std::function<void()>{}), ContractViolation);
+}
+
+TEST(TaskPoolTrySubmitTest, FailingTrySubmitTaskSurfacesAtWait) {
+  TaskPool pool{2, /*queueCapacity=*/8};
+  ASSERT_TRUE(pool.trySubmit([] { throw std::runtime_error("shed me not"); }));
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure was consumed; the pool is reusable.
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.trySubmit([&ran] { ++ran; }));
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
 }  // namespace
 }  // namespace rtlock::support
