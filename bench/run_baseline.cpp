@@ -41,6 +41,7 @@
 #include "attack/locality.hpp"
 #include "attack/pipeline.hpp"
 #include "campaign/journal.hpp"
+#include "campaign/manifest.hpp"
 #include "common.hpp"
 #include "fig4_scenarios.hpp"
 #include "core/algorithms.hpp"
@@ -235,6 +236,41 @@ void runFig6(std::vector<Row>& rows, std::uint64_t seed, bool full, int threads)
                     journalWallMs, journalWallMs});
   }
   std::filesystem::remove(journalPath);
+
+  // Manifest/claim overhead: the multi-host coordination cost per grid cell
+  // (manifest write + O_CREAT|O_EXCL claim + atomic done marker — what
+  // `rtlock work` adds on top of journaling).  Compare against the wall_ms
+  // row above to verify coordination stays <5% of campaign wall.
+  const std::string manifestPath =
+      (std::filesystem::temp_directory_path() / "rtlock_bench_campaign.manifest").string();
+  std::filesystem::remove(manifestPath);
+  std::filesystem::remove_all(manifestPath + ".claims");
+  {
+    campaign::Manifest manifest;
+    manifest.identity.designHash = support::fnv1a64Hex(benchConfig);
+    manifest.identity.configHash = support::fnv1a64Hex(benchConfig + "/config");
+    manifest.identity.design = "fig6";
+    manifest.identity.config = benchConfig;
+    manifest.setup = benchConfig;
+    for (std::size_t index = 0; index < cells.size(); ++index) {
+      campaign::Cell cell;
+      cell.id = {manifest.identity.designHash, "algo", index, manifest.identity.configHash};
+      cell.label = "algo / cell " + std::to_string(index);
+      manifest.cells.push_back(cell);
+    }
+    const auto manifestStart = Clock::now();
+    campaign::writeManifest(manifestPath, manifest);
+    campaign::ClaimBoard board{manifestPath, "bench-worker", 60000.0};
+    for (std::size_t index = 0; index < cells.size(); ++index) {
+      (void)board.tryClaim(index);
+      board.markDone(index, "ok");
+    }
+    const double manifestWallMs = elapsedMs(manifestStart);
+    rows.push_back({"perf", full ? "fig6_full" : "fig6_quick", "manifest_overhead_ms",
+                    manifestWallMs, manifestWallMs});
+  }
+  std::filesystem::remove(manifestPath);
+  std::filesystem::remove_all(manifestPath + ".claims");
 }
 
 // --- perf: chrono timings of the hot paths perf_microbench covers ----------

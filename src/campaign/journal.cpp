@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/diagnostics.hpp"
+#include "support/files.hpp"
 #include "support/strings.hpp"
 
 namespace rtlock::campaign {
@@ -46,9 +47,8 @@ struct LineSplit {
   return header;
 }
 
-void writeLine(const std::string& path, const std::string& line, bool truncate) {
-  std::ofstream out{path, truncate ? (std::ios::binary | std::ios::trunc)
-                                   : (std::ios::binary | std::ios::app)};
+void appendLine(const std::string& path, const std::string& line) {
+  std::ofstream out{path, std::ios::binary | std::ios::app};
   if (!out) throw support::Error{"cannot open journal " + path + " for writing"};
   out << line << '\n';
   out.flush();
@@ -109,91 +109,102 @@ JournalRow journalRowFromJson(const support::JsonValue& value) {
   return row;
 }
 
-Journal::Journal(std::string path, CampaignIdentity identity)
-    : path_(std::move(path)), identity_(std::move(identity)) {
-  std::error_code ec;
-  const bool exists = std::filesystem::exists(path_, ec);
-  if (!exists) {
-    writeLine(path_, headerToJson(identity_).dumpLine(), /*truncate=*/true);
-    return;
-  }
-
+JournalFile readJournalFile(const std::string& path) {
   std::string text;
   {
-    std::ifstream in{path_, std::ios::binary};
-    if (!in) throw support::Error{"cannot open journal " + path_};
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw support::Error{"cannot open journal " + path};
     text.assign(std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{});
   }
-  const LineSplit split = splitLines(text);
-  if (split.lines.empty()) {
-    // Zero-byte file (crash before the header flush): start fresh.
-    writeLine(path_, headerToJson(identity_).dumpLine(), /*truncate=*/true);
-    return;
-  }
 
-  // Byte offset just past the last intact line; everything beyond it is a
-  // torn tail to truncate away so new appends start on a clean line.  Each
-  // row is written as one line + '\n' in a single call, so a partial append
-  // can never end in a newline: an unterminated final line is always torn
-  // (discarded — determinism makes recomputing it bit-identical), and a
-  // final line that fails to parse is torn too.  Damage anywhere else is
-  // not something a crash can produce and fails loudly.
-  std::size_t goodEnd = 0;
+  JournalFile file;
+  const LineSplit split = splitLines(text);
+
+  // Each row is written as one line + '\n' in a single call, so a partial
+  // append can never end in a newline: an unterminated final line is always
+  // torn (ignored — determinism makes recomputing it bit-identical), and a
+  // final line that fails to parse is torn too.  Damage anywhere else is not
+  // something a crash can produce and fails loudly.
   for (std::size_t i = 0; i < split.lines.size(); ++i) {
     const std::string& line = split.lines[i];
     const bool last = i + 1 == split.lines.size();
     if (last && !split.lastTerminated) {
-      tornTail_ = true;
+      file.tornTail = true;
       break;
     }
     if (support::trim(line).empty()) {
-      goodEnd += line.size() + 1;
+      file.intactBytes += line.size() + 1;
       continue;
     }
     support::JsonValue value;
     JournalRow row;
-    bool parsed = false;
     try {
       value = support::parseJson(line);
       if (i != 0) row = journalRowFromJson(value);
-      parsed = true;
     } catch (const support::Error&) {
       if (last) {
-        tornTail_ = true;
+        file.tornTail = true;
         break;
       }
       // Interior damage cannot come from a torn append — refuse to guess.
-      throw support::Error{"journal " + path_ + " is corrupt at line " + std::to_string(i + 1) +
+      throw support::Error{"journal " + path + " is corrupt at line " + std::to_string(i + 1) +
                            " (only the final line may be torn)"};
     }
-    if (parsed && i == 0) {
+    if (i == 0) {
       const std::string schema = value.at("schema").asString();
       if (schema != kJournalSchema) {
-        throw support::Error{"journal " + path_ + " has unsupported schema \"" + schema +
+        throw support::Error{"journal " + path + " has unsupported schema \"" + schema +
                              "\" (expected " + std::string{kJournalSchema} + ")"};
       }
-      if (value.at("design_hash").asString() != identity_.designHash ||
-          value.at("config_hash").asString() != identity_.configHash) {
-        throw support::Error{"journal " + path_ +
-                             " belongs to a different campaign (design_hash/config_hash "
-                             "mismatch) — delete it or pass a fresh --journal path"};
-      }
-    } else if (parsed) {
-      rows_[row.id.key()] = row;
-      ++reloadedRows_;
+      file.identity.designHash = value.at("design_hash").asString();
+      file.identity.configHash = value.at("config_hash").asString();
+      file.identity.design = value.at("design").asString();
+      file.identity.config = value.at("config").asString();
+      file.headerIntact = true;
+    } else {
+      file.rows.push_back(std::move(row));
     }
-    goodEnd += line.size() + 1;
+    file.intactBytes += line.size() + 1;
+  }
+  return file;
+}
+
+Journal::Journal(std::string path, CampaignIdentity identity)
+    : path_(std::move(path)), identity_(std::move(identity)) {
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path_, ec);
+  const std::string headerLine = headerToJson(identity_).dumpLine() + "\n";
+  if (!exists) {
+    // Atomic creation (temp + fsync + rename): a crash mid-create leaves
+    // either no journal or a complete single-header journal, never a torn
+    // header under the final name.
+    support::atomicWriteFile(path_, headerLine);
+    return;
   }
 
-  if (goodEnd < text.size()) {
-    if (goodEnd == 0) {
-      // Header itself was torn: rewrite a fresh header, keep nothing.
-      rows_.clear();
-      reloadedRows_ = 0;
-      writeLine(path_, headerToJson(identity_).dumpLine(), /*truncate=*/true);
-      return;
-    }
-    std::filesystem::resize_file(path_, goodEnd, ec);
+  const JournalFile file = readJournalFile(path_);
+  tornTail_ = file.tornTail;
+  if (!file.headerIntact) {
+    // Zero-byte file or torn header (crash before/within the very first
+    // write): nothing intact to keep — start fresh.
+    support::atomicWriteFile(path_, headerLine);
+    return;
+  }
+  if (file.identity.designHash != identity_.designHash ||
+      file.identity.configHash != identity_.configHash) {
+    throw support::Error{"journal " + path_ +
+                         " belongs to a different campaign (design_hash/config_hash "
+                         "mismatch) — delete it or pass a fresh --journal path"};
+  }
+  for (const JournalRow& row : file.rows) {
+    rows_[row.id.key()] = row;
+    ++reloadedRows_;
+  }
+
+  // Truncate the torn tail away so new appends start on a clean line.
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  if (!ec && file.intactBytes < size) {
+    std::filesystem::resize_file(path_, file.intactBytes, ec);
     if (ec) throw support::Error{"cannot truncate torn journal tail in " + path_};
   }
 }
@@ -203,7 +214,7 @@ void Journal::append(const JournalRow& row) {
   // makes a concurrent crash leave at most one torn final line.
   const std::string line = journalRowToJson(row).dumpLine();
   const std::lock_guard<std::mutex> lock{writeMutex_};
-  writeLine(path_, line, /*truncate=*/false);
+  appendLine(path_, line);
   rows_[row.id.key()] = row;
 }
 

@@ -109,4 +109,19 @@ class Journal {
 [[nodiscard]] support::JsonValue journalRowToJson(const JournalRow& row);
 [[nodiscard]] JournalRow journalRowFromJson(const support::JsonValue& value);
 
+/// One journal parsed read-only — the merge tool's view.  Unlike the Journal
+/// class this never creates, truncates or rewrites anything on disk.
+struct JournalFile {
+  CampaignIdentity identity;      // from the header (valid iff headerIntact)
+  bool headerIntact = false;      // false: file empty or the header line is torn
+  std::vector<JournalRow> rows;   // intact rows in file order (duplicates kept)
+  bool tornTail = false;          // final line was torn and ignored
+  std::size_t intactBytes = 0;    // offset just past the last intact line
+};
+
+/// Parses the journal at `path` without modifying it.  Torn *final* lines
+/// are tolerated exactly like Journal's reload; interior damage and unknown
+/// schemas throw support::Error; a missing file throws support::Error.
+[[nodiscard]] JournalFile readJournalFile(const std::string& path);
+
 }  // namespace rtlock::campaign

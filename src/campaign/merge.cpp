@@ -1,0 +1,126 @@
+#include "campaign/merge.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+#include "support/files.hpp"
+
+namespace rtlock::campaign {
+
+namespace {
+
+[[nodiscard]] support::JsonValue identityHeader(const CampaignIdentity& identity) {
+  support::JsonValue header;
+  header.set("schema", kJournalSchema);
+  header.set("design", identity.design);
+  header.set("design_hash", identity.designHash);
+  header.set("config", identity.config);
+  header.set("config_hash", identity.configHash);
+  return header;
+}
+
+/// Folds `row` into the merged view under the ok-wins / byte-identical-dedup
+/// rules.  `source` names the journal for error messages.
+void foldRow(std::map<std::string, JournalRow>& rows, JournalRow row, const std::string& source,
+             MergeStats& stats) {
+  const std::string key = row.id.key();
+  const auto it = rows.find(key);
+  if (it == rows.end()) {
+    rows.emplace(key, std::move(row));
+    return;
+  }
+  JournalRow& held = it->second;
+  if (row.ok() && held.ok()) {
+    // Double compute (lease steal, crash between journal append and done
+    // marker).  Purity says both payloads are the same bytes; anything else
+    // is a determinism violation that must never be averaged away.
+    const std::string heldLine = held.payload.dumpLine();
+    const std::string rowLine = row.payload.dumpLine();
+    if (heldLine != rowLine) {
+      throw support::Error{"determinism violation merging " + source + ": cell " + key +
+                           " has two ok rows with differing payloads\n  kept:     " + heldLine +
+                           "\n  incoming: " + rowLine};
+    }
+    ++stats.duplicatesDropped;
+    return;
+  }
+  if (row.ok()) {  // ok beats any failure
+    held = std::move(row);
+    ++stats.supersededFailures;
+    return;
+  }
+  if (held.ok()) {  // failure loses to the held ok row
+    ++stats.supersededFailures;
+    return;
+  }
+  // Two failures: keep the lexicographically smaller serialized row so the
+  // merge is independent of journal order; identical rows just dedup.
+  const std::string heldLine = journalRowToJson(held).dumpLine();
+  const std::string rowLine = journalRowToJson(row).dumpLine();
+  if (heldLine == rowLine) {
+    ++stats.duplicatesDropped;
+    return;
+  }
+  if (rowLine < heldLine) held = std::move(row);
+}
+
+}  // namespace
+
+MergeResult mergeJournals(const std::vector<std::string>& paths) {
+  if (paths.empty()) throw support::Error{"merge needs at least one journal"};
+
+  MergeResult merged;
+  for (const std::string& path : paths) {
+    const JournalFile file = readJournalFile(path);
+    if (!file.headerIntact) {
+      throw support::Error{"journal " + path +
+                           " has no intact identity header — it was never past its first write; "
+                           "remove it from the merge set"};
+    }
+    if (merged.stats.journals == 0) {
+      merged.identity = file.identity;
+    } else if (file.identity.designHash != merged.identity.designHash ||
+               file.identity.configHash != merged.identity.configHash) {
+      throw support::Error{
+          "journal " + path + " belongs to a different campaign (design_hash " +
+          file.identity.designHash + "/config_hash " + file.identity.configHash +
+          " vs expected " + merged.identity.designHash + "/" + merged.identity.configHash +
+          ") — refusing to merge unrelated results"};
+    }
+    ++merged.stats.journals;
+    if (file.tornTail) ++merged.stats.tornTails;
+    for (const JournalRow& row : file.rows) {
+      foldRow(merged.rows, row, path, merged.stats);
+    }
+  }
+
+  for (const auto& [key, row] : merged.rows) {
+    if (row.ok()) {
+      ++merged.stats.okRows;
+    } else if (row.status == "timeout") {
+      ++merged.stats.timeoutRows;
+    } else {
+      ++merged.stats.errorRows;
+    }
+  }
+  return merged;
+}
+
+void writeMergedJournal(const std::string& path, const MergeResult& merged) {
+  std::vector<const JournalRow*> ordered;
+  ordered.reserve(merged.rows.size());
+  for (const auto& [key, row] : merged.rows) ordered.push_back(&row);
+  std::sort(ordered.begin(), ordered.end(), [](const JournalRow* a, const JournalRow* b) {
+    return std::tie(a->id.algorithm, a->id.seed) < std::tie(b->id.algorithm, b->id.seed);
+  });
+
+  std::string text = identityHeader(merged.identity).dumpLine() + "\n";
+  for (const JournalRow* row : ordered) {
+    text += journalRowToJson(*row).dumpLine() + "\n";
+  }
+  support::atomicWriteFile(path, text);
+}
+
+}  // namespace rtlock::campaign

@@ -1,0 +1,57 @@
+// Journal union for multi-host campaigns.
+//
+// Each worker in a distributed campaign appends to its own journal; the
+// merge tool unions any number of them into the single-campaign view a
+// report is built from.  The rules lean entirely on the determinism
+// contract (identical row identity ⇒ identical bytes):
+//
+//  * every journal's identity header must match the first one's hashes —
+//    mixing campaigns is a hard error, never a silent union;
+//  * duplicate ok rows for one cell (double compute after a lease steal)
+//    must be byte-identical in their payload; identical → deduplicated,
+//    differing → hard determinism error naming the cell, because that can
+//    only mean a cell broke the purity contract;
+//  * an ok row supersedes error/timeout rows for the same cell (one worker
+//    failed transiently, another succeeded);
+//  * among multiple failure rows for one cell the lexicographically
+//    smallest serialized row wins, so the merged result is independent of
+//    journal order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+
+namespace rtlock::campaign {
+
+struct MergeStats {
+  std::size_t journals = 0;
+  std::size_t okRows = 0;       // distinct ok cells in the merged view
+  std::size_t errorRows = 0;    // distinct cells whose best row is an error
+  std::size_t timeoutRows = 0;  // distinct cells whose best row is a timeout
+  std::size_t duplicatesDropped = 0;    // byte-identical rows removed
+  std::size_t supersededFailures = 0;   // error/timeout rows beaten by an ok row
+  std::size_t tornTails = 0;            // journals whose final line was torn
+};
+
+struct MergeResult {
+  CampaignIdentity identity;              // from the first journal's header
+  std::map<std::string, JournalRow> rows;  // merged view, keyed by CellId::key()
+  MergeStats stats;
+};
+
+/// Unions the journals at `paths` (at least one).  Throws support::Error on
+/// an unreadable/empty journal, an identity mismatch, or an ok/ok payload
+/// conflict (determinism violation).
+[[nodiscard]] MergeResult mergeJournals(const std::vector<std::string>& paths);
+
+/// Writes the merged view as a valid rtlock-journal/v1 file (atomic
+/// replacement): identity header, then rows sorted by (algorithm, seed).
+/// The output round-trips through Journal/readJournalFile, so `rtlock eval
+/// --journal=<merged>` replays it without recomputing anything.
+void writeMergedJournal(const std::string& path, const MergeResult& merged);
+
+}  // namespace rtlock::campaign

@@ -71,10 +71,10 @@ void onShutdownSignal(int signo) {
   }
 }
 
-/// Runs one cell with retry/backoff/deadline; never lets a cell exception
-/// escape.  (An injected crash fault does not return at all.)
-[[nodiscard]] CellOutcome executeCell(const Cell& cell, std::size_t index,
-                                      const CampaignOptions& options, const CellFn& compute) {
+}  // namespace
+
+CellOutcome executeCell(const Cell& cell, std::size_t index, const CampaignOptions& options,
+                        const CellFn& compute) {
   const std::optional<FaultKind> fault = options.faults.at(index);
   const int maxAttempts = std::max(1, options.retry.maxAttempts);
   CellOutcome outcome;
@@ -137,7 +137,7 @@ void onShutdownSignal(int signo) {
   return outcome;
 }
 
-[[nodiscard]] JournalRow rowFromOutcome(const Cell& cell, const CellOutcome& outcome) {
+JournalRow rowFromOutcome(const Cell& cell, const CellOutcome& outcome) {
   JournalRow row;
   row.id = cell.id;
   row.status = statusName(outcome.status);
@@ -152,7 +152,7 @@ void onShutdownSignal(int signo) {
   return row;
 }
 
-[[nodiscard]] CellOutcome outcomeFromRow(const JournalRow& row) {
+CellOutcome outcomeFromRow(const JournalRow& row) {
   CellOutcome outcome;
   outcome.status = statusFromName(row.status);
   outcome.attempts = row.attempts;
@@ -166,8 +166,6 @@ void onShutdownSignal(int signo) {
   }
   return outcome;
 }
-
-}  // namespace
 
 double CellContext::elapsedMs() const {
   const std::chrono::duration<double, std::milli> elapsed =

@@ -116,6 +116,18 @@ struct CampaignResult {
                                          const CampaignOptions& options, Journal* journal,
                                          const CellFn& compute);
 
+/// Runs one cell with the runner's full retry/backoff/deadline/fault
+/// machinery; never lets a cell exception escape.  (An injected crash fault
+/// does not return at all.)  Exposed for the distributed worker, which
+/// claims cells itself instead of going through runCampaign.
+[[nodiscard]] CellOutcome executeCell(const Cell& cell, std::size_t index,
+                                      const CampaignOptions& options, const CellFn& compute);
+
+/// Outcome <-> journal-row conversion, shared by the runner, the worker and
+/// the merge-driven report builders.
+[[nodiscard]] JournalRow rowFromOutcome(const Cell& cell, const CellOutcome& outcome);
+[[nodiscard]] CellOutcome outcomeFromRow(const JournalRow& row);
+
 /// --check support: re-executes a deterministic sample of up to
 /// `sampleSize` journaled ok cells *serially* and byte-compares each
 /// recomputed payload against the journaled row (the distributed-vs-serial

@@ -1,0 +1,64 @@
+// Distributed campaign worker: manifest in, per-worker journal out.
+//
+// runWorker() is the multi-host counterpart of runCampaign(): instead of
+// owning the whole grid it repeatedly sweeps the manifest, claims cells
+// through the ClaimBoard (lease-based, crash-tolerant — see manifest.hpp),
+// executes what it wins with the runner's full retry/deadline/fault
+// machinery, and journals each result before publishing the cell's done
+// marker.  Any number of workers on any number of hosts can run against the
+// same manifest; the fleet converges when every cell has a done marker, and
+// mergeJournals() unions the per-worker journals into the campaign view.
+//
+// Failure semantics differ from a single-process resume in one deliberate
+// way: a journaled error/timeout row is FINAL for the manifest (the worker
+// publishes its done marker on resume instead of re-running it).  A fleet
+// has no operator watching individual workers, so a deterministic failure
+// must not ping-pong between hosts forever; re-running failures is the
+// single-process `rtlock eval --journal` workflow's job.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "campaign/journal.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
+
+namespace rtlock::campaign {
+
+struct WorkerOptions {
+  CampaignOptions campaign;  // threads/retry/deadline/faults/onCell
+  std::string ownerId;       // empty → defaultWorkerId()
+  double leaseMs = 60000.0;  // claim freshness horizon; <= 0 disables steals
+  double pollMs = 50.0;      // sweep sleep while waiting on other workers
+  /// Give up after this long without progress anywhere in the fleet
+  /// (no claim won, no cell finished, no done marker appeared); 0 = wait
+  /// forever.  A safety net against a wedged rival holding a lease with a
+  /// heartbeat that never finishes.
+  double maxWaitMs = 0.0;
+};
+
+struct WorkerReport {
+  std::size_t totalCells = 0;
+  std::size_t computedCells = 0;   // executed by this worker this run
+  std::size_t okCells = 0;         // of computedCells
+  std::size_t errorCells = 0;      // of computedCells
+  std::size_t timeoutCells = 0;    // of computedCells
+  std::size_t journaledCells = 0;  // satisfied from this worker's own journal
+  std::size_t doneElsewhere = 0;   // done markers published by other workers
+  std::size_t steals = 0;          // stale leases reclaimed
+  bool interrupted = false;        // shutdown drain cut the sweep short
+  bool timedOut = false;           // maxWaitMs elapsed with no fleet progress
+  bool allDone = false;            // every manifest cell has a done marker
+  double wallMs = 0.0;
+};
+
+/// Works the manifest until every cell is done, shutdown is requested, or
+/// maxWaitMs passes without progress.  `journal` must be open against the
+/// manifest's identity.  Throws only for infrastructure errors (claim dir,
+/// journal I/O); cell failures are captured as rows.
+[[nodiscard]] WorkerReport runWorker(const Manifest& manifest, const std::string& manifestPath,
+                                     Journal& journal, const WorkerOptions& options,
+                                     const CellFn& compute);
+
+}  // namespace rtlock::campaign

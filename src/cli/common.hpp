@@ -56,6 +56,8 @@ struct Command {
 int runLockCommand(const std::vector<std::string>& args, CommandIo& io);
 int runAttackCommand(const std::vector<std::string>& args, CommandIo& io);
 int runEvalCommand(const std::vector<std::string>& args, CommandIo& io);
+int runWorkCommand(const std::vector<std::string>& args, CommandIo& io);
+int runMergeCommand(const std::vector<std::string>& args, CommandIo& io);
 int runReportCommand(const std::vector<std::string>& args, CommandIo& io);
 int runDesignsCommand(const std::vector<std::string>& args, CommandIo& io);
 int runLintCommand(const std::vector<std::string>& args, CommandIo& io);

@@ -94,6 +94,67 @@ flags:
   --csv                  print the rows as CSV
 )";
 
+constexpr const char* kWorkUsage = R"(usage: rtlock work <input.v> --manifest=PATH [flags]
+
+Run one worker of a distributed eval campaign.  Start any number of workers
+(any hosts sharing a filesystem) against the same --manifest with the
+identical grid flags: the first worker atomically creates the manifest,
+every worker claims cells through lease-based claim files
+(<manifest>.claims/), and each journals results to its own journal under
+<manifest>.journals/.  A worker that dies mid-cell leaves a claim that
+expires after --lease-ms and is reclaimed by a survivor; duplicate computes
+merge away because every cell is a pure function of its identity.  Workers
+that see the fleet converge print the full merged report — byte-identical
+to a single-process `rtlock eval` of the same grid (docs/CAMPAIGNS.md).
+
+exit codes: 0 fleet converged and every cell ok, 3 failed/timed-out cells
+or fleet not converged, 4 interrupted (SIGINT/SIGTERM drain).
+
+flags:
+  --manifest=PATH        the shared work manifest (required; created if absent)
+  --owner=ID             worker identity in claim files (default <hostname>-<pid>)
+  --journal=PATH         this worker's journal (default
+                         <manifest>.journals/<owner>.jsonl)
+  --lease-ms=N           claim lease: older claims count as orphaned and are
+                         reclaimed (default 60000; 0 disables reclaim)
+  --poll-ms=N            sweep sleep while other workers hold cells (default 50)
+  --max-wait-ms=N        give up when the whole fleet makes no progress for
+                         this long (default: wait forever)
+  eval grid flags        --algos --seeds --samples --rounds --budget --folds
+                         --extended-features --verify-functional --sim-backend
+                         --module --key-port --threads --retries --deadline-ms
+                         --report --report-csv --no-wall --csv  (see rtlock eval;
+                         every worker must pass the identical grid)
+)";
+
+constexpr const char* kMergeUsage = R"(usage: rtlock merge [journal...] [flags]
+
+Union per-worker campaign journals into one view.  All journals must carry
+the same campaign identity header (hard error otherwise).  Duplicate ok
+rows for one cell must be byte-identical — the determinism contract — and
+are deduplicated; differing ok payloads are a hard error.  An ok row
+supersedes error/timeout rows for the same cell.
+
+With --manifest the merged rows are rebuilt into the full eval report (byte-
+identical to `rtlock eval` of the same grid); without it a summary table is
+printed.  --out writes the merged view as a valid journal for replay via
+`rtlock eval --journal=<out>`.
+
+exit codes: 0 complete and all ok, 3 missing/failed cells, 1 identity or
+determinism errors.
+
+flags:
+  --journals-dir=DIR  merge every *.jsonl in DIR (in addition to positionals)
+  --manifest=PATH     rebuild the full eval report in the manifest's grid
+                      order; also defaults --journals-dir to
+                      <manifest>.journals when no journals are listed
+  --out=PATH          write the merged journal (atomic replace)
+  --report=PATH       write JSON report (rows follow BENCH_baseline.json)
+  --report-csv=PATH   write the rows as CSV
+  --no-wall           zero wall_ms in rows (byte-stable output)
+  --csv               print the rows as CSV
+)";
+
 constexpr const char* kLintUsage = R"(usage: rtlock lint <locked.v> [flags]
 
 Static security analysis of a netlist: run the IR verifier (V1xx checks) and
@@ -184,6 +245,10 @@ const std::vector<Command>& commandTable() {
        runAttackCommand},
       {"eval", "lock->attack seed grids over one design (experiment engine)", kEvalUsage,
        runEvalCommand},
+      {"work", "one worker of a distributed eval campaign (shared manifest)", kWorkUsage,
+       runWorkCommand},
+      {"merge", "union per-worker campaign journals into one report", kMergeUsage,
+       runMergeCommand},
       {"lint", "static IR verification + key-influence security lint", kLintUsage,
        runLintCommand},
       {"serve", "HTTP lock/attack/eval service with a warm session cache", kServeUsage,

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <utility>
 
 #include "attack/pipeline.hpp"
+#include "campaign/merge.hpp"
 #include "core/algorithms.hpp"
 #include "service/build_info.hpp"
 #include "support/strings.hpp"
@@ -267,6 +269,154 @@ AttackResponse runAttack(SessionCache& cache, const AttackRequest& request,
   return response;
 }
 
+namespace {
+
+/// The manifest-mode body of runEval: create-or-validate the shared
+/// manifest, work it through runWorker, and — once the whole fleet is done —
+/// merge every per-worker journal into the full campaign view so *any*
+/// finishing worker can emit the complete report.
+void runEvalOnManifest(const EvalRequest& request, const campaign::CampaignIdentity& identity,
+                       const campaign::CellFn& compute, EvalResponse& response) {
+  campaign::Manifest manifest;
+  manifest.identity = identity;
+  manifest.setup = response.setup;
+  manifest.cells = response.cells;
+
+  std::error_code ec;
+  if (!std::filesystem::exists(request.manifestPath, ec)) {
+    // Atomic create; racing creators of the same grid serialize identical
+    // bytes, and the read-back below validates whichever rename won.
+    campaign::writeManifest(request.manifestPath, manifest);
+  }
+  const campaign::Manifest onDisk = campaign::readManifest(request.manifestPath);
+  if (onDisk.identity.designHash != identity.designHash ||
+      onDisk.identity.configHash != identity.configHash) {
+    throw support::Error{"manifest " + request.manifestPath +
+                         " belongs to a different campaign (design_hash/config_hash mismatch) — "
+                         "delete it or pass a fresh --manifest path"};
+  }
+  // The config hash does not cover the grid axes (--algos/--seeds), so the
+  // cell lists must be compared outright: every worker of one manifest has
+  // to request the identical grid.
+  bool sameCells = onDisk.cells.size() == response.cells.size();
+  for (std::size_t i = 0; sameCells && i < onDisk.cells.size(); ++i) {
+    sameCells = onDisk.cells[i].id.key() == response.cells[i].id.key();
+  }
+  if (!sameCells) {
+    throw support::Error{"manifest " + request.manifestPath + " lists " +
+                         std::to_string(onDisk.cells.size()) + " cells but this request builds " +
+                         std::to_string(response.cells.size()) +
+                         " — all workers of one manifest must pass the identical --algos/--seeds "
+                         "grid"};
+  }
+
+  const std::string workerId =
+      request.workerId.empty() ? campaign::defaultWorkerId() : request.workerId;
+  std::string journalPath = request.journalPath;
+  if (journalPath.empty()) {
+    const std::string dir = campaign::journalsDirFor(request.manifestPath);
+    std::filesystem::create_directories(dir, ec);
+    if (ec && !std::filesystem::is_directory(dir)) {
+      throw support::Error{"cannot create journal directory " + dir + ": " + ec.message()};
+    }
+    journalPath = dir + "/" + workerId + ".jsonl";
+  }
+  campaign::Journal journal{journalPath, identity};
+  response.journaled = true;
+  response.journalReloadedRows = journal.reloadedRows();
+  response.journalTornTail = journal.recoveredTornTail();
+
+  campaign::WorkerOptions workerOptions;
+  workerOptions.campaign = request.campaign;
+  workerOptions.ownerId = workerId;
+  workerOptions.leaseMs = request.leaseMs;
+  workerOptions.pollMs = request.pollMs;
+  workerOptions.maxWaitMs = request.maxWaitMs;
+  response.distributed = true;
+  response.worker = campaign::runWorker(manifest, request.manifestPath, journal, workerOptions,
+                                        compute);
+
+  response.campaign.outcomes.resize(response.cells.size());
+  response.campaign.interrupted = response.worker.interrupted;
+  response.campaign.journaledCells = response.worker.journaledCells;
+  response.campaign.wallMs = response.worker.wallMs;
+  if (!response.worker.allDone) {
+    // The fleet has not converged (drain or no-progress timeout): report
+    // only this worker's counters, no rows.
+    response.campaign.okCells = response.worker.okCells;
+    response.campaign.errorCells = response.worker.errorCells;
+    response.campaign.timeoutCells = response.worker.timeoutCells;
+    response.campaign.skippedCells =
+        response.cells.size() - response.worker.computedCells - response.worker.journaledCells;
+    return;
+  }
+
+  std::vector<std::string> journals =
+      campaign::listJournals(campaign::journalsDirFor(request.manifestPath));
+  if (std::find(journals.begin(), journals.end(), journalPath) == journals.end()) {
+    journals.push_back(journalPath);  // explicit --journal outside the journals dir
+    std::sort(journals.begin(), journals.end());
+  }
+  const campaign::MergeResult merged = campaign::mergeJournals(journals);
+  response.mergedJournals = journals;
+  for (std::size_t i = 0; i < response.cells.size(); ++i) {
+    const auto it = merged.rows.find(response.cells[i].id.key());
+    if (it == merged.rows.end()) {
+      throw support::Error{"cell " + response.cells[i].label +
+                           " has a done marker but no journal row — was a worker journal deleted "
+                           "from " +
+                           campaign::journalsDirFor(request.manifestPath) + "?"};
+    }
+    response.campaign.outcomes[i] = campaign::outcomeFromRow(it->second);
+    switch (response.campaign.outcomes[i].status) {
+      case campaign::CellStatus::Ok:
+        ++response.campaign.okCells;
+        break;
+      case campaign::CellStatus::Timeout:
+        ++response.campaign.timeoutCells;
+        break;
+      default:
+        ++response.campaign.errorCells;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ReportRow> evalReportRows(
+    const std::string& moduleName, const std::string& setup,
+    const std::vector<campaign::Cell>& cells,
+    const std::function<const campaign::CellOutcome*(std::size_t)>& outcomeAt, bool includeWall) {
+  std::vector<ReportRow> rows;
+  std::size_t start = 0;
+  while (start < cells.size()) {
+    const std::string& algoName = cells[start].id.algorithm;
+    std::size_t end = start;
+    while (end < cells.size() && cells[end].id.algorithm == algoName) ++end;
+    double kpaSum = 0.0;
+    std::size_t okSeeds = 0;
+    for (std::size_t i = start; i < end; ++i) {
+      const campaign::CellOutcome* outcome = outcomeAt(i);
+      if (outcome == nullptr || outcome->status != campaign::CellStatus::Ok) continue;
+      const std::string cellConfig = cells[i].label + " / " + setup;
+      for (const char* metric : kCellMetrics) {
+        const bool wallRow = std::string_view{metric} == "mean_kpa_percent";
+        rows.push_back({moduleName, cellConfig, metric, outcome->payload.at(metric).asDouble(),
+                        wallRow && includeWall ? outcome->wallMs : 0.0});
+      }
+      kpaSum += outcome->payload.at("mean_kpa_percent").asDouble();
+      ++okSeeds;
+    }
+    if (okSeeds > 0) {
+      rows.push_back({moduleName, algoName + " / all seeds / " + setup, "mean_kpa_percent",
+                      kpaSum / static_cast<double>(okSeeds), 0.0});
+    }
+    start = end;
+  }
+  return rows;
+}
+
 EvalResponse runEval(SessionCache& cache, const EvalRequest& request) {
   if (request.algorithms.empty()) throw BadRequest{"no algorithms listed"};
   if (request.seeds.empty()) throw BadRequest{"no seeds listed"};
@@ -330,7 +480,7 @@ EvalResponse runEval(SessionCache& cache, const EvalRequest& request) {
   identity.config = response.configText;
 
   std::unique_ptr<campaign::Journal> journalHolder;
-  if (!request.journalPath.empty()) {
+  if (!request.journalPath.empty() && request.manifestPath.empty()) {
     journalHolder = std::make_unique<campaign::Journal>(request.journalPath, identity);
     response.journaled = true;
     response.journalReloadedRows = journalHolder->reloadedRows();
@@ -372,7 +522,14 @@ EvalResponse runEval(SessionCache& cache, const EvalRequest& request) {
     return payloadFromResult(result);
   };
 
-  response.campaign = campaign::runCampaign(response.cells, request.campaign, journal, compute);
+  bool reportReady = false;
+  if (request.manifestPath.empty()) {
+    response.campaign = campaign::runCampaign(response.cells, request.campaign, journal, compute);
+    reportReady = !response.campaign.interrupted;
+  } else {
+    runEvalOnManifest(request, identity, compute, response);
+    reportReady = response.worker.allDone && !response.campaign.interrupted;
+  }
 
   for (std::size_t i = 0; i < response.cells.size(); ++i) {
     const campaign::CellOutcome& outcome = response.campaign.outcomes[i];
@@ -387,35 +544,16 @@ EvalResponse runEval(SessionCache& cache, const EvalRequest& request) {
 
   // Report rows come only from ok cells; the per-algorithm aggregate
   // averages the seeds that completed.  A fully successful campaign
-  // therefore emits rows byte-identical to the pre-campaign serial loop.
-  const bool noWall = !request.includeWall;
-  if (!response.campaign.interrupted) {
-    for (std::size_t a = 0; a < request.algorithms.size(); ++a) {
-      const std::string algoName = service::algorithmName(request.algorithms[a]);
-      double kpaSum = 0.0;
-      std::size_t okSeeds = 0;
-      for (std::size_t s = 0; s < seedCount; ++s) {
-        const campaign::CellOutcome& outcome = response.campaign.outcomes[a * seedCount + s];
-        if (outcome.status != campaign::CellStatus::Ok) continue;
-        const std::string cellConfig =
-            algoName + " / seed " + std::to_string(request.seeds[s]) + " / " + response.setup;
-        for (const char* metric : kCellMetrics) {
-          const bool wallRow = std::string_view{metric} == "mean_kpa_percent";
-          response.rows.push_back({response.moduleName, cellConfig, metric,
-                                   outcome.payload.at(metric).asDouble(),
-                                   wallRow && !noWall ? outcome.wallMs : 0.0});
-        }
-        kpaSum += outcome.payload.at("mean_kpa_percent").asDouble();
-        ++okSeeds;
-      }
-      if (okSeeds > 0) {
-        response.rows.push_back({response.moduleName, algoName + " / all seeds / " + response.setup,
-                                 "mean_kpa_percent", kpaSum / static_cast<double>(okSeeds), 0.0});
-      }
-    }
+  // therefore emits rows byte-identical to the pre-campaign serial loop —
+  // and a merged distributed campaign goes through the same builder, so its
+  // report cannot drift from the single-process bytes either.
+  if (reportReady) {
+    response.rows = evalReportRows(
+        response.moduleName, response.setup, response.cells,
+        [&](std::size_t i) { return &response.campaign.outcomes[i]; }, request.includeWall);
   }
 
-  if (!response.campaign.interrupted && journal != nullptr && request.checkCells > 0) {
+  if (reportReady && journal != nullptr && request.checkCells > 0) {
     const campaign::CheckResult checked =
         campaign::checkJournal(response.cells, *journal, request.checkCells, compute);
     response.checkedCells = checked.checkedCells;

@@ -24,6 +24,7 @@
 
 #include "attack/snapshot.hpp"
 #include "campaign/runner.hpp"
+#include "campaign/worker.hpp"
 #include "service/session.hpp"
 #include "service/types.hpp"
 
@@ -126,6 +127,18 @@ struct EvalRequest {
   bool includeWall = true;
   std::string journalPath;     // non-empty: checkpoint cells to this journal
   std::size_t checkCells = 0;  // with a journal: re-check this many cells
+
+  // Distributed manifest mode (`rtlock work` and serve's manifest eval):
+  // non-empty manifestPath switches runEval from owning the whole grid to
+  // claiming cells from the shared manifest (created atomically on first
+  // use, validated against the request on every use).  journalPath then
+  // defaults to `<manifest>.journals/<workerId>.jsonl`; checkCells is
+  // ignored (a worker's journal holds only its own cells).
+  std::string manifestPath;
+  std::string workerId;       // empty = "<hostname>-<pid>"
+  double leaseMs = 60000.0;   // claim lease; <= 0 disables stale-claim steals
+  double pollMs = 50.0;       // sweep sleep while other workers hold cells
+  double maxWaitMs = 0.0;     // give up after this long with no fleet progress
 };
 
 struct EvalResponse {
@@ -143,6 +156,11 @@ struct EvalResponse {
   bool journalTornTail = false;
   std::size_t checkedCells = 0;
   std::vector<std::string> checkMismatches;
+
+  // Manifest mode only.
+  bool distributed = false;
+  campaign::WorkerReport worker;
+  std::vector<std::string> mergedJournals;  // journals unioned for the report
 };
 
 /// Runs the (algorithm x seed) grid through the campaign runner.  With a
@@ -152,6 +170,16 @@ struct EvalResponse {
 /// exceptions; a journal belonging to a different campaign throws
 /// support::Error.
 [[nodiscard]] EvalResponse runEval(SessionCache& cache, const EvalRequest& request);
+
+/// Rebuilds an eval report's rows from grid cells and their outcomes.  The
+/// one row builder behind runEval, `rtlock work` and `rtlock merge
+/// --manifest`, so a merged multi-worker report cannot drift from the
+/// single-process bytes.  `outcomeAt` returns the outcome for a grid index
+/// (nullptr = cell missing); cells must be algorithm-major (manifest order).
+[[nodiscard]] std::vector<ReportRow> evalReportRows(
+    const std::string& moduleName, const std::string& setup,
+    const std::vector<campaign::Cell>& cells,
+    const std::function<const campaign::CellOutcome*(std::size_t)>& outcomeAt, bool includeWall);
 
 // ---- report documents ------------------------------------------------------
 

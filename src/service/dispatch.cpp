@@ -267,9 +267,26 @@ HttpResponse Dispatcher::route(const HttpRequest& request) {
   evalRequest.campaign.threads = options_.requestThreads;
   evalRequest.campaign.cellDeadlineMs = options_.requestDeadlineMs;
   evalRequest.includeWall = !boolField(body, "no_wall", false);
+  // Manifest mode: this server becomes one worker of a distributed
+  // campaign — claim cells from the shared manifest, journal locally, and
+  // answer with the merged fleet-wide report once every cell is done.
+  evalRequest.manifestPath = stringField(body, "manifest", "");
+  if (!evalRequest.manifestPath.empty()) {
+    evalRequest.workerId = stringField(body, "worker_id", "");
+    evalRequest.journalPath = stringField(body, "journal", "");
+    evalRequest.leaseMs = static_cast<double>(u64Field(body, "lease_ms", 60000));
+    evalRequest.pollMs = static_cast<double>(u64Field(body, "poll_ms", 50));
+    if (evalRequest.pollMs <= 0.0) throw BadRequest{"poll_ms must be > 0"};
+    evalRequest.maxWaitMs = static_cast<double>(u64Field(body, "max_wait_ms", 0));
+  }
   const EvalResponse result = runEval(cache_, evalRequest);
   if (result.campaign.interrupted) {
     return errorResponse(503, "campaign interrupted by server shutdown");
+  }
+  if (result.distributed && !result.worker.allDone) {
+    return errorResponse(504, "fleet not converged: manifest cells still unfinished after " +
+                                  std::to_string(static_cast<long long>(evalRequest.maxWaitMs)) +
+                                  " ms without progress");
   }
   support::JsonValue document = evalReportDocument(result, label);
   if (!result.cellErrors.empty()) {

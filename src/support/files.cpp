@@ -1,0 +1,74 @@
+#include "support/files.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::support {
+
+namespace {
+
+[[nodiscard]] std::string errnoText(int code) {
+  return std::string{std::strerror(code)} + " (errno " + std::to_string(code) + ")";
+}
+
+/// Unique-per-call temp sibling: pid + a process-wide counter keep
+/// concurrent writers (threads or processes sharing a directory) from
+/// clobbering each other's temp files.
+[[nodiscard]] std::string tempSibling(const std::string& path) {
+  static std::atomic<unsigned long> counter{0};
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void atomicWriteFile(const std::string& path, std::string_view content, SyncMode sync) {
+  const std::string temp = tempSibling(path);
+  const int fd = ::open(temp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    throw Error{"cannot create temp file " + temp + " for atomic write: " + errnoText(errno)};
+  }
+  const char* data = content.data();
+  std::size_t remaining = content.size();
+  while (remaining > 0) {
+    const ::ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      const int code = errno;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      throw Error{"failed writing " + temp + ": " + errnoText(code)};
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  // fsync BEFORE rename: once the new name is visible it must point at the
+  // complete bytes even across a power loss, never at a zero-length file.
+  // ProcessCrashOnly callers accept the power-loss window to avoid paying a
+  // disk flush per cell.
+  if (sync == SyncMode::Durable && ::fsync(fd) != 0) {
+    const int code = errno;
+    ::close(fd);
+    ::unlink(temp.c_str());
+    throw Error{"fsync of " + temp + " failed: " + errnoText(code)};
+  }
+  if (::close(fd) != 0) {
+    const int code = errno;
+    ::unlink(temp.c_str());
+    throw Error{"close of " + temp + " failed: " + errnoText(code)};
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const int code = errno;
+    ::unlink(temp.c_str());
+    throw Error{"cannot rename " + temp + " to " + path + ": " + errnoText(code)};
+  }
+}
+
+}  // namespace rtlock::support

@@ -1,0 +1,38 @@
+// Durable, atomic file replacement for the campaign layer.
+//
+// Multi-host coordination files (work manifests, done markers, merged
+// journals) must never be observed half-written: a reader on another host
+// either sees the previous complete content or the new complete content.
+// POSIX gives exactly that through write-to-temp + fsync + rename — the
+// rename is atomic on every filesystem the campaign layer targets, and the
+// fsync before it closes the power-loss window where some filesystems would
+// otherwise expose a zero-length file under the final name.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rtlock::support {
+
+enum class SyncMode {
+  /// fsync before rename: complete bytes under the final name even across a
+  /// power loss.  For write-once coordination files (manifests, merged
+  /// journals) whose loss would silently change campaign results.
+  Durable,
+  /// Skip the fsync: the rename is still atomic, so the replacement is safe
+  /// against process crashes (the campaign fault model — _Exit, kill -9),
+  /// just not against power loss.  For high-frequency per-cell files (done
+  /// markers, heartbeats) whose worst-case loss costs a recompute, matching
+  /// the journal's own flush-without-fsync stance.
+  ProcessCrashOnly,
+};
+
+/// Atomically replaces (or creates) `path` with `content`: writes a unique
+/// sibling temp file, fsyncs it (per `sync`), then renames it over `path`.
+/// Throws Error naming the failing step and errno when the directory is
+/// missing, the filesystem is full, or the rename is rejected; the temp
+/// file is removed on every failure path.
+void atomicWriteFile(const std::string& path, std::string_view content,
+                     SyncMode sync = SyncMode::Durable);
+
+}  // namespace rtlock::support

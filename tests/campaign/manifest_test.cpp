@@ -1,0 +1,366 @@
+// The multi-host coordination contract: manifest round-trip and validation,
+// O_CREAT|O_EXCL claim exclusivity (exactly one winner per cell under
+// thread contention), mtime-based lease expiry with rename-to-tombstone
+// steals, torn/garbage claim tolerance, and loud EEXIST-vs-other-errno
+// classification.
+#include "campaign/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "support/files.hpp"
+
+namespace rtlock::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "manifest_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Manifest testManifest(std::size_t cells = 6) {
+  Manifest manifest;
+  manifest.identity.designHash = "00000000deadbeef";
+  manifest.identity.configHash = "00000000cafef00d";
+  manifest.identity.design = "alu8";
+  manifest.identity.config = "samples=1 rounds=30 budget=75% folds=3 extended-features=0";
+  manifest.setup = "samples=1 rounds=30 budget=75%";
+  const char* algos[] = {"serial", "hra", "era"};
+  for (std::size_t i = 0; i < cells; ++i) {
+    Cell cell;
+    cell.id = {manifest.identity.designHash, algos[i / 2 % 3], i % 2 + 1,
+               manifest.identity.configHash};
+    cell.label = cell.id.algorithm + " / seed " + std::to_string(cell.id.seed);
+    manifest.cells.push_back(cell);
+  }
+  return manifest;
+}
+
+/// Ages a claim file's mtime by `ms` so lease expiry triggers without
+/// sleeping through real time.
+void ageFile(const std::string& path, std::chrono::milliseconds ms) {
+  const fs::file_time_type mtime = fs::last_write_time(path);
+  fs::last_write_time(path, mtime - ms);
+}
+
+TEST(Manifest, WriteReadRoundTrips) {
+  const std::string dir = freshDir("roundtrip");
+  const std::string path = dir + "/campaign.manifest";
+  const Manifest written = testManifest();
+  writeManifest(path, written);
+
+  const Manifest read = readManifest(path);
+  EXPECT_EQ(read.identity.designHash, written.identity.designHash);
+  EXPECT_EQ(read.identity.configHash, written.identity.configHash);
+  EXPECT_EQ(read.identity.design, written.identity.design);
+  EXPECT_EQ(read.identity.config, written.identity.config);
+  EXPECT_EQ(read.setup, written.setup);
+  ASSERT_EQ(read.cells.size(), written.cells.size());
+  for (std::size_t i = 0; i < read.cells.size(); ++i) {
+    EXPECT_EQ(read.cells[i].id.key(), written.cells[i].id.key());
+    EXPECT_EQ(read.cells[i].label, written.cells[i].label);
+  }
+}
+
+TEST(Manifest, WriteIsDeterministic) {
+  const std::string dir = freshDir("deterministic");
+  writeManifest(dir + "/a.manifest", testManifest());
+  writeManifest(dir + "/b.manifest", testManifest());
+  std::ifstream a{dir + "/a.manifest", std::ios::binary};
+  std::ifstream b{dir + "/b.manifest", std::ios::binary};
+  const std::string aText{std::istreambuf_iterator<char>{a}, std::istreambuf_iterator<char>{}};
+  const std::string bText{std::istreambuf_iterator<char>{b}, std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(aText, bText);  // racing creators of one grid rename identical bytes
+}
+
+TEST(Manifest, MissingFileThrows) {
+  EXPECT_THROW(readManifest(freshDir("missing") + "/nope.manifest"), support::Error);
+}
+
+TEST(Manifest, UnsupportedSchemaThrows) {
+  const std::string dir = freshDir("schema");
+  const std::string path = dir + "/campaign.manifest";
+  support::atomicWriteFile(path, "{\"schema\": \"rtlock-manifest/v999\"}\n");
+  try {
+    (void)readManifest(path);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("unsupported schema"), std::string::npos);
+  }
+}
+
+TEST(Manifest, NonContiguousIndexThrows) {
+  const std::string dir = freshDir("gap");
+  const std::string path = dir + "/campaign.manifest";
+  Manifest manifest = testManifest(2);
+  writeManifest(path, manifest);
+  // Duplicate the last cell line with a skipped index.
+  std::ifstream in{path, std::ios::binary};
+  std::string text{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  in.close();
+  std::string gapLine = text.substr(text.rfind("{\"index\": 1"));
+  const std::size_t pos = gapLine.find("\"index\": 1");
+  gapLine.replace(pos, 10, "\"index\": 3");
+  support::atomicWriteFile(path, text + gapLine);
+  // The header also declares 2 cells; the index gap fires first.
+  try {
+    (void)readManifest(path);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("non-contiguous"), std::string::npos);
+  }
+}
+
+TEST(Manifest, CellKeyInconsistentWithHeaderThrows) {
+  const std::string dir = freshDir("badkey");
+  const std::string path = dir + "/campaign.manifest";
+  writeManifest(path, testManifest(2));
+  std::ifstream in{path, std::ios::binary};
+  std::string text{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  in.close();
+  const std::size_t pos = text.find("00000000deadbeef:", text.find('\n'));  // first cell key
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 16, "1111111111111111");
+  support::atomicWriteFile(path, text);
+  try {
+    (void)readManifest(path);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("does not match"), std::string::npos);
+  }
+}
+
+TEST(Manifest, DeclaredCountMismatchThrows) {
+  const std::string dir = freshDir("count");
+  const std::string path = dir + "/campaign.manifest";
+  writeManifest(path, testManifest(3));
+  std::ifstream in{path, std::ios::binary};
+  std::string text{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  in.close();
+  text.resize(text.rfind("{\"index\": 2"));  // drop the last cell line
+  support::atomicWriteFile(path, text);
+  try {
+    (void)readManifest(path);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("declares 3"), std::string::npos);
+  }
+}
+
+TEST(Manifest, JournalsDirConvention) {
+  EXPECT_EQ(journalsDirFor("/x/c.manifest"), "/x/c.manifest.journals");
+}
+
+TEST(Manifest, ListJournalsSortedAndFiltered) {
+  const std::string dir = freshDir("list");
+  support::atomicWriteFile(dir + "/b.jsonl", "b");
+  support::atomicWriteFile(dir + "/a.jsonl", "a");
+  support::atomicWriteFile(dir + "/notes.txt", "x");
+  const std::vector<std::string> journals = listJournals(dir);
+  ASSERT_EQ(journals.size(), 2u);
+  EXPECT_EQ(journals[0], dir + "/a.jsonl");
+  EXPECT_EQ(journals[1], dir + "/b.jsonl");
+  EXPECT_TRUE(listJournals(dir + "/missing").empty());
+}
+
+// ---- ClaimBoard ------------------------------------------------------------
+
+TEST(ClaimBoard, FirstClaimWinsSecondIsBusy) {
+  const std::string manifest = freshDir("claim") + "/c.manifest";
+  ClaimBoard alice{manifest, "alice", 60000.0};
+  ClaimBoard bob{manifest, "bob", 60000.0};
+
+  const ClaimOutcome first = alice.tryClaim(0);
+  EXPECT_EQ(first.status, ClaimStatus::Acquired);
+  EXPECT_FALSE(first.stolen);
+  EXPECT_EQ(bob.tryClaim(0).status, ClaimStatus::Busy);
+  ASSERT_TRUE(alice.claimOwner(0).has_value());
+  EXPECT_EQ(*alice.claimOwner(0), "alice");
+}
+
+TEST(ClaimBoard, DoneMarkerShortCircuitsClaims) {
+  const std::string manifest = freshDir("done") + "/c.manifest";
+  ClaimBoard alice{manifest, "alice", 60000.0};
+  ClaimBoard bob{manifest, "bob", 60000.0};
+  ASSERT_EQ(alice.tryClaim(3).status, ClaimStatus::Acquired);
+  alice.markDone(3, "ok");
+  EXPECT_TRUE(bob.isDone(3));
+  EXPECT_EQ(bob.tryClaim(3).status, ClaimStatus::Done);
+}
+
+TEST(ClaimBoard, StaleLeaseIsStolenExactlyOnce) {
+  const std::string manifest = freshDir("steal") + "/c.manifest";
+  ClaimBoard dead{manifest, "dead-worker", 500.0};
+  ASSERT_EQ(dead.tryClaim(0).status, ClaimStatus::Acquired);
+  ageFile(dead.claimPath(0), std::chrono::milliseconds{2000});
+
+  ClaimBoard bob{manifest, "bob", 500.0};
+  const ClaimOutcome stolen = bob.tryClaim(0);
+  EXPECT_EQ(stolen.status, ClaimStatus::Acquired);
+  EXPECT_TRUE(stolen.stolen);
+  ASSERT_TRUE(bob.claimOwner(0).has_value());
+  EXPECT_EQ(*bob.claimOwner(0), "bob");
+}
+
+TEST(ClaimBoard, FreshClaimSurvivesWithLeaseDisabled) {
+  const std::string manifest = freshDir("nolease") + "/c.manifest";
+  ClaimBoard alice{manifest, "alice", 0.0};  // lease expiry disabled
+  ASSERT_EQ(alice.tryClaim(0).status, ClaimStatus::Acquired);
+  ageFile(alice.claimPath(0), std::chrono::hours{24});
+  ClaimBoard bob{manifest, "bob", 0.0};
+  EXPECT_EQ(bob.tryClaim(0).status, ClaimStatus::Busy);
+}
+
+TEST(ClaimBoard, OwnOrphanIsReclaimedImmediately) {
+  const std::string manifest = freshDir("orphan") + "/c.manifest";
+  {
+    ClaimBoard previous{manifest, "worker-a", 60000.0};
+    ASSERT_EQ(previous.tryClaim(0).status, ClaimStatus::Acquired);
+  }  // process "dies" holding the (fresh) claim
+  ClaimBoard restarted{manifest, "worker-a", 60000.0};
+  const ClaimOutcome reclaimed = restarted.tryClaim(0);
+  EXPECT_EQ(reclaimed.status, ClaimStatus::Acquired);
+  EXPECT_TRUE(reclaimed.stolen);
+}
+
+TEST(ClaimBoard, TornClaimContentIsToleratedAndAgesOut) {
+  const std::string manifest = freshDir("torn") + "/c.manifest";
+  ClaimBoard bob{manifest, "bob", 500.0};
+  {
+    // A rival crashed mid-write: the claim exists with garbage content.
+    std::ofstream torn{bob.claimPath(0), std::ios::binary};
+    torn << "{\"owner\": \"al";
+  }
+  EXPECT_FALSE(bob.claimOwner(0).has_value());
+  EXPECT_EQ(bob.tryClaim(0).status, ClaimStatus::Busy);  // mtime still fresh
+  ageFile(bob.claimPath(0), std::chrono::milliseconds{2000});
+  const ClaimOutcome stolen = bob.tryClaim(0);
+  EXPECT_EQ(stolen.status, ClaimStatus::Acquired);
+  EXPECT_TRUE(stolen.stolen);
+}
+
+TEST(ClaimBoard, EmptyClaimFileIsTolerated) {
+  const std::string manifest = freshDir("emptyclaim") + "/c.manifest";
+  ClaimBoard bob{manifest, "bob", 500.0};
+  { std::ofstream empty{bob.claimPath(1), std::ios::binary}; }
+  EXPECT_FALSE(bob.claimOwner(1).has_value());
+  EXPECT_EQ(bob.tryClaim(1).status, ClaimStatus::Busy);
+  ageFile(bob.claimPath(1), std::chrono::milliseconds{2000});
+  EXPECT_EQ(bob.tryClaim(1).status, ClaimStatus::Acquired);
+}
+
+TEST(ClaimBoard, ReleaseMakesCellClaimableAgain) {
+  const std::string manifest = freshDir("release") + "/c.manifest";
+  ClaimBoard alice{manifest, "alice", 60000.0};
+  ClaimBoard bob{manifest, "bob", 60000.0};
+  ASSERT_EQ(alice.tryClaim(0).status, ClaimStatus::Acquired);
+  EXPECT_EQ(bob.tryClaim(0).status, ClaimStatus::Busy);
+  alice.release(0);
+  EXPECT_EQ(bob.tryClaim(0).status, ClaimStatus::Acquired);
+}
+
+TEST(ClaimBoard, HeartbeatRefreshesTheLease) {
+  const std::string manifest = freshDir("heartbeat") + "/c.manifest";
+  ClaimBoard alice{manifest, "alice", 500.0};
+  ClaimBoard bob{manifest, "bob", 500.0};
+  ASSERT_EQ(alice.tryClaim(0).status, ClaimStatus::Acquired);
+  ageFile(alice.claimPath(0), std::chrono::milliseconds{2000});
+  alice.heartbeat(0);  // atomic rewrite bumps mtime back to "now"
+  EXPECT_EQ(bob.tryClaim(0).status, ClaimStatus::Busy);
+}
+
+TEST(ClaimBoard, InfrastructureErrnoIsNeverMaskedAsBusy) {
+  const std::string dir = freshDir("errno");
+  const std::string manifest = dir + "/c.manifest";
+  ClaimBoard board{manifest, "alice", 60000.0};
+  fs::remove_all(board.dir());  // claim dir ripped away (ENOENT, not EEXIST)
+  try {
+    (void)board.tryClaim(0);
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("errno"), std::string::npos) << error.what();
+  }
+}
+
+TEST(ClaimBoard, ContendingThreadsYieldExactlyOneOwnerPerCell) {
+  const std::string manifest = freshDir("contention") + "/c.manifest";
+  constexpr std::size_t kCells = 24;
+  constexpr int kWorkers = 8;
+
+  std::vector<std::atomic<int>> winners(kCells);
+  for (auto& w : winners) w.store(0);
+  std::atomic<int> totalWins{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ClaimBoard board{manifest, "worker-" + std::to_string(w), 60000.0};
+      for (std::size_t cell = 0; cell < kCells; ++cell) {
+        const ClaimOutcome outcome = board.tryClaim(cell);
+        if (outcome.status == ClaimStatus::Acquired) {
+          winners[cell].fetch_add(1);
+          totalWins.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(totalWins.load(), static_cast<int>(kCells));
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    EXPECT_EQ(winners[cell].load(), 1) << "cell " << cell;
+  }
+}
+
+TEST(ClaimBoard, ContendingStealersYieldExactlyOneNewOwnerPerCell) {
+  const std::string manifest = freshDir("stealrace") + "/c.manifest";
+  constexpr std::size_t kCells = 16;
+  constexpr int kWorkers = 8;
+
+  // A dead worker holds every cell with an expired lease.
+  {
+    ClaimBoard dead{manifest, "dead-worker", 200.0};
+    for (std::size_t cell = 0; cell < kCells; ++cell) {
+      ASSERT_EQ(dead.tryClaim(cell).status, ClaimStatus::Acquired);
+      ageFile(dead.claimPath(cell), std::chrono::milliseconds{5000});
+    }
+  }
+
+  std::vector<std::atomic<int>> winners(kCells);
+  for (auto& w : winners) w.store(0);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ClaimBoard board{manifest, "rival-" + std::to_string(w), 200.0};
+      for (std::size_t cell = 0; cell < kCells; ++cell) {
+        if (board.tryClaim(cell).status == ClaimStatus::Acquired) winners[cell].fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    EXPECT_EQ(winners[cell].load(), 1) << "cell " << cell;
+  }
+}
+
+TEST(DefaultWorkerId, CarriesHostAndPid) {
+  const std::string id = defaultWorkerId();
+  EXPECT_NE(id.find('-'), std::string::npos);
+  EXPECT_GT(id.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rtlock::campaign

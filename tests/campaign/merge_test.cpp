@@ -1,0 +1,294 @@
+// Adversarial corpus for the journal merge rules: disjoint union, ok rows
+// superseding failures, byte-identical duplicate dedup, differing-ok hard
+// determinism error, identity-mismatch refusal, torn tails, headerless
+// journals, permutation-independence of the merged bytes, and a fixed-seed
+// byte-mutation fuzz pass (merge may reject, never crash).
+#include "campaign/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::campaign {
+namespace {
+
+CampaignIdentity testIdentity() {
+  CampaignIdentity identity;
+  identity.designHash = "00000000deadbeef";
+  identity.configHash = "00000000cafef00d";
+  identity.design = "alu8";
+  identity.config = "samples=1 rounds=30";
+  return identity;
+}
+
+JournalRow okRow(const std::string& algorithm, std::uint64_t seed, double kpa = 42.25) {
+  JournalRow row;
+  row.id = {"00000000deadbeef", algorithm, seed, "00000000cafef00d"};
+  row.status = "ok";
+  row.attempts = 1;
+  row.wallMs = 12.5;
+  row.payload.set("mean_kpa_percent", kpa);
+  return row;
+}
+
+JournalRow errorRow(const std::string& algorithm, std::uint64_t seed,
+                    const std::string& what = "injected fault") {
+  JournalRow row;
+  row.id = {"00000000deadbeef", algorithm, seed, "00000000cafef00d"};
+  row.status = "error";
+  row.attempts = 3;
+  row.wallMs = 4.0;
+  row.errorCode = "error";
+  row.errorWhat = what;
+  return row;
+}
+
+JournalRow timeoutRow(const std::string& algorithm, std::uint64_t seed) {
+  JournalRow row;
+  row.id = {"00000000deadbeef", algorithm, seed, "00000000cafef00d"};
+  row.status = "timeout";
+  row.attempts = 1;
+  row.wallMs = 100.0;
+  row.errorCode = "timeout";
+  row.errorWhat = "cell deadline expired";
+  return row;
+}
+
+std::string freshPath(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "merge_" + tag + ".jsonl";
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << bytes;
+}
+
+/// Writes a well-formed worker journal containing `rows`.
+std::string writeJournal(const std::string& tag, const std::vector<JournalRow>& rows,
+                         const CampaignIdentity& identity = testIdentity()) {
+  const std::string path = freshPath(tag);
+  Journal journal{path, identity};
+  for (const JournalRow& row : rows) journal.append(row);
+  return path;
+}
+
+TEST(Merge, DisjointJournalsUnion) {
+  const std::string a = writeJournal("disjoint_a", {okRow("hra", 1), okRow("hra", 2)});
+  const std::string b = writeJournal("disjoint_b", {okRow("era", 1), errorRow("era", 2)});
+  const MergeResult merged = mergeJournals({a, b});
+  EXPECT_EQ(merged.rows.size(), 4u);
+  EXPECT_EQ(merged.stats.journals, 2u);
+  EXPECT_EQ(merged.stats.okRows, 3u);
+  EXPECT_EQ(merged.stats.errorRows, 1u);
+  EXPECT_EQ(merged.stats.timeoutRows, 0u);
+  EXPECT_EQ(merged.stats.duplicatesDropped, 0u);
+  EXPECT_EQ(merged.identity.designHash, "00000000deadbeef");
+}
+
+TEST(Merge, OkSupersedesErrorAndTimeoutEitherOrder) {
+  const std::string ok = writeJournal("super_ok", {okRow("hra", 1)});
+  const std::string failed = writeJournal("super_fail", {errorRow("hra", 1)});
+  const std::string timedOut = writeJournal("super_timeout", {timeoutRow("hra", 1)});
+
+  const std::vector<std::vector<std::string>> orders = {
+      {ok, failed, timedOut}, {failed, timedOut, ok}, {timedOut, ok, failed}};
+  for (const std::vector<std::string>& order : orders) {
+    const MergeResult merged = mergeJournals(order);
+    ASSERT_EQ(merged.rows.size(), 1u);
+    EXPECT_TRUE(merged.rows.begin()->second.ok());
+    EXPECT_EQ(merged.stats.okRows, 1u);
+    EXPECT_EQ(merged.stats.errorRows, 0u);
+    EXPECT_EQ(merged.stats.timeoutRows, 0u);
+    // The count itself is order-dependent (two failures folding together
+    // before the ok arrives supersede as one); only "at least one" holds.
+    EXPECT_GE(merged.stats.supersededFailures, 1u);
+  }
+}
+
+TEST(Merge, ByteIdenticalOkDuplicatesDedup) {
+  // A lease steal double-computed hra/1; purity makes the rows identical.
+  const std::string a = writeJournal("dup_a", {okRow("hra", 1), okRow("hra", 2)});
+  const std::string b = writeJournal("dup_b", {okRow("hra", 1)});
+  const MergeResult merged = mergeJournals({a, b});
+  EXPECT_EQ(merged.rows.size(), 2u);
+  EXPECT_EQ(merged.stats.duplicatesDropped, 1u);
+  EXPECT_EQ(merged.stats.okRows, 2u);
+}
+
+TEST(Merge, DifferingOkPayloadsAreAHardDeterminismError) {
+  const std::string a = writeJournal("det_a", {okRow("hra", 1, 42.25)});
+  const std::string b = writeJournal("det_b", {okRow("hra", 1, 99.0)});
+  try {
+    (void)mergeJournals({a, b});
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("determinism violation"), std::string::npos) << what;
+    EXPECT_NE(what.find(okRow("hra", 1).id.key()), std::string::npos) << what;
+  }
+}
+
+TEST(Merge, IdentityMismatchRefusesLoudly) {
+  CampaignIdentity other = testIdentity();
+  other.designHash = "1111111111111111";
+  const std::string a = writeJournal("mismatch_a", {okRow("hra", 1)});
+  const std::string b = freshPath("mismatch_b");
+  {
+    JournalRow row = okRow("hra", 2);
+    row.id.designHash = other.designHash;
+    Journal journal{b, other};
+    journal.append(row);
+  }
+  try {
+    (void)mergeJournals({a, b});
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("different campaign"), std::string::npos) << what;
+    EXPECT_NE(what.find("1111111111111111"), std::string::npos) << what;
+    EXPECT_NE(what.find("00000000deadbeef"), std::string::npos) << what;
+  }
+}
+
+TEST(Merge, TornTailIsToleratedAndCounted) {
+  const std::string a = writeJournal("torn", {okRow("hra", 1)});
+  {
+    std::ofstream out{a, std::ios::binary | std::ios::app};
+    out << "{\"cell\": \"00000000deadbeef:hra:2:00000000caf";  // crash mid-append
+  }
+  const MergeResult merged = mergeJournals({a});
+  EXPECT_EQ(merged.rows.size(), 1u);
+  EXPECT_EQ(merged.stats.tornTails, 1u);
+}
+
+TEST(Merge, HeaderlessJournalIsRejected) {
+  const std::string path = freshPath("headerless");
+  writeRaw(path, "{\"schema\": \"rtlock-jour");  // died during the very first write
+  try {
+    (void)mergeJournals({path});
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& error) {
+    EXPECT_NE(std::string{error.what()}.find("no intact identity header"), std::string::npos);
+  }
+}
+
+TEST(Merge, MissingJournalIsAnError) {
+  EXPECT_THROW((void)mergeJournals({freshPath("absent")}), support::Error);
+}
+
+TEST(Merge, EmptyPathListIsAnError) {
+  EXPECT_THROW((void)mergeJournals({}), support::Error);
+}
+
+TEST(Merge, FailureRowWinnerIsOrderIndependent) {
+  const std::string a = writeJournal("failord_a", {errorRow("hra", 1, "zeta failure")});
+  const std::string b = writeJournal("failord_b", {errorRow("hra", 1, "alpha failure")});
+  const MergeResult ab = mergeJournals({a, b});
+  const MergeResult ba = mergeJournals({b, a});
+  ASSERT_EQ(ab.rows.size(), 1u);
+  ASSERT_EQ(ba.rows.size(), 1u);
+  EXPECT_EQ(ab.rows.begin()->second.errorWhat, ba.rows.begin()->second.errorWhat);
+  EXPECT_EQ(journalRowToJson(ab.rows.begin()->second).dumpLine(),
+            journalRowToJson(ba.rows.begin()->second).dumpLine());
+}
+
+TEST(Merge, MergedJournalBytesAreJournalOrderIndependent) {
+  const std::string a = writeJournal("perm_a", {okRow("hra", 1), errorRow("era", 2)});
+  const std::string b = writeJournal("perm_b", {okRow("era", 1), okRow("hra", 1)});
+  const std::string c = writeJournal("perm_c", {okRow("hra", 2), errorRow("era", 2)});
+
+  std::vector<std::string> order = {a, b, c};
+  std::sort(order.begin(), order.end());
+  std::string reference;
+  do {
+    const std::string out = freshPath("perm_out");
+    writeMergedJournal(out, mergeJournals(order));
+    const std::string bytes = slurp(out);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(Merge, MergedJournalRoundTripsThroughReadJournalFile) {
+  const std::string a = writeJournal("rt_a", {okRow("hra", 1), timeoutRow("era", 1)});
+  const std::string b = writeJournal("rt_b", {okRow("era", 1)});
+  const std::string out = freshPath("rt_out");
+  writeMergedJournal(out, mergeJournals({a, b}));
+
+  const JournalFile file = readJournalFile(out);
+  EXPECT_TRUE(file.headerIntact);
+  EXPECT_FALSE(file.tornTail);
+  ASSERT_EQ(file.rows.size(), 2u);
+  // Sorted by (algorithm, seed): era/1 then hra/1; the era cell is the ok row.
+  EXPECT_EQ(file.rows[0].id.algorithm, "era");
+  EXPECT_TRUE(file.rows[0].ok());
+  EXPECT_EQ(file.rows[1].id.algorithm, "hra");
+  EXPECT_EQ(file.identity.designHash, "00000000deadbeef");
+}
+
+TEST(Merge, ByteMutationFuzzNeverCrashes) {
+  // Fixed-seed fuzz: flip/insert/delete single bytes of a valid journal and
+  // merge.  Every mutation must either merge cleanly (torn tail absorbed) or
+  // throw support::Error — never crash, hang, or throw anything else.
+  const std::string pristinePath =
+      writeJournal("fuzz_base", {okRow("hra", 1), errorRow("era", 2), okRow("serial", 3)});
+  const std::string pristine = slurp(pristinePath);
+  ASSERT_FALSE(pristine.empty());
+
+  std::mt19937 rng{0xC0FFEEu};
+  std::uniform_int_distribution<std::size_t> pick(0, pristine.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  const std::string target = freshPath("fuzz_mut");
+  std::size_t merges = 0;
+  std::size_t rejections = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = pristine;
+    switch (round % 3) {
+      case 0:  // flip one byte
+        mutated[pick(rng)] = static_cast<char>(byte(rng));
+        break;
+      case 1:  // delete one byte
+        mutated.erase(pick(rng), 1);
+        break;
+      default:  // insert one byte
+        mutated.insert(pick(rng), 1, static_cast<char>(byte(rng)));
+        break;
+    }
+    writeRaw(target, mutated);
+    try {
+      const MergeResult merged = mergeJournals({target});
+      EXPECT_LE(merged.rows.size(), 3u);
+      ++merges;
+    } catch (const support::Error&) {
+      ++rejections;  // loud rejection is a valid outcome
+    }
+  }
+  // The corpus must exercise both paths, otherwise the fuzz proves nothing.
+  EXPECT_GT(merges, 0u);
+  EXPECT_GT(rejections, 0u);
+}
+
+}  // namespace
+}  // namespace rtlock::campaign

@@ -1,0 +1,214 @@
+// In-process runWorker contract: full-manifest completion, resume from the
+// worker's own journal (failure rows are FINAL for a manifest), cooperation
+// between two workers sharing one claim board, and maxWaitMs giving up when
+// a rival wedges holding a fresh lease.
+#include "campaign/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/merge.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rtlock::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "worker_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Manifest testManifest(std::size_t cells = 4) {
+  Manifest manifest;
+  manifest.identity.designHash = "00000000deadbeef";
+  manifest.identity.configHash = "00000000cafef00d";
+  manifest.identity.design = "alu8";
+  manifest.identity.config = "samples=1 rounds=30";
+  manifest.setup = "samples=1 rounds=30";
+  for (std::size_t i = 0; i < cells; ++i) {
+    Cell cell;
+    cell.id = {manifest.identity.designHash, "toy", i + 1, manifest.identity.configHash};
+    cell.label = "toy / seed " + std::to_string(i + 1);
+    manifest.cells.push_back(cell);
+  }
+  return manifest;
+}
+
+/// Pure toy compute: payload derived only from the cell seed.
+support::JsonValue toyCompute(const Cell& cell, const CellContext&) {
+  support::JsonValue payload;
+  payload.set("seed_times_ten", cell.id.seed * 10);
+  return payload;
+}
+
+CampaignIdentity identityOf(const Manifest& manifest) { return manifest.identity; }
+
+TEST(Worker, SingleWorkerCompletesTheManifest) {
+  const std::string dir = freshDir("solo");
+  const std::string manifestPath = dir + "/c.manifest";
+  const Manifest manifest = testManifest();
+  writeManifest(manifestPath, manifest);
+
+  Journal journal{dir + "/solo.jsonl", identityOf(manifest)};
+  WorkerOptions options;
+  options.campaign.threads = 1;
+  options.ownerId = "solo";
+  const WorkerReport report = runWorker(manifest, manifestPath, journal, options, toyCompute);
+
+  EXPECT_TRUE(report.allDone);
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_FALSE(report.timedOut);
+  EXPECT_EQ(report.totalCells, 4u);
+  EXPECT_EQ(report.computedCells, 4u);
+  EXPECT_EQ(report.okCells, 4u);
+  EXPECT_EQ(report.doneElsewhere, 0u);
+
+  const MergeResult merged = mergeJournals({dir + "/solo.jsonl"});
+  EXPECT_EQ(merged.rows.size(), 4u);
+  EXPECT_EQ(merged.stats.okRows, 4u);
+}
+
+TEST(Worker, ResumeSatisfiesCellsFromOwnJournalIncludingFailures) {
+  const std::string dir = freshDir("resume");
+  const std::string manifestPath = dir + "/c.manifest";
+  const Manifest manifest = testManifest();
+  writeManifest(manifestPath, manifest);
+  const std::string journalPath = dir + "/w.jsonl";
+
+  // First run: cell seed 2 fails (deterministically).
+  {
+    Journal journal{journalPath, identityOf(manifest)};
+    WorkerOptions options;
+    options.campaign.threads = 1;
+    options.campaign.retry.maxAttempts = 1;
+    options.ownerId = "w";
+    const WorkerReport report =
+        runWorker(manifest, manifestPath, journal, options,
+                  [](const Cell& cell, const CellContext& context) {
+                    if (cell.id.seed == 2) throw support::Error{"deterministic failure"};
+                    return toyCompute(cell, context);
+                  });
+    EXPECT_TRUE(report.allDone);
+    EXPECT_EQ(report.okCells, 3u);
+    EXPECT_EQ(report.errorCells, 1u);
+  }
+
+  // Wipe the claim board (simulates a fresh fleet against surviving
+  // journals); the worker must republish done markers from its own journal
+  // and recompute nothing — the error row is FINAL for the manifest.
+  fs::remove_all(manifestPath + ".claims");
+  std::atomic<int> computeCalls{0};
+  Journal journal{journalPath, identityOf(manifest)};
+  WorkerOptions options;
+  options.campaign.threads = 1;
+  options.ownerId = "w";
+  const WorkerReport report = runWorker(manifest, manifestPath, journal, options,
+                                        [&](const Cell& cell, const CellContext& context) {
+                                          computeCalls.fetch_add(1);
+                                          return toyCompute(cell, context);
+                                        });
+  EXPECT_TRUE(report.allDone);
+  EXPECT_EQ(computeCalls.load(), 0);
+  EXPECT_EQ(report.computedCells, 0u);
+  EXPECT_EQ(report.journaledCells, 4u);
+}
+
+TEST(Worker, TwoWorkersPartitionTheManifestAndMergeCleanly) {
+  const std::string dir = freshDir("pair");
+  const std::string manifestPath = dir + "/c.manifest";
+  const Manifest manifest = testManifest(12);
+  writeManifest(manifestPath, manifest);
+
+  WorkerReport reports[2];
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      Journal journal{dir + "/w" + std::to_string(w) + ".jsonl", identityOf(manifest)};
+      WorkerOptions options;
+      options.campaign.threads = 2;
+      options.ownerId = "w" + std::to_string(w);
+      options.pollMs = 5.0;
+      reports[w] = runWorker(manifest, manifestPath, journal, options, toyCompute);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_TRUE(reports[0].allDone);
+  EXPECT_TRUE(reports[1].allDone);
+  // Every cell computed at least once across the fleet; double computes are
+  // possible only through steals, which cannot happen with fresh leases.
+  EXPECT_EQ(reports[0].computedCells + reports[1].computedCells, 12u);
+  EXPECT_EQ(reports[0].okCells + reports[1].okCells, 12u);
+
+  const MergeResult merged = mergeJournals({dir + "/w0.jsonl", dir + "/w1.jsonl"});
+  EXPECT_EQ(merged.rows.size(), 12u);
+  EXPECT_EQ(merged.stats.okRows, 12u);
+  for (const auto& [key, row] : merged.rows) {
+    EXPECT_EQ(row.payload.at("seed_times_ten").asInt(),
+              static_cast<std::int64_t>(row.id.seed * 10));
+  }
+}
+
+TEST(Worker, MaxWaitGivesUpWhenARivalHoldsAFreshLease) {
+  const std::string dir = freshDir("wedged");
+  const std::string manifestPath = dir + "/c.manifest";
+  const Manifest manifest = testManifest(1);
+  writeManifest(manifestPath, manifest);
+
+  // A "wedged" rival holds the only cell with a fresh claim and never
+  // finishes; lease expiry is disabled so the claim cannot be stolen.
+  ClaimBoard rival{manifestPath, "wedged-rival", 0.0};
+  ASSERT_EQ(rival.tryClaim(0).status, ClaimStatus::Acquired);
+
+  Journal journal{dir + "/w.jsonl", identityOf(manifest)};
+  WorkerOptions options;
+  options.campaign.threads = 1;
+  options.ownerId = "w";
+  options.leaseMs = 0.0;  // never steal
+  options.pollMs = 5.0;
+  options.maxWaitMs = 200.0;
+  const WorkerReport report = runWorker(manifest, manifestPath, journal, options, toyCompute);
+
+  EXPECT_TRUE(report.timedOut);
+  EXPECT_FALSE(report.allDone);
+  EXPECT_EQ(report.computedCells, 0u);
+}
+
+TEST(Worker, StaleLeaseFromDeadWorkerIsStolenAndCellComputed) {
+  const std::string dir = freshDir("steal");
+  const std::string manifestPath = dir + "/c.manifest";
+  const Manifest manifest = testManifest(2);
+  writeManifest(manifestPath, manifest);
+
+  // A dead worker left a claim on cell 0; age it past the lease.
+  {
+    ClaimBoard dead{manifestPath, "dead-worker", 100.0};
+    ASSERT_EQ(dead.tryClaim(0).status, ClaimStatus::Acquired);
+    const fs::file_time_type mtime = fs::last_write_time(dead.claimPath(0));
+    fs::last_write_time(dead.claimPath(0), mtime - std::chrono::milliseconds{5000});
+  }
+
+  Journal journal{dir + "/w.jsonl", identityOf(manifest)};
+  WorkerOptions options;
+  options.campaign.threads = 1;
+  options.ownerId = "w";
+  options.leaseMs = 100.0;
+  options.pollMs = 5.0;
+  const WorkerReport report = runWorker(manifest, manifestPath, journal, options, toyCompute);
+
+  EXPECT_TRUE(report.allDone);
+  EXPECT_EQ(report.computedCells, 2u);
+  EXPECT_GE(report.steals, 1u);
+}
+
+}  // namespace
+}  // namespace rtlock::campaign

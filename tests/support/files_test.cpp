@@ -1,0 +1,105 @@
+// Contract of support::atomicWriteFile: atomic replacement via a unique
+// fsynced temp sibling, errno-naming errors, no temp-file litter on either
+// success or failure.  The campaign layer's manifests, done markers and
+// merged journals all lean on these properties for multi-host safety.
+#include "support/files.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace rtlock::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "files_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t tempLitter(const std::string& dir) {
+  std::size_t count = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator{dir}) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) ++count;
+  }
+  return count;
+}
+
+TEST(AtomicWriteFile, CreatesFileWithExactContent) {
+  const std::string dir = freshDir("create");
+  const std::string path = dir + "/out.txt";
+  atomicWriteFile(path, "hello\nworld\n");
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  EXPECT_EQ(tempLitter(dir), 0u);
+}
+
+TEST(AtomicWriteFile, ReplacesExistingContentCompletely) {
+  const std::string dir = freshDir("replace");
+  const std::string path = dir + "/out.txt";
+  atomicWriteFile(path, std::string(4096, 'a'));
+  atomicWriteFile(path, "short");
+  EXPECT_EQ(slurp(path), "short");  // no stale tail from the longer file
+  EXPECT_EQ(tempLitter(dir), 0u);
+}
+
+TEST(AtomicWriteFile, EmptyContentMakesEmptyFile) {
+  const std::string dir = freshDir("empty");
+  const std::string path = dir + "/out.txt";
+  atomicWriteFile(path, "");
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST(AtomicWriteFile, MissingDirectoryFailsNamingErrno) {
+  const std::string dir = freshDir("nodir");
+  const std::string path = dir + "/nope/out.txt";
+  try {
+    atomicWriteFile(path, "x");
+    FAIL() << "expected support::Error";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    // The EEXIST-vs-other-errno contract: infrastructure failures must name
+    // the errno instead of being silently absorbed.
+    EXPECT_NE(what.find("errno"), std::string::npos) << what;
+    EXPECT_NE(what.find(path + ".tmp."), std::string::npos) << what;
+  }
+}
+
+TEST(AtomicWriteFile, ConcurrentWritersLeaveOneCompleteVersion) {
+  const std::string dir = freshDir("race");
+  const std::string path = dir + "/out.txt";
+  // Each writer writes a distinct self-consistent payload; whatever rename
+  // wins, the surviving file must be one complete payload, never a splice.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 8; ++w) {
+    writers.emplace_back([&, w] {
+      const std::string payload(1024, static_cast<char>('a' + w));
+      for (int round = 0; round < 20; ++round) atomicWriteFile(path, payload);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  const std::string text = slurp(path);
+  ASSERT_EQ(text.size(), 1024u);
+  for (const char c : text) EXPECT_EQ(c, text.front());
+  EXPECT_EQ(tempLitter(dir), 0u);
+}
+
+}  // namespace
+}  // namespace rtlock::support
